@@ -1,0 +1,118 @@
+// E1 (paper §5): synthesized-area figures of the NI components at 0.13 um,
+// 500 MHz, and their scaling with instance parameters.
+//
+// Regenerates the paper's numbers from the calibrated analytical area model
+// (the RTL synthesis flow is substituted per DESIGN.md), then sweeps the
+// design-time parameters the paper says are XML-configurable: queue depth,
+// channels per port, and slot-table size.
+#include <iostream>
+
+#include "analysis/area_model.h"
+#include "bench/common.h"
+#include "core/params.h"
+#include "util/table.h"
+
+using namespace aethereal;
+using analysis::AreaModel;
+
+namespace {
+
+void PaperTable() {
+  bench::PrintHeader(
+      "E1a: component areas (mm^2, 0.13um, 500 MHz)",
+      "Paper §5: kernel 0.110; narrowcast 0.004; multi-connection 0.007; "
+      "DTL master 0.005; DTL slave 0.002;\nconfig shell 0.010; 4-port "
+      "example total 0.143.");
+  const auto ref = core::NiKernelParams::PaperReferenceInstance();
+  const auto kernel = AreaModel::NiKernel(ref);
+  Table table({"component", "paper mm^2", "model mm^2"});
+  table.AddRow({"NI kernel (8 ch, 8x32b queues, STU 8)", "0.110",
+                Table::Fmt(kernel.total_mm2, 3)});
+  table.AddRow({"  - queues (custom hw fifos)", "-",
+                Table::Fmt(kernel.queues_mm2, 3)});
+  table.AddRow({"  - per-channel credit ctrs/regs", "-",
+                Table::Fmt(kernel.per_channel_mm2, 3)});
+  table.AddRow({"  - slot table + scheduler", "-",
+                Table::Fmt(kernel.stu_mm2, 3)});
+  table.AddRow({"  - pck/depck/control", "-",
+                Table::Fmt(kernel.base_mm2, 3)});
+  table.AddRow({"narrowcast shell (2 slaves)", "0.004",
+                Table::Fmt(AreaModel::Narrowcast(2), 3)});
+  table.AddRow({"multi-connection shell (4 conn)", "0.007",
+                Table::Fmt(AreaModel::MultiConnection(4), 3)});
+  table.AddRow({"DTL master shell", "0.005",
+                Table::Fmt(AreaModel::DtlMaster(), 3)});
+  table.AddRow({"DTL slave shell", "0.002",
+                Table::Fmt(AreaModel::DtlSlave(), 3)});
+  table.AddRow({"configuration shell", "0.010",
+                Table::Fmt(AreaModel::ConfigShell(), 3)});
+  table.AddRow({"4-port example NI total", "0.143",
+                Table::Fmt(AreaModel::PaperExampleTotal(), 3)});
+  table.Print(std::cout);
+}
+
+void QueueDepthSweep() {
+  bench::PrintHeader("E1b: kernel area vs queue depth",
+                     "Queue storage dominates NI area (the paper's reason "
+                     "for area-efficient custom FIFOs).");
+  Table table({"queue words", "kernel mm^2", "queues mm^2", "queue share %"});
+  for (int words : {4, 8, 16, 32, 64}) {
+    auto params = core::NiKernelParams::PaperReferenceInstance();
+    for (auto& port : params.ports) {
+      for (auto& ch : port.channels) {
+        ch.source_queue_words = words;
+        ch.dest_queue_words = words;
+      }
+    }
+    const auto a = AreaModel::NiKernel(params);
+    table.AddRow({Table::Fmt(static_cast<std::int64_t>(words)),
+                  Table::Fmt(a.total_mm2, 3), Table::Fmt(a.queues_mm2, 3),
+                  Table::Fmt(100.0 * a.queues_mm2 / a.total_mm2, 1)});
+  }
+  table.Print(std::cout);
+}
+
+void ChannelSweep() {
+  bench::PrintHeader("E1c: kernel area vs number of channels",
+                     "Modular design-time instantiation: pay only for the "
+                     "connections configured.");
+  Table table({"channels", "kernel mm^2", "mm^2 per channel"});
+  for (int channels : {1, 2, 4, 8, 16, 32}) {
+    core::NiKernelParams params;
+    core::PortParams port;
+    port.channels.assign(static_cast<std::size_t>(channels),
+                         core::ChannelParams{});
+    params.ports.push_back(port);
+    const auto a = AreaModel::NiKernel(params);
+    table.AddRow({Table::Fmt(static_cast<std::int64_t>(channels)),
+                  Table::Fmt(a.total_mm2, 3),
+                  Table::Fmt(a.total_mm2 / channels, 4)});
+  }
+  table.Print(std::cout);
+}
+
+void TechnologySweep() {
+  bench::PrintHeader("E1d: technology scaling (first-order)",
+                     "The 0.143 mm^2 / 500 MHz point is the paper's 0.13um "
+                     "prototype; classic shrink projections follow.");
+  Table table({"node nm", "example NI mm^2", "est. frequency MHz"});
+  for (double node : {180.0, 130.0, 90.0, 65.0, 45.0}) {
+    table.AddRow({Table::Fmt(node, 0),
+                  Table::Fmt(AreaModel::ScaleToNode(
+                                 AreaModel::PaperExampleTotal(), node),
+                             4),
+                  Table::Fmt(AreaModel::FrequencyMhzAtNode(node), 0)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_area — reproduces paper §5 area results (E1)\n";
+  PaperTable();
+  QueueDepthSweep();
+  ChannelSweep();
+  TechnologySweep();
+  return 0;
+}

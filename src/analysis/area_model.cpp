@@ -1,0 +1,54 @@
+#include "analysis/area_model.h"
+
+namespace aethereal::analysis {
+
+NiKernelAreaBreakdown AreaModel::NiKernel(const core::NiKernelParams& params) {
+  NiKernelAreaBreakdown breakdown;
+  double bits = 0;
+  int channels = 0;
+  for (const auto& port : params.ports) {
+    for (const auto& ch : port.channels) {
+      bits += kDataWidthBits *
+              static_cast<double>(ch.source_queue_words + ch.dest_queue_words);
+      ++channels;
+    }
+  }
+  breakdown.queues_mm2 = bits * kFifoPerBit;
+  breakdown.per_channel_mm2 = channels * kPerChannel;
+  breakdown.stu_mm2 = params.stu_slots * kPerStuSlot;
+  breakdown.base_mm2 = kKernelBase;
+  breakdown.total_mm2 = breakdown.queues_mm2 + breakdown.per_channel_mm2 +
+                        breakdown.stu_mm2 + breakdown.base_mm2;
+  return breakdown;
+}
+
+double AreaModel::Narrowcast(int num_slaves) {
+  return kNarrowcastBase + num_slaves * kNarrowcastPerSlave;
+}
+
+double AreaModel::Multicast(int num_slaves) {
+  // Same structure as narrowcast minus the address decoder, plus the
+  // response merger; net out to the same per-slave cost.
+  return kNarrowcastBase + num_slaves * kNarrowcastPerSlave;
+}
+
+double AreaModel::MultiConnection(int num_connections) {
+  return kMultiConnBase + num_connections * kMultiConnPerConn;
+}
+
+double AreaModel::PaperExampleTotal() {
+  const auto kernel = NiKernel(core::NiKernelParams::PaperReferenceInstance());
+  return kernel.total_mm2 + ConfigShell() + 2 * DtlMaster() + Narrowcast(2) +
+         DtlSlave() + MultiConnection(4);
+}
+
+double AreaModel::ScaleToNode(double mm2_at_130nm, double node_nm) {
+  const double s = node_nm / 130.0;
+  return mm2_at_130nm * s * s;
+}
+
+double AreaModel::FrequencyMhzAtNode(double node_nm) {
+  return 500.0 * (130.0 / node_nm);
+}
+
+}  // namespace aethereal::analysis

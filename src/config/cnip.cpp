@@ -1,0 +1,71 @@
+#include "config/cnip.h"
+
+#include "transaction/message.h"
+#include "util/check.h"
+
+namespace aethereal::config {
+
+using transaction::Command;
+using transaction::RequestMessage;
+using transaction::ResponseError;
+using transaction::ResponseMessage;
+
+CnipAgent::CnipAgent(std::string name, core::NiKernel* kernel,
+                     shells::SlaveShell* shell)
+    : sim::Module(std::move(name)), kernel_(kernel), shell_(shell) {
+  AETHEREAL_CHECK(kernel != nullptr && shell != nullptr);
+}
+
+void CnipAgent::Evaluate() {
+  // One configuration transaction per cycle.
+  if (!shell_->HasRequest()) return;
+  if (!shell_->CanRespond(1)) return;  // leave the request queued
+  const RequestMessage req = shell_->PopRequest();
+
+  ResponseMessage rsp;
+  rsp.transaction_id = req.transaction_id;
+  rsp.sequence_number = req.sequence_number;
+
+  switch (req.cmd) {
+    case Command::kWrite: {
+      // One register per message: address is the register offset.
+      Status status = OkStatus();
+      Word address = req.address;
+      for (Word value : req.data) {
+        status = kernel_->WriteRegister(address, value);
+        if (!status.ok()) break;
+        ++writes_executed_;
+        ++address;  // bursts hit consecutive registers
+      }
+      if (!req.ExpectsResponse()) return;
+      rsp.is_write_ack = true;
+      rsp.error =
+          status.ok() ? ResponseError::kOk : ResponseError::kUnmappedAddress;
+      break;
+    }
+    case Command::kRead: {
+      Word address = req.address;
+      rsp.error = ResponseError::kOk;
+      for (int i = 0; i < req.read_length; ++i) {
+        auto value = kernel_->ReadRegister(address);
+        if (!value.ok()) {
+          rsp.error = ResponseError::kUnmappedAddress;
+          rsp.data.clear();
+          break;
+        }
+        rsp.data.push_back(*value);
+        ++reads_executed_;
+        ++address;
+      }
+      break;
+    }
+    default:
+      if (!req.ExpectsResponse()) return;
+      rsp.is_write_ack = req.IsWrite();
+      rsp.error = ResponseError::kBadCommand;
+      break;
+  }
+  shell_->Respond(rsp);
+}
+
+}  // namespace aethereal::config

@@ -1,0 +1,41 @@
+// CNIP agent: executes configuration transactions on an NI's register file.
+//
+// "NIs are configured via a configuration port (CNIP), which offers a
+// memory-mapped view on all control registers in the NIs" (paper §4.3).
+// The CNIP is an ordinary slave on the NoC: request messages arrive on a
+// dedicated channel (enabled at reset so the NoC can bootstrap its own
+// configuration), are executed one per cycle on the kernel's register file,
+// and acknowledged / answered in order.
+#ifndef AETHEREAL_CONFIG_CNIP_H
+#define AETHEREAL_CONFIG_CNIP_H
+
+#include <string>
+
+#include "core/ni_kernel.h"
+#include "shells/slave_shell.h"
+#include "sim/kernel.h"
+
+namespace aethereal::config {
+
+class CnipAgent : public sim::Module {
+ public:
+  /// `kernel`: the NI whose registers this agent serves. `shell`: a slave
+  /// shell bound to the CNIP channel of that NI.
+  CnipAgent(std::string name, core::NiKernel* kernel,
+            shells::SlaveShell* shell);
+
+  void Evaluate() override;
+
+  std::int64_t writes_executed() const { return writes_executed_; }
+  std::int64_t reads_executed() const { return reads_executed_; }
+
+ private:
+  core::NiKernel* kernel_;
+  shells::SlaveShell* shell_;
+  std::int64_t writes_executed_ = 0;
+  std::int64_t reads_executed_ = 0;
+};
+
+}  // namespace aethereal::config
+
+#endif  // AETHEREAL_CONFIG_CNIP_H

@@ -1,0 +1,152 @@
+// Run-time connection management (paper §3, §4.3, Fig. 9).
+//
+// The ConnectionManager is the configuration module ("Cfg") of the
+// centralized configuration model: it owns the slot occupancy information
+// (a CentralizedAllocator), opens and closes connections by writing NI
+// registers through the configuration shell — using the NoC itself, never a
+// separate control interconnect — and follows the Fig. 9 protocol:
+//
+//   1. set up the request channel Cfg -> target NI by writing the local
+//      NI's registers (via the config shell, directly);
+//   2. set up the response channel target -> Cfg via the NoC (3 writes,
+//      the last one acknowledged);
+//   3. set up the slave-to-master (response) channel of the new connection;
+//   4. set up the master-to-slave (request) channel of the new connection.
+//
+// Each phase ends with an acknowledged write so that a later phase never
+// races an earlier one on a different channel.
+#ifndef AETHEREAL_CONFIG_CONNECTION_MANAGER_H
+#define AETHEREAL_CONFIG_CONNECTION_MANAGER_H
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ni_kernel.h"
+#include "shells/config_shell.h"
+#include "tdm/allocator.h"
+#include "topology/topology.h"
+#include "util/status.h"
+
+namespace aethereal::config {
+
+/// Quality of service of one channel direction.
+struct ChannelQos {
+  bool gt = false;
+  int gt_slots = 0;  // reserved TDM slots (gt only)
+  tdm::AllocPolicy policy = tdm::AllocPolicy::kSpread;
+  int data_threshold = 1;
+  int credit_threshold = 1;
+};
+
+/// A connection between one master channel and one slave channel.
+struct ConnectionSpec {
+  tdm::GlobalChannel master;
+  tdm::GlobalChannel slave;
+  ChannelQos request;   // master -> slave direction
+  ChannelQos response;  // slave -> master direction
+};
+
+enum class ConnectionState { kPending, kOpen, kFailed, kClosed };
+
+const char* ConnectionStateName(ConnectionState state);
+
+class ConnectionManager : public sim::Module {
+ public:
+  /// Queue-capacity lookup: destination-queue words of a channel, used to
+  /// initialize the remote Space counters.
+  using QueueLookup = std::function<int(const tdm::GlobalChannel&)>;
+
+  struct CnipInfo {
+    ChannelId channel = kInvalidId;  // flat CNIP channel id at that NI
+    int dest_queue_words = 0;        // its destination-queue capacity
+  };
+
+  ConnectionManager(std::string name, const topology::Topology* topology,
+                    tdm::CentralizedAllocator* allocator,
+                    shells::ConfigShell* shell, core::NiPort* cfg_port,
+                    NiId cfg_ni, std::map<NiId, int> cfg_connid_of_ni,
+                    std::map<NiId, CnipInfo> cnip_of_ni, QueueLookup lookup);
+
+  /// Queues a connection-open; returns a handle. Progress happens as the
+  /// simulation runs; poll StateOf()/Idle().
+  int RequestOpen(const ConnectionSpec& spec);
+
+  /// Queues a connection-close.
+  Status RequestClose(int handle);
+
+  bool Idle() const { return ops_.empty() && !op_active_; }
+  ConnectionState StateOf(int handle) const;
+  const Status& ErrorOf(int handle) const;
+
+  /// Cycle at which the handle's last operation completed (-1 if pending).
+  Cycle CompletionCycleOf(int handle) const;
+
+  /// True once the configuration connection to `ni` is established.
+  bool ConfigConnectionLive(NiId ni) const;
+
+  std::int64_t operations_completed() const { return operations_completed_; }
+
+  void Evaluate() override;
+
+ private:
+  struct Action {
+    NiId ni;
+    Word reg;
+    Word value;
+    bool acked;
+  };
+  struct Op {
+    enum class Kind { kEnsureConfig, kOpenData, kCloseData } kind;
+    NiId target = kInvalidId;  // kEnsureConfig
+    int handle = -1;           // kOpenData / kCloseData
+  };
+  struct Record {
+    ConnectionSpec spec;
+    ConnectionState state = ConnectionState::kPending;
+    Status error;
+    std::vector<SlotIndex> request_slots;
+    std::vector<SlotIndex> response_slots;
+    topology::ChannelRoute request_route;
+    topology::ChannelRoute response_route;
+    Cycle completed_at = -1;
+  };
+
+  void StartNextOp();
+  bool BuildEnsureConfigActions(NiId target);
+  bool BuildOpenActions(Record& record);
+  bool BuildCloseActions(Record& record);
+  void PushChannelSetup(const tdm::GlobalChannel& at, NiId peer_unused,
+                        const topology::ChannelRoute& route, int remote_qid,
+                        int remote_space, const ChannelQos& qos,
+                        const std::vector<SlotIndex>& slots, bool full_set);
+  void FailCurrentOp(Status status);
+  Word SlotMask(const std::vector<SlotIndex>& slots) const;
+
+  const topology::Topology* topology_;
+  tdm::CentralizedAllocator* allocator_;
+  shells::ConfigShell* shell_;
+  core::NiPort* cfg_port_;
+  NiId cfg_ni_;
+  std::map<NiId, int> cfg_connid_of_ni_;
+  std::map<NiId, CnipInfo> cnip_of_ni_;
+  QueueLookup lookup_;
+
+  std::map<NiId, bool> config_live_;
+  std::deque<Op> ops_;
+  Op current_op_{};
+  bool op_active_ = false;
+  // Actions of the active op, grouped in phases separated by ack barriers:
+  // a kBarrier sentinel action (ni == kInvalidId) means "wait for all
+  // outstanding acks before continuing".
+  std::deque<Action> current_actions_;
+  std::vector<int> outstanding_tids_;
+  std::vector<Record> records_;
+  std::int64_t operations_completed_ = 0;
+};
+
+}  // namespace aethereal::config
+
+#endif  // AETHEREAL_CONFIG_CONNECTION_MANAGER_H

@@ -1,0 +1,605 @@
+#include "core/ni_kernel.h"
+
+#include <algorithm>
+
+#include "link/flit.h"
+#include "util/check.h"
+
+namespace aethereal::core {
+
+using link::Flit;
+using link::FlitKind;
+using link::PacketHeader;
+
+// ---------------------------------------------------------------------------
+// NiPort
+// ---------------------------------------------------------------------------
+
+NiPort::NiPort(std::string name, NiKernel* kernel)
+    : sim::Module(std::move(name)), kernel_(kernel) {}
+
+bool NiPort::CanWrite(int connid, int words) const {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  AETHEREAL_CHECK(words >= 0);
+  const auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  return ch.source->WriterSpace() >= words;
+}
+
+void NiPort::Write(int connid, Word word) {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  AETHEREAL_CHECK_MSG(ch.source->CanPush(),
+                      name() << ": source queue overflow on connid " << connid);
+  ch.source->Push(word);
+}
+
+int NiPort::ReadAvailable(int connid) const {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  const auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  return ch.dest->ReaderAvailable();
+}
+
+Word NiPort::PeekRead(int connid, int offset) const {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  const auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  return ch.dest->Peek(offset);
+}
+
+Word NiPort::Read(int connid) {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  AETHEREAL_CHECK_MSG(ch.dest->CanPop(),
+                      name() << ": destination queue underflow on connid "
+                             << connid);
+  return ch.dest->Pop();
+}
+
+void NiPort::FlushData(int connid) {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  ch.data_flush_reqs.Set(ch.data_flush_reqs.Get() + 1);
+}
+
+void NiPort::FlushCredits(int connid) {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  ch.credit_flush_reqs.Set(ch.credit_flush_reqs.Get() + 1);
+}
+
+ChannelId NiPort::GlobalChannelOf(int connid) const {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  return channels_[static_cast<std::size_t>(connid)];
+}
+
+// ---------------------------------------------------------------------------
+// NiKernel construction
+// ---------------------------------------------------------------------------
+
+NiKernel::NiKernel(std::string name, NiId id, const NiKernelParams& params)
+    : sim::Module(std::move(name)), id_(id), params_(params) {
+  AETHEREAL_CHECK(params.stu_slots > 0);
+  AETHEREAL_CHECK_MSG(params.stu_slots <= 32,
+                      "SLOTS register is a 32-bit mask; stu_slots must be <= 32");
+  AETHEREAL_CHECK(params.max_packet_flits > 0);
+  AETHEREAL_CHECK_MSG(params.TotalChannels() > 0, "NI with no channels");
+  AETHEREAL_CHECK_MSG(params.TotalChannels() <= link::kMaxQueueId + 1,
+                      "more channels than the header qid field can address");
+
+  stu_.assign(static_cast<std::size_t>(params.stu_slots), kInvalidId);
+
+  for (std::size_t p = 0; p < params.ports.size(); ++p) {
+    const auto& port_params = params.ports[p];
+    auto port = std::unique_ptr<NiPort>(new NiPort(
+        this->name() + "." +
+            (port_params.name.empty() ? "port" + std::to_string(p)
+                                      : port_params.name),
+        this));
+    for (const auto& cp : port_params.channels) {
+      AETHEREAL_CHECK(cp.source_queue_words > 0 && cp.dest_queue_words > 0);
+      auto ch = std::make_unique<Channel>();
+      ch->port = static_cast<int>(p);
+      ch->connid = static_cast<int>(port->channels_.size());
+      ch->params = cp;
+      ch->source = std::make_unique<sim::CdcFifo<Word>>(cp.source_queue_words);
+      ch->dest = std::make_unique<sim::CdcFifo<Word>>(cp.dest_queue_words);
+      ch->source_net_side = std::make_unique<sim::CdcReadSide<Word>>(ch->source.get());
+      ch->dest_net_side = std::make_unique<sim::CdcWriteSide<Word>>(ch->dest.get());
+      ch->source_port_side = std::make_unique<sim::CdcWriteSide<Word>>(ch->source.get());
+      ch->dest_port_side = std::make_unique<sim::CdcReadSide<Word>>(ch->dest.get());
+      // Network-domain state commits with the kernel; port-domain state
+      // (including the flush-request signals) with the port.
+      RegisterState(ch->source_net_side.get());
+      RegisterState(ch->dest_net_side.get());
+      port->RegisterState(ch->source_port_side.get());
+      port->RegisterState(ch->dest_port_side.get());
+      port->RegisterState(&ch->data_flush_reqs);
+      port->RegisterState(&ch->credit_flush_reqs);
+      const auto flat = static_cast<ChannelId>(channels_.size());
+      port->channels_.push_back(flat);
+      channels_.push_back(std::move(ch));
+    }
+    ports_.push_back(std::move(port));
+  }
+}
+
+NiKernel::~NiKernel() = default;
+
+void NiKernel::ConnectToRouter(link::LinkWires* to_router,
+                               link::LinkWires* from_router,
+                               int router_be_capacity) {
+  AETHEREAL_CHECK(to_router != nullptr && from_router != nullptr);
+  AETHEREAL_CHECK(router_be_capacity > 0);
+  to_router_ = to_router;
+  from_router_ = from_router;
+  be_link_credits_ = router_be_capacity;
+}
+
+NiPort* NiKernel::port(int index) {
+  AETHEREAL_CHECK(index >= 0 && index < NumPorts());
+  return ports_[static_cast<std::size_t>(index)].get();
+}
+
+NiKernel::Channel& NiKernel::ChannelAt(ChannelId ch) {
+  AETHEREAL_CHECK_MSG(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()),
+                      name() << ": channel " << ch << " out of range");
+  return *channels_[static_cast<std::size_t>(ch)];
+}
+
+const NiKernel::Channel& NiKernel::ChannelAt(ChannelId ch) const {
+  AETHEREAL_CHECK(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
+  return *channels_[static_cast<std::size_t>(ch)];
+}
+
+// ---------------------------------------------------------------------------
+// Memory-mapped configuration
+// ---------------------------------------------------------------------------
+
+Status NiKernel::WriteRegister(Word address, Word value) {
+  if (address < regs::kChannelBase) {
+    return FailedPreconditionError("NI info registers are read-only");
+  }
+  const Word rel = address - regs::kChannelBase;
+  const auto ch = static_cast<ChannelId>(rel / regs::kRegsPerChannel);
+  const Word reg = rel % regs::kRegsPerChannel;
+  if (ch >= static_cast<ChannelId>(channels_.size())) {
+    return NotFoundError("channel register address out of range");
+  }
+  if (reg > static_cast<Word>(regs::ChannelReg::kSlots)) {
+    return NotFoundError("unknown channel register");
+  }
+  pending_register_writes_.emplace_back(address, value);
+  return OkStatus();
+}
+
+Result<Word> NiKernel::ReadRegister(Word address) const {
+  switch (address) {
+    case regs::kStuSize:
+      return static_cast<Word>(params_.stu_slots);
+    case regs::kNumChannels:
+      return static_cast<Word>(channels_.size());
+    case regs::kNumPorts:
+      return static_cast<Word>(ports_.size());
+    default:
+      break;
+  }
+  if (address < regs::kChannelBase) return NotFoundError("unknown register");
+  const Word rel = address - regs::kChannelBase;
+  const auto chid = static_cast<ChannelId>(rel / regs::kRegsPerChannel);
+  const Word reg = rel % regs::kRegsPerChannel;
+  if (chid >= static_cast<ChannelId>(channels_.size())) {
+    return NotFoundError("channel register address out of range");
+  }
+  const Channel& ch = ChannelAt(chid);
+  switch (static_cast<regs::ChannelReg>(reg)) {
+    case regs::ChannelReg::kCtrl:
+      return static_cast<Word>((ch.enabled ? regs::kCtrlEnable : 0) |
+                               (ch.gt ? regs::kCtrlGt : 0));
+    case regs::ChannelReg::kSpace:
+      return static_cast<Word>(ch.space);
+    case regs::ChannelReg::kPathRqid:
+      return regs::PackPathRqid(ch.path, ch.remote_qid);
+    case regs::ChannelReg::kThresholds:
+      return regs::PackThresholds(ch.data_threshold, ch.credit_threshold);
+    case regs::ChannelReg::kSlots: {
+      Word mask = 0;
+      for (SlotIndex s = 0; s < params_.stu_slots; ++s) {
+        if (stu_[static_cast<std::size_t>(s)] == chid) mask |= (1u << s);
+      }
+      return mask;
+    }
+    default:
+      return NotFoundError("unknown channel register");
+  }
+}
+
+void NiKernel::ApplyRegisterWrite(Word address, Word value) {
+  const Word rel = address - regs::kChannelBase;
+  const auto chid = static_cast<ChannelId>(rel / regs::kRegsPerChannel);
+  const Word reg = rel % regs::kRegsPerChannel;
+  Channel& ch = ChannelAt(chid);
+  switch (static_cast<regs::ChannelReg>(reg)) {
+    case regs::ChannelReg::kCtrl: {
+      const bool enable = (value & regs::kCtrlEnable) != 0;
+      const bool gt = (value & regs::kCtrlGt) != 0;
+      AETHEREAL_CHECK_MSG(!(ch.enabled && !enable && ch.open_words_left > 0),
+                          name() << ": channel " << chid
+                                 << " disabled mid-packet");
+      if (enable && !ch.enabled) {
+        // (Re)opening: reset run-time state.
+        ch.credits_owed = 0;
+        ch.open_words_left = 0;
+        ch.flush_words_left = 0;
+        ch.credit_flush = false;
+      }
+      ch.enabled = enable;
+      ch.gt = gt;
+      break;
+    }
+    case regs::ChannelReg::kSpace:
+      ch.space = static_cast<int>(value);
+      ch.space_init = static_cast<int>(value);
+      break;
+    case regs::ChannelReg::kPathRqid:
+      ch.path = regs::UnpackPath(value);
+      ch.remote_qid = regs::UnpackRqid(value);
+      break;
+    case regs::ChannelReg::kThresholds:
+      ch.data_threshold = regs::UnpackDataThreshold(value);
+      ch.credit_threshold = regs::UnpackCreditThreshold(value);
+      break;
+    case regs::ChannelReg::kSlots: {
+      for (SlotIndex s = 0; s < params_.stu_slots; ++s) {
+        const bool want = (value & (1u << s)) != 0;
+        ChannelId& owner = stu_[static_cast<std::size_t>(s)];
+        if (want) {
+          AETHEREAL_CHECK_MSG(owner == kInvalidId || owner == chid,
+                              name() << ": STU slot " << s
+                                     << " already owned by channel " << owner);
+          owner = chid;
+        } else if (owner == chid) {
+          owner = kInvalidId;
+        }
+      }
+      break;
+    }
+    default:
+      AETHEREAL_CHECK_MSG(false, "unreachable: validated in WriteRegister");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+const ChannelStats& NiKernel::channel_stats(ChannelId ch) const {
+  return ChannelAt(ch).stats;
+}
+int NiKernel::SpaceOf(ChannelId ch) const { return ChannelAt(ch).space; }
+int NiKernel::CreditsOwedOf(ChannelId ch) const {
+  return ChannelAt(ch).credits_owed;
+}
+ChannelId NiKernel::SlotOwner(SlotIndex slot) const {
+  AETHEREAL_CHECK(slot >= 0 && slot < params_.stu_slots);
+  return stu_[static_cast<std::size_t>(slot)];
+}
+SlotIndex NiKernel::CurrentSlot() const {
+  return static_cast<SlotIndex>((CycleCount() / kFlitWords) %
+                                params_.stu_slots);
+}
+bool NiKernel::ChannelEnabled(ChannelId ch) const {
+  return ChannelAt(ch).enabled;
+}
+
+// ---------------------------------------------------------------------------
+// Cycle behaviour
+// ---------------------------------------------------------------------------
+
+void NiKernel::Evaluate() {
+  if (!IsSlotBoundary()) return;
+  if (to_router_ != nullptr) {
+    be_link_credits_ += to_router_->credit_return.Sample();
+  }
+  if (from_router_ != nullptr) ReceiveFlit();
+  HarvestCreditsAndFlushes();
+  if (to_router_ != nullptr) Schedule();
+}
+
+void NiKernel::Commit() {
+  sim::Module::Commit();
+  for (const auto& [address, value] : pending_register_writes_) {
+    ApplyRegisterWrite(address, value);
+  }
+  pending_register_writes_.clear();
+}
+
+void NiKernel::ReceiveFlit() {
+  const Flit& flit = from_router_->data.Sample();
+  if (flit.IsIdle()) return;
+
+  // One packet per traffic class may be in flight on the delivery link (GT
+  // preempts BE at slot boundaries upstream).
+  int& rx_qid = flit.gt ? rx_qid_gt_ : rx_qid_be_;
+
+  int word_index = 0;
+  if (flit.kind == FlitKind::kHeader) {
+    const PacketHeader header = PacketHeader::Decode(flit.words[0]);
+    AETHEREAL_CHECK_MSG(header.path.Exhausted(),
+                        name() << ": packet arrived with unconsumed path");
+    AETHEREAL_CHECK_MSG(
+        header.remote_qid < static_cast<int>(channels_.size()),
+        name() << ": packet addresses queue " << header.remote_qid
+               << " of " << channels_.size());
+    AETHEREAL_CHECK_MSG(rx_qid == kInvalidId,
+                        name() << ": header while a packet of the same "
+                               << "class is open");
+    rx_qid = header.remote_qid;
+    Channel& ch = ChannelAt(rx_qid);
+    // Note: reception is not gated by the enable bit — the queues exist
+    // physically, and in-flight packets (e.g. final credit returns during a
+    // connection close) may legitimately arrive after the channel has been
+    // disabled. Enable only gates the scheduler.
+    //
+    // Piggybacked credits replenish the Space counter of the paired
+    // (reverse-direction) source queue, which is the same channel index.
+    ch.space += header.credits;
+    AETHEREAL_CHECK_MSG(ch.space <= ch.space_init,
+                        name() << ": credit overflow on channel " << rx_qid
+                               << " (space " << ch.space << " > init "
+                               << ch.space_init << ")");
+    word_index = 1;
+    ++stats_.packets_received;
+  } else {
+    AETHEREAL_CHECK_MSG(rx_qid != kInvalidId,
+                        name() << ": payload flit with no packet open");
+  }
+
+  Channel& ch = ChannelAt(rx_qid);
+  for (; word_index < flit.valid_words; ++word_index) {
+    AETHEREAL_CHECK_MSG(ch.dest->CanPush(),
+                        name() << ": destination queue overflow on channel "
+                               << rx_qid << " — end-to-end flow control "
+                               << "violated");
+    ch.dest->Push(flit.words[static_cast<std::size_t>(word_index)]);
+    ++ch.stats.words_received;
+    ++stats_.payload_words_received;
+  }
+  if (flit.eop) rx_qid = kInvalidId;
+
+  // Return one link-level credit per BE flit consumed (the NI always sinks
+  // flits: end-to-end flow control already guaranteed destination space).
+  if (!flit.gt) from_router_->credit_return.Drive(1);
+}
+
+void NiKernel::HarvestCreditsAndFlushes() {
+  for (auto& chp : channels_) {
+    Channel& ch = *chp;
+    const int freed = ch.dest->TakeFreedForWriter();
+    if (freed > 0) {
+      ch.credits_owed += freed;
+      AETHEREAL_CHECK_MSG(ch.credits_owed <= ch.params.dest_queue_words,
+                          name() << ": credits owed exceed queue capacity");
+    }
+    if (ch.data_flush_reqs.Get() > ch.data_flush_seen) {
+      ch.data_flush_seen = ch.data_flush_reqs.Get();
+      // Snapshot of the source-queue filling at flush time (paper §4.1).
+      ch.flush_words_left = ch.source->ReaderSize();
+    }
+    if (ch.credit_flush_reqs.Get() > ch.credit_flush_seen) {
+      ch.credit_flush_seen = ch.credit_flush_reqs.Get();
+      ch.credit_flush = true;
+    }
+    if (ch.credit_flush && ch.credits_owed == 0) ch.credit_flush = false;
+  }
+}
+
+int NiKernel::SendableWords(const Channel& ch) const {
+  return std::min(ch.source->ReaderSize(), ch.space);
+}
+
+bool NiKernel::Eligible(const Channel& ch) const {
+  if (!ch.enabled) return false;
+  // A channel whose path register was never configured has nowhere to send
+  // (e.g. a CNIP channel enabled at reset that has already consumed
+  // configuration messages but whose response direction is not yet set up,
+  // Fig. 9 step 2).
+  if (ch.path.Exhausted()) return false;
+  const int sendable = SendableWords(ch);
+  const bool data_ok =
+      sendable >= std::max(1, ch.data_threshold) ||
+      (ch.flush_words_left > 0 && sendable > 0);
+  const bool credit_ok =
+      ch.credits_owed >= std::max(1, ch.credit_threshold) ||
+      (ch.credit_flush && ch.credits_owed > 0);
+  return data_ok || credit_ok;
+}
+
+int NiKernel::GtRunWords(ChannelId ch, SlotIndex slot) const {
+  int run = 0;
+  while (run < params_.stu_slots &&
+         stu_[static_cast<std::size_t>((slot + run) % params_.stu_slots)] == ch) {
+    ++run;
+  }
+  return run * kFlitWords - 1;  // the header consumes one word
+}
+
+void NiKernel::Schedule() {
+  const SlotIndex slot = CurrentSlot();
+  ChannelId granted = kInvalidId;
+
+  const ChannelId owner = stu_[static_cast<std::size_t>(slot)];
+  if (owner != kInvalidId) {
+    Channel& oc = ChannelAt(owner);
+    if (oc.enabled) {
+      AETHEREAL_CHECK_MSG(oc.gt,
+                          name() << ": STU slot " << slot
+                                 << " owned by best-effort channel " << owner);
+      if (oc.open_words_left > 0 || Eligible(oc)) {
+        granted = owner;
+      } else {
+        ++stats_.gt_slots_unused;
+      }
+    }
+  }
+
+  if (granted == kInvalidId) {
+    if (be_open_channel_ != kInvalidId) {
+      // Wormhole: the open BE packet continues before anything else.
+      if (be_link_credits_ <= 0) {
+        ++stats_.be_link_stalls;
+        return;
+      }
+      granted = be_open_channel_;
+    } else {
+      granted = ArbitrateBe();
+      if (granted != kInvalidId && be_link_credits_ <= 0) {
+        ++stats_.be_link_stalls;
+        return;
+      }
+    }
+  }
+
+  if (granted == kInvalidId) {
+    ++stats_.idle_slots;
+    return;
+  }
+  EmitFlit(granted);
+}
+
+ChannelId NiKernel::ArbitrateBe() {
+  const auto num = static_cast<int>(channels_.size());
+  auto eligible_be = [this](ChannelId id) {
+    const Channel& ch = ChannelAt(id);
+    return !ch.gt && Eligible(ch);
+  };
+
+  switch (params_.be_arbitration) {
+    case BeArbitration::kRoundRobin: {
+      for (int k = 0; k < num; ++k) {
+        const ChannelId id = static_cast<ChannelId>((rr_pointer_ + k) % num);
+        if (eligible_be(id)) {
+          rr_pointer_ = (id + 1) % num;
+          return id;
+        }
+      }
+      return kInvalidId;
+    }
+    case BeArbitration::kWeightedRoundRobin: {
+      // The current channel keeps the grant for `weight` packets.
+      if (wrr_grants_left_ > 0 &&
+          eligible_be(static_cast<ChannelId>(rr_pointer_))) {
+        --wrr_grants_left_;
+        return static_cast<ChannelId>(rr_pointer_);
+      }
+      for (int k = 1; k <= num; ++k) {
+        const ChannelId id = static_cast<ChannelId>((rr_pointer_ + k) % num);
+        if (eligible_be(id)) {
+          rr_pointer_ = id;
+          wrr_grants_left_ = ChannelAt(id).params.weight - 1;
+          return id;
+        }
+      }
+      return kInvalidId;
+    }
+    case BeArbitration::kQueueFill: {
+      ChannelId best = kInvalidId;
+      int best_fill = -1;
+      for (ChannelId id = 0; id < num; ++id) {
+        if (!eligible_be(id)) continue;
+        const int fill = SendableWords(ChannelAt(id));
+        if (fill > best_fill) {
+          best_fill = fill;
+          best = id;
+        }
+      }
+      return best;
+    }
+  }
+  return kInvalidId;
+}
+
+void NiKernel::EmitFlit(ChannelId chid) {
+  Channel& ch = ChannelAt(chid);
+  Flit flit;
+  flit.gt = ch.gt;
+
+  if (ch.open_words_left == 0) {
+    // Start a new packet: header flit. Decide the payload budget now
+    // ("once a queue is selected, a packet containing the largest possible
+    // amount of credits and data will be produced").
+    int data = std::min(SendableWords(ch),
+                        params_.max_packet_flits * kFlitWords - 1);
+    int credits = std::min(ch.credits_owed, link::kMaxHeaderCredits);
+    if (!params_.piggyback_credits) {
+      // Ablation: credits travel only in dedicated credit packets, which
+      // preempt data once the credit threshold triggers ("the credits are
+      // sent as empty packets, thus consuming extra bandwidth", §4.1).
+      const bool send_credits_now =
+          ch.credits_owed >= std::max(1, ch.credit_threshold) ||
+          (ch.credit_flush && ch.credits_owed > 0);
+      if (send_credits_now) {
+        data = 0;
+      } else {
+        credits = 0;
+      }
+    }
+    if (ch.gt) {
+      // A GT packet must fit in the contiguous run of its reserved slots so
+      // that its flits occupy consecutive slots along the whole path.
+      data = std::min(data, GtRunWords(chid, CurrentSlot()));
+    }
+    AETHEREAL_CHECK_MSG(data > 0 || credits > 0,
+                        name() << ": scheduled channel " << chid
+                               << " with nothing to send");
+    PacketHeader header;
+    header.gt = ch.gt;
+    header.credits = credits;
+    header.remote_qid = ch.remote_qid;
+    header.path = ch.path;
+    flit.kind = FlitKind::kHeader;
+    flit.words[0] = header.Encode();
+    flit.valid_words = 1;
+    ch.credits_owed -= credits;
+    ch.space -= data;
+    ch.open_words_left = data;
+    ++stats_.header_words_sent;
+    ++ch.stats.packets_sent;
+    if (ch.gt) {
+      ++stats_.gt_packets;
+    } else {
+      ++stats_.be_packets;
+    }
+    if (data == 0) {
+      ++stats_.credit_only_packets;
+      ++ch.stats.credit_only_packets;
+      stats_.credits_in_credit_only += credits;
+    } else {
+      stats_.credits_piggybacked += credits;
+    }
+  } else {
+    flit.kind = FlitKind::kPayload;
+  }
+
+  // Fill the flit with payload words from the source queue.
+  while (flit.valid_words < kFlitWords && ch.open_words_left > 0) {
+    AETHEREAL_CHECK_MSG(ch.source->CanPop(),
+                        name() << ": source queue underran an open packet");
+    flit.words[static_cast<std::size_t>(flit.valid_words)] = ch.source->Pop();
+    ++flit.valid_words;
+    --ch.open_words_left;
+    ++ch.stats.words_sent;
+    ++stats_.payload_words_sent;
+    if (ch.flush_words_left > 0) --ch.flush_words_left;
+  }
+  flit.eop = (ch.open_words_left == 0);
+
+  if (ch.gt) {
+    ++stats_.gt_flits;
+  } else {
+    ++stats_.be_flits;
+    --be_link_credits_;
+    be_open_channel_ = flit.eop ? kInvalidId : chid;
+  }
+  to_router_->data.Drive(flit);
+}
+
+}  // namespace aethereal::core

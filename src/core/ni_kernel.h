@@ -1,0 +1,233 @@
+// The Æthereal network-interface kernel — the paper's primary contribution.
+//
+// The NI kernel (paper Fig. 2) implements, per point-to-point channel:
+//  * a source queue (messages toward the NoC) and a destination queue
+//    (messages from the NoC), both clock-domain-crossing hardware FIFOs so
+//    every NI port can run at its own frequency;
+//  * credit-based end-to-end flow control: a Space counter tracks the empty
+//    space of the remote destination queue (initialized with its size,
+//    decremented when data is sent); consumption at the local destination
+//    queue produces credits that are piggybacked in the headers of packets
+//    travelling in the opposite direction;
+//  * packetization (Pck) / depacketization (Depck);
+//  * the slot-table-unit (STU) scheduler: GT channels transmit in their
+//    reserved TDM slots; otherwise an eligible best-effort channel is
+//    selected (round-robin / weighted round-robin / queue-fill);
+//  * configurable send thresholds with per-channel flush, a credit
+//    threshold with flush, and a maximum packet length;
+//  * the memory-mapped configuration register file (see core/registers.h).
+#ifndef AETHEREAL_CORE_NI_KERNEL_H
+#define AETHEREAL_CORE_NI_KERNEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "core/registers.h"
+#include "link/header.h"
+#include "link/wire.h"
+#include "sim/cdc_fifo.h"
+#include "sim/fifo.h"
+#include "sim/kernel.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace aethereal::core {
+
+class NiKernel;
+
+/// The IP-facing side of a group of channels (paper: "The NI kernel
+/// communicates with the NI shells via ports"). Runs in its own clock
+/// domain; the channel queues implement the crossing. Shells use this API
+/// from the port clock's Evaluate phase, selecting the channel with the
+/// connid parameter.
+class NiPort : public sim::Module {
+ public:
+  int NumChannels() const { return static_cast<int>(channels_.size()); }
+
+  /// True if `words` more words fit in the source queue of `connid`.
+  bool CanWrite(int connid, int words = 1) const;
+
+  /// Pushes one word of an outgoing message.
+  void Write(int connid, Word word);
+
+  /// Words of incoming messages available to read.
+  int ReadAvailable(int connid) const;
+
+  /// Peeks / pops incoming message words.
+  Word PeekRead(int connid, int offset = 0) const;
+  Word Read(int connid);
+
+  /// Raises the data-flush signal: a snapshot of the source-queue filling
+  /// is taken and the send threshold is bypassed until all words present at
+  /// flush time have been sent (paper §4.1).
+  void FlushData(int connid);
+
+  /// Raises the credit-flush signal: owed credits are sent even below the
+  /// credit threshold.
+  void FlushCredits(int connid);
+
+  /// The NI-global channel id (= remote_qid a peer must address).
+  ChannelId GlobalChannelOf(int connid) const;
+
+  void Evaluate() override {}
+
+ private:
+  friend class NiKernel;
+  NiPort(std::string name, NiKernel* kernel);
+  NiKernel* kernel_;
+  std::vector<ChannelId> channels_;  // flat channel ids, by connid
+};
+
+/// Aggregate traffic statistics of one NI kernel.
+struct NiKernelStats {
+  std::int64_t gt_packets = 0;
+  std::int64_t be_packets = 0;
+  std::int64_t credit_only_packets = 0;  // header-only packets (no payload)
+  std::int64_t gt_flits = 0;
+  std::int64_t be_flits = 0;
+  std::int64_t payload_words_sent = 0;
+  std::int64_t header_words_sent = 0;
+  std::int64_t payload_words_received = 0;
+  std::int64_t packets_received = 0;
+  std::int64_t credits_piggybacked = 0;   // credits carried by data packets
+  std::int64_t credits_in_credit_only = 0;
+  std::int64_t idle_slots = 0;            // slots with nothing to send
+  std::int64_t be_link_stalls = 0;        // BE blocked on link-level credits
+  std::int64_t gt_slots_unused = 0;       // reserved slots the owner skipped
+};
+
+/// Per-channel counters.
+struct ChannelStats {
+  std::int64_t words_sent = 0;
+  std::int64_t words_received = 0;
+  std::int64_t packets_sent = 0;
+  std::int64_t credit_only_packets = 0;
+};
+
+class NiKernel : public sim::Module {
+ public:
+  /// Constructs the kernel and its ports. Register the kernel on the
+  /// network clock and each port on its (possibly distinct) port clock.
+  NiKernel(std::string name, NiId id, const NiKernelParams& params);
+  ~NiKernel() override;
+
+  /// Wires the kernel to its router: `to_router` is the injection link
+  /// (kernel drives data, samples BE credit returns); `from_router` is the
+  /// delivery link. `router_be_capacity` is the router's BE input-buffer
+  /// depth in flits on the injection link.
+  void ConnectToRouter(link::LinkWires* to_router, link::LinkWires* from_router,
+                       int router_be_capacity);
+
+  NiId id() const { return id_; }
+  const NiKernelParams& params() const { return params_; }
+  int NumPorts() const { return static_cast<int>(ports_.size()); }
+  NiPort* port(int index);
+
+  // --- memory-mapped configuration (CNIP) ---------------------------------
+
+  /// Stages a register write; it takes effect at the next network-clock
+  /// edge (reads in later cycles observe it). Address validity is checked
+  /// now; value validity is checked at apply time.
+  Status WriteRegister(Word address, Word value);
+
+  /// Reads a committed register value.
+  Result<Word> ReadRegister(Word address) const;
+
+  // --- introspection for tests / benches ----------------------------------
+
+  const NiKernelStats& stats() const { return stats_; }
+  const ChannelStats& channel_stats(ChannelId ch) const;
+  int SpaceOf(ChannelId ch) const;
+  int CreditsOwedOf(ChannelId ch) const;
+  ChannelId SlotOwner(SlotIndex slot) const;
+  SlotIndex CurrentSlot() const;
+  bool ChannelEnabled(ChannelId ch) const;
+
+  void Evaluate() override;
+  void Commit() override;
+
+ private:
+  friend class NiPort;
+
+  struct Channel {
+    // Design-time.
+    int port = 0;
+    int connid = 0;
+    ChannelParams params;
+    // Queues (the CDC boundary).
+    std::unique_ptr<sim::CdcFifo<Word>> source;
+    std::unique_ptr<sim::CdcFifo<Word>> dest;
+    std::unique_ptr<sim::CdcReadSide<Word>> source_net_side;
+    std::unique_ptr<sim::CdcWriteSide<Word>> dest_net_side;
+    std::unique_ptr<sim::CdcWriteSide<Word>> source_port_side;
+    std::unique_ptr<sim::CdcReadSide<Word>> dest_port_side;
+    // Run-time configuration registers.
+    bool enabled = false;
+    bool gt = false;
+    link::SourcePath path;
+    int remote_qid = 0;
+    int space = 0;        // credit counter: free words at the remote dest
+    int space_init = 0;   // value written to SPACE (remote queue capacity)
+    int data_threshold = 1;
+    int credit_threshold = 1;
+    // Run-time state.
+    int credits_owed = 0;        // local consumption not yet reported
+    int open_words_left = 0;     // payload words left in the open packet
+    int flush_words_left = 0;    // flush snapshot still to send
+    bool credit_flush = false;
+    // Flush request signals crossing from the port domain: monotonic
+    // counters committed on the port clock (registered as port state); the
+    // kernel compares them against its "seen" counters. This keeps the
+    // two-phase order-independence guarantee across domains.
+    sim::Register<std::int64_t> data_flush_reqs{0};
+    sim::Register<std::int64_t> credit_flush_reqs{0};
+    std::int64_t data_flush_seen = 0;
+    std::int64_t credit_flush_seen = 0;
+    ChannelStats stats;
+  };
+
+  bool IsSlotBoundary() const { return CycleCount() % kFlitWords == 0; }
+  Channel& ChannelAt(ChannelId ch);
+  const Channel& ChannelAt(ChannelId ch) const;
+
+  void ReceiveFlit();
+  void HarvestCreditsAndFlushes();
+  void Schedule();
+  void EmitFlit(ChannelId ch);
+  bool Eligible(const Channel& ch) const;
+  int SendableWords(const Channel& ch) const;
+  ChannelId ArbitrateBe();
+  int GtRunWords(ChannelId ch, SlotIndex slot) const;
+  void ApplyRegisterWrite(Word address, Word value);
+
+  NiId id_;
+  NiKernelParams params_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<NiPort>> ports_;
+  std::vector<ChannelId> stu_;  // slot -> owning channel (or kInvalidId)
+
+  link::LinkWires* to_router_ = nullptr;
+  link::LinkWires* from_router_ = nullptr;
+  int be_link_credits_ = 0;
+
+  // Receive state: one in-progress packet per traffic class, because GT
+  // flits may preempt a BE packet mid-stream at the upstream router output
+  // (GT preempts BE at slot boundaries; the sideband class bit
+  // disambiguates payload flits, as in the routers).
+  int rx_qid_gt_ = kInvalidId;
+  int rx_qid_be_ = kInvalidId;
+
+  // Send state.
+  ChannelId be_open_channel_ = kInvalidId;  // BE packet in progress
+  int rr_pointer_ = 0;
+  int wrr_grants_left_ = 0;
+
+  std::vector<std::pair<Word, Word>> pending_register_writes_;
+  NiKernelStats stats_;
+};
+
+}  // namespace aethereal::core
+
+#endif  // AETHEREAL_CORE_NI_KERNEL_H

@@ -1,0 +1,36 @@
+#include "core/params.h"
+
+namespace aethereal::core {
+
+const char* BeArbitrationName(BeArbitration policy) {
+  switch (policy) {
+    case BeArbitration::kRoundRobin: return "round-robin";
+    case BeArbitration::kWeightedRoundRobin: return "weighted-round-robin";
+    case BeArbitration::kQueueFill: return "queue-fill";
+  }
+  return "?";
+}
+
+NiKernelParams NiKernelParams::PaperReferenceInstance() {
+  NiKernelParams params;
+  params.stu_slots = 8;
+  const int channels_per_port[] = {1, 1, 2, 4};
+  int index = 0;
+  for (int count : channels_per_port) {
+    PortParams port;
+    port.name = "port" + std::to_string(index++);
+    port.channels.assign(static_cast<std::size_t>(count), ChannelParams{});
+    params.ports.push_back(std::move(port));
+  }
+  return params;
+}
+
+int NiKernelParams::TotalChannels() const {
+  int total = 0;
+  for (const auto& port : ports) {
+    total += static_cast<int>(port.channels.size());
+  }
+  return total;
+}
+
+}  // namespace aethereal::core

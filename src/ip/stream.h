@@ -1,0 +1,89 @@
+// Streaming IP models using raw point-to-point channels (no shells).
+//
+// Paper §4.2: point-to-point connections "are useful in systems involving
+// chains of modules communicating point to point with one another (e.g.,
+// video pixel processing)". The producer stamps each word with its emission
+// cycle so the consumer can measure end-to-end latency and jitter — the
+// quantities the GT service bounds.
+#ifndef AETHEREAL_IP_STREAM_H
+#define AETHEREAL_IP_STREAM_H
+
+#include <string>
+
+#include "core/ni_kernel.h"
+#include "sim/kernel.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace aethereal::ip {
+
+class StreamProducer : public sim::Module {
+ public:
+  /// Emits `words_per_period` words every `period` cycles (period >= 1).
+  /// In timestamp mode each word carries the emission cycle; otherwise a
+  /// running sequence number.
+  StreamProducer(std::string name, core::NiPort* port, int connid,
+                 std::int64_t period, int words_per_period,
+                 bool timestamp_mode = true,
+                 std::int64_t total_words = -1);
+
+  std::int64_t words_written() const { return words_written_; }
+  std::int64_t stall_cycles() const { return stall_cycles_; }
+  bool Done() const {
+    return total_words_ >= 0 && words_written_ >= total_words_;
+  }
+
+  /// Producers can be held idle and started under application control
+  /// (e.g. after a run-time reconfiguration).
+  void Start() { active_ = true; }
+  void Stop() { active_ = false; }
+  bool active() const { return active_; }
+
+  void Evaluate() override;
+
+ private:
+  core::NiPort* port_;
+  int connid_;
+  std::int64_t period_;
+  int words_per_period_;
+  bool timestamp_mode_;
+  std::int64_t total_words_;
+  bool active_ = true;
+  std::int64_t words_written_ = 0;
+  std::int64_t stall_cycles_ = 0;
+  std::int64_t backlog_ = 0;  // words due but not yet accepted
+  std::int64_t next_emit_ = 0;
+  Word seq_ = 0;
+};
+
+class StreamConsumer : public sim::Module {
+ public:
+  /// Drains up to `drain_per_cycle` words per cycle. In timestamp mode,
+  /// per-word latency (arrival - emission) is recorded; inter-arrival gaps
+  /// are recorded always (jitter).
+  StreamConsumer(std::string name, core::NiPort* port, int connid,
+                 int drain_per_cycle = 1, bool timestamp_mode = true);
+
+  std::int64_t words_read() const { return words_read_; }
+  const Stats& latency() const { return latency_; }
+  const Stats& inter_arrival() const { return inter_arrival_; }
+  std::int64_t sequence_errors() const { return sequence_errors_; }
+
+  void Evaluate() override;
+
+ private:
+  core::NiPort* port_;
+  int connid_;
+  int drain_per_cycle_;
+  bool timestamp_mode_;
+  std::int64_t words_read_ = 0;
+  Word expected_seq_ = 0;
+  std::int64_t sequence_errors_ = 0;
+  Cycle last_arrival_ = -1;
+  Stats latency_;
+  Stats inter_arrival_;
+};
+
+}  // namespace aethereal::ip
+
+#endif  // AETHEREAL_IP_STREAM_H

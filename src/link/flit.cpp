@@ -1,0 +1,23 @@
+#include "link/flit.h"
+
+#include "link/header.h"
+
+namespace aethereal::link {
+
+std::ostream& operator<<(std::ostream& os, const Flit& flit) {
+  switch (flit.kind) {
+    case FlitKind::kIdle:
+      return os << "flit{idle}";
+    case FlitKind::kHeader:
+      os << "flit{hdr " << PacketHeader::Decode(flit.words[0]);
+      break;
+    case FlitKind::kPayload:
+      os << "flit{pay";
+      break;
+  }
+  os << ", words=" << flit.valid_words;
+  if (flit.eop) os << ", eop";
+  return os << "}";
+}
+
+}  // namespace aethereal::link

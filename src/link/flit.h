@@ -1,0 +1,53 @@
+// Flit (flow-control unit) carried on NoC links.
+//
+// The Æthereal prototype uses 3-word flits on a 32-bit link: one flit is
+// transported per TDM slot (3 word-clock cycles at 500 MHz). A packet is a
+// header word followed by payload words, padded to a flit boundary (this
+// padding is the 1..3-cycle alignment latency reported in paper §5).
+// Sideband bits mark the header flit and the end of packet, as in the
+// Æthereal link protocol.
+#ifndef AETHEREAL_LINK_FLIT_H
+#define AETHEREAL_LINK_FLIT_H
+
+#include <array>
+#include <ostream>
+
+#include "util/types.h"
+
+namespace aethereal::link {
+
+enum class FlitKind {
+  kIdle = 0,   // nothing on the link this slot
+  kHeader,     // first flit of a packet; words[0] is the packet header
+  kPayload,    // continuation flit
+};
+
+struct Flit {
+  FlitKind kind = FlitKind::kIdle;
+  bool gt = false;      // guaranteed-throughput traffic class (sideband)
+  bool eop = false;     // last flit of its packet (sideband)
+  int valid_words = 0;  // 0..kFlitWords
+  std::array<Word, kFlitWords> words{};
+
+  bool IsIdle() const { return kind == FlitKind::kIdle; }
+
+  static Flit Idle() { return Flit{}; }
+
+  friend bool operator==(const Flit& a, const Flit& b) {
+    if (a.kind != b.kind || a.gt != b.gt || a.eop != b.eop ||
+        a.valid_words != b.valid_words)
+      return false;
+    for (int i = 0; i < a.valid_words; ++i) {
+      if (a.words[static_cast<std::size_t>(i)] !=
+          b.words[static_cast<std::size_t>(i)])
+        return false;
+    }
+    return true;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Flit& flit);
+
+}  // namespace aethereal::link
+
+#endif  // AETHEREAL_LINK_FLIT_H

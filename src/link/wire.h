@@ -1,0 +1,91 @@
+// Registered slot-granular wires: the physical signals between NoC
+// components.
+//
+// The Æthereal link transports one 32-bit word per cycle; a 3-word flit
+// therefore occupies one TDM slot (3 word-clock cycles at 500 MHz). This
+// model transfers values atomically at slot granularity: a producer drives
+// at most one value per slot (during the slot-boundary cycle's Evaluate
+// phase); the value becomes visible to the consumer at the next slot
+// boundary and is held for that whole slot. Per-hop latency is thus exactly
+// one slot, as in the pipelined TDM circuits of the paper.
+//
+// Two instantiations are used:
+//  * FlitWire  — the forward data signal (idle flit when undriven);
+//  * CreditWire — the backward link-level credit-return pulse used by the
+//    best-effort input buffers (0 when undriven).
+#ifndef AETHEREAL_LINK_WIRE_H
+#define AETHEREAL_LINK_WIRE_H
+
+#include "link/flit.h"
+#include "sim/kernel.h"
+#include "util/check.h"
+
+namespace aethereal::link {
+
+template <typename T>
+class SlotWire : public sim::TwoPhase {
+ public:
+  SlotWire() = default;
+  explicit SlotWire(T idle) : idle_(idle), current_(idle), next_(idle) {}
+
+  /// Producer: drive the wire for the current slot (call during Evaluate of
+  /// a slot-boundary cycle, at most once per slot).
+  void Drive(const T& value) {
+    AETHEREAL_CHECK_MSG(!driven_, "wire driven twice in one slot");
+    next_ = value;
+    driven_ = true;
+  }
+
+  /// Consumer: the value latched at the last slot boundary.
+  const T& Sample() const { return current_; }
+
+  /// Commits once per word-clock edge; the latch transfers at slot
+  /// boundaries (every kFlitWords edges).
+  void Commit() override {
+    ++phase_;
+    if (phase_ % kFlitWords == 0) {
+      current_ = driven_ ? next_ : idle_;
+      driven_ = false;
+    }
+  }
+
+ private:
+  T idle_{};
+  T current_{};
+  T next_{};
+  bool driven_ = false;
+  std::int64_t phase_ = 0;
+};
+
+using FlitWire = SlotWire<Flit>;
+using CreditWire = SlotWire<int>;
+
+/// The wire bundle of one directed link: forward flits, backward link-level
+/// credits (used only by best-effort buffering; guaranteed-throughput flits
+/// are contention-free by construction and never buffered in routers).
+struct LinkWires {
+  FlitWire data;
+  CreditWire credit_return;
+};
+
+/// A directed link as a simulation module: owns and commits its wires on
+/// the network clock. Producers call data.Drive(); consumers call
+/// credit_return.Drive().
+class DirectedLink : public sim::Module {
+ public:
+  explicit DirectedLink(std::string name) : sim::Module(std::move(name)) {
+    RegisterState(&wires_.data);
+    RegisterState(&wires_.credit_return);
+  }
+
+  void Evaluate() override {}
+
+  LinkWires& wires() { return wires_; }
+
+ private:
+  LinkWires wires_;
+};
+
+}  // namespace aethereal::link
+
+#endif  // AETHEREAL_LINK_WIRE_H

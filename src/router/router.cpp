@@ -1,0 +1,212 @@
+#include "router/router.h"
+
+#include <algorithm>
+
+#include "link/header.h"
+#include "util/check.h"
+
+namespace aethereal::router {
+
+using link::Flit;
+using link::FlitKind;
+using link::PacketHeader;
+
+Router::Router(std::string name, RouterId id, const RouterConfig& config)
+    : sim::Module(std::move(name)), id_(id), config_(config) {
+  AETHEREAL_CHECK(config.num_ports > 0);
+  AETHEREAL_CHECK(config.be_buffer_flits > 0);
+  inputs_.reserve(static_cast<std::size_t>(config.num_ports));
+  outputs_.resize(static_cast<std::size_t>(config.num_ports));
+  for (int p = 0; p < config.num_ports; ++p) {
+    inputs_.emplace_back(config.be_buffer_flits);
+    RegisterState(&inputs_.back().be_queue);
+  }
+}
+
+void Router::ConnectInput(int port, link::LinkWires* wires) {
+  AETHEREAL_CHECK(port >= 0 && port < config_.num_ports);
+  AETHEREAL_CHECK(wires != nullptr);
+  inputs_[static_cast<std::size_t>(port)].wires = wires;
+}
+
+void Router::ConnectOutput(int port, link::LinkWires* wires,
+                           int downstream_be_capacity) {
+  AETHEREAL_CHECK(port >= 0 && port < config_.num_ports);
+  AETHEREAL_CHECK(wires != nullptr);
+  AETHEREAL_CHECK(downstream_be_capacity > 0);
+  auto& out = outputs_[static_cast<std::size_t>(port)];
+  out.wires = wires;
+  out.be_credits = downstream_be_capacity;
+}
+
+int Router::OutputCredits(int port) const {
+  AETHEREAL_CHECK(port >= 0 && port < config_.num_ports);
+  return outputs_[static_cast<std::size_t>(port)].be_credits;
+}
+
+void Router::Evaluate() {
+  if (!IsSlotBoundary()) return;
+
+  // Collect returned BE credits from downstream.
+  for (auto& out : outputs_) {
+    if (out.wires != nullptr) {
+      out.be_credits += out.wires->credit_return.Sample();
+    }
+  }
+
+  // Phase A: accept arriving flits. GT flits are switched through
+  // immediately; BE flits go to the input buffers.
+  std::vector<Flit> gt_out(static_cast<std::size_t>(config_.num_ports),
+                           Flit::Idle());
+  AcceptInputs(gt_out);
+
+  // Phase B: BE wormhole arbitration on the outputs GT left free.
+  ArbitrateBestEffort(gt_out);
+
+  // Phase C: return one link-level credit per BE flit drained from each
+  // input buffer this slot.
+  for (auto& in : inputs_) {
+    if (in.wires != nullptr && in.credits_freed_this_slot > 0) {
+      in.wires->credit_return.Drive(in.credits_freed_this_slot);
+    }
+    in.credits_freed_this_slot = 0;
+  }
+}
+
+void Router::AcceptInputs(std::vector<Flit>& gt_out) {
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    auto& in = inputs_[i];
+    if (in.wires == nullptr) continue;
+    const Flit& flit = in.wires->data.Sample();
+    if (flit.IsIdle()) continue;
+
+    if (flit.kind == FlitKind::kHeader) {
+      PacketHeader header = PacketHeader::Decode(flit.words[0]);
+      AETHEREAL_CHECK_MSG(flit.gt == header.gt,
+                          name() << ": GT sideband disagrees with header");
+      AETHEREAL_CHECK_MSG(!header.path.Exhausted(),
+                          name() << ": packet with exhausted path at input "
+                                 << i);
+      const int target = header.path.NextHop();
+      AETHEREAL_CHECK_MSG(target >= 0 && target < config_.num_ports,
+                          name() << ": path selects port " << target
+                                 << " of " << config_.num_ports);
+      header.path = header.path.Consume();
+      Flit forwarded = flit;
+      forwarded.words[0] = header.Encode();
+
+      if (header.gt) {
+        ForwardGt(static_cast<int>(i), forwarded, target, gt_out);
+        in.gt_target = flit.eop ? kInvalidId : target;
+      } else {
+        BufferBe(static_cast<int>(i), forwarded, target);
+        in.be_accept_target = flit.eop ? kInvalidId : target;
+      }
+    } else {
+      // Payload flit: the sideband traffic class selects which in-progress
+      // packet on this input it continues. GT packets occupy consecutive
+      // slots, so a GT payload can never be mistaken for a BE one.
+      if (flit.gt) {
+        AETHEREAL_CHECK_MSG(in.gt_target != kInvalidId,
+                            name() << ": orphan GT payload flit at input " << i);
+        ForwardGt(static_cast<int>(i), flit, in.gt_target, gt_out);
+        if (flit.eop) in.gt_target = kInvalidId;
+      } else {
+        AETHEREAL_CHECK_MSG(in.be_accept_target != kInvalidId,
+                            name() << ": orphan BE payload flit at input " << i);
+        BufferBe(static_cast<int>(i), flit, in.be_accept_target);
+        if (flit.eop) in.be_accept_target = kInvalidId;
+      }
+    }
+  }
+}
+
+void Router::ForwardGt(int input, const Flit& flit, int target,
+                       std::vector<Flit>& gt_out) {
+  AETHEREAL_CHECK_MSG(
+      gt_out[static_cast<std::size_t>(target)].IsIdle(),
+      name() << ": GT slot contention on output " << target << " (input "
+             << input << ") — slot allocation is corrupt");
+  AETHEREAL_CHECK_MSG(outputs_[static_cast<std::size_t>(target)].wires != nullptr,
+                      name() << ": GT flit to unconnected output " << target);
+  gt_out[static_cast<std::size_t>(target)] = flit;
+  ++stats_.gt_flits;
+}
+
+void Router::BufferBe(int input, const Flit& flit, int target) {
+  auto& in = inputs_[static_cast<std::size_t>(input)];
+  AETHEREAL_CHECK_MSG(in.be_queue.CanPush(),
+                      name() << ": BE buffer overflow at input " << input
+                             << " — link credit protocol violated");
+  in.be_queue.Push(BufferedBeFlit{flit, target});
+  stats_.be_max_occupancy =
+      std::max(stats_.be_max_occupancy,
+               static_cast<std::int64_t>(in.be_queue.SizeAfterCommit()));
+}
+
+void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out) {
+  for (int o = 0; o < config_.num_ports; ++o) {
+    auto& out = outputs_[static_cast<std::size_t>(o)];
+    if (out.wires == nullptr) continue;
+    const Flit& gt_flit = gt_out[static_cast<std::size_t>(o)];
+    if (!gt_flit.IsIdle()) {
+      out.wires->data.Drive(gt_flit);
+      if (out.be_owner_input != kInvalidId) ++stats_.be_blocked_gt;
+      continue;
+    }
+
+    // Wormhole: continue the packet owning this output, if any.
+    if (out.be_owner_input != kInvalidId) {
+      auto& in = inputs_[static_cast<std::size_t>(out.be_owner_input)];
+      if (!in.be_queue.CanPop()) continue;  // bubble inside the packet
+      const BufferedBeFlit& head = in.be_queue.Peek();
+      AETHEREAL_CHECK_MSG(head.flit.kind == FlitKind::kPayload &&
+                              head.target == o,
+                          name() << ": BE packet interleaving on input "
+                                 << out.be_owner_input);
+      if (out.be_credits <= 0) {
+        ++stats_.be_blocked_credit;
+        continue;
+      }
+      const BufferedBeFlit entry = in.be_queue.Pop();
+      in.credits_freed_this_slot += 1;
+      out.be_credits -= 1;
+      out.wires->data.Drive(entry.flit);
+      ++stats_.be_flits;
+      if (entry.flit.eop) {
+        out.be_owner_input = kInvalidId;
+        in.be_drain_target = kInvalidId;
+      }
+      continue;
+    }
+
+    // Free output: round-robin among inputs whose head is a header flit
+    // routed to this output.
+    for (int k = 0; k < config_.num_ports; ++k) {
+      const int i = (out.rr_pointer + k) % config_.num_ports;
+      auto& in = inputs_[static_cast<std::size_t>(i)];
+      if (in.be_drain_target != kInvalidId) continue;  // busy with a packet
+      if (!in.be_queue.CanPop()) continue;
+      const BufferedBeFlit& head = in.be_queue.Peek();
+      if (head.flit.kind != FlitKind::kHeader || head.target != o) continue;
+      if (out.be_credits <= 0) {
+        ++stats_.be_blocked_credit;
+        break;  // head-of-line blocked on credits; no other packet may jump
+      }
+      const BufferedBeFlit entry = in.be_queue.Pop();
+      in.credits_freed_this_slot += 1;
+      out.be_credits -= 1;
+      out.wires->data.Drive(entry.flit);
+      ++stats_.be_flits;
+      ++stats_.be_packets;
+      if (!entry.flit.eop) {
+        out.be_owner_input = i;
+        in.be_drain_target = o;
+      }
+      out.rr_pointer = (i + 1) % config_.num_ports;
+      break;
+    }
+  }
+}
+
+}  // namespace aethereal::router

@@ -1,0 +1,41 @@
+// Abstract transaction endpoints offered by shells to IP modules.
+//
+// IP models (traffic generators, memories) bind to these interfaces so the
+// same IP works behind a plain master/slave shell, a narrowcast shell, or a
+// multi-connection shell — the decoupling of computation from communication
+// the paper's transport-level services provide.
+#ifndef AETHEREAL_SHELLS_ENDPOINTS_H
+#define AETHEREAL_SHELLS_ENDPOINTS_H
+
+#include <vector>
+
+#include "transaction/message.h"
+#include "util/types.h"
+
+namespace aethereal::shells {
+
+/// What a master IP module sees: issue transactions, collect responses.
+class MasterEndpoint {
+ public:
+  virtual ~MasterEndpoint() = default;
+  virtual bool CanIssue(int payload_words) const = 0;
+  virtual int IssueRead(Word address, int length, int transaction_id) = 0;
+  virtual int IssueWrite(Word address, const std::vector<Word>& data,
+                         bool needs_ack, int transaction_id) = 0;
+  virtual bool HasResponse() const = 0;
+  virtual transaction::ResponseMessage PopResponse() = 0;
+};
+
+/// What a slave IP module sees: receive requests, send responses.
+class SlaveEndpoint {
+ public:
+  virtual ~SlaveEndpoint() = default;
+  virtual bool HasRequest() const = 0;
+  virtual transaction::RequestMessage PopRequest() = 0;
+  virtual bool CanRespond(int payload_words) const = 0;
+  virtual void Respond(const transaction::ResponseMessage& msg) = 0;
+};
+
+}  // namespace aethereal::shells
+
+#endif  // AETHEREAL_SHELLS_ENDPOINTS_H

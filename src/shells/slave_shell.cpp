@@ -1,0 +1,24 @@
+#include "shells/slave_shell.h"
+
+namespace aethereal::shells {
+
+SlaveShell::SlaveShell(std::string name, core::NiPort* port, int connid,
+                       int pipeline_cycles)
+    : sim::Module(std::move(name)),
+      streamer_(port, connid, pipeline_cycles),
+      collector_(port, connid) {}
+
+bool SlaveShell::CanRespond(int payload_words) const {
+  return streamer_.CanAccept(1 + payload_words);
+}
+
+void SlaveShell::Respond(const transaction::ResponseMessage& msg) {
+  streamer_.Accept(msg.Encode(), CycleCount(), /*flush_after=*/true);
+}
+
+void SlaveShell::Evaluate() {
+  collector_.Tick();
+  streamer_.Tick(CycleCount());
+}
+
+}  // namespace aethereal::shells

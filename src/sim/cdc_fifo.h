@@ -1,0 +1,167 @@
+// Bi-synchronous (clock-domain-crossing) FIFO model.
+//
+// The Æthereal NI uses its hardware FIFOs to implement the clock-domain
+// boundary so every NI port can run at its own frequency (paper §4.1, §5).
+// The paper budgets 2 clock cycles for the crossing; this model implements
+// that as a 2-reader-edge synchronizer on the write pointer (data becomes
+// visible to the reader two of *its* edges after the writer committed it)
+// and symmetrically a 2-writer-edge synchronizer on the read pointer (freed
+// space becomes visible to the writer two of *its* edges after the pop).
+#ifndef AETHEREAL_SIM_CDC_FIFO_H
+#define AETHEREAL_SIM_CDC_FIFO_H
+
+#include <deque>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "util/check.h"
+
+namespace aethereal::sim {
+
+/// Synchronizer latency in destination-domain edges (gray-code pointer
+/// crossing through a 2-flop synchronizer).
+inline constexpr int kCdcSyncEdges = 2;
+
+template <typename T>
+class CdcFifo {
+ public:
+  explicit CdcFifo(int capacity) : capacity_(capacity) {
+    AETHEREAL_CHECK(capacity > 0);
+  }
+
+  int capacity() const { return capacity_; }
+
+  // ---- writer-side interface (call only from the writer's clock domain) --
+
+  /// Space as the writer currently sees it (pessimistic by up to the
+  /// synchronizer delay, as in real gray-code FIFOs).
+  int WriterSpace() const {
+    return capacity_ - writer_occupancy_ - static_cast<int>(staged_pushes_.size());
+  }
+
+  bool CanPush() const { return WriterSpace() > 0; }
+
+  void Push(T value) {
+    AETHEREAL_CHECK_MSG(CanPush(), "CdcFifo overflow");
+    staged_pushes_.push_back(std::move(value));
+  }
+
+  /// Words freed by the reader that the writer has now synchronized but not
+  /// yet acknowledged via TakeFreedForWriter(). The NI kernel uses this to
+  /// turn destination-queue consumption into end-to-end credits.
+  int TakeFreedForWriter() {
+    const int freed = freed_for_writer_;
+    freed_for_writer_ = 0;
+    return freed;
+  }
+
+  /// Writer-domain clock edge: commits staged pushes and advances the
+  /// read-pointer synchronizer.
+  void CommitWriteSide() {
+    // Pops become visible to the writer kCdcSyncEdges writer edges after
+    // they were reported by the reader commit.
+    ++writer_edges_;
+    while (!pending_space_.empty() &&
+           pending_space_.front().visible_edge <= writer_edges_) {
+      writer_occupancy_ -= pending_space_.front().count;
+      freed_for_writer_ += pending_space_.front().count;
+      pending_space_.pop_front();
+    }
+    for (auto& v : staged_pushes_) {
+      writer_occupancy_ += 1;
+      // The value becomes visible to the reader kCdcSyncEdges reader edges
+      // from the *next* reader edge.
+      in_flight_.push_back(Entry{std::move(v), reader_edges_ + kCdcSyncEdges});
+    }
+    staged_pushes_.clear();
+  }
+
+  // ---- reader-side interface (call only from the reader's clock domain) --
+
+  /// Committed words visible to the reader this cycle.
+  int ReaderSize() const { return static_cast<int>(visible_.size()); }
+
+  /// Words still poppable this cycle (visible minus pops already staged).
+  int ReaderAvailable() const { return ReaderSize() - staged_pops_; }
+
+  bool CanPop() const { return staged_pops_ < ReaderSize(); }
+
+  const T& Peek(int offset = 0) const {
+    const int index = staged_pops_ + offset;
+    AETHEREAL_CHECK(index < ReaderSize());
+    return visible_[static_cast<std::size_t>(index)];
+  }
+
+  T Pop() {
+    AETHEREAL_CHECK_MSG(CanPop(), "CdcFifo underflow");
+    T value = visible_[static_cast<std::size_t>(staged_pops_)];
+    ++staged_pops_;
+    return value;
+  }
+
+  /// Reader-domain clock edge: applies pops and advances the write-pointer
+  /// synchronizer (newly synchronized words become visible).
+  void CommitReadSide() {
+    ++reader_edges_;
+    if (staged_pops_ > 0) {
+      for (int i = 0; i < staged_pops_; ++i) visible_.pop_front();
+      pending_space_.push_back(
+          SpaceReturn{staged_pops_, writer_edges_ + kCdcSyncEdges});
+      staged_pops_ = 0;
+    }
+    while (!in_flight_.empty() &&
+           in_flight_.front().visible_edge <= reader_edges_) {
+      visible_.push_back(std::move(in_flight_.front().value));
+      in_flight_.pop_front();
+    }
+  }
+
+ private:
+  struct Entry {
+    T value;
+    Cycle visible_edge;  // reader edge count at which this becomes visible
+  };
+  struct SpaceReturn {
+    int count;
+    Cycle visible_edge;  // writer edge count at which space is returned
+  };
+
+  int capacity_;
+  // Writer side.
+  int writer_occupancy_ = 0;  // occupancy as the writer believes it
+  int freed_for_writer_ = 0;  // synchronized frees not yet harvested
+  std::vector<T> staged_pushes_;
+  Cycle writer_edges_ = 0;
+  std::deque<SpaceReturn> pending_space_;
+  // Crossing.
+  std::deque<Entry> in_flight_;
+  // Reader side.
+  std::deque<T> visible_;
+  int staged_pops_ = 0;
+  Cycle reader_edges_ = 0;
+};
+
+/// Adapters so a CdcFifo side can be registered as Module state.
+template <typename T>
+class CdcWriteSide : public TwoPhase {
+ public:
+  explicit CdcWriteSide(CdcFifo<T>* fifo) : fifo_(fifo) {}
+  void Commit() override { fifo_->CommitWriteSide(); }
+
+ private:
+  CdcFifo<T>* fifo_;
+};
+
+template <typename T>
+class CdcReadSide : public TwoPhase {
+ public:
+  explicit CdcReadSide(CdcFifo<T>* fifo) : fifo_(fifo) {}
+  void Commit() override { fifo_->CommitReadSide(); }
+
+ private:
+  CdcFifo<T>* fifo_;
+};
+
+}  // namespace aethereal::sim
+
+#endif  // AETHEREAL_SIM_CDC_FIFO_H

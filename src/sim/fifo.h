@@ -1,0 +1,110 @@
+// Synchronous FIFO and register models with two-phase update semantics.
+//
+// These model the "custom-made hardware fifos" of the NI kernel (paper
+// Section 4.1/5): readers see only state committed at the previous clock
+// edge; pushes and pops staged during Evaluate() take effect at Commit().
+#ifndef AETHEREAL_SIM_FIFO_H
+#define AETHEREAL_SIM_FIFO_H
+
+#include <deque>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "util/check.h"
+
+namespace aethereal::sim {
+
+/// Single-clock FIFO. A word pushed at edge t is visible to the reader at
+/// edge t+1. Same-edge push+pop is allowed; a pop frees space for a
+/// same-edge push (flow-through space accounting, as in the Æthereal
+/// hardware FIFOs which support simultaneous read and write access).
+template <typename T>
+class Fifo : public TwoPhase {
+ public:
+  explicit Fifo(int capacity) : capacity_(capacity) {
+    AETHEREAL_CHECK(capacity > 0);
+  }
+
+  int capacity() const { return capacity_; }
+
+  /// Committed occupancy (what a reader sees this cycle).
+  int Size() const { return static_cast<int>(committed_.size()); }
+
+  /// Occupancy after this edge's staged pushes/pops commit.
+  int SizeAfterCommit() const {
+    return Size() - staged_pops_ + static_cast<int>(staged_pushes_.size());
+  }
+
+  bool Empty() const { return committed_.empty(); }
+  bool Full() const { return SizeAfterCommit() >= capacity_; }
+
+  /// True if a push staged now will fit after commit.
+  bool CanPush() const { return SizeAfterCommit() < capacity_; }
+
+  /// True if another pop can be staged this cycle (data present).
+  bool CanPop() const { return staged_pops_ < Size(); }
+
+  /// Peek the element `offset` places behind the head, accounting for pops
+  /// already staged this cycle.
+  const T& Peek(int offset = 0) const {
+    const int index = staged_pops_ + offset;
+    AETHEREAL_CHECK_MSG(index < Size(), "Fifo::Peek past committed contents");
+    return committed_[static_cast<std::size_t>(index)];
+  }
+
+  /// Stage a push; takes effect at Commit().
+  void Push(T value) {
+    AETHEREAL_CHECK_MSG(CanPush(), "Fifo overflow (capacity " << capacity_ << ")");
+    staged_pushes_.push_back(std::move(value));
+  }
+
+  /// Stage a pop and return the popped value.
+  T Pop() {
+    AETHEREAL_CHECK_MSG(CanPop(), "Fifo underflow");
+    T value = committed_[static_cast<std::size_t>(staged_pops_)];
+    ++staged_pops_;
+    return value;
+  }
+
+  void Commit() override {
+    for (int i = 0; i < staged_pops_; ++i) committed_.pop_front();
+    staged_pops_ = 0;
+    for (auto& v : staged_pushes_) committed_.push_back(std::move(v));
+    staged_pushes_.clear();
+  }
+
+  /// Drops all contents immediately (reset; not a hardware path).
+  void Reset() {
+    committed_.clear();
+    staged_pushes_.clear();
+    staged_pops_ = 0;
+  }
+
+ private:
+  int capacity_;
+  std::deque<T> committed_;
+  std::vector<T> staged_pushes_;
+  int staged_pops_ = 0;
+};
+
+/// A register: Get() returns the value committed at the last edge; Set()
+/// stages the next value.
+template <typename T>
+class Register : public TwoPhase {
+ public:
+  Register() = default;
+  explicit Register(T reset) : value_(reset), next_(reset) {}
+
+  const T& Get() const { return value_; }
+  void Set(T value) { next_ = std::move(value); }
+
+  void Commit() override { value_ = next_; }
+
+ private:
+  T value_{};
+  T next_{};
+};
+
+}  // namespace aethereal::sim
+
+#endif  // AETHEREAL_SIM_FIFO_H

@@ -1,0 +1,66 @@
+#include "sim/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aethereal::sim {
+
+Cycle Module::CycleCount() const {
+  AETHEREAL_CHECK(clock_ != nullptr);
+  return clock_->cycles();
+}
+
+Clock* Kernel::AddClock(std::string name, Picoseconds period_ps) {
+  clocks_.push_back(std::make_unique<Clock>(
+      static_cast<int>(clocks_.size()), std::move(name), period_ps));
+  return clocks_.back().get();
+}
+
+Clock* Kernel::AddClockMhz(std::string name, double mhz) {
+  AETHEREAL_CHECK(mhz > 0.0);
+  const auto period = static_cast<Picoseconds>(std::llround(1e6 / mhz));
+  return AddClock(std::move(name), period);
+}
+
+Picoseconds Kernel::Step() {
+  AETHEREAL_CHECK_MSG(!clocks_.empty(), "no clocks in kernel");
+  Picoseconds t = std::numeric_limits<Picoseconds>::max();
+  for (const auto& c : clocks_) t = std::min(t, c->next_edge_ps());
+
+  // Gather firing clocks in id order (deterministic).
+  std::vector<Clock*> firing;
+  for (const auto& c : clocks_) {
+    if (c->next_edge_ps() == t) firing.push_back(c.get());
+  }
+  // Phase 1: evaluate everything before committing anything.
+  for (Clock* c : firing) {
+    for (Module* m : c->modules_) m->Evaluate();
+  }
+  // Phase 2: commit.
+  for (Clock* c : firing) {
+    for (Module* m : c->modules_) m->Commit();
+    c->cycles_ += 1;
+    c->next_edge_ps_ += c->period_ps_;
+  }
+  now_ps_ = t;
+  return t;
+}
+
+void Kernel::RunUntil(Picoseconds until_ps) {
+  AETHEREAL_CHECK_MSG(!clocks_.empty(), "no clocks in kernel");
+  while (true) {
+    Picoseconds t = std::numeric_limits<Picoseconds>::max();
+    for (const auto& c : clocks_) t = std::min(t, c->next_edge_ps());
+    if (t > until_ps) break;
+    Step();
+  }
+}
+
+void Kernel::RunCycles(Clock* clock, Cycle n) {
+  AETHEREAL_CHECK(clock != nullptr);
+  const Cycle target = clock->cycles() + n;
+  while (clock->cycles() < target) Step();
+}
+
+}  // namespace aethereal::sim

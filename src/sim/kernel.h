@@ -1,0 +1,146 @@
+// Multi-clock, cycle-accurate simulation kernel with two-phase update.
+//
+// The Æthereal NI explicitly supports a different clock frequency per NI
+// port (the hardware FIFOs implement the clock-domain boundary), so the
+// kernel models time in integer picoseconds and lets every module belong to
+// its own clock domain.
+//
+// Semantics (see DESIGN.md §6):
+//  * At every instant where one or more clocks have a rising edge, the
+//    kernel first calls Evaluate() on ALL modules of ALL firing clocks,
+//    then Commit() on all of them. Evaluate() may only read *committed*
+//    state (registers, FIFO contents) and stage updates; Commit() applies
+//    staged updates. Results are therefore independent of module iteration
+//    order, exactly like synchronous RTL.
+//  * Clocks firing at the same instant are processed together (one
+//    evaluate phase, one commit phase) so cross-domain state elements see a
+//    consistent picture.
+#ifndef AETHEREAL_SIM_KERNEL_H
+#define AETHEREAL_SIM_KERNEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace aethereal::sim {
+
+class Clock;
+
+/// A state element with staged updates applied at the clock edge.
+class TwoPhase {
+ public:
+  virtual ~TwoPhase() = default;
+  virtual void Commit() = 0;
+};
+
+/// Base class for all clocked hardware models.
+///
+/// Subclasses implement Evaluate() (combinational + staging of next state)
+/// and register their state elements with RegisterState() so the default
+/// Commit() applies them. Commit() can be overridden for extra work but must
+/// call Module::Commit().
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Phase 1: read committed state, stage updates. Called once per edge.
+  virtual void Evaluate() = 0;
+
+  /// Phase 2: apply staged updates. Default commits registered state.
+  virtual void Commit() {
+    for (TwoPhase* s : state_) s->Commit();
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// The clock this module is registered on (null until registered).
+  Clock* clock() const { return clock_; }
+
+  /// Number of edges this module's clock has seen since simulation start.
+  Cycle CycleCount() const;
+
+ protected:
+  void RegisterState(TwoPhase* element) { state_.push_back(element); }
+
+ private:
+  friend class Clock;
+  std::string name_;
+  std::vector<TwoPhase*> state_;
+  Clock* clock_ = nullptr;
+};
+
+/// A clock domain: a period in picoseconds and the modules driven by it.
+class Clock {
+ public:
+  Clock(int id, std::string name, Picoseconds period_ps)
+      : id_(id), name_(std::move(name)), period_ps_(period_ps) {
+    AETHEREAL_CHECK(period_ps > 0);
+  }
+
+  void Register(Module* module) {
+    AETHEREAL_CHECK_MSG(module->clock_ == nullptr,
+                        module->name() << " already registered to a clock");
+    module->clock_ = this;
+    modules_.push_back(module);
+  }
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Picoseconds period_ps() const { return period_ps_; }
+
+  /// Edges seen so far.
+  Cycle cycles() const { return cycles_; }
+
+  /// Time of the next rising edge.
+  Picoseconds next_edge_ps() const { return next_edge_ps_; }
+
+  double frequency_ghz() const { return 1000.0 / static_cast<double>(period_ps_); }
+
+ private:
+  friend class Kernel;
+  int id_;
+  std::string name_;
+  Picoseconds period_ps_;
+  Picoseconds next_edge_ps_ = 0;  // first edge at t=0
+  Cycle cycles_ = 0;
+  std::vector<Module*> modules_;
+};
+
+/// Owns the clocks and advances simulated time.
+class Kernel {
+ public:
+  Kernel() = default;
+
+  /// Creates a clock with the given period; the kernel keeps ownership.
+  Clock* AddClock(std::string name, Picoseconds period_ps);
+
+  /// Convenience: clock from a frequency in MHz (500 MHz -> 2000 ps).
+  Clock* AddClockMhz(std::string name, double mhz);
+
+  /// Processes exactly one instant (all clock edges at the earliest pending
+  /// time). Returns that time.
+  Picoseconds Step();
+
+  /// Runs until simulated time strictly exceeds `until_ps`.
+  void RunUntil(Picoseconds until_ps);
+
+  /// Runs `n` edges of the given clock.
+  void RunCycles(Clock* clock, Cycle n);
+
+  Picoseconds now_ps() const { return now_ps_; }
+
+ private:
+  std::vector<std::unique_ptr<Clock>> clocks_;
+  Picoseconds now_ps_ = 0;
+};
+
+}  // namespace aethereal::sim
+
+#endif  // AETHEREAL_SIM_KERNEL_H

@@ -1,0 +1,250 @@
+#include "soc/description.h"
+
+#include <sstream>
+#include <vector>
+
+#include "topology/builders.h"
+
+namespace aethereal::soc {
+
+namespace {
+
+struct Line {
+  int number;
+  std::vector<std::string> tokens;
+};
+
+std::vector<Line> Tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream stream(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    Line line{number, {}};
+    std::string token;
+    while (ls >> token) line.tokens.push_back(token);
+    if (!line.tokens.empty()) lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+Status ParseError(int line, const std::string& message) {
+  return InvalidArgumentError("line " + std::to_string(line) + ": " + message);
+}
+
+Result<std::int64_t> ParseInt(const Line& line, const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    return ParseError(line.number, "expected a number, got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+Result<int> ParsedSoc::PortIndex(NiId ni, const std::string& name) const {
+  auto it = port_index.find({ni, name});
+  if (it == port_index.end()) {
+    return NotFoundError("no port '" + name + "' on NI " + std::to_string(ni));
+  }
+  return it->second;
+}
+
+Result<ParsedSoc> BuildFromDescription(const std::string& text) {
+  const std::vector<Line> lines = Tokenize(text);
+
+  topology::Topology topo;
+  bool have_noc = false;
+  SocOptions options;
+  int max_packet_flits = 4;
+  std::vector<core::NiKernelParams> ni_params;
+  std::map<std::pair<NiId, std::string>, int> port_index;
+  // Port clock overrides recorded by name, resolved at the end.
+  std::vector<std::tuple<NiId, std::string, double>> port_clocks;
+
+  auto check_ni = [&](const Line& line, std::int64_t ni) -> Status {
+    if (!have_noc) return ParseError(line.number, "'noc' must come first");
+    if (ni < 0 || ni >= static_cast<std::int64_t>(ni_params.size())) {
+      return ParseError(line.number, "NI id out of range");
+    }
+    return OkStatus();
+  };
+
+  for (const Line& line : lines) {
+    const std::string& kind = line.tokens[0];
+    if (kind == "noc") {
+      if (have_noc) return ParseError(line.number, "duplicate 'noc'");
+      if (line.tokens.size() < 3) {
+        return ParseError(line.number, "noc <star|mesh|ring> <dims...>");
+      }
+      if (line.tokens[1] == "star") {
+        auto n = ParseInt(line, line.tokens[2]);
+        if (!n.ok()) return n.status();
+        if (*n < 1) return ParseError(line.number, "star needs >= 1 NI");
+        topo = topology::BuildStar(static_cast<int>(*n)).topology;
+      } else if (line.tokens[1] == "mesh") {
+        if (line.tokens.size() != 5) {
+          return ParseError(line.number, "noc mesh ROWS COLS NIS_PER_ROUTER");
+        }
+        auto rows = ParseInt(line, line.tokens[2]);
+        auto cols = ParseInt(line, line.tokens[3]);
+        auto nis = ParseInt(line, line.tokens[4]);
+        if (!rows.ok()) return rows.status();
+        if (!cols.ok()) return cols.status();
+        if (!nis.ok()) return nis.status();
+        topo = topology::BuildMesh(static_cast<int>(*rows),
+                                   static_cast<int>(*cols),
+                                   static_cast<int>(*nis))
+                   .topology;
+      } else if (line.tokens[1] == "ring") {
+        if (line.tokens.size() != 4) {
+          return ParseError(line.number, "noc ring ROUTERS NIS_PER_ROUTER");
+        }
+        auto routers = ParseInt(line, line.tokens[2]);
+        auto nis = ParseInt(line, line.tokens[3]);
+        if (!routers.ok()) return routers.status();
+        if (!nis.ok()) return nis.status();
+        topo = topology::BuildRing(static_cast<int>(*routers),
+                                   static_cast<int>(*nis))
+                   .topology;
+      } else {
+        return ParseError(line.number,
+                          "unknown topology '" + line.tokens[1] + "'");
+      }
+      have_noc = true;
+      ni_params.assign(static_cast<std::size_t>(topo.NumNis()),
+                       core::NiKernelParams{});
+    } else if (kind == "stu") {
+      auto v = ParseInt(line, line.tokens.at(1));
+      if (!v.ok()) return v.status();
+      options.stu_slots = static_cast<int>(*v);
+    } else if (kind == "netmhz") {
+      auto v = ParseInt(line, line.tokens.at(1));
+      if (!v.ok()) return v.status();
+      options.net_mhz = static_cast<double>(*v);
+    } else if (kind == "max_packet_flits") {
+      auto v = ParseInt(line, line.tokens.at(1));
+      if (!v.ok()) return v.status();
+      max_packet_flits = static_cast<int>(*v);
+    } else if (kind == "router_be_buffer") {
+      auto v = ParseInt(line, line.tokens.at(1));
+      if (!v.ok()) return v.status();
+      options.router_be_buffer_flits = static_cast<int>(*v);
+    } else if (kind == "ni") {
+      if (line.tokens.size() != 4 || line.tokens[2] != "arbitration") {
+        return ParseError(line.number, "ni <id> arbitration <policy>");
+      }
+      auto ni = ParseInt(line, line.tokens[1]);
+      if (!ni.ok()) return ni.status();
+      if (Status s = check_ni(line, *ni); !s.ok()) return s;
+      const std::string& policy = line.tokens[3];
+      auto& params = ni_params[static_cast<std::size_t>(*ni)];
+      if (policy == "round-robin") {
+        params.be_arbitration = core::BeArbitration::kRoundRobin;
+      } else if (policy == "weighted-round-robin") {
+        params.be_arbitration = core::BeArbitration::kWeightedRoundRobin;
+      } else if (policy == "queue-fill") {
+        params.be_arbitration = core::BeArbitration::kQueueFill;
+      } else {
+        return ParseError(line.number, "unknown policy '" + policy + "'");
+      }
+    } else if (kind == "port") {
+      if (line.tokens.size() != 3) {
+        return ParseError(line.number, "port <ni> <name>");
+      }
+      auto ni = ParseInt(line, line.tokens[1]);
+      if (!ni.ok()) return ni.status();
+      if (Status s = check_ni(line, *ni); !s.ok()) return s;
+      const std::string& name = line.tokens[2];
+      if (port_index.count({static_cast<NiId>(*ni), name}) != 0) {
+        return ParseError(line.number, "duplicate port '" + name + "'");
+      }
+      auto& params = ni_params[static_cast<std::size_t>(*ni)];
+      port_index[{static_cast<NiId>(*ni), name}] =
+          static_cast<int>(params.ports.size());
+      core::PortParams port;
+      port.name = name;
+      params.ports.push_back(std::move(port));
+    } else if (kind == "portclock") {
+      if (line.tokens.size() != 4) {
+        return ParseError(line.number, "portclock <ni> <port> <mhz>");
+      }
+      auto ni = ParseInt(line, line.tokens[1]);
+      if (!ni.ok()) return ni.status();
+      auto mhz = ParseInt(line, line.tokens[3]);
+      if (!mhz.ok()) return mhz.status();
+      port_clocks.emplace_back(static_cast<NiId>(*ni), line.tokens[2],
+                               static_cast<double>(*mhz));
+    } else if (kind == "channel") {
+      if (line.tokens.size() < 5) {
+        return ParseError(line.number,
+                          "channel <ni> <port> <src_words> <dst_words> "
+                          "[weight]");
+      }
+      auto ni = ParseInt(line, line.tokens[1]);
+      if (!ni.ok()) return ni.status();
+      if (Status s = check_ni(line, *ni); !s.ok()) return s;
+      auto it = port_index.find({static_cast<NiId>(*ni), line.tokens[2]});
+      if (it == port_index.end()) {
+        return ParseError(line.number,
+                          "unknown port '" + line.tokens[2] + "'");
+      }
+      auto src = ParseInt(line, line.tokens[3]);
+      auto dst = ParseInt(line, line.tokens[4]);
+      if (!src.ok()) return src.status();
+      if (!dst.ok()) return dst.status();
+      core::ChannelParams channel;
+      channel.source_queue_words = static_cast<int>(*src);
+      channel.dest_queue_words = static_cast<int>(*dst);
+      if (line.tokens.size() > 5) {
+        auto weight = ParseInt(line, line.tokens[5]);
+        if (!weight.ok()) return weight.status();
+        channel.weight = static_cast<int>(*weight);
+      }
+      ni_params[static_cast<std::size_t>(*ni)]
+          .ports[static_cast<std::size_t>(it->second)]
+          .channels.push_back(channel);
+    } else {
+      return ParseError(line.number, "unknown directive '" + kind + "'");
+    }
+  }
+
+  if (!have_noc) return InvalidArgumentError("description has no 'noc' line");
+  for (std::size_t n = 0; n < ni_params.size(); ++n) {
+    ni_params[n].stu_slots = options.stu_slots;
+    ni_params[n].max_packet_flits = max_packet_flits;
+    if (ni_params[n].ports.empty()) {
+      return InvalidArgumentError("NI " + std::to_string(n) +
+                                  " has no ports");
+    }
+    for (const auto& port : ni_params[n].ports) {
+      if (port.channels.empty()) {
+        return InvalidArgumentError("port '" + port.name + "' of NI " +
+                                    std::to_string(n) + " has no channels");
+      }
+    }
+  }
+  for (const auto& [ni, name, mhz] : port_clocks) {
+    auto it = port_index.find({ni, name});
+    if (it == port_index.end()) {
+      return InvalidArgumentError("portclock for unknown port '" + name +
+                                  "'");
+    }
+    options.port_mhz[{ni, it->second}] = mhz;
+  }
+
+  ParsedSoc parsed;
+  parsed.port_index = std::move(port_index);
+  parsed.soc = std::make_unique<Soc>(std::move(topo), std::move(ni_params),
+                                     options);
+  return parsed;
+}
+
+}  // namespace aethereal::soc

@@ -1,0 +1,52 @@
+// Declarative NoC description — the programmatic stand-in for the paper's
+// XML instantiation flow ("the number of ports and their type, the number
+// of connections at each port, memory allocated for the queues, the level
+// of services per port, and the interface to the IP modules are all
+// configurable at design (instantiation) time using an XML description").
+//
+// Line-based text format ('#' starts a comment):
+//
+//   noc star 4              # or: noc mesh ROWS COLS NIS_PER_ROUTER
+//                           # or: noc ring ROUTERS NIS_PER_ROUTER
+//   stu 8                   # slot-table size (default 8)
+//   netmhz 500              # network clock (default 500)
+//   max_packet_flits 4      # maximum packet length (default 4)
+//   router_be_buffer 8      # router BE input buffer, flits (default 8)
+//
+//   ni 0 arbitration queue-fill        # round-robin | weighted-round-robin
+//   port 0 dtl                         # add port named "dtl" to NI 0
+//   portclock 0 dtl 125                # that port runs at 125 MHz
+//   channel 0 dtl 8 8 1                # channel on (ni 0, port dtl):
+//                                      #   src words, dst words, wrr weight
+//
+// Ports and channels are created in file order, which defines their
+// indices (connids).
+#ifndef AETHEREAL_SOC_DESCRIPTION_H
+#define AETHEREAL_SOC_DESCRIPTION_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "soc/soc.h"
+#include "util/status.h"
+
+namespace aethereal::soc {
+
+struct ParsedSoc {
+  std::unique_ptr<Soc> soc;
+  /// Port index by (NI id, port name), for symbolic lookup.
+  std::map<std::pair<NiId, std::string>, int> port_index;
+
+  /// Convenience: resolved port index (checks existence).
+  Result<int> PortIndex(NiId ni, const std::string& name) const;
+};
+
+/// Parses a description and instantiates the SoC. Returns a descriptive
+/// error (with line number) on malformed input.
+Result<ParsedSoc> BuildFromDescription(const std::string& text);
+
+}  // namespace aethereal::soc
+
+#endif  // AETHEREAL_SOC_DESCRIPTION_H

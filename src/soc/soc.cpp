@@ -1,0 +1,297 @@
+#include "soc/soc.h"
+
+#include <cmath>
+
+#include "core/registers.h"
+#include "util/check.h"
+
+namespace aethereal::soc {
+
+namespace regs = core::regs;
+using topology::EndpointKind;
+
+Soc::Soc(topology::Topology topology,
+         std::vector<core::NiKernelParams> ni_params, SocOptions options)
+    : topology_(std::move(topology)),
+      ni_params_(std::move(ni_params)),
+      options_(options) {
+  AETHEREAL_CHECK_MSG(
+      static_cast<int>(ni_params_.size()) == topology_.NumNis(),
+      "one NiKernelParams per NI required");
+  net_clock_ = sim_.AddClockMhz("net", options_.net_mhz);
+  clock_by_period_[net_clock_->period_ps()] = net_clock_;
+
+  // Routers.
+  for (RouterId r = 0; r < topology_.NumRouters(); ++r) {
+    router::RouterConfig config;
+    config.num_ports = topology_.RouterPorts(r);
+    config.be_buffer_flits = options_.router_be_buffer_flits;
+    routers_.push_back(std::make_unique<router::Router>(
+        "router" + std::to_string(r), r, config));
+    net_clock_->Register(routers_.back().get());
+  }
+
+  // NIs and their links to the routers.
+  for (NiId n = 0; n < topology_.NumNis(); ++n) {
+    AETHEREAL_CHECK_MSG(ni_params_[static_cast<std::size_t>(n)].stu_slots ==
+                            options_.stu_slots,
+                        "NI stu_slots must match SocOptions.stu_slots");
+    nis_.push_back(std::make_unique<core::NiKernel>(
+        "ni" + std::to_string(n), n, ni_params_[static_cast<std::size_t>(n)]));
+    core::NiKernel* kernel = nis_.back().get();
+    net_clock_->Register(kernel);
+
+    links_.push_back(std::make_unique<link::DirectedLink>(
+        "ni" + std::to_string(n) + "->router"));
+    link::DirectedLink* inj = links_.back().get();
+    links_.push_back(std::make_unique<link::DirectedLink>(
+        "router->ni" + std::to_string(n)));
+    link::DirectedLink* del = links_.back().get();
+    net_clock_->Register(inj);
+    net_clock_->Register(del);
+
+    const RouterId r = topology_.NiRouter(n);
+    const int rp = topology_.NiRouterPort(n);
+    kernel->ConnectToRouter(&inj->wires(), &del->wires(),
+                            options_.router_be_buffer_flits);
+    routers_[static_cast<std::size_t>(r)]->ConnectInput(rp, &inj->wires());
+    // The NI always sinks arriving BE flits (end-to-end flow control has
+    // already guaranteed destination-queue space), so a small credit pool
+    // only models the delivery pipelining.
+    routers_[static_cast<std::size_t>(r)]->ConnectOutput(
+        rp, &del->wires(), options_.router_be_buffer_flits);
+
+    // Port clocks.
+    for (int p = 0; p < kernel->NumPorts(); ++p) {
+      auto it = options_.port_mhz.find({n, p});
+      sim::Clock* clock =
+          (it == options_.port_mhz.end()) ? net_clock_ : ClockForMhz(it->second);
+      clock->Register(kernel->port(p));
+    }
+  }
+
+  // Router-to-router links (each directed link once, from its source side).
+  for (RouterId r = 0; r < topology_.NumRouters(); ++r) {
+    for (int p = 0; p < topology_.RouterPorts(r); ++p) {
+      const topology::Endpoint& peer = topology_.PortPeer(r, p);
+      if (peer.kind != EndpointKind::kRouter) continue;
+      links_.push_back(std::make_unique<link::DirectedLink>(
+          "router" + std::to_string(r) + ".p" + std::to_string(p) + "->" +
+          "router" + std::to_string(peer.id)));
+      link::DirectedLink* l = links_.back().get();
+      net_clock_->Register(l);
+      routers_[static_cast<std::size_t>(r)]->ConnectOutput(
+          p, &l->wires(), options_.router_be_buffer_flits);
+      routers_[static_cast<std::size_t>(peer.id)]->ConnectInput(peer.port,
+                                                                &l->wires());
+    }
+  }
+
+  allocator_ = std::make_unique<tdm::CentralizedAllocator>(
+      &topology_, options_.stu_slots);
+}
+
+Soc::~Soc() = default;
+
+sim::Clock* Soc::ClockForMhz(double mhz) {
+  const auto period = static_cast<Picoseconds>(std::llround(1e6 / mhz));
+  auto it = clock_by_period_.find(period);
+  if (it != clock_by_period_.end()) return it->second;
+  sim::Clock* clock =
+      sim_.AddClock("port_clk_" + std::to_string(period) + "ps", period);
+  clock_by_period_[period] = clock;
+  return clock;
+}
+
+core::NiKernel* Soc::ni(NiId id) {
+  AETHEREAL_CHECK(id >= 0 && id < static_cast<NiId>(nis_.size()));
+  return nis_[static_cast<std::size_t>(id)].get();
+}
+
+router::Router* Soc::router(RouterId id) {
+  AETHEREAL_CHECK(id >= 0 && id < static_cast<RouterId>(routers_.size()));
+  return routers_[static_cast<std::size_t>(id)].get();
+}
+
+core::NiPort* Soc::port(NiId id, int port_index) {
+  return ni(id)->port(port_index);
+}
+
+sim::Clock* Soc::port_clock(NiId id, int port_index) {
+  sim::Clock* clock = port(id, port_index)->clock();
+  AETHEREAL_CHECK(clock != nullptr);
+  return clock;
+}
+
+void Soc::RegisterOnPort(sim::Module* module, NiId id, int port_index) {
+  port_clock(id, port_index)->Register(module);
+}
+
+void Soc::RegisterOnNet(sim::Module* module) { net_clock_->Register(module); }
+
+int Soc::DestQueueWordsOf(const tdm::GlobalChannel& channel) const {
+  AETHEREAL_CHECK(channel.ni >= 0 &&
+                  channel.ni < static_cast<NiId>(ni_params_.size()));
+  const auto& params = ni_params_[static_cast<std::size_t>(channel.ni)];
+  ChannelId flat = 0;
+  for (const auto& port : params.ports) {
+    for (const auto& ch : port.channels) {
+      if (flat == channel.channel) return ch.dest_queue_words;
+      ++flat;
+    }
+  }
+  AETHEREAL_CHECK_MSG(false, "channel " << channel.channel
+                                        << " not found in NI " << channel.ni);
+  return 0;
+}
+
+Status Soc::ConfigureChannelDirect(const tdm::GlobalChannel& at,
+                                   const topology::ChannelRoute& route,
+                                   int remote_qid, int remote_space,
+                                   const config::ChannelQos& qos,
+                                   const std::vector<SlotIndex>& slots) {
+  core::NiKernel* kernel = ni(at.ni);
+  const link::SourcePath path = link::SourcePath::FromHops(route.hops);
+  Word mask = 0;
+  for (SlotIndex s : slots) mask |= (1u << s);
+
+  Status status = kernel->WriteRegister(
+      regs::ChannelRegAddr(at.channel, regs::ChannelReg::kSpace),
+      static_cast<Word>(remote_space));
+  if (!status.ok()) return status;
+  status = kernel->WriteRegister(
+      regs::ChannelRegAddr(at.channel, regs::ChannelReg::kPathRqid),
+      regs::PackPathRqid(path, remote_qid));
+  if (!status.ok()) return status;
+  status = kernel->WriteRegister(
+      regs::ChannelRegAddr(at.channel, regs::ChannelReg::kThresholds),
+      regs::PackThresholds(qos.data_threshold, qos.credit_threshold));
+  if (!status.ok()) return status;
+  status = kernel->WriteRegister(
+      regs::ChannelRegAddr(at.channel, regs::ChannelReg::kSlots), mask);
+  if (!status.ok()) return status;
+  return kernel->WriteRegister(
+      regs::ChannelRegAddr(at.channel, regs::ChannelReg::kCtrl),
+      regs::kCtrlEnable | (qos.gt ? regs::kCtrlGt : 0));
+}
+
+Result<int> Soc::OpenConnection(const tdm::GlobalChannel& a,
+                                const tdm::GlobalChannel& b,
+                                const config::ChannelQos& qos_ab,
+                                const config::ChannelQos& qos_ba) {
+  auto route_ab = topology_.Route(a.ni, b.ni);
+  if (!route_ab.ok()) return route_ab.status();
+  auto route_ba = topology_.Route(b.ni, a.ni);
+  if (!route_ba.ok()) return route_ba.status();
+
+  DirectConnection conn;
+  conn.a = a;
+  conn.b = b;
+  conn.route_ab = *route_ab;
+  conn.route_ba = *route_ba;
+
+  if (qos_ab.gt) {
+    auto slots = allocator_->Allocate(conn.route_ab, a, qos_ab.gt_slots,
+                                      qos_ab.policy);
+    if (!slots.ok()) return slots.status();
+    conn.slots_ab = *slots;
+  }
+  if (qos_ba.gt) {
+    auto slots = allocator_->Allocate(conn.route_ba, b, qos_ba.gt_slots,
+                                      qos_ba.policy);
+    if (!slots.ok()) {
+      if (qos_ab.gt) {
+        AETHEREAL_CHECK(allocator_->Free(conn.route_ab, a, conn.slots_ab).ok());
+      }
+      return slots.status();
+    }
+    conn.slots_ba = *slots;
+  }
+
+  Status status = ConfigureChannelDirect(a, conn.route_ab, b.channel,
+                                         DestQueueWordsOf(b), qos_ab,
+                                         conn.slots_ab);
+  if (status.ok()) {
+    status = ConfigureChannelDirect(b, conn.route_ba, a.channel,
+                                    DestQueueWordsOf(a), qos_ba,
+                                    conn.slots_ba);
+  }
+  if (!status.ok()) return status;
+  conn.open = true;
+  direct_connections_.push_back(std::move(conn));
+  return static_cast<int>(direct_connections_.size() - 1);
+}
+
+Status Soc::CloseConnection(int handle) {
+  if (handle < 0 ||
+      handle >= static_cast<int>(direct_connections_.size())) {
+    return InvalidArgumentError("unknown connection handle");
+  }
+  DirectConnection& conn =
+      direct_connections_[static_cast<std::size_t>(handle)];
+  if (!conn.open) return FailedPreconditionError("connection not open");
+  Status status = ni(conn.a.ni)->WriteRegister(
+      regs::ChannelRegAddr(conn.a.channel, regs::ChannelReg::kCtrl), 0);
+  if (!status.ok()) return status;
+  status = ni(conn.b.ni)->WriteRegister(
+      regs::ChannelRegAddr(conn.b.channel, regs::ChannelReg::kCtrl), 0);
+  if (!status.ok()) return status;
+  if (!conn.slots_ab.empty()) {
+    AETHEREAL_CHECK(
+        allocator_->Free(conn.route_ab, conn.a, conn.slots_ab).ok());
+    conn.slots_ab.clear();
+  }
+  if (!conn.slots_ba.empty()) {
+    AETHEREAL_CHECK(
+        allocator_->Free(conn.route_ba, conn.b, conn.slots_ba).ok());
+    conn.slots_ba.clear();
+  }
+  conn.open = false;
+  return OkStatus();
+}
+
+config::ConnectionManager* Soc::EnableConfig(const ConfigSetup& setup) {
+  AETHEREAL_CHECK_MSG(manager_ == nullptr, "config already enabled");
+  std::map<NiId, int> remote_connids = setup.cfg_connid_of_ni;
+
+  config_shell_ = std::make_unique<shells::ConfigShell>(
+      "config_shell", ni(setup.cfg_ni), port(setup.cfg_ni, setup.cfg_port),
+      remote_connids);
+  RegisterOnPort(config_shell_.get(), setup.cfg_ni, setup.cfg_port);
+
+  std::map<NiId, config::ConnectionManager::CnipInfo> cnip_info;
+  for (const auto& [target, port_connid] : setup.cnip_of_ni) {
+    const auto [cnip_port, cnip_connid] = port_connid;
+    core::NiPort* p = port(target, cnip_port);
+    cnip_shells_.push_back(std::make_unique<shells::SlaveShell>(
+        "cnip_shell_ni" + std::to_string(target), p, cnip_connid));
+    RegisterOnPort(cnip_shells_.back().get(), target, cnip_port);
+    cnip_agents_.push_back(std::make_unique<config::CnipAgent>(
+        "cnip_agent_ni" + std::to_string(target), ni(target),
+        cnip_shells_.back().get()));
+    RegisterOnPort(cnip_agents_.back().get(), target, cnip_port);
+
+    const ChannelId flat = p->GlobalChannelOf(cnip_connid);
+    cnip_info[target] = config::ConnectionManager::CnipInfo{
+        flat, DestQueueWordsOf(tdm::GlobalChannel{target, flat})};
+    // The CNIP channel is enabled at hardware reset so the NoC can
+    // bootstrap its own configuration (Fig. 9 step 2 arrives through it).
+    AETHEREAL_CHECK(ni(target)
+                        ->WriteRegister(regs::ChannelRegAddr(
+                                            flat, regs::ChannelReg::kCtrl),
+                                        regs::kCtrlEnable)
+                        .ok());
+  }
+
+  auto lookup = [this](const tdm::GlobalChannel& channel) {
+    return DestQueueWordsOf(channel);
+  };
+  manager_ = std::make_unique<config::ConnectionManager>(
+      "connection_manager", &topology_, allocator_.get(), config_shell_.get(),
+      port(setup.cfg_ni, setup.cfg_port), setup.cfg_ni,
+      setup.cfg_connid_of_ni, std::move(cnip_info), lookup);
+  RegisterOnPort(manager_.get(), setup.cfg_ni, setup.cfg_port);
+  return manager_.get();
+}
+
+}  // namespace aethereal::soc

@@ -1,0 +1,140 @@
+// SoC assembly: instantiate a NoC (routers, NIs, links) from a topology and
+// per-NI parameters, exactly like the paper's XML-driven design-time flow
+// (but targeting the simulator instead of VHDL).
+//
+// The Soc owns the simulation kernel, the clocks, the network hardware and
+// the configuration infrastructure. IP modules and shells are created by
+// the application (examples/tests) and registered on port clocks via
+// RegisterOnPort().
+#ifndef AETHEREAL_SOC_SOC_H
+#define AETHEREAL_SOC_SOC_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/cnip.h"
+#include "config/connection_manager.h"
+#include "core/ni_kernel.h"
+#include "link/wire.h"
+#include "router/router.h"
+#include "shells/config_shell.h"
+#include "shells/slave_shell.h"
+#include "sim/kernel.h"
+#include "tdm/allocator.h"
+#include "topology/topology.h"
+#include "util/status.h"
+
+namespace aethereal::soc {
+
+struct SocOptions {
+  double net_mhz = 500.0;  // network clock (paper prototype: 500 MHz)
+  int router_be_buffer_flits = 8;
+  int stu_slots = 8;
+  /// Per-(NI, port) clock override in MHz; unlisted ports run on the
+  /// network clock. The channel queues implement the crossing.
+  std::map<std::pair<NiId, int>, double> port_mhz;
+};
+
+/// Description of the configuration infrastructure (paper Fig. 8).
+struct ConfigSetup {
+  NiId cfg_ni = 0;   // NI hosting the configuration master
+  int cfg_port = 0;  // its port carrying the config connections
+  /// connid on cfg_port per remote NI.
+  std::map<NiId, int> cfg_connid_of_ni;
+  /// (port, connid) of the CNIP channel at each remote NI.
+  std::map<NiId, std::pair<int, int>> cnip_of_ni;
+};
+
+class Soc {
+ public:
+  Soc(topology::Topology topology,
+      std::vector<core::NiKernelParams> ni_params, SocOptions options = {});
+  ~Soc();
+
+  sim::Kernel& sim() { return sim_; }
+  sim::Clock* net_clock() { return net_clock_; }
+  const topology::Topology& topology() const { return topology_; }
+  tdm::CentralizedAllocator& allocator() { return *allocator_; }
+
+  core::NiKernel* ni(NiId id);
+  router::Router* router(RouterId id);
+  core::NiPort* port(NiId id, int port_index);
+  sim::Clock* port_clock(NiId id, int port_index);
+
+  /// Registers an application module (shell or IP) on the clock of the
+  /// given NI port.
+  void RegisterOnPort(sim::Module* module, NiId id, int port_index);
+  /// Registers a module on the network clock.
+  void RegisterOnNet(sim::Module* module);
+
+  void RunCycles(Cycle cycles) { sim_.RunCycles(net_clock_, cycles); }
+
+  /// Destination-queue capacity (words) of a channel — the value a peer's
+  /// SPACE register must be initialized with.
+  int DestQueueWordsOf(const tdm::GlobalChannel& channel) const;
+
+  // --- direct configuration (bypasses the Fig. 9 protocol; for tests and
+  // benches that do not study configuration itself) ------------------------
+
+  /// Opens a bidirectional connection between channel `a` and channel `b`
+  /// (writing both NIs' registers directly). Takes effect after the next
+  /// cycle. Returns a handle for CloseConnection.
+  Result<int> OpenConnection(const tdm::GlobalChannel& a,
+                             const tdm::GlobalChannel& b,
+                             const config::ChannelQos& qos_ab = {},
+                             const config::ChannelQos& qos_ba = {});
+  Status CloseConnection(int handle);
+
+  // --- runtime configuration through the NoC itself ------------------------
+
+  /// Builds the configuration infrastructure: config shell at the Cfg NI,
+  /// CNIP slave + agent at every listed remote NI (their CNIP channels are
+  /// enabled at reset), and the connection manager. Must be called before
+  /// the simulation starts.
+  config::ConnectionManager* EnableConfig(const ConfigSetup& setup);
+
+  config::ConnectionManager* manager() { return manager_.get(); }
+  shells::ConfigShell* config_shell() { return config_shell_.get(); }
+
+ private:
+  struct DirectConnection {
+    tdm::GlobalChannel a, b;
+    topology::ChannelRoute route_ab, route_ba;
+    std::vector<SlotIndex> slots_ab, slots_ba;
+    bool open = false;
+  };
+
+  Status ConfigureChannelDirect(const tdm::GlobalChannel& at,
+                                const topology::ChannelRoute& route,
+                                int remote_qid, int remote_space,
+                                const config::ChannelQos& qos,
+                                const std::vector<SlotIndex>& slots);
+  sim::Clock* ClockForMhz(double mhz);
+
+  topology::Topology topology_;
+  std::vector<core::NiKernelParams> ni_params_;
+  SocOptions options_;
+
+  sim::Kernel sim_;
+  sim::Clock* net_clock_ = nullptr;
+  std::map<std::int64_t, sim::Clock*> clock_by_period_;
+
+  std::vector<std::unique_ptr<router::Router>> routers_;
+  std::vector<std::unique_ptr<core::NiKernel>> nis_;
+  std::vector<std::unique_ptr<link::DirectedLink>> links_;
+  std::unique_ptr<tdm::CentralizedAllocator> allocator_;
+  std::vector<DirectConnection> direct_connections_;
+
+  // Configuration infrastructure (EnableConfig).
+  std::unique_ptr<shells::ConfigShell> config_shell_;
+  std::vector<std::unique_ptr<shells::SlaveShell>> cnip_shells_;
+  std::vector<std::unique_ptr<config::CnipAgent>> cnip_agents_;
+  std::unique_ptr<config::ConnectionManager> manager_;
+};
+
+}  // namespace aethereal::soc
+
+#endif  // AETHEREAL_SOC_SOC_H

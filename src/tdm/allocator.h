@@ -1,0 +1,77 @@
+// Centralized TDM slot allocator.
+//
+// In the Æthereal prototype (paper §3), configuration is centralized: one
+// configuration module owns the slot occupancy information for the whole
+// NoC, so slot tables can be removed from the routers (§4.3). The allocator
+// reserves, for a channel's route, slot s on the injection link, s+1 on the
+// first router's output link, s+2 on the next, ... (pipelined TDM circuits),
+// guaranteeing contention-free GT switching.
+#ifndef AETHEREAL_TDM_ALLOCATOR_H
+#define AETHEREAL_TDM_ALLOCATOR_H
+
+#include <vector>
+
+#include "tdm/slot_table.h"
+#include "topology/topology.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace aethereal::tdm {
+
+/// How slots are chosen among the feasible ones.
+enum class AllocPolicy {
+  kFirstFit,    // lowest feasible slot indices
+  kSpread,      // near-equally spaced (minimizes jitter bound)
+  kContiguous,  // a consecutive run (maximizes packet length / minimizes
+                // header overhead, at the cost of jitter)
+};
+
+class CentralizedAllocator {
+ public:
+  /// Creates tables for every directed link of `topology`, each with
+  /// `num_slots` slots. The topology must outlive the allocator.
+  CentralizedAllocator(const topology::Topology* topology, int num_slots);
+
+  int num_slots() const { return num_slots_; }
+
+  /// True if slot `s` (at the injection link; slot s+j on link j) is free on
+  /// every link of `route`.
+  bool SlotFeasible(const topology::ChannelRoute& route, SlotIndex s) const;
+
+  /// All feasible injection-link slots for `route`, ascending.
+  std::vector<SlotIndex> FeasibleSlots(const topology::ChannelRoute& route) const;
+
+  /// Reserves `count` slots for `channel` along `route` using `policy`.
+  /// Returns the injection-link slot indices, or kResourceExhausted if not
+  /// enough feasible slots exist.
+  Result<std::vector<SlotIndex>> Allocate(const topology::ChannelRoute& route,
+                                          const GlobalChannel& channel,
+                                          int count, AllocPolicy policy);
+
+  /// Releases previously allocated slots of `channel` along `route`.
+  Status Free(const topology::ChannelRoute& route,
+              const GlobalChannel& channel,
+              const std::vector<SlotIndex>& slots);
+
+  /// Table of one link (by dense link index), e.g. to program an NI's STU.
+  const SlotTable& TableOf(const topology::LinkId& link) const;
+
+  /// Mean reserved fraction over all links.
+  double MeanUtilization() const;
+
+ private:
+  SlotTable& MutableTableOf(const topology::LinkId& link);
+  const topology::Topology* topology_;
+  int num_slots_;
+  std::vector<SlotTable> tables_;  // indexed by Topology::LinkIndex
+};
+
+/// Picks `count` slots from `feasible` according to `policy`; exposed for
+/// unit testing and reuse by the distributed model. Returns empty if
+/// impossible.
+std::vector<SlotIndex> PickSlots(const std::vector<SlotIndex>& feasible,
+                                 int count, int num_slots, AllocPolicy policy);
+
+}  // namespace aethereal::tdm
+
+#endif  // AETHEREAL_TDM_ALLOCATOR_H

@@ -1,0 +1,92 @@
+#include "tdm/slot_table.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace aethereal::tdm {
+
+std::ostream& operator<<(std::ostream& os, const GlobalChannel& channel) {
+  return os << "ni" << channel.ni << ".ch" << channel.channel;
+}
+
+SlotTable::SlotTable(int num_slots)
+    : slots_(static_cast<std::size_t>(num_slots)) {
+  AETHEREAL_CHECK(num_slots > 0);
+}
+
+const GlobalChannel& SlotTable::At(SlotIndex s) const {
+  AETHEREAL_CHECK_MSG(s >= 0 && s < num_slots(),
+                      "slot " << s << " out of table of " << num_slots());
+  return slots_[static_cast<std::size_t>(s)];
+}
+
+GlobalChannel& SlotTable::At(SlotIndex s) {
+  AETHEREAL_CHECK(s >= 0 && s < num_slots());
+  return slots_[static_cast<std::size_t>(s)];
+}
+
+Status SlotTable::Reserve(SlotIndex s, const GlobalChannel& owner) {
+  if (s < 0 || s >= num_slots()) return OutOfRangeError("slot out of range");
+  if (!owner.valid()) return InvalidArgumentError("invalid channel");
+  if (At(s).valid()) {
+    std::ostringstream oss;
+    oss << "slot " << s << " already owned by " << At(s);
+    return AlreadyExistsError(oss.str());
+  }
+  At(s) = owner;
+  return OkStatus();
+}
+
+Status SlotTable::Release(SlotIndex s) {
+  if (s < 0 || s >= num_slots()) return OutOfRangeError("slot out of range");
+  if (!At(s).valid()) return FailedPreconditionError("slot already free");
+  At(s) = GlobalChannel{};
+  return OkStatus();
+}
+
+int SlotTable::ReleaseAll(const GlobalChannel& owner) {
+  int freed = 0;
+  for (auto& slot : slots_) {
+    if (slot == owner) {
+      slot = GlobalChannel{};
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+std::vector<SlotIndex> SlotTable::SlotsOf(const GlobalChannel& owner) const {
+  std::vector<SlotIndex> result;
+  for (SlotIndex s = 0; s < num_slots(); ++s) {
+    if (slots_[static_cast<std::size_t>(s)] == owner) result.push_back(s);
+  }
+  return result;
+}
+
+int SlotTable::Reserved() const {
+  int count = 0;
+  for (const auto& slot : slots_) {
+    if (slot.valid()) ++count;
+  }
+  return count;
+}
+
+double SlotTable::Utilization() const {
+  return static_cast<double>(Reserved()) / static_cast<double>(num_slots());
+}
+
+int SlotTable::MaxGap(const GlobalChannel& owner) const {
+  const std::vector<SlotIndex> mine = SlotsOf(owner);
+  if (mine.empty()) return num_slots();
+  int max_gap = 0;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const SlotIndex cur = mine[i];
+    const SlotIndex next =
+        (i + 1 < mine.size()) ? mine[i + 1] : mine[0] + num_slots();
+    max_gap = std::max(max_gap, next - cur);
+  }
+  return max_gap;
+}
+
+}  // namespace aethereal::tdm

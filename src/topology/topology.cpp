@@ -1,0 +1,196 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "link/header.h"
+#include "util/check.h"
+
+namespace aethereal::topology {
+
+RouterId Topology::AddRouter(int num_ports) {
+  AETHEREAL_CHECK(num_ports > 0);
+  routers_.push_back(RouterNode{std::vector<Endpoint>(
+      static_cast<std::size_t>(num_ports))});
+  return static_cast<RouterId>(routers_.size() - 1);
+}
+
+NiId Topology::AddNi() {
+  nis_.push_back(NiNode{});
+  return static_cast<NiId>(nis_.size() - 1);
+}
+
+Status Topology::ConnectRouters(RouterId a, int pa, RouterId b, int pb) {
+  if (a < 0 || a >= NumRouters() || b < 0 || b >= NumRouters()) {
+    return InvalidArgumentError("router id out of range");
+  }
+  if (pa < 0 || pa >= RouterPorts(a) || pb < 0 || pb >= RouterPorts(b)) {
+    return InvalidArgumentError("router port out of range");
+  }
+  auto& ea = routers_[static_cast<std::size_t>(a)].ports[static_cast<std::size_t>(pa)];
+  auto& eb = routers_[static_cast<std::size_t>(b)].ports[static_cast<std::size_t>(pb)];
+  if (ea.kind != EndpointKind::kUnconnected ||
+      eb.kind != EndpointKind::kUnconnected) {
+    return AlreadyExistsError("router port already wired");
+  }
+  ea = Endpoint{EndpointKind::kRouter, b, pb};
+  eb = Endpoint{EndpointKind::kRouter, a, pa};
+  return OkStatus();
+}
+
+Status Topology::AttachNi(NiId ni, RouterId r, int p) {
+  if (ni < 0 || ni >= NumNis() || r < 0 || r >= NumRouters()) {
+    return InvalidArgumentError("id out of range");
+  }
+  if (p < 0 || p >= RouterPorts(r)) {
+    return InvalidArgumentError("router port out of range");
+  }
+  auto& node = nis_[static_cast<std::size_t>(ni)];
+  if (node.attached) return AlreadyExistsError("NI already attached");
+  auto& ep = routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
+  if (ep.kind != EndpointKind::kUnconnected) {
+    return AlreadyExistsError("router port already wired");
+  }
+  ep = Endpoint{EndpointKind::kNi, ni, 0};
+  node = NiNode{r, p, true};
+  return OkStatus();
+}
+
+int Topology::RouterPorts(RouterId r) const {
+  AETHEREAL_CHECK(r >= 0 && r < NumRouters());
+  return static_cast<int>(routers_[static_cast<std::size_t>(r)].ports.size());
+}
+
+const Endpoint& Topology::PortPeer(RouterId r, int p) const {
+  AETHEREAL_CHECK(r >= 0 && r < NumRouters());
+  AETHEREAL_CHECK(p >= 0 && p < RouterPorts(r));
+  return routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
+}
+
+RouterId Topology::NiRouter(NiId ni) const {
+  AETHEREAL_CHECK(ni >= 0 && ni < NumNis());
+  AETHEREAL_CHECK_MSG(nis_[static_cast<std::size_t>(ni)].attached,
+                      "NI " << ni << " not attached");
+  return nis_[static_cast<std::size_t>(ni)].router;
+}
+
+int Topology::NiRouterPort(NiId ni) const {
+  AETHEREAL_CHECK(ni >= 0 && ni < NumNis());
+  AETHEREAL_CHECK(nis_[static_cast<std::size_t>(ni)].attached);
+  return nis_[static_cast<std::size_t>(ni)].router_port;
+}
+
+Result<std::vector<int>> Topology::RouteHops(NiId from, NiId to) const {
+  if (from < 0 || from >= NumNis() || to < 0 || to >= NumNis()) {
+    return InvalidArgumentError("NI id out of range");
+  }
+  if (from == to) return InvalidArgumentError("route from an NI to itself");
+  if (!nis_[static_cast<std::size_t>(from)].attached ||
+      !nis_[static_cast<std::size_t>(to)].attached) {
+    return FailedPreconditionError("NI not attached to a router");
+  }
+  const RouterId start = NiRouter(from);
+  const RouterId goal = NiRouter(to);
+
+  // BFS over routers; predecessor records (router, inbound port of pred).
+  struct Pred {
+    RouterId router = kInvalidId;
+    int out_port = -1;  // port taken at the predecessor
+  };
+  std::vector<Pred> pred(static_cast<std::size_t>(NumRouters()));
+  std::vector<bool> seen(static_cast<std::size_t>(NumRouters()), false);
+  std::deque<RouterId> frontier;
+  seen[static_cast<std::size_t>(start)] = true;
+  frontier.push_back(start);
+  while (!frontier.empty() && !seen[static_cast<std::size_t>(goal)]) {
+    const RouterId r = frontier.front();
+    frontier.pop_front();
+    for (int p = 0; p < RouterPorts(r); ++p) {
+      const Endpoint& ep = PortPeer(r, p);
+      if (ep.kind != EndpointKind::kRouter) continue;
+      if (seen[static_cast<std::size_t>(ep.id)]) continue;
+      seen[static_cast<std::size_t>(ep.id)] = true;
+      pred[static_cast<std::size_t>(ep.id)] = Pred{r, p};
+      frontier.push_back(ep.id);
+    }
+  }
+  if (!seen[static_cast<std::size_t>(goal)]) {
+    return NotFoundError("no route between NIs");
+  }
+
+  std::vector<int> hops;
+  // Walk back from the goal router, then append the NI exit port.
+  RouterId r = goal;
+  while (r != start) {
+    const Pred& pr = pred[static_cast<std::size_t>(r)];
+    hops.push_back(pr.out_port);
+    r = pr.router;
+  }
+  std::reverse(hops.begin(), hops.end());
+  hops.push_back(NiRouterPort(to));
+  if (static_cast<int>(hops.size()) > link::kMaxPathHops) {
+    return ResourceExhaustedError("route exceeds max source-path hops");
+  }
+  for (int h : hops) {
+    if (h > link::kMaxPathPort) {
+      return ResourceExhaustedError("router port not encodable in path");
+    }
+  }
+  return hops;
+}
+
+Result<ChannelRoute> Topology::Route(NiId from, NiId to) const {
+  auto hops = RouteHops(from, to);
+  if (!hops.ok()) return hops.status();
+  ChannelRoute route;
+  route.source_ni = from;
+  route.dest_ni = to;
+  route.hops = *hops;
+  route.links.push_back(LinkId{true, from, 0});
+  RouterId r = NiRouter(from);
+  for (std::size_t i = 0; i < route.hops.size(); ++i) {
+    const int port = route.hops[i];
+    route.links.push_back(LinkId{false, r, port});
+    const Endpoint& ep = PortPeer(r, port);
+    if (i + 1 < route.hops.size()) {
+      AETHEREAL_CHECK_MSG(ep.kind == EndpointKind::kRouter,
+                          "route walks off the router graph");
+      r = ep.id;
+    } else {
+      AETHEREAL_CHECK_MSG(ep.kind == EndpointKind::kNi && ep.id == to,
+                          "route does not terminate at destination NI");
+    }
+  }
+  return route;
+}
+
+int Topology::NumLinks() const {
+  int total = NumNis();
+  for (const auto& r : routers_) total += static_cast<int>(r.ports.size());
+  return total;
+}
+
+int Topology::LinkIndex(const LinkId& link) const {
+  if (link.from_ni) {
+    AETHEREAL_CHECK(link.node >= 0 && link.node < NumNis());
+    return link.node;
+  }
+  AETHEREAL_CHECK(link.node >= 0 && link.node < NumRouters());
+  AETHEREAL_CHECK(link.port >= 0 && link.port < RouterPorts(link.node));
+  int base = NumNis();
+  for (RouterId r = 0; r < link.node; ++r) base += RouterPorts(r);
+  return base + link.port;
+}
+
+std::string Topology::LinkName(const LinkId& link) const {
+  std::ostringstream oss;
+  if (link.from_ni) {
+    oss << "ni" << link.node << "->router";
+  } else {
+    oss << "router" << link.node << ".port" << link.port;
+  }
+  return oss.str();
+}
+
+}  // namespace aethereal::topology

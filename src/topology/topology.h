@@ -1,0 +1,109 @@
+// NoC topology graph: routers, network interfaces, and directed links.
+//
+// The topology is a design-time artifact (the paper instantiates it from an
+// XML description). It provides:
+//  * connectivity (router<->router and NI<->router attachments),
+//  * source-route computation (the `path` written into NI registers when a
+//    channel is configured, Fig. 9),
+//  * stable directed-link identifiers, used by the TDM slot allocator to
+//    reserve slots along a path.
+#ifndef AETHEREAL_TOPOLOGY_TOPOLOGY_H
+#define AETHEREAL_TOPOLOGY_TOPOLOGY_H
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace aethereal::topology {
+
+/// What a router port is wired to.
+enum class EndpointKind { kUnconnected, kRouter, kNi };
+
+struct Endpoint {
+  EndpointKind kind = EndpointKind::kUnconnected;
+  std::int32_t id = kInvalidId;  // RouterId or NiId
+  int port = 0;                  // peer router port (kRouter only)
+};
+
+/// A directed link carrying flits. Every NI has one injection link (NI ->
+/// router); every connected router port has one output link (router ->
+/// peer). Slot reservations are per directed link.
+struct LinkId {
+  bool from_ni = false;
+  std::int32_t node = kInvalidId;  // NiId if from_ni, else RouterId
+  int port = 0;                    // router output port (routers only)
+
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+};
+
+/// The full path of one channel through the network, as needed by the slot
+/// allocator: the injection link plus each router output link, in order.
+struct ChannelRoute {
+  NiId source_ni = kInvalidId;
+  NiId dest_ni = kInvalidId;
+  std::vector<int> hops;         // output port at each traversed router
+  std::vector<LinkId> links;     // injection link + one link per hop
+};
+
+class Topology {
+ public:
+  /// Adds a router with `num_ports` ports; returns its id.
+  RouterId AddRouter(int num_ports);
+
+  /// Adds a network interface (not yet attached); returns its id.
+  NiId AddNi();
+
+  /// Wires router `a` port `pa` to router `b` port `pb` (both directions).
+  Status ConnectRouters(RouterId a, int pa, RouterId b, int pb);
+
+  /// Attaches NI `ni` to router `r` port `p` (both directions).
+  Status AttachNi(NiId ni, RouterId r, int p);
+
+  int NumRouters() const { return static_cast<int>(routers_.size()); }
+  int NumNis() const { return static_cast<int>(nis_.size()); }
+  int RouterPorts(RouterId r) const;
+
+  /// The endpoint wired to router `r` port `p`.
+  const Endpoint& PortPeer(RouterId r, int p) const;
+
+  /// Router an NI is attached to and the attaching port.
+  RouterId NiRouter(NiId ni) const;
+  int NiRouterPort(NiId ni) const;
+
+  /// Shortest route (BFS, deterministic tie-break by port number) from one
+  /// NI to another: the output port at each traversed router, ending with
+  /// the port where `to` is attached. Fails if disconnected or if the hop
+  /// count exceeds what a packet header can carry.
+  Result<std::vector<int>> RouteHops(NiId from, NiId to) const;
+
+  /// Full channel route including directed link ids (for slot allocation).
+  Result<ChannelRoute> Route(NiId from, NiId to) const;
+
+  /// Total number of directed links (for allocator table sizing).
+  int NumLinks() const;
+
+  /// Dense index of a directed link in [0, NumLinks()).
+  int LinkIndex(const LinkId& link) const;
+
+  /// Human-readable link name for diagnostics.
+  std::string LinkName(const LinkId& link) const;
+
+ private:
+  struct RouterNode {
+    std::vector<Endpoint> ports;
+  };
+  struct NiNode {
+    RouterId router = kInvalidId;
+    int router_port = 0;
+    bool attached = false;
+  };
+
+  std::vector<RouterNode> routers_;
+  std::vector<NiNode> nis_;
+};
+
+}  // namespace aethereal::topology
+
+#endif  // AETHEREAL_TOPOLOGY_TOPOLOGY_H

@@ -1,0 +1,168 @@
+#include "transaction/message.h"
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace aethereal::transaction {
+
+namespace {
+// Request header word fields.
+constexpr int kReqSeqLsb = 0, kReqSeqBits = 9;
+constexpr int kReqTidLsb = 9, kReqTidBits = 8;
+constexpr int kReqFlagsLsb = 17, kReqFlagsBits = 4;
+constexpr int kReqLenLsb = 21, kReqLenBits = 8;
+constexpr int kReqCmdLsb = 29, kReqCmdBits = 3;
+// Response header word fields.
+constexpr int kRspAckBit = 2;
+constexpr int kRspSeqLsb = 3, kRspSeqBits = 9;
+constexpr int kRspLenLsb = 12, kRspLenBits = 8;
+constexpr int kRspErrLsb = 20, kRspErrBits = 4;
+constexpr int kRspTidLsb = 24, kRspTidBits = 8;
+}  // namespace
+
+const char* CommandName(Command cmd) {
+  switch (cmd) {
+    case Command::kRead: return "read";
+    case Command::kWrite: return "write";
+    case Command::kReadLinked: return "read-linked";
+    case Command::kWriteConditional: return "write-conditional";
+  }
+  return "?";
+}
+
+const char* ResponseErrorName(ResponseError error) {
+  switch (error) {
+    case ResponseError::kOk: return "ok";
+    case ResponseError::kUnmappedAddress: return "unmapped-address";
+    case ResponseError::kBadCommand: return "bad-command";
+    case ResponseError::kConditionalFail: return "conditional-fail";
+  }
+  return "?";
+}
+
+std::vector<Word> RequestMessage::Encode() const {
+  AETHEREAL_CHECK_MSG(LengthField() >= 0 && LengthField() <= kMaxMessageDataWords,
+                      "message length " << LengthField() << " out of range");
+  AETHEREAL_CHECK(transaction_id >= 0 && transaction_id <= kMaxTransactionId);
+  AETHEREAL_CHECK(sequence_number >= 0 && sequence_number <= kMaxSequenceNumber);
+  Word header = 0;
+  header = DepositBits(header, kReqSeqLsb, kReqSeqBits,
+                       static_cast<std::uint32_t>(sequence_number));
+  header = DepositBits(header, kReqTidLsb, kReqTidBits,
+                       static_cast<std::uint32_t>(transaction_id));
+  header = DepositBits(header, kReqFlagsLsb, kReqFlagsBits,
+                       static_cast<std::uint32_t>(flags));
+  header = DepositBits(header, kReqLenLsb, kReqLenBits,
+                       static_cast<std::uint32_t>(LengthField()));
+  header = DepositBits(header, kReqCmdLsb, kReqCmdBits,
+                       static_cast<std::uint32_t>(cmd));
+  std::vector<Word> words;
+  words.reserve(static_cast<std::size_t>(WireWords()));
+  words.push_back(header);
+  words.push_back(address);
+  words.insert(words.end(), data.begin(), data.end());
+  return words;
+}
+
+Result<RequestMessage> RequestMessage::Decode(const std::vector<Word>& words) {
+  if (words.size() < 2) return InvalidArgumentError("request shorter than header");
+  const Word header = words[0];
+  RequestMessage msg;
+  msg.sequence_number = static_cast<int>(ExtractBits(header, kReqSeqLsb, kReqSeqBits));
+  msg.transaction_id = static_cast<int>(ExtractBits(header, kReqTidLsb, kReqTidBits));
+  msg.flags = static_cast<int>(ExtractBits(header, kReqFlagsLsb, kReqFlagsBits));
+  const int length = static_cast<int>(ExtractBits(header, kReqLenLsb, kReqLenBits));
+  const auto raw_cmd = ExtractBits(header, kReqCmdLsb, kReqCmdBits);
+  if (raw_cmd > static_cast<std::uint32_t>(Command::kWriteConditional)) {
+    return InvalidArgumentError("unknown command code");
+  }
+  msg.cmd = static_cast<Command>(raw_cmd);
+  msg.address = words[1];
+  if (msg.IsWrite()) {
+    if (static_cast<int>(words.size()) != 2 + length) {
+      return InvalidArgumentError("write request length mismatch");
+    }
+    msg.data.assign(words.begin() + 2, words.end());
+  } else {
+    if (words.size() != 2) {
+      return InvalidArgumentError("read request carries data");
+    }
+    msg.read_length = length;
+  }
+  return msg;
+}
+
+std::vector<Word> ResponseMessage::Encode() const {
+  AETHEREAL_CHECK(static_cast<int>(data.size()) <= kMaxMessageDataWords);
+  AETHEREAL_CHECK(transaction_id >= 0 && transaction_id <= kMaxTransactionId);
+  AETHEREAL_CHECK(sequence_number >= 0 && sequence_number <= kMaxSequenceNumber);
+  AETHEREAL_CHECK_MSG(!is_write_ack || data.empty(),
+                      "write acks carry no data");
+  Word header = 0;
+  header = DepositBits(header, kRspAckBit, 1, is_write_ack ? 1u : 0u);
+  header = DepositBits(header, kRspSeqLsb, kRspSeqBits,
+                       static_cast<std::uint32_t>(sequence_number));
+  header = DepositBits(header, kRspLenLsb, kRspLenBits,
+                       static_cast<std::uint32_t>(data.size()));
+  header = DepositBits(header, kRspErrLsb, kRspErrBits,
+                       static_cast<std::uint32_t>(error));
+  header = DepositBits(header, kRspTidLsb, kRspTidBits,
+                       static_cast<std::uint32_t>(transaction_id));
+  std::vector<Word> words;
+  words.reserve(static_cast<std::size_t>(WireWords()));
+  words.push_back(header);
+  words.insert(words.end(), data.begin(), data.end());
+  return words;
+}
+
+Result<ResponseMessage> ResponseMessage::Decode(const std::vector<Word>& words) {
+  if (words.empty()) return InvalidArgumentError("empty response");
+  const Word header = words[0];
+  ResponseMessage msg;
+  msg.is_write_ack = ExtractBits(header, kRspAckBit, 1) != 0;
+  msg.sequence_number = static_cast<int>(ExtractBits(header, kRspSeqLsb, kRspSeqBits));
+  const int length = static_cast<int>(ExtractBits(header, kRspLenLsb, kRspLenBits));
+  const auto raw_error = ExtractBits(header, kRspErrLsb, kRspErrBits);
+  if (raw_error > static_cast<std::uint32_t>(ResponseError::kConditionalFail)) {
+    return InvalidArgumentError("unknown error code");
+  }
+  msg.error = static_cast<ResponseError>(raw_error);
+  msg.transaction_id = static_cast<int>(ExtractBits(header, kRspTidLsb, kRspTidBits));
+  if (static_cast<int>(words.size()) != 1 + length) {
+    return InvalidArgumentError("response length mismatch");
+  }
+  msg.data.assign(words.begin() + 1, words.end());
+  return msg;
+}
+
+std::ostream& operator<<(std::ostream& os, const RequestMessage& msg) {
+  os << "req{" << CommandName(msg.cmd) << " @0x" << std::hex << msg.address
+     << std::dec << ", len=" << msg.LengthField() << ", tid=" << msg.transaction_id
+     << ", seq=" << msg.sequence_number << ", flags=" << msg.flags << "}";
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const ResponseMessage& msg) {
+  os << "rsp{" << (msg.is_write_ack ? "ack" : "data")
+     << ", err=" << ResponseErrorName(msg.error) << ", len=" << msg.data.size()
+     << ", tid=" << msg.transaction_id << ", seq=" << msg.sequence_number << "}";
+  return os;
+}
+
+template <>
+int Framer<RequestMessage>::ExpectedWords(Word header) {
+  const auto raw_cmd = ExtractBits(header, kReqCmdLsb, kReqCmdBits);
+  const int length = static_cast<int>(ExtractBits(header, kReqLenLsb, kReqLenBits));
+  const auto cmd = static_cast<Command>(raw_cmd);
+  const bool is_write =
+      cmd == Command::kWrite || cmd == Command::kWriteConditional;
+  return is_write ? 2 + length : 2;
+}
+
+template <>
+int Framer<ResponseMessage>::ExpectedWords(Word header) {
+  const int length = static_cast<int>(ExtractBits(header, kRspLenLsb, kRspLenBits));
+  return 1 + length;
+}
+
+}  // namespace aethereal::transaction

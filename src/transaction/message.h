@@ -1,0 +1,161 @@
+// Transaction-layer message formats (paper Fig. 7).
+//
+// Masters issue *request messages* (command, flags, address, optional write
+// data) and slaves answer with *response messages* (error status, optional
+// read data). The shells sequentialize the IP-protocol signal groups
+// (cmd+flags / addr / wr_data and rd_data / wr_resp in Figs. 5-6) into these
+// word streams; the NI kernel transports them without interpreting them.
+//
+// Request message layout (32-bit words):
+//   word 0: [31:29] cmd  [28:21] length  [20:17] flags
+//           [16:9] transaction id  [8:0] sequence number
+//   word 1: address
+//   word 2..: write data (length words; only for write-type commands)
+//
+// Response message layout:
+//   word 0: [31:24] transaction id  [23:20] error  [19:12] length
+//           [11:3] sequence number  [2] is_write_ack
+//   word 1..: read data (length words; absent for write acknowledgments)
+#ifndef AETHEREAL_TRANSACTION_MESSAGE_H
+#define AETHEREAL_TRANSACTION_MESSAGE_H
+
+#include <ostream>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace aethereal::transaction {
+
+/// Transaction commands. Read and write are implemented end-to-end;
+/// read-linked / write-conditional are defined by the protocol (the paper
+/// lists them as full-fledged-shell extensions) and are exercised by the
+/// slave shell's locked-access support.
+enum class Command : int {
+  kRead = 0,
+  kWrite = 1,
+  kReadLinked = 2,
+  kWriteConditional = 3,
+};
+
+const char* CommandName(Command cmd);
+
+/// Request flag bits.
+enum RequestFlags : int {
+  kFlagNeedsAck = 1 << 0,  // acknowledged write: slave returns a write resp.
+  kFlagFlush = 1 << 1,     // override the NI send threshold for this message
+  kFlagPosted = 1 << 2,    // explicitly posted (no response expected)
+};
+
+/// Response error codes.
+enum class ResponseError : int {
+  kOk = 0,
+  kUnmappedAddress = 1,   // no slave owns the address (narrowcast decode)
+  kBadCommand = 2,        // slave cannot execute the command
+  kConditionalFail = 3,   // write-conditional lost its reservation
+};
+
+const char* ResponseErrorName(ResponseError error);
+
+/// Field widths / limits.
+inline constexpr int kMaxMessageDataWords = 255;  // 8-bit length field
+inline constexpr int kMaxTransactionId = 255;     // 8-bit transid
+inline constexpr int kMaxSequenceNumber = 511;    // 9-bit seqno (wraps)
+
+struct RequestMessage {
+  Command cmd = Command::kRead;
+  int flags = 0;
+  int transaction_id = 0;
+  int sequence_number = 0;
+  Word address = 0;
+  std::vector<Word> data;  // write payload; for reads, `length` words wanted
+
+  /// For reads, the requested burst length is carried in the length field;
+  /// stored here explicitly since `data` is empty.
+  int read_length = 0;
+
+  bool IsWrite() const {
+    return cmd == Command::kWrite || cmd == Command::kWriteConditional;
+  }
+  bool ExpectsResponse() const {
+    return !IsWrite() || (flags & kFlagNeedsAck) != 0;
+  }
+  int LengthField() const {
+    return IsWrite() ? static_cast<int>(data.size()) : read_length;
+  }
+
+  /// Total words on the wire.
+  int WireWords() const { return 2 + static_cast<int>(data.size()); }
+
+  /// Serializes to words (checks field ranges).
+  std::vector<Word> Encode() const;
+
+  /// Parses a complete request message.
+  static Result<RequestMessage> Decode(const std::vector<Word>& words);
+
+  friend bool operator==(const RequestMessage&, const RequestMessage&) = default;
+};
+
+struct ResponseMessage {
+  int transaction_id = 0;
+  ResponseError error = ResponseError::kOk;
+  int sequence_number = 0;
+  bool is_write_ack = false;
+  std::vector<Word> data;  // read data (empty for write acks)
+
+  int WireWords() const { return 1 + static_cast<int>(data.size()); }
+
+  std::vector<Word> Encode() const;
+  static Result<ResponseMessage> Decode(const std::vector<Word>& words);
+
+  friend bool operator==(const ResponseMessage&, const ResponseMessage&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const RequestMessage& msg);
+std::ostream& operator<<(std::ostream& os, const ResponseMessage& msg);
+
+/// Incremental framer: feeds words one at a time (as they pop out of NI
+/// destination queues) and yields complete messages. The expected word count
+/// is derived from the first (header) word, exactly as a hardware
+/// desequentializer would.
+template <typename MessageT>
+class Framer {
+ public:
+  /// Feeds one word; returns true if a message just completed (collect it
+  /// with Take()).
+  bool Feed(Word word) {
+    buffer_.push_back(word);
+    if (buffer_.size() == 1) {
+      expected_ = ExpectedWords(word);
+    }
+    return static_cast<int>(buffer_.size()) >= expected_;
+  }
+
+  /// Words still needed to complete the current message (0 if idle or done).
+  int Pending() const {
+    if (buffer_.empty()) return 0;
+    return expected_ - static_cast<int>(buffer_.size());
+  }
+
+  bool InMessage() const { return !buffer_.empty(); }
+
+  /// Decodes and clears the completed message.
+  Result<MessageT> Take() {
+    auto result = MessageT::Decode(buffer_);
+    buffer_.clear();
+    expected_ = 0;
+    return result;
+  }
+
+ private:
+  static int ExpectedWords(Word header);
+  std::vector<Word> buffer_;
+  int expected_ = 0;
+};
+
+using RequestFramer = Framer<RequestMessage>;
+using ResponseFramer = Framer<ResponseMessage>;
+
+}  // namespace aethereal::transaction
+
+#endif  // AETHEREAL_TRANSACTION_MESSAGE_H

@@ -1,0 +1,50 @@
+// Bit-field packing helpers used by the packet-header and message codecs.
+//
+// Header fields (path, remote queue id, piggybacked credits, flags) are
+// packed into 32-bit words exactly as a hardware implementation would;
+// these helpers keep the field maps explicit and checked.
+#ifndef AETHEREAL_UTIL_BITS_H
+#define AETHEREAL_UTIL_BITS_H
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace aethereal {
+
+/// Mask with the low `width` bits set. width must be in [0, 32].
+constexpr std::uint32_t BitMask(int width) {
+  return width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+}
+
+/// Extract `width` bits of `word` starting at bit `lsb`.
+constexpr std::uint32_t ExtractBits(std::uint32_t word, int lsb, int width) {
+  return (word >> lsb) & BitMask(width);
+}
+
+/// Return `word` with `width` bits at `lsb` replaced by `value`.
+/// Checks that `value` fits in `width` bits.
+inline std::uint32_t DepositBits(std::uint32_t word, int lsb, int width,
+                                 std::uint32_t value) {
+  AETHEREAL_CHECK_MSG((value & ~BitMask(width)) == 0,
+                      "value " << value << " does not fit in " << width
+                               << " bits");
+  const std::uint32_t mask = BitMask(width) << lsb;
+  return (word & ~mask) | ((value << lsb) & mask);
+}
+
+/// Number of bits needed to represent values 0..n-1 (ceil(log2(n))), >= 1.
+constexpr int BitsFor(std::uint32_t n) {
+  int bits = 1;
+  while ((1u << bits) < n && bits < 32) ++bits;
+  return bits;
+}
+
+/// Round `value` up to the next multiple of `unit` (unit > 0).
+constexpr std::int64_t RoundUp(std::int64_t value, std::int64_t unit) {
+  return ((value + unit - 1) / unit) * unit;
+}
+
+}  // namespace aethereal
+
+#endif  // AETHEREAL_UTIL_BITS_H

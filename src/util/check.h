@@ -1,0 +1,41 @@
+// Contract-checking macros for programming errors (not recoverable errors).
+#ifndef AETHEREAL_UTIL_CHECK_H
+#define AETHEREAL_UTIL_CHECK_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace aethereal::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::cerr << "CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) std::cerr << " — " << message;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace aethereal::internal
+
+/// Abort with a diagnostic if `expr` is false. Always on (models hardware
+/// assertions that would be synthesis-time or simulation-time fatal).
+#define AETHEREAL_CHECK(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::aethereal::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                      \
+  } while (false)
+
+#define AETHEREAL_CHECK_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream oss_;                                             \
+      oss_ << msg; /* NOLINT */                                            \
+      ::aethereal::internal::CheckFailed(__FILE__, __LINE__, #expr,        \
+                                         oss_.str());                      \
+    }                                                                      \
+  } while (false)
+
+#endif  // AETHEREAL_UTIL_CHECK_H

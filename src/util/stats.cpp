@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aethereal {
+
+void Stats::Add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_ = false;
+}
+
+double Stats::Min() const {
+  AETHEREAL_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::Max() const {
+  AETHEREAL_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::Mean() const {
+  AETHEREAL_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Stats::StdDev() const {
+  AETHEREAL_CHECK(!samples_.empty());
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - mean) * (s - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Stats::Percentile(double p) const {
+  AETHEREAL_CHECK(!samples_.empty());
+  AETHEREAL_CHECK(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = static_cast<double>(samples_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank > 0) --rank;
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+}  // namespace aethereal

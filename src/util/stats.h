@@ -1,0 +1,35 @@
+// Streaming statistics accumulator (min/max/mean/stddev/percentile support).
+#ifndef AETHEREAL_UTIL_STATS_H
+#define AETHEREAL_UTIL_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace aethereal {
+
+/// Accumulates samples and answers summary queries. Keeps all samples so
+/// exact percentiles are available (bench runs are bounded in size).
+class Stats {
+ public:
+  void Add(double sample);
+
+  std::int64_t count() const { return static_cast<std::int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double StdDev() const;
+  /// Exact percentile by nearest-rank, p in [0, 100].
+  double Percentile(double p) const;
+  double Sum() const { return sum_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace aethereal
+
+#endif  // AETHEREAL_UTIL_STATS_H

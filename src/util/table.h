@@ -1,0 +1,34 @@
+// Fixed-width text tables for bench output (the "rows the paper reports").
+#ifndef AETHEREAL_UTIL_TABLE_H
+#define AETHEREAL_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aethereal {
+
+/// Builds and prints an aligned text table; used by every bench binary to
+/// print the paper-style result rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number formatting helpers.
+  static std::string Fmt(double value, int decimals = 2);
+  static std::string Fmt(std::int64_t value);
+
+  /// Prints the table with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aethereal
+
+#endif  // AETHEREAL_UTIL_TABLE_H

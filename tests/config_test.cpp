@@ -1,0 +1,208 @@
+// Integration tests of run-time NoC configuration through the NoC itself
+// (paper §3, §4.3, Figs. 8-9): the connection manager opens and closes
+// connections by writing NI registers over configuration connections, with
+// the Fig. 9 register counts (5 at the master NI, 3 at the slave NI).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "config/connection_manager.h"
+#include "core/registers.h"
+#include "ip/memory_slave.h"
+#include "shells/master_shell.h"
+#include "shells/slave_shell.h"
+#include "soc/soc.h"
+#include "topology/builders.h"
+
+namespace aethereal::config {
+namespace {
+
+using shells::MasterShell;
+using shells::SlaveShell;
+using tdm::GlobalChannel;
+
+// Star of 3 NIs. NI0 = Cfg (2 config channels, one per remote NI).
+// NI1: channel 0 = CNIP, channel 1 = data (master). NI2: likewise (slave).
+struct ConfigRig {
+  std::unique_ptr<soc::Soc> soc;
+  ConnectionManager* manager = nullptr;
+
+  explicit ConfigRig(int stu_slots = 8) {
+    auto star = topology::BuildStar(3);
+    std::vector<core::NiKernelParams> params(3);
+    auto make_ni = [&](int channels) {
+      core::NiKernelParams p;
+      p.stu_slots = stu_slots;
+      core::PortParams port;
+      port.channels.assign(static_cast<std::size_t>(channels),
+                           core::ChannelParams{});
+      p.ports.push_back(port);
+      return p;
+    };
+    params[0] = make_ni(2);  // Cfg: config connections to NI1, NI2
+    params[1] = make_ni(2);  // CNIP + one data channel
+    params[2] = make_ni(2);
+    soc::SocOptions options;
+    options.stu_slots = stu_slots;
+    soc = std::make_unique<soc::Soc>(std::move(star.topology),
+                                     std::move(params), options);
+    soc::ConfigSetup setup;
+    setup.cfg_ni = 0;
+    setup.cfg_port = 0;
+    setup.cfg_connid_of_ni = {{1, 0}, {2, 1}};
+    setup.cnip_of_ni = {{1, {0, 0}}, {2, {0, 0}}};
+    manager = soc->EnableConfig(setup);
+  }
+
+  void RunUntilIdle(Cycle max_cycles = 20000) {
+    Cycle spent = 0;
+    while (!manager->Idle() && spent < max_cycles) {
+      soc->RunCycles(10);
+      spent += 10;
+    }
+    ASSERT_TRUE(manager->Idle()) << "manager did not go idle";
+  }
+};
+
+ConnectionSpec DataConnection(bool gt = false, int slots = 2) {
+  ConnectionSpec spec;
+  spec.master = GlobalChannel{1, 1};
+  spec.slave = GlobalChannel{2, 1};
+  if (gt) {
+    spec.request.gt = true;
+    spec.request.gt_slots = slots;
+  }
+  return spec;
+}
+
+TEST(ConnectionManager, OpensConnectionViaTheNoc) {
+  ConfigRig rig;
+  const int handle = rig.manager->RequestOpen(DataConnection());
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen)
+      << rig.manager->ErrorOf(handle);
+  EXPECT_TRUE(rig.manager->ConfigConnectionLive(1));
+  EXPECT_TRUE(rig.manager->ConfigConnectionLive(2));
+  // Both data channels enabled.
+  EXPECT_TRUE(rig.soc->ni(1)->ChannelEnabled(1));
+  EXPECT_TRUE(rig.soc->ni(2)->ChannelEnabled(1));
+}
+
+TEST(ConnectionManager, OpenedConnectionCarriesTransactions) {
+  ConfigRig rig;
+  MasterShell master("master", rig.soc->port(1, 0), 1);
+  SlaveShell slave("slave", rig.soc->port(2, 0), 1);
+  ip::MemorySlave memory("memory", &slave, 0, 128);
+  rig.soc->RegisterOnPort(&master, 1, 0);
+  rig.soc->RegisterOnPort(&slave, 2, 0);
+  rig.soc->RegisterOnPort(&memory, 2, 0);
+
+  const int handle = rig.manager->RequestOpen(DataConnection());
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+
+  master.IssueWrite(0x40, {0xF00D}, /*needs_ack=*/true, /*tid=*/9);
+  Cycle spent = 0;
+  while (!master.HasResponse() && spent < 5000) {
+    rig.soc->RunCycles(10);
+    spent += 10;
+  }
+  ASSERT_TRUE(master.HasResponse());
+  EXPECT_EQ(master.PopResponse().error, transaction::ResponseError::kOk);
+  EXPECT_EQ(memory.Load(0x40), 0xF00Du);
+}
+
+TEST(ConnectionManager, RegisterWriteCountsMatchThePaper) {
+  ConfigRig rig;
+  const int handle = rig.manager->RequestOpen(DataConnection());
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+  // Fig. 9 / §3 accounting for this topology (both master and slave remote):
+  //  * two config connections: each 4 local writes + 3 remote CNIP writes;
+  //  * the data connection: 5 writes at the master NI + 3 at the slave NI
+  //    (all remote).
+  EXPECT_EQ(rig.soc->config_shell()->local_writes(), 8);
+  EXPECT_EQ(rig.soc->config_shell()->remote_writes(), 3 + 3 + 5 + 3);
+}
+
+TEST(ConnectionManager, SecondOpenReusesConfigConnections) {
+  ConfigRig rig;
+  const int h1 = rig.manager->RequestOpen(DataConnection());
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(h1), ConnectionState::kOpen);
+  const auto local_before = rig.soc->config_shell()->local_writes();
+  const auto remote_before = rig.soc->config_shell()->remote_writes();
+
+  // Open the reverse-role connection on the same channels? Channels are in
+  // use; instead, close and reopen: the config connections must be reused.
+  ASSERT_TRUE(rig.manager->RequestClose(h1).ok());
+  rig.RunUntilIdle();
+  const int h2 = rig.manager->RequestOpen(DataConnection());
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(h2), ConnectionState::kOpen);
+  // Close = 2 writes; reopen = 5 + 3 writes; no new config-connection setup.
+  EXPECT_EQ(rig.soc->config_shell()->local_writes(), local_before);
+  EXPECT_EQ(rig.soc->config_shell()->remote_writes(), remote_before + 2 + 8);
+}
+
+TEST(ConnectionManager, GtOpenReservesAndCloseFreesSlots) {
+  ConfigRig rig;
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 3));
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+
+  // The master NI's injection link carries 3 reserved slots.
+  const auto& table = rig.soc->allocator().TableOf(
+      topology::LinkId{true, 1, 0});
+  EXPECT_EQ(table.Reserved(), 3);
+  // The NI's own STU was programmed consistently with the allocator.
+  int stu_slots_owned = 0;
+  for (SlotIndex s = 0; s < 8; ++s) {
+    if (rig.soc->ni(1)->SlotOwner(s) == 1) ++stu_slots_owned;
+  }
+  EXPECT_EQ(stu_slots_owned, 3);
+
+  ASSERT_TRUE(rig.manager->RequestClose(handle).ok());
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kClosed);
+  EXPECT_EQ(table.Reserved(), 0);
+  EXPECT_FALSE(rig.soc->ni(1)->ChannelEnabled(1));
+}
+
+TEST(ConnectionManager, GtExhaustionFailsTheOpen) {
+  ConfigRig rig;
+  // 9 slots on an 8-slot table can never fit.
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 9));
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kFailed);
+  EXPECT_EQ(rig.manager->ErrorOf(handle).code(),
+            StatusCode::kResourceExhausted);
+  // Nothing leaked: a feasible request still succeeds.
+  const int h2 = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 8));
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(h2), ConnectionState::kOpen);
+}
+
+TEST(ConnectionManager, CnipRegistersReadableOverTheNoc) {
+  ConfigRig rig;
+  const int handle = rig.manager->RequestOpen(DataConnection());
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+
+  // Read NI1's STU-size register remotely through the config shell.
+  rig.soc->config_shell()->ReadRegister(1, core::regs::kStuSize);
+  Cycle spent = 0;
+  while (!rig.soc->config_shell()->HasResponse() && spent < 5000) {
+    rig.soc->RunCycles(10);
+    spent += 10;
+  }
+  ASSERT_TRUE(rig.soc->config_shell()->HasResponse());
+  const auto rsp = rig.soc->config_shell()->PopResponse();
+  EXPECT_EQ(rsp.error, transaction::ResponseError::kOk);
+  ASSERT_EQ(rsp.data.size(), 1u);
+  EXPECT_EQ(rsp.data[0], 8u);
+}
+
+}  // namespace
+}  // namespace aethereal::config

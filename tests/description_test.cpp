@@ -1,0 +1,132 @@
+// Tests of the declarative NoC description flow (the paper's XML-driven
+// design-time instantiation, targeting the simulator).
+#include <gtest/gtest.h>
+
+#include "ip/stream.h"
+#include "soc/description.h"
+
+namespace aethereal::soc {
+namespace {
+
+constexpr const char* kTwoNiStar = R"(
+# Smallest useful system: two NIs on one router.
+noc star 2
+stu 8
+netmhz 500
+
+port 0 data
+channel 0 data 8 8
+port 1 data
+channel 1 data 8 8
+)";
+
+TEST(Description, BuildsAndRoutesTraffic) {
+  auto parsed = BuildFromDescription(kTwoNiStar);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Soc& soc = *parsed->soc;
+  EXPECT_EQ(soc.topology().NumNis(), 2);
+  EXPECT_EQ(soc.topology().NumRouters(), 1);
+  auto p0 = parsed->PortIndex(0, "data");
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0);
+
+  ASSERT_TRUE(soc.OpenConnection(tdm::GlobalChannel{0, 0},
+                                 tdm::GlobalChannel{1, 0})
+                  .ok());
+  ip::StreamProducer producer("p", soc.port(0, *p0), 0, 2, 1, true, 50);
+  ip::StreamConsumer consumer("c", soc.port(1, 0), 0);
+  soc.RegisterOnPort(&producer, 0, 0);
+  soc.RegisterOnPort(&consumer, 1, 0);
+  soc.RunCycles(2);
+  Cycle spent = 0;
+  while (consumer.words_read() < 50 && spent < 10000) {
+    soc.RunCycles(50);
+    spent += 50;
+  }
+  EXPECT_EQ(consumer.words_read(), 50);
+}
+
+TEST(Description, FullFeatureSet) {
+  constexpr const char* kText = R"(
+noc mesh 2 2 1
+stu 16
+netmhz 500
+max_packet_flits 2
+router_be_buffer 4
+
+ni 0 arbitration weighted-round-robin
+port 0 dtl
+channel 0 dtl 16 16 3
+channel 0 dtl 8 8
+portclock 0 dtl 125
+port 0 axi
+channel 0 axi 8 8
+port 1 p
+channel 1 p 8 8
+port 2 p
+channel 2 p 8 8
+port 3 p
+channel 3 p 8 8
+)";
+  auto parsed = BuildFromDescription(kText);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Soc& soc = *parsed->soc;
+  EXPECT_EQ(soc.topology().NumRouters(), 4);
+  EXPECT_EQ(soc.ni(0)->params().stu_slots, 16);
+  EXPECT_EQ(soc.ni(0)->params().max_packet_flits, 2);
+  EXPECT_EQ(soc.ni(0)->params().be_arbitration,
+            core::BeArbitration::kWeightedRoundRobin);
+  EXPECT_EQ(soc.ni(0)->NumPorts(), 2);
+  EXPECT_EQ(soc.ni(0)->port(0)->NumChannels(), 2);
+  EXPECT_EQ(soc.port_clock(0, 0)->period_ps(), 8000);  // 125 MHz
+  EXPECT_EQ(soc.port_clock(0, 1)->period_ps(), 2000);  // default 500 MHz
+  // Channel params flowed through.
+  EXPECT_EQ(soc.DestQueueWordsOf(tdm::GlobalChannel{0, 0}), 16);
+  EXPECT_EQ(soc.DestQueueWordsOf(tdm::GlobalChannel{0, 1}), 8);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  const char* expect_substring;
+};
+
+class DescriptionErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(DescriptionErrors, RejectsMalformedInput) {
+  auto parsed = BuildFromDescription(GetParam().text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find(GetParam().expect_substring),
+            std::string::npos)
+      << "got: " << parsed.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DescriptionErrors,
+    ::testing::Values(
+        BadCase{"empty", "", "no 'noc'"},
+        BadCase{"unknown_directive", "noc star 2\nfrobnicate 3\n",
+                "unknown directive"},
+        BadCase{"unknown_topology", "noc torus 2 2\n", "unknown topology"},
+        BadCase{"duplicate_noc", "noc star 2\nnoc star 3\n", "duplicate"},
+        BadCase{"port_before_noc", "port 0 data\n", "'noc' must come first"},
+        BadCase{"bad_ni_id", "noc star 2\nport 7 data\n", "out of range"},
+        BadCase{"duplicate_port",
+                "noc star 2\nport 0 a\nport 0 a\n", "duplicate port"},
+        BadCase{"channel_unknown_port",
+                "noc star 2\nport 0 a\nchannel 0 b 8 8\n", "unknown port"},
+        BadCase{"bad_number", "noc star x\n", "expected a number"},
+        BadCase{"ni_without_ports",
+                "noc star 2\nport 0 a\nchannel 0 a 8 8\n", "has no ports"},
+        BadCase{"port_without_channels",
+                "noc star 1\nport 0 a\n", "has no channels"},
+        BadCase{"bad_policy",
+                "noc star 1\nni 0 arbitration lifo\nport 0 a\n"
+                "channel 0 a 8 8\n",
+                "unknown policy"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace aethereal::soc

@@ -1,0 +1,128 @@
+// Unit tests for flits, packet headers, source paths, and flit wires.
+#include <gtest/gtest.h>
+
+#include "link/flit.h"
+#include "link/header.h"
+#include "link/wire.h"
+
+namespace aethereal::link {
+namespace {
+
+TEST(SourcePath, EmptyIsExhausted) {
+  SourcePath p;
+  EXPECT_TRUE(p.Exhausted());
+  EXPECT_EQ(p.HopCount(), 0);
+}
+
+TEST(SourcePath, HopsRoundTrip) {
+  SourcePath p = SourcePath::FromHops({3, 0, 6, 1});
+  EXPECT_EQ(p.HopCount(), 4);
+  EXPECT_EQ(p.NextHop(), 3);
+  p = p.Consume();
+  EXPECT_EQ(p.NextHop(), 0);
+  p = p.Consume();
+  EXPECT_EQ(p.NextHop(), 6);
+  p = p.Consume();
+  EXPECT_EQ(p.NextHop(), 1);
+  p = p.Consume();
+  EXPECT_TRUE(p.Exhausted());
+}
+
+TEST(SourcePath, MaxHops) {
+  std::vector<int> hops(kMaxPathHops, kMaxPathPort);
+  SourcePath p = SourcePath::FromHops(hops);
+  EXPECT_EQ(p.HopCount(), kMaxPathHops);
+  for (int i = 0; i < kMaxPathHops; ++i) {
+    EXPECT_EQ(p.NextHop(), kMaxPathPort);
+    p = p.Consume();
+  }
+  EXPECT_TRUE(p.Exhausted());
+}
+
+TEST(SourcePathDeathTest, TooManyHops) {
+  std::vector<int> hops(kMaxPathHops + 1, 0);
+  EXPECT_DEATH(SourcePath::FromHops(hops), "exceeds");
+}
+
+TEST(SourcePathDeathTest, PortOutOfRange) {
+  EXPECT_DEATH(SourcePath::FromHops({kMaxPathPort + 1}), "not encodable");
+}
+
+TEST(PacketHeader, EncodeDecodeRoundTrip) {
+  PacketHeader h;
+  h.gt = true;
+  h.credits = 17;
+  h.remote_qid = 11;
+  h.path = SourcePath::FromHops({1, 2, 3});
+  const Word w = h.Encode();
+  const PacketHeader d = PacketHeader::Decode(w);
+  EXPECT_EQ(d, h);
+}
+
+TEST(PacketHeader, FieldExtremes) {
+  PacketHeader h;
+  h.gt = false;
+  h.credits = kMaxHeaderCredits;
+  h.remote_qid = kMaxQueueId;
+  h.path = SourcePath::FromHops(
+      std::vector<int>(kMaxPathHops, kMaxPathPort));
+  const PacketHeader d = PacketHeader::Decode(h.Encode());
+  EXPECT_EQ(d, h);
+}
+
+TEST(PacketHeader, ZeroHeader) {
+  const PacketHeader d = PacketHeader::Decode(0);
+  EXPECT_FALSE(d.gt);
+  EXPECT_EQ(d.credits, 0);
+  EXPECT_EQ(d.remote_qid, 0);
+  EXPECT_TRUE(d.path.Exhausted());
+}
+
+TEST(PacketHeaderDeathTest, CreditsOverflow) {
+  PacketHeader h;
+  h.credits = kMaxHeaderCredits + 1;
+  EXPECT_DEATH(h.Encode(), "credits");
+}
+
+TEST(Flit, EqualityAndIdle) {
+  Flit a = Flit::Idle();
+  EXPECT_TRUE(a.IsIdle());
+  Flit b;
+  b.kind = FlitKind::kPayload;
+  b.valid_words = 2;
+  b.words = {1, 2, 0};
+  EXPECT_FALSE(a == b);
+  Flit c = b;
+  c.words[2] = 99;  // beyond valid_words: ignored in comparison
+  EXPECT_TRUE(b == c);
+}
+
+TEST(FlitWire, OneSlotLatencyAndHold) {
+  FlitWire wire;
+  Flit f;
+  f.kind = FlitKind::kHeader;
+  f.valid_words = 1;
+  f.words[0] = 0xDEAD;
+  // Slot A (cycles 0..2): drive at cycle 0.
+  wire.Drive(f);
+  wire.Commit();  // end of cycle 0
+  EXPECT_TRUE(wire.Sample().IsIdle());
+  wire.Commit();  // end of cycle 1
+  wire.Commit();  // end of cycle 2 -> slot boundary: latch
+  EXPECT_EQ(wire.Sample(), f);
+  // Nothing driven in slot B: idle at the next boundary, held meanwhile.
+  wire.Commit();
+  EXPECT_EQ(wire.Sample(), f);
+  wire.Commit();
+  wire.Commit();
+  EXPECT_TRUE(wire.Sample().IsIdle());
+}
+
+TEST(FlitWireDeathTest, DoubleDrive) {
+  FlitWire wire;
+  wire.Drive(Flit::Idle());
+  EXPECT_DEATH(wire.Drive(Flit::Idle()), "driven twice");
+}
+
+}  // namespace
+}  // namespace aethereal::link

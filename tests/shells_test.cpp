@@ -1,0 +1,302 @@
+// Integration tests of the NI shells (paper Figs. 3-6) on a full SoC:
+// master/slave transaction round trips, narrowcast address decode with
+// in-order responses, multicast fan-out with merged acknowledgments, and
+// multi-connection arbitration with response routing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ip/memory_slave.h"
+#include "shells/master_shell.h"
+#include "shells/multi_connection_shell.h"
+#include "shells/multicast_shell.h"
+#include "shells/narrowcast_shell.h"
+#include "shells/slave_shell.h"
+#include "soc/soc.h"
+#include "topology/builders.h"
+
+namespace aethereal::shells {
+namespace {
+
+using config::ChannelQos;
+using tdm::GlobalChannel;
+using transaction::ResponseError;
+
+core::NiKernelParams NiWithChannels(int channels) {
+  core::NiKernelParams params;
+  core::PortParams port;
+  port.channels.assign(static_cast<std::size_t>(channels),
+                       core::ChannelParams{});
+  params.ports.push_back(port);
+  return params;
+}
+
+std::unique_ptr<soc::Soc> MakeStarSoc(const std::vector<int>& channels) {
+  auto star = topology::BuildStar(static_cast<int>(channels.size()));
+  std::vector<core::NiKernelParams> params;
+  for (int c : channels) params.push_back(NiWithChannels(c));
+  return std::make_unique<soc::Soc>(std::move(star.topology),
+                                    std::move(params));
+}
+
+void RunUntil(soc::Soc& soc, const std::function<bool()>& done,
+              Cycle max_cycles = 5000) {
+  Cycle spent = 0;
+  while (!done() && spent < max_cycles) {
+    soc.RunCycles(10);
+    spent += 10;
+  }
+  ASSERT_TRUE(done()) << "condition not reached in " << max_cycles
+                      << " cycles";
+}
+
+TEST(MasterSlaveShell, WriteReadRoundTrip) {
+  auto soc = MakeStarSoc({1, 1});
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{1, 0}).ok());
+
+  MasterShell master("master", soc->port(0, 0), 0);
+  SlaveShell slave("slave", soc->port(1, 0), 0);
+  ip::MemorySlave memory("memory", &slave, 0x1000, 256);
+  soc->RegisterOnPort(&master, 0, 0);
+  soc->RegisterOnPort(&slave, 1, 0);
+  soc->RegisterOnPort(&memory, 1, 0);
+  soc->RunCycles(2);
+
+  master.IssueWrite(0x1010, {11, 22, 33}, /*needs_ack=*/true, /*tid=*/1);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  auto ack = master.PopResponse();
+  EXPECT_TRUE(ack.is_write_ack);
+  EXPECT_EQ(ack.error, ResponseError::kOk);
+  EXPECT_EQ(ack.transaction_id, 1);
+  EXPECT_EQ(memory.Load(0x1010), 11u);
+  EXPECT_EQ(memory.Load(0x1012), 33u);
+
+  master.IssueRead(0x1010, 3, /*tid=*/2);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  auto rsp = master.PopResponse();
+  EXPECT_FALSE(rsp.is_write_ack);
+  EXPECT_EQ(rsp.transaction_id, 2);
+  EXPECT_EQ(rsp.data, (std::vector<Word>{11, 22, 33}));
+}
+
+TEST(MasterSlaveShell, PostedWriteHasNoResponse) {
+  auto soc = MakeStarSoc({1, 1});
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{1, 0}).ok());
+  MasterShell master("master", soc->port(0, 0), 0);
+  SlaveShell slave("slave", soc->port(1, 0), 0);
+  ip::MemorySlave memory("memory", &slave, 0, 64);
+  soc->RegisterOnPort(&master, 0, 0);
+  soc->RegisterOnPort(&slave, 1, 0);
+  soc->RegisterOnPort(&memory, 1, 0);
+  soc->RunCycles(2);
+
+  master.IssueWrite(0x8, {99}, /*needs_ack=*/false, /*tid=*/7);
+  RunUntil(*soc, [&] { return memory.writes_served() == 1; });
+  EXPECT_EQ(memory.Load(0x8), 99u);
+  soc->RunCycles(100);
+  EXPECT_FALSE(master.HasResponse());
+  EXPECT_EQ(master.OutstandingResponses(), 0);
+}
+
+TEST(MasterSlaveShell, OutOfRangeAddressReturnsError) {
+  auto soc = MakeStarSoc({1, 1});
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{1, 0}).ok());
+  MasterShell master("master", soc->port(0, 0), 0);
+  SlaveShell slave("slave", soc->port(1, 0), 0);
+  ip::MemorySlave memory("memory", &slave, 0x100, 16);
+  soc->RegisterOnPort(&master, 0, 0);
+  soc->RegisterOnPort(&slave, 1, 0);
+  soc->RegisterOnPort(&memory, 1, 0);
+  soc->RunCycles(2);
+
+  master.IssueRead(0x500, 1, /*tid=*/3);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  EXPECT_EQ(master.PopResponse().error, ResponseError::kUnmappedAddress);
+}
+
+TEST(MasterSlaveShell, ReadLinkedWriteConditional) {
+  auto soc = MakeStarSoc({1, 1});
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{1, 0}).ok());
+  MasterShell master("master", soc->port(0, 0), 0);
+  SlaveShell slave("slave", soc->port(1, 0), 0);
+  ip::MemorySlave memory("memory", &slave, 0, 64);
+  soc->RegisterOnPort(&master, 0, 0);
+  soc->RegisterOnPort(&slave, 1, 0);
+  soc->RegisterOnPort(&memory, 1, 0);
+  soc->RunCycles(2);
+  memory.Store(0x10, 5);
+
+  // Successful LL/SC pair.
+  master.IssueReadLinked(0x10, 1, /*tid=*/1);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  EXPECT_EQ(master.PopResponse().data, (std::vector<Word>{5}));
+  master.IssueWriteConditional(0x10, {6}, /*tid=*/2);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  EXPECT_EQ(master.PopResponse().error, ResponseError::kOk);
+  EXPECT_EQ(memory.Load(0x10), 6u);
+
+  // A plain write in between breaks the reservation.
+  master.IssueReadLinked(0x10, 1, /*tid=*/3);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  (void)master.PopResponse();
+  master.IssueWrite(0x10, {77}, /*needs_ack=*/true, /*tid=*/4);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  (void)master.PopResponse();
+  master.IssueWriteConditional(0x10, {88}, /*tid=*/5);
+  RunUntil(*soc, [&] { return master.HasResponse(); });
+  EXPECT_EQ(master.PopResponse().error, ResponseError::kConditionalFail);
+  EXPECT_EQ(memory.Load(0x10), 77u);
+}
+
+// Narrowcast fixture: NI0 master with 2 channels; memories on NI1 and NI2.
+class NarrowcastFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    soc_ = MakeStarSoc({2, 1, 1});
+    ASSERT_TRUE(
+        soc_->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{1, 0}).ok());
+    ASSERT_TRUE(
+        soc_->OpenConnection(GlobalChannel{0, 1}, GlobalChannel{2, 0}).ok());
+    shell_ = std::make_unique<NarrowcastShell>("narrowcast",
+                                               soc_->port(0, 0),
+                                               std::vector<int>{0, 1});
+    ASSERT_TRUE(shell_->MapRange(0x0000, 0x100, 0).ok());
+    ASSERT_TRUE(shell_->MapRange(0x1000, 0x100, 1).ok());
+    slave1_ = std::make_unique<SlaveShell>("slave1", soc_->port(1, 0), 0);
+    slave2_ = std::make_unique<SlaveShell>("slave2", soc_->port(2, 0), 0);
+    // The second memory is slower: exercises in-order response delivery.
+    mem1_ = std::make_unique<ip::MemorySlave>("mem1", slave1_.get(), 0x0000,
+                                              0x100, /*latency=*/1);
+    mem2_ = std::make_unique<ip::MemorySlave>("mem2", slave2_.get(), 0x1000,
+                                              0x100, /*latency=*/40);
+    soc_->RegisterOnPort(shell_.get(), 0, 0);
+    soc_->RegisterOnPort(slave1_.get(), 1, 0);
+    soc_->RegisterOnPort(slave2_.get(), 2, 0);
+    soc_->RegisterOnPort(mem1_.get(), 1, 0);
+    soc_->RegisterOnPort(mem2_.get(), 2, 0);
+    soc_->RunCycles(2);
+  }
+
+  std::unique_ptr<soc::Soc> soc_;
+  std::unique_ptr<NarrowcastShell> shell_;
+  std::unique_ptr<SlaveShell> slave1_, slave2_;
+  std::unique_ptr<ip::MemorySlave> mem1_, mem2_;
+};
+
+TEST_F(NarrowcastFixture, AddressDecodeRoutesToRightSlave) {
+  shell_->IssueWrite(0x0010, {111}, /*needs_ack=*/false, 1);
+  shell_->IssueWrite(0x1020, {222}, /*needs_ack=*/false, 2);
+  RunUntil(*soc_, [&] {
+    return mem1_->writes_served() == 1 && mem2_->writes_served() == 1;
+  });
+  EXPECT_EQ(mem1_->Load(0x0010), 111u);
+  EXPECT_EQ(mem2_->Load(0x1020), 222u);
+}
+
+TEST_F(NarrowcastFixture, InOrderDespiteSlaveLatencySkew) {
+  mem1_->Store(0x0000, 0xAA);
+  mem2_->Store(0x1000, 0xBB);
+  shell_->IssueRead(0x1000, 1, /*tid=*/10);  // slow slave
+  shell_->IssueRead(0x0000, 1, /*tid=*/11);  // fast slave
+  RunUntil(*soc_, [&] { return shell_->HasResponse(); });
+  auto first = shell_->PopResponse();
+  EXPECT_EQ(first.transaction_id, 10) << "responses must be in issue order";
+  EXPECT_EQ(first.data, (std::vector<Word>{0xBB}));
+  RunUntil(*soc_, [&] { return shell_->HasResponse(); });
+  auto second = shell_->PopResponse();
+  EXPECT_EQ(second.transaction_id, 11);
+  EXPECT_EQ(second.data, (std::vector<Word>{0xAA}));
+}
+
+TEST_F(NarrowcastFixture, UnmappedAddressSynthesizesInOrderError) {
+  shell_->IssueRead(0x1000, 1, /*tid=*/20);   // slow slave
+  shell_->IssueRead(0x9999, 1, /*tid=*/21);   // unmapped
+  RunUntil(*soc_, [&] { return shell_->HasResponse(); });
+  EXPECT_EQ(shell_->PopResponse().transaction_id, 20);
+  RunUntil(*soc_, [&] { return shell_->HasResponse(); });
+  auto err = shell_->PopResponse();
+  EXPECT_EQ(err.transaction_id, 21);
+  EXPECT_EQ(err.error, ResponseError::kUnmappedAddress);
+}
+
+TEST(MulticastShell, WriteReachesAllSlavesWithMergedAck) {
+  auto soc = MakeStarSoc({2, 1, 1});
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{1, 0}).ok());
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 1}, GlobalChannel{2, 0}).ok());
+  MulticastShell shell("multicast", soc->port(0, 0), {0, 1});
+  SlaveShell slave1("slave1", soc->port(1, 0), 0);
+  SlaveShell slave2("slave2", soc->port(2, 0), 0);
+  ip::MemorySlave mem1("mem1", &slave1, 0, 64);
+  ip::MemorySlave mem2("mem2", &slave2, 0, 64);
+  soc->RegisterOnPort(&shell, 0, 0);
+  soc->RegisterOnPort(&slave1, 1, 0);
+  soc->RegisterOnPort(&slave2, 2, 0);
+  soc->RegisterOnPort(&mem1, 1, 0);
+  soc->RegisterOnPort(&mem2, 2, 0);
+  soc->RunCycles(2);
+
+  shell.IssueWrite(0x20, {0xCAFE}, /*needs_ack=*/true, /*tid=*/5);
+  RunUntil(*soc, [&] { return shell.HasResponse(); });
+  auto ack = shell.PopResponse();
+  EXPECT_TRUE(ack.is_write_ack);
+  EXPECT_EQ(ack.error, ResponseError::kOk);
+  EXPECT_EQ(mem1.Load(0x20), 0xCAFEu);
+  EXPECT_EQ(mem2.Load(0x20), 0xCAFEu);
+  EXPECT_FALSE(shell.IssueRead(0x20, 1, 6).ok());
+}
+
+TEST(MulticastShell, MergedAckReportsError) {
+  auto soc = MakeStarSoc({2, 1, 1});
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{1, 0}).ok());
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 1}, GlobalChannel{2, 0}).ok());
+  MulticastShell shell("multicast", soc->port(0, 0), {0, 1});
+  SlaveShell slave1("slave1", soc->port(1, 0), 0);
+  SlaveShell slave2("slave2", soc->port(2, 0), 0);
+  ip::MemorySlave mem1("mem1", &slave1, 0, 64);
+  // The second memory covers a smaller range: the write misses it.
+  ip::MemorySlave mem2("mem2", &slave2, 0, 16);
+  soc->RegisterOnPort(&shell, 0, 0);
+  soc->RegisterOnPort(&slave1, 1, 0);
+  soc->RegisterOnPort(&slave2, 2, 0);
+  soc->RegisterOnPort(&mem1, 1, 0);
+  soc->RegisterOnPort(&mem2, 2, 0);
+  soc->RunCycles(2);
+
+  shell.IssueWrite(0x30, {1}, /*needs_ack=*/true, /*tid=*/1);
+  RunUntil(*soc, [&] { return shell.HasResponse(); });
+  EXPECT_EQ(shell.PopResponse().error, ResponseError::kUnmappedAddress);
+}
+
+TEST(MultiConnectionShell, ServesTwoMastersAndRoutesResponses) {
+  // NI0 and NI1 masters -> NI2 port with two connections and one memory.
+  auto soc = MakeStarSoc({1, 1, 2});
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{0, 0}, GlobalChannel{2, 0}).ok());
+  ASSERT_TRUE(soc->OpenConnection(GlobalChannel{1, 0}, GlobalChannel{2, 1}).ok());
+  MasterShell master0("master0", soc->port(0, 0), 0);
+  MasterShell master1("master1", soc->port(1, 0), 0);
+  MultiConnectionShell shell("multiconn", soc->port(2, 0), {0, 1});
+  ip::MemorySlave memory("memory", &shell, 0, 256);
+  soc->RegisterOnPort(&master0, 0, 0);
+  soc->RegisterOnPort(&master1, 1, 0);
+  soc->RegisterOnPort(&shell, 2, 0);
+  soc->RegisterOnPort(&memory, 2, 0);
+  soc->RunCycles(2);
+
+  master0.IssueWrite(0x10, {0xA0}, /*needs_ack=*/true, /*tid=*/1);
+  master1.IssueWrite(0x20, {0xB0}, /*needs_ack=*/true, /*tid=*/2);
+  RunUntil(*soc, [&] { return master0.HasResponse() && master1.HasResponse(); });
+  EXPECT_EQ(master0.PopResponse().transaction_id, 1);
+  EXPECT_EQ(master1.PopResponse().transaction_id, 2);
+  EXPECT_EQ(memory.Load(0x10), 0xA0u);
+  EXPECT_EQ(memory.Load(0x20), 0xB0u);
+
+  // Cross reads: each master sees the other's data.
+  master0.IssueRead(0x20, 1, /*tid=*/3);
+  master1.IssueRead(0x10, 1, /*tid=*/4);
+  RunUntil(*soc, [&] { return master0.HasResponse() && master1.HasResponse(); });
+  EXPECT_EQ(master0.PopResponse().data, (std::vector<Word>{0xB0}));
+  EXPECT_EQ(master1.PopResponse().data, (std::vector<Word>{0xA0}));
+}
+
+}  // namespace
+}  // namespace aethereal::shells

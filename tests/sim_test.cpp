@@ -1,0 +1,214 @@
+// Unit tests for the simulation kernel: clocks, two-phase update, FIFOs,
+// clock-domain-crossing FIFOs.
+#include <gtest/gtest.h>
+
+#include "sim/cdc_fifo.h"
+#include "sim/fifo.h"
+#include "sim/kernel.h"
+
+namespace aethereal::sim {
+namespace {
+
+// A module that counts its own cycles.
+class Counter : public Module {
+ public:
+  explicit Counter(std::string name) : Module(std::move(name)) {
+    RegisterState(&value_);
+  }
+  void Evaluate() override { value_.Set(value_.Get() + 1); }
+  int Value() const { return value_.Get(); }
+
+ private:
+  Register<int> value_{0};
+};
+
+TEST(Kernel, SingleClockCycles) {
+  Kernel kernel;
+  Clock* clk = kernel.AddClockMhz("clk", 500.0);
+  EXPECT_EQ(clk->period_ps(), 2000);
+  Counter counter("c");
+  clk->Register(&counter);
+  kernel.RunCycles(clk, 10);
+  EXPECT_EQ(clk->cycles(), 10);
+  EXPECT_EQ(counter.Value(), 10);
+}
+
+TEST(Kernel, TwoClocksAdvanceProportionally) {
+  Kernel kernel;
+  Clock* fast = kernel.AddClock("fast", 1000);  // 1 GHz
+  Clock* slow = kernel.AddClock("slow", 4000);  // 250 MHz
+  Counter cf("cf"), cs("cs");
+  fast->Register(&cf);
+  slow->Register(&cs);
+  kernel.RunUntil(40000);
+  // Edges at t=0,1000,... inclusive of t=0 and t=40000.
+  EXPECT_EQ(cf.Value(), 41);
+  EXPECT_EQ(cs.Value(), 11);
+}
+
+TEST(Kernel, CoincidentEdgesFireTogether) {
+  Kernel kernel;
+  Clock* a = kernel.AddClock("a", 2000);
+  Clock* b = kernel.AddClock("b", 3000);
+  Counter ca("ca"), cb("cb");
+  a->Register(&ca);
+  b->Register(&cb);
+  // First step handles t=0 where both fire.
+  kernel.Step();
+  EXPECT_EQ(ca.Value(), 1);
+  EXPECT_EQ(cb.Value(), 1);
+  // Next edges: a at 2000, b at 3000.
+  kernel.Step();
+  EXPECT_EQ(ca.Value(), 2);
+  EXPECT_EQ(cb.Value(), 1);
+}
+
+// Two modules exchanging values through registers must see last-cycle state
+// regardless of registration order (order independence of two-phase update).
+class Swapper : public Module {
+ public:
+  Swapper(std::string name, Register<int>* mine, const Register<int>* theirs)
+      : Module(std::move(name)), mine_(mine), theirs_(theirs) {
+    RegisterState(mine_);
+  }
+  void Evaluate() override { mine_->Set(theirs_->Get() + 1); }
+
+ private:
+  Register<int>* mine_;
+  const Register<int>* theirs_;
+};
+
+TEST(Kernel, TwoPhaseOrderIndependence) {
+  for (bool reversed : {false, true}) {
+    Kernel kernel;
+    Clock* clk = kernel.AddClock("clk", 1000);
+    Register<int> ra(0), rb(100);
+    Swapper a("a", &ra, &rb), b("b", &rb, &ra);
+    if (reversed) {
+      clk->Register(&b);
+      clk->Register(&a);
+    } else {
+      clk->Register(&a);
+      clk->Register(&b);
+    }
+    kernel.RunCycles(clk, 1);
+    // Both read pre-edge values: ra := 100+1, rb := 0+1.
+    EXPECT_EQ(ra.Get(), 101);
+    EXPECT_EQ(rb.Get(), 1);
+  }
+}
+
+TEST(Fifo, PushVisibleNextCycle) {
+  Fifo<int> fifo(4);
+  EXPECT_TRUE(fifo.Empty());
+  fifo.Push(7);
+  EXPECT_EQ(fifo.Size(), 0);  // not yet committed
+  EXPECT_FALSE(fifo.CanPop());
+  fifo.Commit();
+  EXPECT_EQ(fifo.Size(), 1);
+  EXPECT_TRUE(fifo.CanPop());
+  EXPECT_EQ(fifo.Peek(), 7);
+}
+
+TEST(Fifo, SameCyclePushPop) {
+  Fifo<int> fifo(2);
+  fifo.Push(1);
+  fifo.Commit();
+  // Pop the 1 and push a 2 in the same cycle.
+  EXPECT_EQ(fifo.Pop(), 1);
+  fifo.Push(2);
+  fifo.Commit();
+  EXPECT_EQ(fifo.Size(), 1);
+  EXPECT_EQ(fifo.Peek(), 2);
+}
+
+TEST(Fifo, FlowThroughSpaceAccounting) {
+  Fifo<int> fifo(1);
+  fifo.Push(1);
+  fifo.Commit();
+  EXPECT_FALSE(fifo.CanPush());  // full
+  EXPECT_EQ(fifo.Pop(), 1);
+  EXPECT_TRUE(fifo.CanPush());  // same-cycle pop frees space
+  fifo.Push(2);
+  fifo.Commit();
+  EXPECT_EQ(fifo.Peek(), 2);
+}
+
+TEST(Fifo, PeekWithStagedPops) {
+  Fifo<int> fifo(4);
+  fifo.Push(1);
+  fifo.Push(2);
+  fifo.Push(3);
+  fifo.Commit();
+  EXPECT_EQ(fifo.Pop(), 1);
+  EXPECT_EQ(fifo.Peek(0), 2);  // accounts for the staged pop
+  EXPECT_EQ(fifo.Peek(1), 3);
+}
+
+TEST(Fifo, CapacityOrdering) {
+  Fifo<int> fifo(8);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) fifo.Push(round * 8 + i);
+    fifo.Commit();
+    EXPECT_TRUE(fifo.Full());
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(fifo.Pop(), round * 8 + i);
+    fifo.Commit();
+    EXPECT_TRUE(fifo.Empty());
+  }
+}
+
+TEST(FifoDeathTest, OverflowChecks) {
+  Fifo<int> fifo(1);
+  fifo.Push(1);
+  EXPECT_DEATH(fifo.Push(2), "overflow");
+}
+
+TEST(FifoDeathTest, UnderflowChecks) {
+  Fifo<int> fifo(1);
+  EXPECT_DEATH(fifo.Pop(), "underflow");
+}
+
+TEST(CdcFifo, TwoEdgeSynchronizerLatency) {
+  CdcFifo<int> fifo(8);
+  fifo.Push(42);
+  fifo.CommitWriteSide();
+  // Needs kCdcSyncEdges reader edges before the word is visible.
+  EXPECT_EQ(fifo.ReaderSize(), 0);
+  fifo.CommitReadSide();
+  EXPECT_EQ(fifo.ReaderSize(), 0);
+  fifo.CommitReadSide();
+  EXPECT_EQ(fifo.ReaderSize(), 1);
+  EXPECT_EQ(fifo.Peek(), 42);
+}
+
+TEST(CdcFifo, SpaceReturnsAfterWriterEdges) {
+  CdcFifo<int> fifo(1);
+  fifo.Push(1);
+  fifo.CommitWriteSide();
+  EXPECT_FALSE(fifo.CanPush());
+  fifo.CommitReadSide();
+  fifo.CommitReadSide();
+  ASSERT_TRUE(fifo.CanPop());
+  (void)fifo.Pop();
+  fifo.CommitReadSide();
+  // Writer sees the space only after kCdcSyncEdges of its own edges.
+  EXPECT_FALSE(fifo.CanPush());
+  fifo.CommitWriteSide();
+  EXPECT_FALSE(fifo.CanPush());
+  fifo.CommitWriteSide();
+  EXPECT_TRUE(fifo.CanPush());
+}
+
+TEST(CdcFifo, OrderPreserved) {
+  CdcFifo<int> fifo(16);
+  for (int i = 0; i < 5; ++i) {
+    fifo.Push(i);
+    fifo.CommitWriteSide();
+  }
+  for (int i = 0; i < 10; ++i) fifo.CommitReadSide();
+  ASSERT_EQ(fifo.ReaderSize(), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(fifo.Pop(), i);
+}
+
+}  // namespace
+}  // namespace aethereal::sim

@@ -1,0 +1,246 @@
+// Unit and property tests for slot tables and TDM slot allocation.
+#include <gtest/gtest.h>
+
+#include "tdm/allocator.h"
+#include "tdm/distributed.h"
+#include "tdm/slot_table.h"
+#include "topology/builders.h"
+
+namespace aethereal::tdm {
+namespace {
+
+using topology::BuildMesh;
+using topology::BuildStar;
+
+GlobalChannel Ch(NiId ni, ChannelId ch) { return GlobalChannel{ni, ch}; }
+
+TEST(SlotTable, ReserveRelease) {
+  SlotTable table(8);
+  EXPECT_EQ(table.Reserved(), 0);
+  ASSERT_TRUE(table.Reserve(3, Ch(0, 0)).ok());
+  EXPECT_FALSE(table.IsFree(3));
+  EXPECT_EQ(table.Owner(3), Ch(0, 0));
+  EXPECT_EQ(table.Reserve(3, Ch(1, 0)).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(table.Release(3).ok());
+  EXPECT_TRUE(table.IsFree(3));
+  EXPECT_EQ(table.Release(3).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SlotTable, ReleaseAll) {
+  SlotTable table(8);
+  ASSERT_TRUE(table.Reserve(1, Ch(0, 0)).ok());
+  ASSERT_TRUE(table.Reserve(5, Ch(0, 0)).ok());
+  ASSERT_TRUE(table.Reserve(2, Ch(0, 1)).ok());
+  EXPECT_EQ(table.ReleaseAll(Ch(0, 0)), 2);
+  EXPECT_EQ(table.Reserved(), 1);
+}
+
+TEST(SlotTable, MaxGapIsJitterBound) {
+  SlotTable table(8);
+  // Slots 0 and 4: evenly spread -> max gap 4.
+  ASSERT_TRUE(table.Reserve(0, Ch(0, 0)).ok());
+  ASSERT_TRUE(table.Reserve(4, Ch(0, 0)).ok());
+  EXPECT_EQ(table.MaxGap(Ch(0, 0)), 4);
+  // Slots 0 and 1: contiguous -> wrap-around gap of 7.
+  SlotTable t2(8);
+  ASSERT_TRUE(t2.Reserve(0, Ch(0, 0)).ok());
+  ASSERT_TRUE(t2.Reserve(1, Ch(0, 0)).ok());
+  EXPECT_EQ(t2.MaxGap(Ch(0, 0)), 7);
+  EXPECT_EQ(t2.MaxGap(Ch(9, 9)), 8);  // absent owner: worst case
+}
+
+TEST(PickSlots, FirstFit) {
+  EXPECT_EQ(PickSlots({1, 3, 5, 7}, 2, 8, AllocPolicy::kFirstFit),
+            (std::vector<SlotIndex>{1, 3}));
+}
+
+TEST(PickSlots, SpreadMinimizesGap) {
+  const auto picked = PickSlots({0, 1, 2, 3, 4, 5, 6, 7}, 4, 8,
+                                AllocPolicy::kSpread);
+  EXPECT_EQ(picked, (std::vector<SlotIndex>{0, 2, 4, 6}));
+}
+
+TEST(PickSlots, ContiguousFindsRun) {
+  const auto picked =
+      PickSlots({0, 2, 3, 4, 7}, 3, 8, AllocPolicy::kContiguous);
+  EXPECT_EQ(picked, (std::vector<SlotIndex>{2, 3, 4}));
+}
+
+TEST(PickSlots, ContiguousWrapsAround) {
+  const auto picked =
+      PickSlots({0, 1, 7}, 3, 8, AllocPolicy::kContiguous);
+  EXPECT_EQ(picked, (std::vector<SlotIndex>{0, 1, 7}));
+}
+
+TEST(PickSlots, InsufficientReturnsEmpty) {
+  EXPECT_TRUE(PickSlots({1, 2}, 3, 8, AllocPolicy::kFirstFit).empty());
+}
+
+TEST(CentralizedAllocator, PipelinedSlotAdvance) {
+  auto star = BuildStar(2);
+  CentralizedAllocator alloc(&star.topology, 8);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  auto slots = alloc.Allocate(*route, Ch(0, 0), 1, AllocPolicy::kFirstFit);
+  ASSERT_TRUE(slots.ok());
+  ASSERT_EQ(slots->size(), 1u);
+  const SlotIndex s = (*slots)[0];
+  // Injection link holds slot s; the router output link holds s+1.
+  EXPECT_EQ(alloc.TableOf(route->links[0]).Owner(s), Ch(0, 0));
+  EXPECT_EQ(alloc.TableOf(route->links[1]).Owner((s + 1) % 8), Ch(0, 0));
+  EXPECT_TRUE(alloc.TableOf(route->links[1]).IsFree(s));
+}
+
+TEST(CentralizedAllocator, ConflictingRoutesShareLink) {
+  // Two NIs sending to the same destination share the router output link;
+  // their slots must not collide there.
+  auto star = BuildStar(3);
+  CentralizedAllocator alloc(&star.topology, 4);
+  auto r02 = star.topology.Route(star.nis[0], star.nis[2]);
+  auto r12 = star.topology.Route(star.nis[1], star.nis[2]);
+  ASSERT_TRUE(r02.ok() && r12.ok());
+  auto s0 = alloc.Allocate(*r02, Ch(0, 0), 2, AllocPolicy::kFirstFit);
+  auto s1 = alloc.Allocate(*r12, Ch(1, 0), 2, AllocPolicy::kFirstFit);
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  // The shared link (router port 2) must have 4 distinct reserved slots.
+  const auto& shared = alloc.TableOf(r02->links[1]);
+  EXPECT_EQ(shared.Reserved(), 4);
+  // And a further 1-slot request must fail: the link is full.
+  auto s2 = alloc.Allocate(*r02, Ch(0, 1), 1, AllocPolicy::kFirstFit);
+  EXPECT_EQ(s2.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CentralizedAllocator, FreeRestoresCapacity) {
+  auto star = BuildStar(2);
+  CentralizedAllocator alloc(&star.topology, 8);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  auto slots = alloc.Allocate(*route, Ch(0, 0), 8, AllocPolicy::kFirstFit);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_FALSE(
+      alloc.Allocate(*route, Ch(0, 1), 1, AllocPolicy::kFirstFit).ok());
+  ASSERT_TRUE(alloc.Free(*route, Ch(0, 0), *slots).ok());
+  EXPECT_TRUE(
+      alloc.Allocate(*route, Ch(0, 1), 8, AllocPolicy::kFirstFit).ok());
+}
+
+TEST(CentralizedAllocator, FreeWrongOwnerRejected) {
+  auto star = BuildStar(2);
+  CentralizedAllocator alloc(&star.topology, 8);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  auto slots = alloc.Allocate(*route, Ch(0, 0), 1, AllocPolicy::kFirstFit);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_EQ(alloc.Free(*route, Ch(0, 1), *slots).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Property sweep: allocation along multi-hop mesh paths always produces
+// feasible (conflict-free) reservations for any policy and slot count.
+struct AllocCase {
+  AllocPolicy policy;
+  int count;
+};
+
+class AllocatorProperty : public ::testing::TestWithParam<AllocCase> {};
+
+TEST_P(AllocatorProperty, MeshPathsStayConsistent) {
+  const auto param = GetParam();
+  auto mesh = BuildMesh(3, 3, 1);
+  CentralizedAllocator alloc(&mesh.topology, 16);
+  // Allocate along several crossing paths.
+  int channel = 0;
+  int successes = 0;
+  for (int i = 0; i < 9; ++i) {
+    for (int j = 0; j < 9; j += 4) {
+      if (i == j) continue;
+      auto route = mesh.topology.Route(mesh.nis[static_cast<std::size_t>(i)],
+                                       mesh.nis[static_cast<std::size_t>(j)]);
+      ASSERT_TRUE(route.ok());
+      auto slots = alloc.Allocate(*route, Ch(i, channel++), param.count,
+                                  param.policy);
+      if (!slots.ok()) continue;  // exhaustion is acceptable
+      ++successes;
+      // Verify the pipelined reservation on every link of the path.
+      for (SlotIndex s : *slots) {
+        for (std::size_t h = 0; h < route->links.size(); ++h) {
+          const auto& table = alloc.TableOf(route->links[h]);
+          EXPECT_EQ(table.Owner(static_cast<SlotIndex>(
+                        (s + static_cast<SlotIndex>(h)) % 16)),
+                    Ch(i, channel - 1));
+        }
+      }
+    }
+  }
+  EXPECT_GT(successes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AllocatorProperty,
+    ::testing::Values(AllocCase{AllocPolicy::kFirstFit, 1},
+                      AllocCase{AllocPolicy::kFirstFit, 3},
+                      AllocCase{AllocPolicy::kSpread, 2},
+                      AllocCase{AllocPolicy::kSpread, 4},
+                      AllocCase{AllocPolicy::kContiguous, 2},
+                      AllocCase{AllocPolicy::kContiguous, 3}));
+
+TEST(DistributedAllocator, SingleRequestCompletes) {
+  auto star = BuildStar(2);
+  DistributedAllocator alloc(&star.topology, 8);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  const int id = alloc.StartRequest(*route, Ch(0, 0), 2, AllocPolicy::kSpread);
+  alloc.RunToCompletion();
+  EXPECT_EQ(alloc.request(id).phase,
+            DistributedAllocator::RequestPhase::kDone);
+  EXPECT_EQ(alloc.stats().conflicts, 0);
+  // Committed on both links.
+  EXPECT_EQ(alloc.TableOf(route->links[0]).Reserved(), 2);
+  EXPECT_EQ(alloc.TableOf(route->links[1]).Reserved(), 2);
+}
+
+TEST(DistributedAllocator, ConcurrentConflictingRequestsResolve) {
+  // Two requests from different sources to the same destination race for
+  // the shared output link.
+  auto star = BuildStar(3);
+  DistributedAllocator alloc(&star.topology, 4);
+  auto r02 = star.topology.Route(star.nis[0], star.nis[2]);
+  auto r12 = star.topology.Route(star.nis[1], star.nis[2]);
+  ASSERT_TRUE(r02.ok() && r12.ok());
+  const int a = alloc.StartRequest(*r02, Ch(0, 0), 2, AllocPolicy::kFirstFit);
+  const int b = alloc.StartRequest(*r12, Ch(1, 0), 2, AllocPolicy::kFirstFit);
+  alloc.RunToCompletion();
+  EXPECT_EQ(alloc.request(a).phase, DistributedAllocator::RequestPhase::kDone);
+  EXPECT_EQ(alloc.request(b).phase, DistributedAllocator::RequestPhase::kDone);
+  // The shared link carries all 4 reservations without overlap.
+  EXPECT_EQ(alloc.TableOf(r02->links[1]).Reserved(), 4);
+}
+
+TEST(DistributedAllocator, ExhaustionFails) {
+  auto star = BuildStar(2);
+  DistributedAllocator alloc(&star.topology, 2);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  const int a = alloc.StartRequest(*route, Ch(0, 0), 2, AllocPolicy::kFirstFit);
+  const int b = alloc.StartRequest(*route, Ch(0, 1), 1, AllocPolicy::kFirstFit);
+  alloc.RunToCompletion();
+  // One succeeds with both slots; the other cannot ever fit.
+  EXPECT_EQ(alloc.request(a).phase, DistributedAllocator::RequestPhase::kDone);
+  EXPECT_EQ(alloc.request(b).phase,
+            DistributedAllocator::RequestPhase::kFailed);
+}
+
+TEST(DistributedAllocator, MoreMessagesThanHops) {
+  // Message count >= 2 per hop (request forward + ack back).
+  auto mesh = BuildMesh(2, 2, 1);
+  DistributedAllocator alloc(&mesh.topology, 8);
+  auto route = mesh.topology.Route(mesh.NiAt(0, 0), mesh.NiAt(1, 1));
+  ASSERT_TRUE(route.ok());
+  alloc.StartRequest(*route, Ch(0, 0), 1, AllocPolicy::kFirstFit);
+  alloc.RunToCompletion();
+  const auto hops = static_cast<std::int64_t>(route->links.size());
+  EXPECT_GE(alloc.stats().messages, 2 * hops);
+}
+
+}  // namespace
+}  // namespace aethereal::tdm

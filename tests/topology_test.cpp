@@ -1,0 +1,158 @@
+// Unit tests for the topology graph, builders, and route computation.
+#include <gtest/gtest.h>
+
+#include "link/header.h"
+#include "topology/builders.h"
+#include "topology/topology.h"
+
+namespace aethereal::topology {
+namespace {
+
+TEST(Topology, AddAndAttach) {
+  Topology t;
+  const RouterId r = t.AddRouter(3);
+  const NiId a = t.AddNi();
+  const NiId b = t.AddNi();
+  EXPECT_TRUE(t.AttachNi(a, r, 0).ok());
+  EXPECT_TRUE(t.AttachNi(b, r, 2).ok());
+  EXPECT_EQ(t.NiRouter(a), r);
+  EXPECT_EQ(t.NiRouterPort(b), 2);
+  EXPECT_EQ(t.NumLinks(), 2 + 3);  // 2 NI injection + 3 router ports
+}
+
+TEST(Topology, RejectsDoubleAttach) {
+  Topology t;
+  const RouterId r = t.AddRouter(2);
+  const NiId a = t.AddNi();
+  ASSERT_TRUE(t.AttachNi(a, r, 0).ok());
+  EXPECT_EQ(t.AttachNi(a, r, 1).code(), StatusCode::kAlreadyExists);
+  const NiId b = t.AddNi();
+  EXPECT_EQ(t.AttachNi(b, r, 0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Topology, RejectsBadConnect) {
+  Topology t;
+  const RouterId r0 = t.AddRouter(2);
+  const RouterId r1 = t.AddRouter(2);
+  EXPECT_EQ(t.ConnectRouters(r0, 5, r1, 0).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(t.ConnectRouters(r0, 0, r1, 0).ok());
+  EXPECT_EQ(t.ConnectRouters(r0, 0, r1, 1).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Topology, StarRoute) {
+  Star star = BuildStar(4);
+  auto hops = star.topology.RouteHops(star.nis[0], star.nis[3]);
+  ASSERT_TRUE(hops.ok());
+  EXPECT_EQ(*hops, std::vector<int>({3}));
+}
+
+TEST(Topology, RouteToSelfRejected) {
+  Star star = BuildStar(2);
+  EXPECT_FALSE(star.topology.RouteHops(star.nis[0], star.nis[0]).ok());
+}
+
+TEST(Topology, DisconnectedRouteFails) {
+  Topology t;
+  const RouterId r0 = t.AddRouter(2);
+  const RouterId r1 = t.AddRouter(2);
+  const NiId a = t.AddNi();
+  const NiId b = t.AddNi();
+  ASSERT_TRUE(t.AttachNi(a, r0, 0).ok());
+  ASSERT_TRUE(t.AttachNi(b, r1, 0).ok());
+  EXPECT_EQ(t.RouteHops(a, b).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Topology, MeshRouteEndsAtDestinationPort) {
+  Mesh mesh = BuildMesh(3, 3, 1);
+  const NiId from = mesh.NiAt(0, 0);
+  const NiId to = mesh.NiAt(2, 2);
+  auto route = mesh.topology.Route(from, to);
+  ASSERT_TRUE(route.ok());
+  // Shortest path in a 3x3 mesh corner-to-corner: 4 router-router moves + 1
+  // exit hop = 5 hops total.
+  EXPECT_EQ(route->hops.size(), 5u);
+  EXPECT_EQ(route->links.size(), 6u);  // injection + 5
+  EXPECT_TRUE(route->links[0].from_ni);
+  EXPECT_EQ(route->hops.back(), kMeshLocalBase);
+}
+
+TEST(Topology, MeshAdjacentRoute) {
+  Mesh mesh = BuildMesh(2, 2, 1);
+  auto hops = mesh.topology.RouteHops(mesh.NiAt(0, 0), mesh.NiAt(0, 1));
+  ASSERT_TRUE(hops.ok());
+  EXPECT_EQ(*hops, std::vector<int>({kMeshEast, kMeshLocalBase}));
+}
+
+TEST(Topology, TooLongRouteFails) {
+  // An 8-router ring: the far side is 4+1 hops away (fine), but a line of
+  // 9 routers makes the farthest NI unreachable within 7 path hops.
+  Topology t;
+  std::vector<RouterId> routers;
+  for (int i = 0; i < 9; ++i) routers.push_back(t.AddRouter(3));
+  for (int i = 0; i + 1 < 9; ++i) {
+    ASSERT_TRUE(t.ConnectRouters(routers[static_cast<std::size_t>(i)], 1,
+                                 routers[static_cast<std::size_t>(i + 1)], 0)
+                    .ok());
+  }
+  const NiId a = t.AddNi();
+  const NiId b = t.AddNi();
+  ASSERT_TRUE(t.AttachNi(a, routers.front(), 2).ok());
+  ASSERT_TRUE(t.AttachNi(b, routers.back(), 2).ok());
+  // 9 routers on the path + exit = 9 hops > kMaxPathHops = 7.
+  EXPECT_EQ(t.RouteHops(a, b).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(Topology, LinkIndexDenseAndStable) {
+  Mesh mesh = BuildMesh(2, 2, 2);
+  std::vector<bool> seen(static_cast<std::size_t>(mesh.topology.NumLinks()),
+                         false);
+  for (NiId ni = 0; ni < mesh.topology.NumNis(); ++ni) {
+    const int idx = mesh.topology.LinkIndex(LinkId{true, ni, 0});
+    EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  for (RouterId r = 0; r < mesh.topology.NumRouters(); ++r) {
+    for (int p = 0; p < mesh.topology.RouterPorts(r); ++p) {
+      const int idx = mesh.topology.LinkIndex(LinkId{false, r, p});
+      EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+      seen[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+}
+
+TEST(Topology, RingRoutes) {
+  Ring ring = BuildRing(4, 1);
+  auto hops = ring.topology.RouteHops(ring.NiAt(0), ring.NiAt(1));
+  ASSERT_TRUE(hops.ok());
+  EXPECT_EQ(hops->size(), 2u);  // one ring move + exit
+}
+
+// Property: every NI pair in a mesh has a valid route whose hop count is
+// Manhattan distance + 1 and whose links walk the graph consistently.
+class MeshRoutingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshRoutingProperty, AllPairsShortest) {
+  const int n = GetParam();
+  Mesh mesh = BuildMesh(n, n, 1);
+  for (int r1 = 0; r1 < n; ++r1) {
+    for (int c1 = 0; c1 < n; ++c1) {
+      for (int r2 = 0; r2 < n; ++r2) {
+        for (int c2 = 0; c2 < n; ++c2) {
+          if (r1 == r2 && c1 == c2) continue;
+          auto route = mesh.topology.Route(mesh.NiAt(r1, c1), mesh.NiAt(r2, c2));
+          ASSERT_TRUE(route.ok());
+          const int manhattan = std::abs(r1 - r2) + std::abs(c1 - c2);
+          EXPECT_EQ(static_cast<int>(route->hops.size()), manhattan + 1);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshRoutingProperty, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace aethereal::topology

@@ -1,0 +1,205 @@
+// Unit tests for the Fig. 7 message formats and the incremental framers.
+#include <gtest/gtest.h>
+
+#include "transaction/message.h"
+
+namespace aethereal::transaction {
+namespace {
+
+RequestMessage MakeWrite(Word addr, std::vector<Word> data, int flags = 0) {
+  RequestMessage msg;
+  msg.cmd = Command::kWrite;
+  msg.flags = flags;
+  msg.transaction_id = 5;
+  msg.sequence_number = 9;
+  msg.address = addr;
+  msg.data = std::move(data);
+  return msg;
+}
+
+TEST(RequestMessage, WriteRoundTrip) {
+  const RequestMessage msg = MakeWrite(0x1000, {1, 2, 3}, kFlagNeedsAck);
+  const auto words = msg.Encode();
+  EXPECT_EQ(words.size(), 5u);
+  auto decoded = RequestMessage::Decode(words);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(RequestMessage, ReadRoundTrip) {
+  RequestMessage msg;
+  msg.cmd = Command::kRead;
+  msg.read_length = 16;
+  msg.address = 0xCAFE;
+  msg.transaction_id = 3;
+  const auto words = msg.Encode();
+  EXPECT_EQ(words.size(), 2u);
+  auto decoded = RequestMessage::Decode(words);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+  EXPECT_EQ(decoded->read_length, 16);
+}
+
+TEST(RequestMessage, ExpectsResponseLogic) {
+  RequestMessage read;
+  read.cmd = Command::kRead;
+  EXPECT_TRUE(read.ExpectsResponse());
+  RequestMessage write = MakeWrite(0, {1});
+  EXPECT_FALSE(write.ExpectsResponse());
+  write.flags = kFlagNeedsAck;
+  EXPECT_TRUE(write.ExpectsResponse());
+}
+
+TEST(RequestMessage, DecodeRejectsLengthMismatch) {
+  RequestMessage msg = MakeWrite(0x10, {1, 2});
+  auto words = msg.Encode();
+  words.pop_back();
+  EXPECT_FALSE(RequestMessage::Decode(words).ok());
+}
+
+TEST(RequestMessage, DecodeRejectsShort) {
+  EXPECT_FALSE(RequestMessage::Decode({0x0}).ok());
+}
+
+TEST(RequestMessage, MaxLengthRoundTrip) {
+  std::vector<Word> data(kMaxMessageDataWords);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<Word>(i);
+  const RequestMessage msg = MakeWrite(0xFFFFFFFF, data);
+  auto decoded = RequestMessage::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ResponseMessage, ReadDataRoundTrip) {
+  ResponseMessage msg;
+  msg.transaction_id = 7;
+  msg.sequence_number = 100;
+  msg.error = ResponseError::kOk;
+  msg.data = {10, 20, 30};
+  auto decoded = ResponseMessage::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ResponseMessage, WriteAckRoundTrip) {
+  ResponseMessage msg;
+  msg.transaction_id = 1;
+  msg.is_write_ack = true;
+  msg.error = ResponseError::kUnmappedAddress;
+  auto decoded = ResponseMessage::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+  EXPECT_EQ(decoded->WireWords(), 1);
+}
+
+TEST(ResponseMessage, ErrorCodesRoundTrip) {
+  for (auto err : {ResponseError::kOk, ResponseError::kUnmappedAddress,
+                   ResponseError::kBadCommand, ResponseError::kConditionalFail}) {
+    ResponseMessage msg;
+    msg.is_write_ack = true;
+    msg.error = err;
+    auto decoded = ResponseMessage::Decode(msg.Encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->error, err);
+  }
+}
+
+TEST(Framer, RequestWordAtATime) {
+  const RequestMessage msg = MakeWrite(0x44, {9, 8, 7, 6});
+  const auto words = msg.Encode();
+  RequestFramer framer;
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    EXPECT_FALSE(framer.Feed(words[i]));
+    EXPECT_TRUE(framer.InMessage());
+  }
+  EXPECT_TRUE(framer.Feed(words.back()));
+  auto decoded = framer.Take();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+  EXPECT_FALSE(framer.InMessage());
+}
+
+TEST(Framer, BackToBackMessages) {
+  const RequestMessage a = MakeWrite(0x1, {11});
+  RequestMessage b;
+  b.cmd = Command::kRead;
+  b.read_length = 4;
+  b.address = 0x2;
+  RequestFramer framer;
+  std::vector<RequestMessage> out;
+  for (const auto& msg : {a, b}) {
+    for (Word w : msg.Encode()) {
+      if (framer.Feed(w)) {
+        auto decoded = framer.Take();
+        ASSERT_TRUE(decoded.ok());
+        out.push_back(*decoded);
+      }
+    }
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[1], b);
+}
+
+TEST(Framer, ResponseFraming) {
+  ResponseMessage msg;
+  msg.data = {1, 2};
+  msg.transaction_id = 9;
+  ResponseFramer framer;
+  const auto words = msg.Encode();
+  EXPECT_FALSE(framer.Feed(words[0]));
+  EXPECT_EQ(framer.Pending(), 2);
+  EXPECT_FALSE(framer.Feed(words[1]));
+  EXPECT_TRUE(framer.Feed(words[2]));
+  auto decoded = framer.Take();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(Framer, WriteAckFramesImmediately) {
+  ResponseMessage msg;
+  msg.is_write_ack = true;
+  ResponseFramer framer;
+  EXPECT_TRUE(framer.Feed(msg.Encode()[0]));
+}
+
+// Property: random request messages survive encode -> word-at-a-time framing
+// -> decode for every command and length.
+class MessageFuzzProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageFuzzProperty, EncodeFrameDecode) {
+  const int seed = GetParam();
+  std::uint32_t state = static_cast<std::uint32_t>(seed) * 2654435761u + 1u;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  };
+  RequestFramer framer;
+  for (int i = 0; i < 200; ++i) {
+    RequestMessage msg;
+    msg.cmd = (next() % 2 == 0) ? Command::kWrite : Command::kRead;
+    msg.flags = static_cast<int>(next() % 8);
+    msg.transaction_id = static_cast<int>(next() % 256);
+    msg.sequence_number = static_cast<int>(next() % 512);
+    msg.address = next();
+    if (msg.IsWrite()) {
+      const int len = static_cast<int>(next() % 32);
+      for (int w = 0; w < len; ++w) msg.data.push_back(next());
+    } else {
+      msg.read_length = static_cast<int>(next() % 256);
+    }
+    bool completed = false;
+    for (Word w : msg.Encode()) completed = framer.Feed(w);
+    ASSERT_TRUE(completed);
+    auto decoded = framer.Take();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageFuzzProperty, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace aethereal::transaction
