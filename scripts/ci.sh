@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build + test in Debug, then build Release and
+# run a bench_speed smoke iteration so perf regressions surface in CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== Debug: configure, build, ctest ==="
+cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-debug -j"$(nproc)"
+ctest --test-dir build-debug --output-on-failure -j"$(nproc)"
+
+echo "=== Release: configure, build ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$(nproc)"
+
+echo "=== Release: bench_speed smoke ==="
+# Writes the JSON to a scratch path; the committed BENCH_speed.json is the
+# curated baseline and is regenerated deliberately, not by CI.
+./build-release/bench_speed /tmp/BENCH_speed_ci.json
+python3 - <<'EOF' || exit 1
+import json
+with open("/tmp/BENCH_speed_ci.json") as f:
+    data = json.load(f)
+ratio = data["speedup_4x4_mixed"]["ratio"]
+print(f"bench_speed smoke: 4x4 mixed speedup = {ratio:.2f}x")
+# CI machines are noisy; gate on a conservative floor rather than the
+# committed-baseline target of 3.0.
+assert ratio >= 1.5, f"optimized engine speedup collapsed: {ratio:.2f}x"
+EOF
+
+echo "CI OK"

@@ -16,7 +16,10 @@ using link::PacketHeader;
 // ---------------------------------------------------------------------------
 
 NiPort::NiPort(std::string name, NiKernel* kernel)
-    : sim::Module(std::move(name)), kernel_(kernel) {}
+    : sim::Module(std::move(name)), kernel_(kernel) {
+  SetEvaluateIsNoop();      // ports are pure commit machinery
+  SetDefaultCommitOnly();
+}
 
 bool NiPort::CanWrite(int connid, int words) const {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
@@ -58,6 +61,9 @@ void NiPort::FlushData(int connid) {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
   ch.data_flush_reqs.Set(ch.data_flush_reqs.Get() + 1);
+  // The request register wakes the kernel when it commits on the port
+  // clock (see FlushRequestRegister) — exactly when the value becomes
+  // harvestable, regardless of how slow the port clock is.
 }
 
 void NiPort::FlushCredits(int connid) {
@@ -69,6 +75,12 @@ void NiPort::FlushCredits(int connid) {
 ChannelId NiPort::GlobalChannelOf(int connid) const {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   return channels_[static_cast<std::size_t>(connid)];
+}
+
+void NiPort::WakeOnDelivery(int connid, sim::Module* listener) {
+  AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
+  auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
+  ch.dest->SetReadListener(listener);
 }
 
 // ---------------------------------------------------------------------------
@@ -86,6 +98,9 @@ NiKernel::NiKernel(std::string name, NiId id, const NiKernelParams& params)
                       "more channels than the header qid field can address");
 
   stu_.assign(static_cast<std::size_t>(params.stu_slots), kInvalidId);
+  // Configuration bursts are small; keep the staging vector allocation-free
+  // in steady state (it is empty outside configuration).
+  pending_register_writes_.reserve(regs::kRegsPerChannel * 4);
 
   for (std::size_t p = 0; p < params.ports.size(); ++p) {
     const auto& port_params = params.ports[p];
@@ -100,6 +115,8 @@ NiKernel::NiKernel(std::string name, NiId id, const NiKernelParams& params)
       ch->port = static_cast<int>(p);
       ch->connid = static_cast<int>(port->channels_.size());
       ch->params = cp;
+      ch->data_flush_reqs.kernel = this;
+      ch->credit_flush_reqs.kernel = this;
       ch->source = std::make_unique<sim::CdcFifo<Word>>(cp.source_queue_words);
       ch->dest = std::make_unique<sim::CdcFifo<Word>>(cp.dest_queue_words);
       ch->source_net_side = std::make_unique<sim::CdcReadSide<Word>>(ch->source.get());
@@ -120,6 +137,11 @@ NiKernel::NiKernel(std::string name, NiId id, const NiKernelParams& params)
     }
     ports_.push_back(std::move(port));
   }
+  // Registered last so the naïve full-walk commit applies register writes
+  // after all state elements, exactly like the pre-optimization engine.
+  RegisterState(&reg_apply_);
+  SetEvaluateStride(kFlitWords);  // all work happens at slot boundaries
+  SetDefaultCommitOnly();
 }
 
 NiKernel::~NiKernel() = default;
@@ -132,6 +154,9 @@ void NiKernel::ConnectToRouter(link::LinkWires* to_router,
   to_router_ = to_router;
   from_router_ = from_router;
   be_link_credits_ = router_be_capacity;
+  // Delivered flits and returned link credits must find us running.
+  from_router->data.SetConsumer(this);
+  to_router->credit_return.SetConsumer(this);
 }
 
 NiPort* NiKernel::port(int index) {
@@ -168,6 +193,11 @@ Status NiKernel::WriteRegister(Word address, Word value) {
     return NotFoundError("unknown channel register");
   }
   pending_register_writes_.emplace_back(address, value);
+  // The write applies at the next commit phase even while parked (the
+  // RegApply element is armed); wake so the *scheduling* consequences
+  // (enable, slots, thresholds) are acted on from the next slot boundary.
+  reg_apply_.Arm();
+  Wake(kFlitWords + 1);
   return OkStatus();
 }
 
@@ -233,6 +263,17 @@ void NiKernel::ApplyRegisterWrite(Word address, Word value) {
       }
       ch.enabled = enable;
       ch.gt = gt;
+      if (enable && !gt) {
+        // A best-effort channel must not own TDM slots. Checked here (not
+        // only in Schedule()) so the misconfiguration is fatal even while
+        // the kernel is idle-gated.
+        for (SlotIndex s = 0; s < params_.stu_slots; ++s) {
+          AETHEREAL_CHECK_MSG(stu_[static_cast<std::size_t>(s)] != chid,
+                              name() << ": STU slot " << s
+                                     << " owned by best-effort channel "
+                                     << chid);
+        }
+      }
       break;
     }
     case regs::ChannelReg::kSpace:
@@ -255,6 +296,10 @@ void NiKernel::ApplyRegisterWrite(Word address, Word value) {
           AETHEREAL_CHECK_MSG(owner == kInvalidId || owner == chid,
                               name() << ": STU slot " << s
                                      << " already owned by channel " << owner);
+          AETHEREAL_CHECK_MSG(!(ch.enabled && !ch.gt),
+                              name() << ": STU slot " << s
+                                     << " owned by best-effort channel "
+                                     << chid);
           owner = chid;
         } else if (owner == chid) {
           owner = kInvalidId;
@@ -296,25 +341,128 @@ bool NiKernel::ChannelEnabled(ChannelId ch) const {
 
 void NiKernel::Evaluate() {
   if (!IsSlotBoundary()) return;
+  const Cycle slot_number = CycleCount() / kFlitWords;
+  AccountIdleThrough(slot_number - 1);  // slots skipped while parked
+  last_accounted_slot_ = slot_number;   // this slot is processed below
+  bool active = false;
   if (to_router_ != nullptr) {
-    be_link_credits_ += to_router_->credit_return.Sample();
+    const int returned = to_router_->credit_return.Sample();
+    if (returned != 0) {
+      be_link_credits_ += returned;
+      active = true;
+    }
   }
-  if (from_router_ != nullptr) ReceiveFlit();
-  HarvestCreditsAndFlushes();
-  if (to_router_ != nullptr) Schedule();
+  if (from_router_ != nullptr) active |= ReceiveFlit();
+  active |= HarvestCreditsAndFlushes();
+  if (to_router_ != nullptr) active |= Schedule();
+
+  // A slot with no arrivals, no harvested credits, no flushes, and nothing
+  // emitted can only be followed by more of the same until an external
+  // event (wire drive, queue push, flush, register write) wakes us.
+  if (!active) {
+    if (CanSleep()) {
+      Park();
+    } else {
+      MaybeParkUntilGtSlot(slot_number);
+    }
+  }
 }
 
-void NiKernel::Commit() {
-  sim::Module::Commit();
-  for (const auto& [address, value] : pending_register_writes_) {
-    ApplyRegisterWrite(address, value);
+void NiKernel::MaybeParkUntilGtSlot(Cycle slot_number) {
+  // Sleep through the wait for a reserved TDM slot: if the only pending
+  // work is eligible GT channels waiting for their slot to come around,
+  // schedule a wake at the earliest slot owned by any of them. The skipped
+  // slots are exactly the slots the naïve engine spends scanning an
+  // unchanged schedule (it grants nothing until that same slot), so the
+  // idle accounting replay stays exact. Any external event still wakes us
+  // earlier.
+  if (rx_qid_gt_ != kInvalidId || rx_qid_be_ != kInvalidId) return;
+  if (be_open_channel_ != kInvalidId) return;
+  if (!pending_register_writes_.empty()) return;
+  for (const auto& chp : channels_) {
+    const Channel& ch = *chp;
+    if (ch.open_words_left > 0) return;
+    if (!ch.gt && Eligible(ch)) return;  // BE work is granted next free slot
   }
-  pending_register_writes_.clear();
+  for (Cycle d = 1; d <= params_.stu_slots; ++d) {
+    const ChannelId owner =
+        stu_[static_cast<std::size_t>((slot_number + d) % params_.stu_slots)];
+    if (owner == kInvalidId) continue;
+    const Channel& oc = ChannelAt(owner);
+    if (oc.gt && Eligible(oc)) {
+      ParkUntil((slot_number + d) * kFlitWords);
+      return;
+    }
+  }
 }
 
-void NiKernel::ReceiveFlit() {
+bool NiKernel::CanSleep() const {
+  if (rx_qid_gt_ != kInvalidId || rx_qid_be_ != kInvalidId) return false;
+  if (be_open_channel_ != kInvalidId) return false;
+  if (!pending_register_writes_.empty()) return false;
+  for (const auto& chp : channels_) {
+    const Channel& ch = *chp;
+    if (ch.open_words_left > 0) return false;
+    if (Eligible(ch)) return false;
+  }
+  return true;
+}
+
+void NiKernel::AccountIdleThrough(Cycle last_slot) {
+  if (last_slot <= last_accounted_slot_) return;
+  const Cycle first = last_accounted_slot_ + 1;
+  last_accounted_slot_ = last_slot;
+  if (to_router_ == nullptr) return;  // the naïve path never schedules either
+  // While we were parked, the naïve engine would have walked Schedule() each
+  // slot and found nothing to send: every skipped slot is an idle slot, and
+  // every skipped slot whose STU owner is enabled is additionally an unused
+  // GT slot (the owner cannot have been eligible, or we would not have
+  // parked, and eligibility cannot change without an event that wakes us).
+  const Cycle skipped = last_slot - first + 1;
+  stats_.idle_slots += skipped;
+  Cycle owned_enabled = 0;  // enabled-owner slots per full table rotation
+  for (SlotIndex s = 0; s < params_.stu_slots; ++s) {
+    const ChannelId owner = stu_[static_cast<std::size_t>(s)];
+    if (owner != kInvalidId && ChannelAt(owner).enabled) ++owned_enabled;
+  }
+  if (owned_enabled == 0) return;
+  const Cycle rotations = skipped / params_.stu_slots;
+  stats_.gt_slots_unused += rotations * owned_enabled;
+  for (Cycle s = first + rotations * params_.stu_slots; s <= last_slot; ++s) {
+    const ChannelId owner =
+        stu_[static_cast<std::size_t>(s % params_.stu_slots)];
+    if (owner != kInvalidId && ChannelAt(owner).enabled) {
+      ++stats_.gt_slots_unused;
+    }
+  }
+}
+
+const NiKernelStats& NiKernel::stats() {
+  // Settle the idle accounting for any trailing parked window so counters
+  // read mid- or post-run match the naïve engine exactly.
+  if (clock() != nullptr && CycleCount() > 0) {
+    AccountIdleThrough((CycleCount() - 1) / kFlitWords);
+  }
+  return stats_;
+}
+
+void NiKernel::RegApply::Commit() {
+  if (kernel_->pending_register_writes_.empty()) return;
+  // Settle the idle-accounting replay for any parked window *before* the
+  // writes change enable/slot-table state: the naïve engine walked those
+  // slots with the pre-write configuration.
+  if (kernel_->clock() != nullptr) {
+    kernel_->AccountIdleThrough(kernel_->CycleCount() / kFlitWords);
+  }
+  for (const auto& [address, value] : kernel_->pending_register_writes_) {
+    kernel_->ApplyRegisterWrite(address, value);
+  }
+  kernel_->pending_register_writes_.clear();
+}
+
+bool NiKernel::ReceiveFlit() {
   const Flit& flit = from_router_->data.Sample();
-  if (flit.IsIdle()) return;
+  if (flit.IsIdle()) return false;
 
   // One packet per traffic class may be in flight on the delivery link (GT
   // preempts BE at slot boundaries upstream).
@@ -368,9 +516,11 @@ void NiKernel::ReceiveFlit() {
   // Return one link-level credit per BE flit consumed (the NI always sinks
   // flits: end-to-end flow control already guaranteed destination space).
   if (!flit.gt) from_router_->credit_return.Drive(1);
+  return true;
 }
 
-void NiKernel::HarvestCreditsAndFlushes() {
+bool NiKernel::HarvestCreditsAndFlushes() {
+  bool any = false;
   for (auto& chp : channels_) {
     Channel& ch = *chp;
     const int freed = ch.dest->TakeFreedForWriter();
@@ -378,18 +528,22 @@ void NiKernel::HarvestCreditsAndFlushes() {
       ch.credits_owed += freed;
       AETHEREAL_CHECK_MSG(ch.credits_owed <= ch.params.dest_queue_words,
                           name() << ": credits owed exceed queue capacity");
+      any = true;
     }
     if (ch.data_flush_reqs.Get() > ch.data_flush_seen) {
       ch.data_flush_seen = ch.data_flush_reqs.Get();
       // Snapshot of the source-queue filling at flush time (paper §4.1).
       ch.flush_words_left = ch.source->ReaderSize();
+      any = true;
     }
     if (ch.credit_flush_reqs.Get() > ch.credit_flush_seen) {
       ch.credit_flush_seen = ch.credit_flush_reqs.Get();
       ch.credit_flush = true;
+      any = true;
     }
     if (ch.credit_flush && ch.credits_owed == 0) ch.credit_flush = false;
   }
+  return any;
 }
 
 int NiKernel::SendableWords(const Channel& ch) const {
@@ -422,7 +576,7 @@ int NiKernel::GtRunWords(ChannelId ch, SlotIndex slot) const {
   return run * kFlitWords - 1;  // the header consumes one word
 }
 
-void NiKernel::Schedule() {
+bool NiKernel::Schedule() {
   const SlotIndex slot = CurrentSlot();
   ChannelId granted = kInvalidId;
 
@@ -446,23 +600,24 @@ void NiKernel::Schedule() {
       // Wormhole: the open BE packet continues before anything else.
       if (be_link_credits_ <= 0) {
         ++stats_.be_link_stalls;
-        return;
+        return false;
       }
       granted = be_open_channel_;
     } else {
       granted = ArbitrateBe();
       if (granted != kInvalidId && be_link_credits_ <= 0) {
         ++stats_.be_link_stalls;
-        return;
+        return false;
       }
     }
   }
 
   if (granted == kInvalidId) {
     ++stats_.idle_slots;
-    return;
+    return false;
   }
   EmitFlit(granted);
+  return true;
 }
 
 ChannelId NiKernel::ArbitrateBe() {

@@ -68,6 +68,11 @@ class NiPort : public sim::Module {
   /// credit threshold.
   void FlushCredits(int connid);
 
+  /// Declares a module to Wake() whenever newly delivered words become
+  /// readable on `connid` — lets a consumer IP park on an empty queue
+  /// without ever reading a word late.
+  void WakeOnDelivery(int connid, sim::Module* listener);
+
   /// The NI-global channel id (= remote_qid a peer must address).
   ChannelId GlobalChannelOf(int connid) const;
 
@@ -137,7 +142,9 @@ class NiKernel : public sim::Module {
 
   // --- introspection for tests / benches ----------------------------------
 
-  const NiKernelStats& stats() const { return stats_; }
+  /// Aggregate counters. Non-const: settles idle accounting for any
+  /// trailing parked window so the values match the naïve engine exactly.
+  const NiKernelStats& stats();
   const ChannelStats& channel_stats(ChannelId ch) const;
   int SpaceOf(ChannelId ch) const;
   int CreditsOwedOf(ChannelId ch) const;
@@ -146,10 +153,22 @@ class NiKernel : public sim::Module {
   bool ChannelEnabled(ChannelId ch) const;
 
   void Evaluate() override;
-  void Commit() override;
 
  private:
   friend class NiPort;
+
+  /// Applies pending configuration-register writes at the clock edge. A
+  /// TwoPhase element (instead of a Commit() override) so the kernel's
+  /// commit call can be elided on edges with nothing staged.
+  class RegApply : public sim::TwoPhase {
+   public:
+    explicit RegApply(NiKernel* kernel) : kernel_(kernel) {}
+    void Commit() override;
+    void Arm() { MarkDirty(); }
+
+   private:
+    NiKernel* kernel_;
+  };
 
   struct Channel {
     // Design-time.
@@ -180,9 +199,20 @@ class NiKernel : public sim::Module {
     // Flush request signals crossing from the port domain: monotonic
     // counters committed on the port clock (registered as port state); the
     // kernel compares them against its "seen" counters. This keeps the
-    // two-phase order-independence guarantee across domains.
-    sim::Register<std::int64_t> data_flush_reqs{0};
-    sim::Register<std::int64_t> credit_flush_reqs{0};
+    // two-phase order-independence guarantee across domains. The register
+    // wakes the kernel when it commits — the staging-time wake alone is
+    // not enough, because on a slow port clock the commit can land after
+    // the wake hold has expired and the kernel has re-parked.
+    struct FlushRequestRegister : sim::Register<std::int64_t> {
+      FlushRequestRegister() : sim::Register<std::int64_t>(0) {}
+      NiKernel* kernel = nullptr;
+      void Commit() override {
+        sim::Register<std::int64_t>::Commit();
+        if (kernel != nullptr) kernel->Wake(kFlitWords + 1);
+      }
+    };
+    FlushRequestRegister data_flush_reqs;
+    FlushRequestRegister credit_flush_reqs;
     std::int64_t data_flush_seen = 0;
     std::int64_t credit_flush_seen = 0;
     ChannelStats stats;
@@ -192,15 +222,28 @@ class NiKernel : public sim::Module {
   Channel& ChannelAt(ChannelId ch);
   const Channel& ChannelAt(ChannelId ch) const;
 
-  void ReceiveFlit();
-  void HarvestCreditsAndFlushes();
-  void Schedule();
+  /// Returns true if a non-idle flit arrived.
+  bool ReceiveFlit();
+  /// Returns true if any credit was harvested or flush request seen.
+  bool HarvestCreditsAndFlushes();
+  /// Returns true if a flit was emitted.
+  bool Schedule();
   void EmitFlit(ChannelId ch);
   bool Eligible(const Channel& ch) const;
   int SendableWords(const Channel& ch) const;
   ChannelId ArbitrateBe();
   int GtRunWords(ChannelId ch, SlotIndex slot) const;
   void ApplyRegisterWrite(Word address, Word value);
+  /// True when no channel has pending or schedulable work, so Evaluate()
+  /// would remain a no-op until an external event (which always Wake()s us).
+  bool CanSleep() const;
+  /// If the only pending work is eligible GT channels waiting for their
+  /// reserved slot, schedules a wake at the earliest such slot and parks.
+  void MaybeParkUntilGtSlot(Cycle slot_number);
+  /// Replays the idle accounting (idle_slots / gt_slots_unused) for slots
+  /// skipped while parked, through slot `last_slot` inclusive, keeping the
+  /// stats identical to the naïve path.
+  void AccountIdleThrough(Cycle last_slot);
 
   NiId id_;
   NiKernelParams params_;
@@ -224,7 +267,12 @@ class NiKernel : public sim::Module {
   int rr_pointer_ = 0;
   int wrr_grants_left_ = 0;
 
+  // Idle accounting across parked windows (slot sequence number of the last
+  // slot whose idle stats were accounted).
+  Cycle last_accounted_slot_ = -1;
+
   std::vector<std::pair<Word, Word>> pending_register_writes_;
+  RegApply reg_apply_{this};
   NiKernelStats stats_;
 };
 

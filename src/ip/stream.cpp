@@ -20,11 +20,18 @@ StreamProducer::StreamProducer(std::string name, core::NiPort* port,
   AETHEREAL_CHECK(port != nullptr);
   AETHEREAL_CHECK(period >= 1);
   AETHEREAL_CHECK(words_per_period >= 1);
+  SetDefaultCommitOnly();  // no registered state, no Commit override
 }
 
 void StreamProducer::Evaluate() {
-  if (!active_) return;
-  if (Done() && backlog_ == 0) return;
+  if (!active_) {
+    Park();  // Start() wakes us
+    return;
+  }
+  if (Done() && backlog_ == 0) {
+    Park();  // finished for good
+    return;
+  }
   if (CycleCount() >= next_emit_) {
     std::int64_t due = words_per_period_;
     if (total_words_ >= 0) {
@@ -47,6 +54,10 @@ void StreamProducer::Evaluate() {
     } else {
       ++stall_cycles_;
     }
+  } else if (next_emit_ > CycleCount()) {
+    // Nothing due until the next emission tick: sleep through the gap.
+    // (A full source queue keeps us awake — space frees asynchronously.)
+    ParkUntil(next_emit_);
   }
 }
 
@@ -60,11 +71,18 @@ StreamConsumer::StreamConsumer(std::string name, core::NiPort* port,
       timestamp_mode_(timestamp_mode) {
   AETHEREAL_CHECK(port != nullptr);
   AETHEREAL_CHECK(drain_per_cycle >= 1);
+  SetDefaultCommitOnly();  // no registered state, no Commit override
+  // Park on an empty destination queue; deliveries wake us in time for the
+  // first readable cycle.
+  port->WakeOnDelivery(connid, this);
 }
 
 void StreamConsumer::Evaluate() {
   for (int i = 0; i < drain_per_cycle_; ++i) {
-    if (port_->ReadAvailable(connid_) == 0) return;
+    if (port_->ReadAvailable(connid_) == 0) {
+      if (i == 0) Park();  // empty queue: sleep until the next delivery
+      return;
+    }
     const Word value = port_->Read(connid_);
     if (timestamp_mode_) {
       latency_.Add(static_cast<double>(CycleCount()) -

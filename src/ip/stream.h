@@ -35,7 +35,10 @@ class StreamProducer : public sim::Module {
 
   /// Producers can be held idle and started under application control
   /// (e.g. after a run-time reconfiguration).
-  void Start() { active_ = true; }
+  void Start() {
+    active_ = true;
+    Wake();  // a stopped producer parks itself
+  }
   void Stop() { active_ = false; }
   bool active() const { return active_; }
 

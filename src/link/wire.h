@@ -13,6 +13,12 @@
 //  * FlitWire  — the forward data signal (idle flit when undriven);
 //  * CreditWire — the backward link-level credit-return pulse used by the
 //    best-effort input buffers (0 when undriven).
+//
+// Gating integration (DESIGN.md §7): a wire arms itself on Drive() and
+// stays armed until one slot boundary after it has gone idle, so an
+// undriven wire costs nothing per edge. Drive() also wakes the consumer
+// module registered with SetConsumer(), guaranteeing a parked consumer is
+// running again by the slot boundary at which the value becomes visible.
 #ifndef AETHEREAL_LINK_WIRE_H
 #define AETHEREAL_LINK_WIRE_H
 
@@ -28,33 +34,58 @@ class SlotWire : public sim::TwoPhase {
   SlotWire() = default;
   explicit SlotWire(T idle) : idle_(idle), current_(idle), next_(idle) {}
 
+  /// Declares the module that samples this wire; every Drive() wakes it so
+  /// a parked consumer never misses a slot transfer.
+  void SetConsumer(sim::Module* consumer) { consumer_ = consumer; }
+
   /// Producer: drive the wire for the current slot (call during Evaluate of
   /// a slot-boundary cycle, at most once per slot).
   void Drive(const T& value) {
     AETHEREAL_CHECK_MSG(!driven_, "wire driven twice in one slot");
     next_ = value;
     driven_ = true;
+    MarkDirty();
+    if (consumer_ != nullptr) consumer_->Wake(kFlitWords);
   }
 
   /// Consumer: the value latched at the last slot boundary.
   const T& Sample() const { return current_; }
 
-  /// Commits once per word-clock edge; the latch transfers at slot
-  /// boundaries (every kFlitWords edges).
+  /// Commits once per word-clock edge while armed; the latch transfers at
+  /// slot boundaries (every kFlitWords edges).
   void Commit() override {
+    const bool boundary = AtSlotEnd();
     ++phase_;
-    if (phase_ % kFlitWords == 0) {
+    if (boundary) {
       current_ = driven_ ? next_ : idle_;
+      holding_ = driven_;
       driven_ = false;
     }
+    // Stay armed until the boundary at which the wire reverts to idle: a
+    // pending drive needs its transfer, a held value needs its revert.
+    if (driven_ || holding_ || !boundary) MarkDirty();
   }
 
  private:
+  bool AtSlotEnd() const {
+    // The slot grid is defined by the owning module's clock so that skipped
+    // commits (while the wire is idle and disarmed) cannot drift the phase.
+    // A standalone wire (unit tests) falls back to counting its own
+    // commits, which in that setting happen every edge.
+    const sim::Module* m = owner();
+    const Cycle edge = (m != nullptr && m->clock() != nullptr)
+                           ? m->CycleCount()
+                           : phase_;
+    return edge % kFlitWords == kFlitWords - 1;
+  }
+
   T idle_{};
   T current_{};
   T next_{};
   bool driven_ = false;
-  std::int64_t phase_ = 0;
+  bool holding_ = false;  // current_ carries a driven value to revert
+  sim::Module* consumer_ = nullptr;
+  Cycle phase_ = 0;
 };
 
 using FlitWire = SlotWire<Flit>;
@@ -70,12 +101,19 @@ struct LinkWires {
 
 /// A directed link as a simulation module: owns and commits its wires on
 /// the network clock. Producers call data.Drive(); consumers call
-/// credit_return.Drive().
+/// credit_return.Drive(). A link is pure commit machinery: it is never
+/// evaluated on the optimized path, and once both wires have disarmed its
+/// per-edge cost is two flag checks.
 class DirectedLink : public sim::Module {
  public:
   explicit DirectedLink(std::string name) : sim::Module(std::move(name)) {
     RegisterState(&wires_.data);
     RegisterState(&wires_.credit_return);
+    SetEvaluateIsNoop();
+    SetDefaultCommitOnly();
+    // Wires latch only at the end-of-slot edge; commits on the two other
+    // word-clock edges of a slot are no-ops and are skipped.
+    SetCommitStride(kFlitWords, kFlitWords - 1);
   }
 
   void Evaluate() override {}

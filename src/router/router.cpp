@@ -15,8 +15,12 @@ Router::Router(std::string name, RouterId id, const RouterConfig& config)
     : sim::Module(std::move(name)), id_(id), config_(config) {
   AETHEREAL_CHECK(config.num_ports > 0);
   AETHEREAL_CHECK(config.be_buffer_flits > 0);
+  SetEvaluateStride(kFlitWords);  // all work happens at slot boundaries
+  SetDefaultCommitOnly();
   inputs_.reserve(static_cast<std::size_t>(config.num_ports));
   outputs_.resize(static_cast<std::size_t>(config.num_ports));
+  gt_out_scratch_.resize(static_cast<std::size_t>(config.num_ports),
+                         Flit::Idle());
   for (int p = 0; p < config.num_ports; ++p) {
     inputs_.emplace_back(config.be_buffer_flits);
     RegisterState(&inputs_.back().be_queue);
@@ -27,6 +31,8 @@ void Router::ConnectInput(int port, link::LinkWires* wires) {
   AETHEREAL_CHECK(port >= 0 && port < config_.num_ports);
   AETHEREAL_CHECK(wires != nullptr);
   inputs_[static_cast<std::size_t>(port)].wires = wires;
+  // Flits arriving on this link must find us running.
+  wires->data.SetConsumer(this);
 }
 
 void Router::ConnectOutput(int port, link::LinkWires* wires,
@@ -37,6 +43,8 @@ void Router::ConnectOutput(int port, link::LinkWires* wires,
   auto& out = outputs_[static_cast<std::size_t>(port)];
   out.wires = wires;
   out.be_credits = downstream_be_capacity;
+  // Credits returned by the downstream peer must find us running.
+  wires->credit_return.SetConsumer(this);
 }
 
 int Router::OutputCredits(int port) const {
@@ -48,37 +56,55 @@ void Router::Evaluate() {
   if (!IsSlotBoundary()) return;
 
   // Collect returned BE credits from downstream.
+  bool credits_arrived = false;
   for (auto& out : outputs_) {
     if (out.wires != nullptr) {
-      out.be_credits += out.wires->credit_return.Sample();
+      const int returned = out.wires->credit_return.Sample();
+      if (returned != 0) {
+        out.be_credits += returned;
+        credits_arrived = true;
+      }
     }
   }
 
   // Phase A: accept arriving flits. GT flits are switched through
   // immediately; BE flits go to the input buffers.
-  std::vector<Flit> gt_out(static_cast<std::size_t>(config_.num_ports),
-                           Flit::Idle());
-  AcceptInputs(gt_out);
+  std::fill(gt_out_scratch_.begin(), gt_out_scratch_.end(), Flit::Idle());
+  const bool flits_arrived = AcceptInputs(gt_out_scratch_);
 
   // Phase B: BE wormhole arbitration on the outputs GT left free.
-  ArbitrateBestEffort(gt_out);
+  ArbitrateBestEffort(gt_out_scratch_);
 
   // Phase C: return one link-level credit per BE flit drained from each
   // input buffer this slot.
+  bool credits_returned = false;
+  bool be_buffered = false;
   for (auto& in : inputs_) {
     if (in.wires != nullptr && in.credits_freed_this_slot > 0) {
       in.wires->credit_return.Drive(in.credits_freed_this_slot);
+      credits_returned = true;
     }
     in.credits_freed_this_slot = 0;
+    if (in.be_queue.Size() > 0) be_buffered = true;
+  }
+
+  // A slot in which nothing arrived, nothing was buffered, and nothing was
+  // driven cannot be followed by local work: any future work begins with a
+  // wire drive, which wakes us.
+  if (!flits_arrived && !credits_arrived && !credits_returned &&
+      !be_buffered) {
+    Park();
   }
 }
 
-void Router::AcceptInputs(std::vector<Flit>& gt_out) {
+bool Router::AcceptInputs(std::vector<Flit>& gt_out) {
+  bool any = false;
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     auto& in = inputs_[i];
     if (in.wires == nullptr) continue;
     const Flit& flit = in.wires->data.Sample();
     if (flit.IsIdle()) continue;
+    any = true;
 
     if (flit.kind == FlitKind::kHeader) {
       PacketHeader header = PacketHeader::Decode(flit.words[0]);
@@ -119,6 +145,7 @@ void Router::AcceptInputs(std::vector<Flit>& gt_out) {
       }
     }
   }
+  return any;
 }
 
 void Router::ForwardGt(int input, const Flit& flit, int target,

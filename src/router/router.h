@@ -80,7 +80,8 @@ class Router : public sim::Module {
   };
 
   bool IsSlotBoundary() const { return CycleCount() % kFlitWords == 0; }
-  void AcceptInputs(std::vector<link::Flit>& gt_out);
+  /// Returns true if any input carried a flit this slot.
+  bool AcceptInputs(std::vector<link::Flit>& gt_out);
   void ForwardGt(int input, const link::Flit& flit, int target,
                  std::vector<link::Flit>& gt_out);
   void BufferBe(int input, const link::Flit& flit, int target);
@@ -107,6 +108,9 @@ class Router : public sim::Module {
 
   std::vector<InputState> inputs_;
   std::vector<OutputState> outputs_;
+  // Per-slot GT crossbar scratch, preallocated so Evaluate() never touches
+  // the heap (it used to build a fresh std::vector<Flit> every slot).
+  std::vector<link::Flit> gt_out_scratch_;
   RouterStats stats_;
 };
 

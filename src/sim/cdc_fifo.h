@@ -7,13 +7,21 @@
 // visible to the reader two of *its* edges after the writer committed it)
 // and symmetrically a 2-writer-edge synchronizer on the read pointer (freed
 // space becomes visible to the writer two of *its* edges after the pop).
+//
+// Dirty-list protocol (DESIGN.md §7): each side's adapter arms itself when
+// the fifo is staged on that side, re-arms while synchronizer entries are
+// still in flight toward it, and arms the *opposite* side when it hands
+// entries to the opposite synchronizer. The per-side edge counters advance
+// only while that side commits, which is every edge of the side's domain
+// for as long as anything is pending — so visibility delays measured in
+// those counters are identical to the naïve run-every-edge behaviour.
 #ifndef AETHEREAL_SIM_CDC_FIFO_H
 #define AETHEREAL_SIM_CDC_FIFO_H
 
-#include <deque>
-#include <vector>
+#include <utility>
 
 #include "sim/kernel.h"
+#include "sim/ring.h"
 #include "util/check.h"
 
 namespace aethereal::sim {
@@ -23,9 +31,42 @@ namespace aethereal::sim {
 inline constexpr int kCdcSyncEdges = 2;
 
 template <typename T>
+class CdcFifo;
+
+/// Adapters so a CdcFifo side can be registered as Module state.
+template <typename T>
+class CdcWriteSide : public TwoPhase {
+ public:
+  explicit CdcWriteSide(CdcFifo<T>* fifo);
+  void Commit() override;
+
+ private:
+  friend class CdcFifo<T>;
+  void Arm() { MarkDirty(); }
+  CdcFifo<T>* fifo_;
+};
+
+template <typename T>
+class CdcReadSide : public TwoPhase {
+ public:
+  explicit CdcReadSide(CdcFifo<T>* fifo);
+  void Commit() override;
+
+ private:
+  friend class CdcFifo<T>;
+  void Arm() { MarkDirty(); }
+  CdcFifo<T>* fifo_;
+};
+
+template <typename T>
 class CdcFifo {
  public:
-  explicit CdcFifo(int capacity) : capacity_(capacity) {
+  explicit CdcFifo(int capacity)
+      : capacity_(capacity),
+        staged_pushes_(capacity),
+        pending_space_(capacity),
+        in_flight_(capacity),
+        visible_(capacity) {
     AETHEREAL_CHECK(capacity > 0);
   }
 
@@ -36,7 +77,7 @@ class CdcFifo {
   /// Space as the writer currently sees it (pessimistic by up to the
   /// synchronizer delay, as in real gray-code FIFOs).
   int WriterSpace() const {
-    return capacity_ - writer_occupancy_ - static_cast<int>(staged_pushes_.size());
+    return capacity_ - writer_occupancy_ - staged_pushes_.size();
   }
 
   bool CanPush() const { return WriterSpace() > 0; }
@@ -44,6 +85,7 @@ class CdcFifo {
   void Push(T value) {
     AETHEREAL_CHECK_MSG(CanPush(), "CdcFifo overflow");
     staged_pushes_.push_back(std::move(value));
+    if (write_side_ != nullptr) write_side_->Arm();
   }
 
   /// Words freed by the reader that the writer has now synchronized but not
@@ -67,19 +109,24 @@ class CdcFifo {
       freed_for_writer_ += pending_space_.front().count;
       pending_space_.pop_front();
     }
-    for (auto& v : staged_pushes_) {
+    const bool handed_off = !staged_pushes_.empty();
+    while (!staged_pushes_.empty()) {
       writer_occupancy_ += 1;
       // The value becomes visible to the reader kCdcSyncEdges reader edges
       // from the *next* reader edge.
-      in_flight_.push_back(Entry{std::move(v), reader_edges_ + kCdcSyncEdges});
+      in_flight_.push_back(
+          Entry{staged_pushes_.pop_front(), reader_edges_ + kCdcSyncEdges});
     }
-    staged_pushes_.clear();
+    // The reader synchronizer now has work; the writer synchronizer may
+    // still have space returns in flight toward us.
+    if (handed_off && read_side_ != nullptr) read_side_->Arm();
+    if (!pending_space_.empty() && write_side_ != nullptr) write_side_->Arm();
   }
 
   // ---- reader-side interface (call only from the reader's clock domain) --
 
   /// Committed words visible to the reader this cycle.
-  int ReaderSize() const { return static_cast<int>(visible_.size()); }
+  int ReaderSize() const { return visible_.size(); }
 
   /// Words still poppable this cycle (visible minus pops already staged).
   int ReaderAvailable() const { return ReaderSize() - staged_pops_; }
@@ -89,15 +136,21 @@ class CdcFifo {
   const T& Peek(int offset = 0) const {
     const int index = staged_pops_ + offset;
     AETHEREAL_CHECK(index < ReaderSize());
-    return visible_[static_cast<std::size_t>(index)];
+    return visible_[index];
   }
 
   T Pop() {
     AETHEREAL_CHECK_MSG(CanPop(), "CdcFifo underflow");
-    T value = visible_[static_cast<std::size_t>(staged_pops_)];
+    T value = visible_[staged_pops_];
     ++staged_pops_;
+    if (read_side_ != nullptr) read_side_->Arm();
     return value;
   }
+
+  /// Declares a module to Wake() whenever newly synchronized words become
+  /// visible to the reader — lets a consumer park on an empty queue and
+  /// still start reading at exactly the first cycle data is readable.
+  void SetReadListener(Module* listener) { read_listener_ = listener; }
 
   /// Reader-domain clock edge: applies pops and advances the write-pointer
   /// synchronizer (newly synchronized words become visible).
@@ -108,59 +161,81 @@ class CdcFifo {
       pending_space_.push_back(
           SpaceReturn{staged_pops_, writer_edges_ + kCdcSyncEdges});
       staged_pops_ = 0;
+      // The writer synchronizer now has a space return to deliver.
+      if (write_side_ != nullptr) write_side_->Arm();
     }
+    bool delivered = false;
     while (!in_flight_.empty() &&
            in_flight_.front().visible_edge <= reader_edges_) {
       visible_.push_back(std::move(in_flight_.front().value));
       in_flight_.pop_front();
+      delivered = true;
     }
+    if (!in_flight_.empty() && read_side_ != nullptr) read_side_->Arm();
+    // Wake takes effect next edge — exactly the first edge at which the
+    // words committed here are readable.
+    if (delivered && read_listener_ != nullptr) read_listener_->Wake();
   }
 
  private:
+  template <typename U>
+  friend class CdcWriteSide;
+  template <typename U>
+  friend class CdcReadSide;
+
   struct Entry {
-    T value;
-    Cycle visible_edge;  // reader edge count at which this becomes visible
+    T value{};
+    Cycle visible_edge = 0;  // reader edge count at which this becomes visible
   };
   struct SpaceReturn {
-    int count;
-    Cycle visible_edge;  // writer edge count at which space is returned
+    int count = 0;
+    Cycle visible_edge = 0;  // writer edge count at which space is returned
   };
 
   int capacity_;
   // Writer side.
   int writer_occupancy_ = 0;  // occupancy as the writer believes it
   int freed_for_writer_ = 0;  // synchronized frees not yet harvested
-  std::vector<T> staged_pushes_;
+  Ring<T> staged_pushes_;
   Cycle writer_edges_ = 0;
-  std::deque<SpaceReturn> pending_space_;
+  Ring<SpaceReturn> pending_space_;
   // Crossing.
-  std::deque<Entry> in_flight_;
+  Ring<Entry> in_flight_;
   // Reader side.
-  std::deque<T> visible_;
+  Ring<T> visible_;
   int staged_pops_ = 0;
   Cycle reader_edges_ = 0;
-};
-
-/// Adapters so a CdcFifo side can be registered as Module state.
-template <typename T>
-class CdcWriteSide : public TwoPhase {
- public:
-  explicit CdcWriteSide(CdcFifo<T>* fifo) : fifo_(fifo) {}
-  void Commit() override { fifo_->CommitWriteSide(); }
-
- private:
-  CdcFifo<T>* fifo_;
+  // Registered adapters (set by the adapter constructors).
+  CdcWriteSide<T>* write_side_ = nullptr;
+  CdcReadSide<T>* read_side_ = nullptr;
+  Module* read_listener_ = nullptr;
 };
 
 template <typename T>
-class CdcReadSide : public TwoPhase {
- public:
-  explicit CdcReadSide(CdcFifo<T>* fifo) : fifo_(fifo) {}
-  void Commit() override { fifo_->CommitReadSide(); }
+CdcWriteSide<T>::CdcWriteSide(CdcFifo<T>* fifo) : fifo_(fifo) {
+  AETHEREAL_CHECK(fifo != nullptr);
+  AETHEREAL_CHECK_MSG(fifo->write_side_ == nullptr,
+                      "CdcFifo already has a write-side adapter");
+  fifo->write_side_ = this;
+}
 
- private:
-  CdcFifo<T>* fifo_;
-};
+template <typename T>
+void CdcWriteSide<T>::Commit() {
+  fifo_->CommitWriteSide();
+}
+
+template <typename T>
+CdcReadSide<T>::CdcReadSide(CdcFifo<T>* fifo) : fifo_(fifo) {
+  AETHEREAL_CHECK(fifo != nullptr);
+  AETHEREAL_CHECK_MSG(fifo->read_side_ == nullptr,
+                      "CdcFifo already has a read-side adapter");
+  fifo->read_side_ = this;
+}
+
+template <typename T>
+void CdcReadSide<T>::Commit() {
+  fifo_->CommitReadSide();
+}
 
 }  // namespace aethereal::sim
 

@@ -3,13 +3,17 @@
 // These model the "custom-made hardware fifos" of the NI kernel (paper
 // Section 4.1/5): readers see only state committed at the previous clock
 // edge; pushes and pops staged during Evaluate() take effect at Commit().
+//
+// Both models participate in the dirty-list commit protocol (DESIGN.md §7):
+// staging marks the element dirty; a commit with nothing staged is never
+// required, so committed-but-idle queues cost nothing per edge.
 #ifndef AETHEREAL_SIM_FIFO_H
 #define AETHEREAL_SIM_FIFO_H
 
-#include <deque>
-#include <vector>
+#include <utility>
 
 #include "sim/kernel.h"
+#include "sim/ring.h"
 #include "util/check.h"
 
 namespace aethereal::sim {
@@ -21,18 +25,19 @@ namespace aethereal::sim {
 template <typename T>
 class Fifo : public TwoPhase {
  public:
-  explicit Fifo(int capacity) : capacity_(capacity) {
+  explicit Fifo(int capacity)
+      : capacity_(capacity), committed_(capacity), staged_pushes_(capacity) {
     AETHEREAL_CHECK(capacity > 0);
   }
 
   int capacity() const { return capacity_; }
 
   /// Committed occupancy (what a reader sees this cycle).
-  int Size() const { return static_cast<int>(committed_.size()); }
+  int Size() const { return committed_.size(); }
 
   /// Occupancy after this edge's staged pushes/pops commit.
   int SizeAfterCommit() const {
-    return Size() - staged_pops_ + static_cast<int>(staged_pushes_.size());
+    return Size() - staged_pops_ + staged_pushes_.size();
   }
 
   bool Empty() const { return committed_.empty(); }
@@ -49,28 +54,31 @@ class Fifo : public TwoPhase {
   const T& Peek(int offset = 0) const {
     const int index = staged_pops_ + offset;
     AETHEREAL_CHECK_MSG(index < Size(), "Fifo::Peek past committed contents");
-    return committed_[static_cast<std::size_t>(index)];
+    return committed_[index];
   }
 
   /// Stage a push; takes effect at Commit().
   void Push(T value) {
     AETHEREAL_CHECK_MSG(CanPush(), "Fifo overflow (capacity " << capacity_ << ")");
     staged_pushes_.push_back(std::move(value));
+    MarkDirty();
   }
 
   /// Stage a pop and return the popped value.
   T Pop() {
     AETHEREAL_CHECK_MSG(CanPop(), "Fifo underflow");
-    T value = committed_[static_cast<std::size_t>(staged_pops_)];
+    T value = committed_[staged_pops_];
     ++staged_pops_;
+    MarkDirty();
     return value;
   }
 
   void Commit() override {
     for (int i = 0; i < staged_pops_; ++i) committed_.pop_front();
     staged_pops_ = 0;
-    for (auto& v : staged_pushes_) committed_.push_back(std::move(v));
-    staged_pushes_.clear();
+    while (!staged_pushes_.empty()) {
+      committed_.push_back(staged_pushes_.pop_front());
+    }
   }
 
   /// Drops all contents immediately (reset; not a hardware path).
@@ -82,8 +90,8 @@ class Fifo : public TwoPhase {
 
  private:
   int capacity_;
-  std::deque<T> committed_;
-  std::vector<T> staged_pushes_;
+  Ring<T> committed_;
+  Ring<T> staged_pushes_;
   int staged_pops_ = 0;
 };
 
@@ -96,7 +104,10 @@ class Register : public TwoPhase {
   explicit Register(T reset) : value_(reset), next_(reset) {}
 
   const T& Get() const { return value_; }
-  void Set(T value) { next_ = std::move(value); }
+  void Set(T value) {
+    next_ = std::move(value);
+    MarkDirty();
+  }
 
   void Commit() override { value_ = next_; }
 

@@ -2,19 +2,89 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 namespace aethereal::sim {
 
-Cycle Module::CycleCount() const {
-  AETHEREAL_CHECK(clock_ != nullptr);
-  return clock_->cycles();
+namespace {
+
+// Min-heap comparator: std::*_heap build max-heaps, so "greater" yields a
+// min-heap. Ties break on clock id so coincident edges pop in id order
+// (deterministic, and matches the original all-clocks scan order).
+bool EdgeAfter(const Clock* a, const Clock* b) {
+  if (a->next_edge_ps() != b->next_edge_ps())
+    return a->next_edge_ps() > b->next_edge_ps();
+  return a->id() > b->id();
 }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Module
+// ---------------------------------------------------------------------------
+
+void Module::RegisterState(TwoPhase* element) {
+  AETHEREAL_CHECK_MSG(element->owner_ == nullptr,
+                      name() << ": state element already registered");
+  element->owner_ = this;
+  state_.push_back(element);
+  // Keep the dirty lists allocation-free at commit time.
+  dirty_.reserve(state_.size());
+  dirty_scratch_.reserve(state_.size());
+}
+
+void Module::CommitState() {
+  if (clock_ == nullptr || clock_->kernel_ == nullptr ||
+      clock_->kernel_->optimize()) {
+    // Dirty-list commit. Elements may re-arm (MarkDirty) from inside
+    // Commit(); they then land on the fresh dirty_ list for the next edge,
+    // so iterate a swapped-out snapshot.
+    if (dirty_.empty()) return;
+    dirty_scratch_.swap(dirty_);
+    for (TwoPhase* s : dirty_scratch_) {
+      s->dirty_ = false;
+      s->Commit();
+    }
+    dirty_scratch_.clear();
+  } else {
+    // Naïve reference path: commit everything, every edge. Reset the dirty
+    // bookkeeping first so re-arms inside Commit() cannot grow it without
+    // bound (the flags are meaningless on this path).
+    for (TwoPhase* s : dirty_) s->dirty_ = false;
+    dirty_.clear();
+    for (TwoPhase* s : state_) s->Commit();
+  }
+}
+
+void Module::Park() {
+  if (parked_) return;
+  if (clock_ == nullptr || clock_->kernel_ == nullptr ||
+      !clock_->kernel_->optimize()) {
+    return;
+  }
+  if (!dirty_.empty()) return;             // staged state must commit first
+  if (clock_->cycles_ <= wake_until_) return;  // recent wake holds us awake
+  parked_ = true;
+  clock_->run_list_dirty_ = true;
+}
+
+void Module::ParkUntil(Cycle cycle) {
+  Park();
+  if (parked_) clock_->AddTimer(cycle, this);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
 
 Clock* Kernel::AddClock(std::string name, Picoseconds period_ps) {
   clocks_.push_back(std::make_unique<Clock>(
       static_cast<int>(clocks_.size()), std::move(name), period_ps));
-  return clocks_.back().get();
+  Clock* clock = clocks_.back().get();
+  clock->kernel_ = this;
+  edge_heap_.reserve(clocks_.size());
+  firing_.reserve(clocks_.size());
+  heap_dirty_ = true;
+  return clock;
 }
 
 Clock* Kernel::AddClockMhz(std::string name, double mhz) {
@@ -23,25 +93,89 @@ Clock* Kernel::AddClockMhz(std::string name, double mhz) {
   return AddClock(std::move(name), period);
 }
 
+void Kernel::set_optimize(bool on) {
+  AETHEREAL_CHECK_MSG(!stepped_,
+                      "set_optimize must be called before the first Step()");
+  optimize_ = on;
+}
+
+void Kernel::RebuildHeap() const {
+  edge_heap_.clear();
+  for (const auto& c : clocks_) edge_heap_.push_back(c.get());
+  std::make_heap(edge_heap_.begin(), edge_heap_.end(), EdgeAfter);
+  heap_dirty_ = false;
+}
+
+Picoseconds Kernel::NextEdgeTime() const {
+  AETHEREAL_CHECK_MSG(!clocks_.empty(), "no clocks in kernel");
+  if (clocks_.size() == 1) return clocks_.front()->next_edge_ps();
+  if (heap_dirty_) RebuildHeap();
+  return edge_heap_.front()->next_edge_ps();
+}
+
 Picoseconds Kernel::Step() {
   AETHEREAL_CHECK_MSG(!clocks_.empty(), "no clocks in kernel");
-  Picoseconds t = std::numeric_limits<Picoseconds>::max();
-  for (const auto& c : clocks_) t = std::min(t, c->next_edge_ps());
+  stepped_ = true;
 
-  // Gather firing clocks in id order (deterministic).
-  std::vector<Clock*> firing;
-  for (const auto& c : clocks_) {
-    if (c->next_edge_ps() == t) firing.push_back(c.get());
-  }
-  // Phase 1: evaluate everything before committing anything.
-  for (Clock* c : firing) {
-    for (Module* m : c->modules_) m->Evaluate();
-  }
-  // Phase 2: commit.
-  for (Clock* c : firing) {
-    for (Module* m : c->modules_) m->Commit();
+  // Single-clock fast path: no scan, no heap, no scratch.
+  if (clocks_.size() == 1) {
+    Clock* c = clocks_.front().get();
+    const Picoseconds t = c->next_edge_ps_;
+    if (optimize_) {
+      // Parked / no-op / off-stride modules skip Evaluate only. Every
+      // module still reaches the commit phase so state staged into it
+      // (register writes, synchronizer traffic) lands at exactly the same
+      // edge as on the naïve path; the virtual Commit() call is elided for
+      // modules with nothing staged.
+      c->EvaluatePhase();
+      c->CommitPhase();
+    } else {
+      for (Module* m : c->modules_) m->Evaluate();
+      for (Module* m : c->modules_) m->Commit();
+    }
     c->cycles_ += 1;
     c->next_edge_ps_ += c->period_ps_;
+    now_ps_ = t;
+    return t;
+  }
+
+  if (heap_dirty_) RebuildHeap();
+  const Picoseconds t = edge_heap_.front()->next_edge_ps_;
+
+  // Pop every clock firing at t; pops come out in (time, id) order, so
+  // coincident clocks are processed in id order (deterministic).
+  firing_.clear();
+  while (!edge_heap_.empty() && edge_heap_.front()->next_edge_ps_ == t) {
+    std::pop_heap(edge_heap_.begin(), edge_heap_.end(), EdgeAfter);
+    firing_.push_back(edge_heap_.back());
+    edge_heap_.pop_back();
+  }
+
+  // Phase 1: evaluate everything before committing anything. On the
+  // optimized path, parked / no-op / off-stride modules are skipped (their
+  // Evaluate is a proven no-op).
+  if (optimize_) {
+    for (Clock* c : firing_) c->EvaluatePhase();
+  } else {
+    for (Clock* c : firing_) {
+      for (Module* m : c->modules_) m->Evaluate();
+    }
+  }
+  // Phase 2: commit. Every module reaches the commit phase — parked ones
+  // too — so staged state always lands at the same edge as on the naïve
+  // path; on the optimized path the virtual call is elided when clean.
+  for (Clock* c : firing_) {
+    if (optimize_) {
+      c->CommitPhase();
+    } else {
+      for (Module* m : c->modules_) m->Commit();
+    }
+    c->cycles_ += 1;
+    c->next_edge_ps_ += c->period_ps_;
+  }
+  for (Clock* c : firing_) {
+    edge_heap_.push_back(c);
+    std::push_heap(edge_heap_.begin(), edge_heap_.end(), EdgeAfter);
   }
   now_ps_ = t;
   return t;
@@ -49,12 +183,7 @@ Picoseconds Kernel::Step() {
 
 void Kernel::RunUntil(Picoseconds until_ps) {
   AETHEREAL_CHECK_MSG(!clocks_.empty(), "no clocks in kernel");
-  while (true) {
-    Picoseconds t = std::numeric_limits<Picoseconds>::max();
-    for (const auto& c : clocks_) t = std::min(t, c->next_edge_ps());
-    if (t > until_ps) break;
-    Step();
-  }
+  while (NextEdgeTime() <= until_ps) Step();
 }
 
 void Kernel::RunCycles(Clock* clock, Cycle n) {

@@ -15,9 +15,31 @@
 //  * Clocks firing at the same instant are processed together (one
 //    evaluate phase, one commit phase) so cross-domain state elements see a
 //    consistent picture.
+//
+// Performance machinery (see DESIGN.md §7): the steady-state hot path makes
+// zero heap allocations per edge.
+//  * Edge schedule: a single-clock SoC takes a branch-free fast path; a
+//    multi-clock SoC keeps its clocks in a preallocated next-edge min-heap,
+//    so Step() never scans all clocks and RunUntil() never rescans what
+//    Step() is about to compute.
+//  * Dirty-list commit: state elements report staging via MarkDirty(); the
+//    default Commit() applies only the elements actually written this edge
+//    instead of walking every registered TwoPhase.
+//  * Idle-module gating: a module with no staged state and no pending work
+//    may Park() itself; parked modules are skipped in the evaluate phase
+//    until a wire drive, queue push, credit return, or register write
+//    Wake()s them. Commit still runs for parked modules (constant time when
+//    clean) so staged state always lands at the exact naïve-path edge.
+//  * Kill switch: Kernel::set_optimize(false) disables gating and dirty
+//    commits (every module runs every edge, every element commits every
+//    edge) so optimized and naïve runs can be cross-checked for identical
+//    results.
 #ifndef AETHEREAL_SIM_KERNEL_H
 #define AETHEREAL_SIM_KERNEL_H
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,12 +50,32 @@
 namespace aethereal::sim {
 
 class Clock;
+class Kernel;
+class Module;
 
 /// A state element with staged updates applied at the clock edge.
+///
+/// Elements participating in dirty-list commits must call MarkDirty() every
+/// time state is staged. An element whose Commit() leaves work pending for
+/// future edges (e.g. a synchronizer with words still in flight) must
+/// re-arm by calling MarkDirty() from inside Commit().
 class TwoPhase {
  public:
   virtual ~TwoPhase() = default;
   virtual void Commit() = 0;
+
+ protected:
+  /// Schedules this element for commit on its owner's next edges (and wakes
+  /// the owner if it is parked). No-op when not registered to a module.
+  void MarkDirty();
+
+  /// The module this element is registered to (null before RegisterState).
+  Module* owner() const { return owner_; }
+
+ private:
+  friend class Module;
+  Module* owner_ = nullptr;
+  bool dirty_ = false;
 };
 
 /// Base class for all clocked hardware models.
@@ -53,10 +95,9 @@ class Module {
   /// Phase 1: read committed state, stage updates. Called once per edge.
   virtual void Evaluate() = 0;
 
-  /// Phase 2: apply staged updates. Default commits registered state.
-  virtual void Commit() {
-    for (TwoPhase* s : state_) s->Commit();
-  }
+  /// Phase 2: apply staged updates. Default commits registered state (the
+  /// dirty subset, or all of it when optimizations are off).
+  virtual void Commit() { CommitState(); }
 
   const std::string& name() const { return name_; }
 
@@ -64,16 +105,87 @@ class Module {
   Clock* clock() const { return clock_; }
 
   /// Number of edges this module's clock has seen since simulation start.
-  Cycle CycleCount() const;
+  Cycle CycleCount() const;  // inline below (hot path)
+
+  /// True while the module is gated off the kernel's run list.
+  bool parked() const { return parked_; }
+
+  /// Ensures the module runs from the next edge of its clock onward, and
+  /// suppresses Park() for `hold_edges` further edges. Callable by anyone
+  /// (producers wake consumers); idempotent and order-independent within an
+  /// edge: a wake issued during edge t always defeats a Park() in edge t,
+  /// regardless of module iteration order.
+  void Wake(Cycle hold_edges = 1);  // inline below (hot path)
 
  protected:
-  void RegisterState(TwoPhase* element) { state_.push_back(element); }
+  void RegisterState(TwoPhase* element);
+
+  /// Commits staged state. With optimizations on, only elements marked
+  /// dirty since their last commit are applied; otherwise every registered
+  /// element is walked (the naïve reference behaviour).
+  void CommitState();
+
+  /// Requests gating off the run list. Granted only when optimizations are
+  /// on, no state element is dirty, and no Wake() hold is active. A parked
+  /// module skips Evaluate() until the next Wake(); its Commit() still runs
+  /// every edge (constant time while nothing is staged).
+  void Park();
+
+  /// Park() plus a scheduled wake: if parking is granted, the clock's timer
+  /// heap guarantees the module is evaluated again at edge `cycle` (it may
+  /// be woken earlier by any other event). For modules that know their next
+  /// work time, e.g. periodic traffic sources.
+  void ParkUntil(Cycle cycle);
+
+  /// Declares that Evaluate() is an unconditional no-op, so the optimized
+  /// engine drops this module from the evaluate run list entirely (links
+  /// and NI ports: pure commit machinery). The naïve path still calls it.
+  void SetEvaluateIsNoop() { evaluate_noop_ = true; }
+
+  /// Declares that Evaluate() does nothing except on cycles where
+  /// CycleCount() % stride == 0 (slot-granular modules: routers, NI
+  /// kernels). The optimized engine then calls it only on those cycles.
+  void SetEvaluateStride(int stride) {
+    AETHEREAL_CHECK(stride >= 1);
+    evaluate_stride_ = stride;
+  }
+
+  /// Declares that Commit() is exactly the default (commit registered
+  /// state, nothing else), allowing the optimized engine to skip the call
+  /// entirely on edges where no state element is dirty. Modules that
+  /// override Commit() with extra work must not set this.
+  void SetDefaultCommitOnly() { always_commit_ = false; }
+
+  /// Declares that every registered state element's Commit() is a no-op
+  /// except on edges where CycleCount() % stride == phase, so the
+  /// optimized engine only dispatches commits on those edges (links: wires
+  /// transfer at the end-of-slot edge only). Expert flag — the claim is
+  /// not checked.
+  void SetCommitStride(int stride, int phase) {
+    AETHEREAL_CHECK(stride >= 1 && phase >= 0 && phase < stride);
+    commit_stride_ = stride;
+    commit_phase_ = phase;
+  }
 
  private:
   friend class Clock;
+  friend class Kernel;
+  friend class TwoPhase;
+  void AddDirty(TwoPhase* element);  // inline below (hot path)
+
   std::string name_;
   std::vector<TwoPhase*> state_;
+  std::vector<TwoPhase*> dirty_;
+  std::vector<TwoPhase*> dirty_scratch_;
   Clock* clock_ = nullptr;
+  int clock_index_ = -1;  // slot in the clock's module / pending arrays
+  bool parked_ = false;
+  bool evaluate_noop_ = false;
+  bool always_commit_ = true;
+  int evaluate_stride_ = 1;
+  int commit_stride_ = 1;
+  int commit_phase_ = 0;
+  Cycle wake_until_ = -1;  // Park() suppressed while cycles() <= this
 };
 
 /// A clock domain: a period in picoseconds and the modules driven by it.
@@ -88,7 +200,14 @@ class Clock {
     AETHEREAL_CHECK_MSG(module->clock_ == nullptr,
                         module->name() << " already registered to a clock");
     module->clock_ = this;
+    module->clock_index_ = static_cast<int>(modules_.size());
     modules_.push_back(module);
+    // Pending until first commit recomputes it (safe for pre-registration
+    // staged state).
+    commit_pending_.push_back(1);
+    run_every_.reserve(modules_.size());
+    run_strided_.reserve(modules_.size());
+    run_list_dirty_ = true;
   }
 
   int id() const { return id_; }
@@ -105,12 +224,116 @@ class Clock {
 
  private:
   friend class Kernel;
+  friend class Module;
+
+  /// Rebuilds the evaluate run lists (unparked modules, registration order;
+  /// stride-1 and strided modules separately) if any module parked or woke
+  /// since the last edge. Modules whose Evaluate is a declared no-op are
+  /// never listed.
+  void RefreshRunList() {
+    if (!run_list_dirty_) return;
+    run_every_.clear();
+    run_strided_.clear();
+    uniform_stride_ = 0;
+    for (Module* m : modules_) {
+      if (m->parked_ || m->evaluate_noop_) continue;
+      if (m->evaluate_stride_ == 1) {
+        run_every_.push_back(m);
+      } else {
+        run_strided_.push_back(m);
+        if (uniform_stride_ == 0) {
+          uniform_stride_ = m->evaluate_stride_;
+        } else if (uniform_stride_ != m->evaluate_stride_) {
+          uniform_stride_ = -1;  // mixed strides: check per module
+        }
+      }
+    }
+    run_list_dirty_ = false;
+  }
+
+  void EvaluatePhase() {
+    // Wake modules whose scheduled time has come, before the run-list
+    // snapshot, so they are evaluated at exactly the edge they asked for.
+    while (!timers_.empty() && timers_.front().due <= cycles_) {
+      Module* m = timers_.front().module;
+      std::pop_heap(timers_.begin(), timers_.end(), TimerAfter);
+      timers_.pop_back();
+      m->Wake();
+    }
+    RefreshRunList();
+    for (Module* m : run_every_) m->Evaluate();
+    if (!run_strided_.empty()) {
+      if (uniform_stride_ > 0) {
+        // All strided modules share one stride (the common case: the slot
+        // length): one check covers the whole list.
+        if (cycles_ % uniform_stride_ == 0) {
+          for (Module* m : run_strided_) m->Evaluate();
+        }
+      } else {
+        for (Module* m : run_strided_) {
+          if (cycles_ % m->evaluate_stride_ == 0) m->Evaluate();
+        }
+      }
+    }
+  }
+
+  /// Commit dispatch over the contiguous pending bitmap: the scan touches
+  /// a few cache lines instead of every module's dirty list (zero bytes are
+  /// skipped eight modules at a time), and the virtual Commit() call
+  /// happens only for modules with staged state (or a declared Commit
+  /// override), on their declared stride phase.
+  void CommitPhase() {
+    const std::size_t n = modules_.size();
+    std::size_t i = 0;
+    while (i < n) {
+      if (i + 8 <= n) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, commit_pending_.data() + i, 8);
+        if (chunk == 0) {
+          i += 8;
+          continue;
+        }
+      }
+      const std::size_t end = std::min(i + 8, n);
+      for (; i < end; ++i) {
+        if (!commit_pending_[i]) continue;
+        Module* m = modules_[i];
+        if (m->commit_stride_ != 1 &&
+            cycles_ % m->commit_stride_ != m->commit_phase_) {
+          continue;  // still pending; commits on its phase edge
+        }
+        m->Commit();
+        commit_pending_[i] =
+            (m->always_commit_ || !m->dirty_.empty()) ? 1 : 0;
+      }
+    }
+  }
+
+  struct Timer {
+    Cycle due;
+    Module* module;
+  };
+  static bool TimerAfter(const Timer& a, const Timer& b) {
+    return a.due > b.due;
+  }
+  void AddTimer(Cycle due, Module* module) {
+    timers_.push_back(Timer{due, module});
+    std::push_heap(timers_.begin(), timers_.end(), TimerAfter);
+  }
+
   int id_;
   std::string name_;
   Picoseconds period_ps_;
   Picoseconds next_edge_ps_ = 0;  // first edge at t=0
   Cycle cycles_ = 0;
+  Kernel* kernel_ = nullptr;
   std::vector<Module*> modules_;
+  std::vector<Module*> run_every_;    // unparked stride-1 modules
+  std::vector<Module*> run_strided_;  // unparked modules with stride > 1
+  std::vector<Timer> timers_;         // scheduled wakes (min-heap by due)
+  std::vector<unsigned char> commit_pending_;  // parallel to modules_
+  int uniform_stride_ = 0;  // shared stride of run_strided_ (-1 if mixed)
+  bool run_list_dirty_ = true;
 };
 
 /// Owns the clocks and advances simulated time.
@@ -134,12 +357,69 @@ class Kernel {
   /// Runs `n` edges of the given clock.
   void RunCycles(Clock* clock, Cycle n);
 
+  /// Time of the earliest pending edge across all clocks, without scanning:
+  /// O(1) for a single clock, heap-top otherwise.
+  Picoseconds NextEdgeTime() const;
+
   Picoseconds now_ps() const { return now_ps_; }
 
+  /// Kill switch for idle-module gating and dirty-list commits. Must be set
+  /// before the first Step(); the edge schedule itself is always on (it is
+  /// exactly equivalent scheduling, not an approximation).
+  void set_optimize(bool on);
+  bool optimize() const { return optimize_; }
+
  private:
+  friend class Module;
+  void RebuildHeap() const;
+
   std::vector<std::unique_ptr<Clock>> clocks_;
+  // Next-edge min-heap over (next_edge_ps, clock id) and the scratch list of
+  // clocks firing at the current instant; both preallocated so the hot path
+  // never allocates. Mutable: lazily rebuilt from const NextEdgeTime().
+  mutable std::vector<Clock*> edge_heap_;
+  mutable bool heap_dirty_ = false;
+  std::vector<Clock*> firing_;
+  bool optimize_ = true;
+  bool stepped_ = false;
   Picoseconds now_ps_ = 0;
 };
+
+// --- hot-path inline definitions (need the complete Clock type) -----------
+
+inline Cycle Module::CycleCount() const {
+  AETHEREAL_CHECK(clock_ != nullptr);
+  return clock_->cycles_;
+}
+
+inline void Module::Wake(Cycle hold_edges) {
+  if (clock_ == nullptr) {
+    parked_ = false;
+    return;
+  }
+  const Cycle until = clock_->cycles_ + hold_edges;
+  if (until > wake_until_) wake_until_ = until;
+  if (parked_) {
+    parked_ = false;
+    clock_->run_list_dirty_ = true;
+  }
+}
+
+inline void Module::AddDirty(TwoPhase* element) {
+  dirty_.push_back(element);
+  if (clock_ != nullptr) {
+    clock_->commit_pending_[static_cast<std::size_t>(clock_index_)] = 1;
+  }
+  // Staged state must be committed even if this module was parked or is
+  // about to park.
+  Wake();
+}
+
+inline void TwoPhase::MarkDirty() {
+  if (dirty_ || owner_ == nullptr) return;
+  dirty_ = true;
+  owner_->AddDirty(this);
+}
 
 }  // namespace aethereal::sim
 

@@ -1,0 +1,73 @@
+// Fixed-capacity ring buffer backing the simulation queue models.
+//
+// The hardware FIFOs have design-time capacities, so every simulation queue
+// is bounded; backing them with a preallocated ring (instead of std::deque,
+// whose chunk map allocates and frees on steady-state push/pop churn) keeps
+// the simulation hot path free of per-slot heap allocations.
+#ifndef AETHEREAL_SIM_RING_H
+#define AETHEREAL_SIM_RING_H
+
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace aethereal::sim {
+
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(int capacity)
+      : buffer_(static_cast<std::size_t>(capacity)), capacity_(capacity) {
+    AETHEREAL_CHECK(capacity > 0);
+  }
+
+  int capacity() const { return capacity_; }
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity_; }
+
+  /// Element `index` places behind the head (0 = oldest).
+  const T& operator[](int index) const {
+    AETHEREAL_CHECK(index >= 0 && index < count_);
+    return buffer_[Slot(index)];
+  }
+
+  const T& front() const {
+    AETHEREAL_CHECK(count_ > 0);
+    return buffer_[Slot(0)];
+  }
+
+  void push_back(T value) {
+    AETHEREAL_CHECK_MSG(count_ < capacity_, "Ring overflow");
+    buffer_[Slot(count_)] = std::move(value);
+    ++count_;
+  }
+
+  T pop_front() {
+    AETHEREAL_CHECK_MSG(count_ > 0, "Ring underflow");
+    T value = std::move(buffer_[Slot(0)]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    return value;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t Slot(int offset) const {
+    return static_cast<std::size_t>((head_ + offset) % capacity_);
+  }
+
+  std::vector<T> buffer_;
+  int capacity_;
+  int head_ = 0;
+  int count_ = 0;
+};
+
+}  // namespace aethereal::sim
+
+#endif  // AETHEREAL_SIM_RING_H

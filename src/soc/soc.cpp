@@ -18,6 +18,7 @@ Soc::Soc(topology::Topology topology,
   AETHEREAL_CHECK_MSG(
       static_cast<int>(ni_params_.size()) == topology_.NumNis(),
       "one NiKernelParams per NI required");
+  sim_.set_optimize(options_.optimize_engine);
   net_clock_ = sim_.AddClockMhz("net", options_.net_mhz);
   clock_by_period_[net_clock_->period_ps()] = net_clock_;
 

@@ -33,6 +33,11 @@ struct SocOptions {
   double net_mhz = 500.0;  // network clock (paper prototype: 500 MHz)
   int router_be_buffer_flits = 8;
   int stu_slots = 8;
+  /// Kill switch for the engine optimizations (idle-module gating +
+  /// dirty-list commits). Disable to run the naïve reference engine; the
+  /// simulation results are bit-identical either way (see
+  /// tests/engine_determinism_test.cpp).
+  bool optimize_engine = true;
   /// Per-(NI, port) clock override in MHz; unlisted ports run on the
   /// network clock. The channel queues implement the crossing.
   std::map<std::pair<NiId, int>, double> port_mhz;
