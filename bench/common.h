@@ -1,51 +1,20 @@
-// Shared builders for the benchmark harnesses.
+// Shared builders for the benchmark harnesses — thin aliases over the
+// scenario layer's wiring helpers (src/scenario/wiring.h), which owns the
+// SoC-assembly boilerplate.
 #ifndef AETHEREAL_BENCH_COMMON_H
 #define AETHEREAL_BENCH_COMMON_H
 
-#include <functional>
 #include <iostream>
-#include <memory>
-#include <vector>
 
-#include "soc/soc.h"
-#include "topology/builders.h"
+#include "scenario/wiring.h"
 #include "util/table.h"
 
 namespace aethereal::bench {
 
-inline core::NiKernelParams NiWithChannels(int channels, int queue_words = 8,
-                                           int stu_slots = 8) {
-  core::NiKernelParams params;
-  params.stu_slots = stu_slots;
-  core::PortParams port;
-  port.channels.assign(static_cast<std::size_t>(channels),
-                       core::ChannelParams{queue_words, queue_words, 1});
-  params.ports.push_back(port);
-  return params;
-}
-
-inline std::unique_ptr<soc::Soc> MakeStarSoc(
-    const std::vector<int>& channels_per_ni, int queue_words = 8,
-    soc::SocOptions options = {}) {
-  auto star = topology::BuildStar(static_cast<int>(channels_per_ni.size()));
-  std::vector<core::NiKernelParams> params;
-  for (int c : channels_per_ni) {
-    params.push_back(NiWithChannels(c, queue_words, options.stu_slots));
-  }
-  return std::make_unique<soc::Soc>(std::move(star.topology),
-                                    std::move(params), options);
-}
-
-/// Runs until `done` or `max_cycles`; returns true if `done` was reached.
-inline bool RunUntil(soc::Soc& soc, const std::function<bool()>& done,
-                     Cycle max_cycles, Cycle step = 30) {
-  Cycle spent = 0;
-  while (!done() && spent < max_cycles) {
-    soc.RunCycles(step);
-    spent += step;
-  }
-  return done();
-}
+using scenario::MakeMeshSoc;
+using scenario::MakeStarSoc;
+using scenario::NiWithChannels;
+using scenario::RunUntil;
 
 inline void PrintHeader(const char* experiment, const char* claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";

@@ -10,34 +10,17 @@
 #include <iostream>
 
 #include "ip/memory_slave.h"
+#include "scenario/wiring.h"
 #include "shells/narrowcast_shell.h"
 #include "shells/slave_shell.h"
 #include "soc/soc.h"
-#include "topology/builders.h"
 
 using namespace aethereal;
 
-namespace {
-
-core::NiKernelParams NiWithChannels(int channels) {
-  core::NiKernelParams params;
-  core::PortParams port;
-  port.channels.assign(static_cast<std::size_t>(channels),
-                       core::ChannelParams{});
-  params.ports.push_back(port);
-  return params;
-}
-
-}  // namespace
-
 int main() {
   // CPU on NI0 (3 channels: one per memory); memories on NI1..NI3.
-  auto star = topology::BuildStar(4);
-  std::vector<core::NiKernelParams> params{NiWithChannels(3),
-                                           NiWithChannels(1),
-                                           NiWithChannels(1),
-                                           NiWithChannels(1)};
-  soc::Soc soc(std::move(star.topology), std::move(params));
+  auto soc_ptr = scenario::MakeStarSoc({3, 1, 1, 1});
+  soc::Soc& soc = *soc_ptr;
   for (int m = 0; m < 3; ++m) {
     auto handle = soc.OpenConnection(tdm::GlobalChannel{0, m},
                                      tdm::GlobalChannel{m + 1, 0});

@@ -11,31 +11,19 @@
 #include <iostream>
 
 #include "ip/memory_slave.h"
+#include "scenario/wiring.h"
 #include "shells/master_shell.h"
 #include "shells/slave_shell.h"
 #include "soc/soc.h"
-#include "topology/builders.h"
 
 using namespace aethereal;
 
-namespace {
-
-core::NiKernelParams OneChannelNi() {
-  core::NiKernelParams params;
-  core::PortParams port;
-  port.channels.push_back(core::ChannelParams{});
-  params.ports.push_back(port);
-  return params;
-}
-
-}  // namespace
-
 int main() {
   // 1. Design time: describe the NoC (one router, two NIs, one channel
-  //    each) and instantiate it. This mirrors the paper's XML-driven flow.
-  auto star = topology::BuildStar(2);
-  std::vector<core::NiKernelParams> ni_params{OneChannelNi(), OneChannelNi()};
-  soc::Soc soc(std::move(star.topology), std::move(ni_params));
+  //    each) and instantiate it. This mirrors the paper's XML-driven flow;
+  //    the scenario layer's wiring helpers own the boilerplate.
+  auto soc_ptr = scenario::MakeStarSoc({1, 1});
+  soc::Soc& soc = *soc_ptr;
 
   // 2. Attach the IP modules through shells (Figs. 5-6).
   shells::MasterShell master("master_shell", soc.port(0, 0), /*connid=*/0);

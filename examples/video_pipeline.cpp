@@ -16,64 +16,24 @@
 #include <memory>
 
 #include "ip/stream.h"
+#include "scenario/sources.h"
+#include "scenario/wiring.h"
 #include "soc/soc.h"
-#include "topology/builders.h"
 
 using namespace aethereal;
-
-namespace {
-
-core::NiKernelParams NiWithChannels(int channels) {
-  core::NiKernelParams params;
-  core::PortParams port;
-  port.channels.assign(static_cast<std::size_t>(channels),
-                       core::ChannelParams{16, 16, 1});
-  params.ports.push_back(port);
-  return params;
-}
-
-// A pixel-processing stage: consumes words on one channel, applies a
-// per-pixel transform, produces on another channel. Uses the raw NI port
-// API — no shells — as the paper describes for streaming chains.
-class PixelStage : public sim::Module {
- public:
-  PixelStage(std::string name, core::NiPort* port, int in_connid,
-             int out_connid, Word gain)
-      : sim::Module(std::move(name)),
-        port_(port),
-        in_(in_connid),
-        out_(out_connid),
-        gain_(gain) {}
-
-  std::int64_t pixels() const { return pixels_; }
-
-  void Evaluate() override {
-    // One pixel per cycle, when input is available and output has room.
-    if (port_->ReadAvailable(in_) == 0) return;
-    if (!port_->CanWrite(out_)) return;
-    const Word pixel = port_->Read(in_);
-    // Keep the timestamp intact (the "processing" models a LUT transform
-    // that does not change the latency-measurement payload).
-    port_->Write(out_, pixel + 0 * gain_);
-    ++pixels_;
-  }
-
- private:
-  core::NiPort* port_;
-  int in_, out_;
-  Word gain_;
-  std::int64_t pixels_ = 0;
-};
-
-}  // namespace
 
 int main() {
   constexpr int kPixels = 3000;
 
   // 2x2 mesh; camera at (0,0), stages at (0,1) and (1,0), display at (1,1).
-  auto mesh = topology::BuildMesh(2, 2, 1);
-  std::vector<core::NiKernelParams> params(4, NiWithChannels(3));
-  soc::Soc soc(std::move(mesh.topology), std::move(params));
+  // The pixel-processing stages are scenario::Relay modules: raw NI-port
+  // forwarding, no shells, as the paper describes for streaming chains
+  // (the "processing" models a LUT transform that keeps the
+  // latency-measurement payload intact).
+  auto soc_ptr = scenario::MakeMeshSoc(2, 2, /*nis_per_router=*/1,
+                                       /*channels_per_ni=*/3,
+                                       /*queue_words=*/16);
+  soc::Soc& soc = *soc_ptr;
 
   // GT connections along the chain: 0 -> 1 -> 2 -> 3, two slots each of the
   // 8-slot table (bandwidth 2/8 * 1 word/cycle = 0.25 words/cycle, enough
@@ -102,8 +62,10 @@ int main() {
   // Camera: one timestamped pixel every 4 cycles.
   ip::StreamProducer camera("camera", soc.port(0, 0), 0, /*period=*/4,
                             /*words=*/1, /*timestamp=*/true, kPixels);
-  PixelStage stage1("stage1", soc.port(1, 0), /*in=*/1, /*out=*/0, 3);
-  PixelStage stage2("stage2", soc.port(2, 0), /*in=*/1, /*out=*/0, 5);
+  scenario::Relay stage1("stage1", soc.port(1, 0), /*in_connid=*/1,
+                         /*out_connid=*/0);
+  scenario::Relay stage2("stage2", soc.port(2, 0), /*in_connid=*/1,
+                         /*out_connid=*/0);
   ip::StreamConsumer display("display", soc.port(3, 0), 1);
   ip::StreamProducer be_noise("be_noise", soc.port(0, 0), 2, /*period=*/1,
                               /*words=*/1, /*timestamp=*/false, -1);
@@ -130,8 +92,8 @@ int main() {
             << display.inter_arrival().Max() << " cycles\n";
   std::cout << "  background BE words delivered: " << be_sink.words_read()
             << " (sequence errors: " << be_sink.sequence_errors() << ")\n";
-  std::cout << "  stage throughput: " << stage1.pixels() << " / "
-            << stage2.pixels() << " pixels\n";
+  std::cout << "  stage throughput: " << stage1.words_relayed() << " / "
+            << stage2.words_relayed() << " pixels\n";
   std::cout << "video_pipeline done.\n";
   return 0;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/*.json from scenarios/*.scn using noc_sim.
+#
+# Run after an *intentional* simulation-behaviour change, then review the
+# golden diff like any other code change:
+#   ./scripts/regen_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+noc_sim="$build_dir/noc_sim"
+
+if [[ ! -x "$noc_sim" ]]; then
+  echo "error: $noc_sim not built (cmake --build $build_dir --target noc_sim)" >&2
+  exit 1
+fi
+
+mkdir -p tests/golden
+for spec in scenarios/*.scn; do
+  name="$(basename "$spec" .scn)"
+  "$noc_sim" --quiet -o "tests/golden/$name.json" "$spec"
+  echo "regenerated tests/golden/$name.json"
+done

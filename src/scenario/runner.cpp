@@ -1,0 +1,413 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+
+#include "scenario/wiring.h"
+#include "topology/builders.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace aethereal::scenario {
+
+namespace {
+
+LatencySummary Summarize(const Stats& stats) {
+  LatencySummary s;
+  s.count = stats.count();
+  if (!stats.empty()) {
+    s.min = stats.Min();
+    s.mean = stats.Mean();
+    s.p99 = stats.Percentile(99);
+    s.max = stats.Max();
+  }
+  return s;
+}
+
+void WriteLatency(JsonWriter& w, const LatencySummary& latency) {
+  w.BeginObject();
+  w.Key("count").Int(latency.count);
+  if (latency.count > 0) {
+    w.Key("min").Double(latency.min);
+    w.Key("mean").Double(latency.mean);
+    w.Key("p99").Double(latency.p99);
+    w.Key("max").Double(latency.max);
+  }
+  w.EndObject();
+}
+
+/// Memory traffic uses the general transaction generator; translate the
+/// scenario injection clauses into its pattern.
+ip::TrafficPattern MemoryPattern(const TrafficSpec& traffic) {
+  ip::TrafficPattern pattern;
+  switch (traffic.inject) {
+    case InjectKind::kPeriodic:
+      pattern.kind = ip::TrafficPattern::Kind::kFixedPeriod;
+      pattern.period = traffic.period;
+      break;
+    case InjectKind::kBernoulli:
+      pattern.kind = ip::TrafficPattern::Kind::kBernoulli;
+      pattern.rate = traffic.rate;
+      break;
+    case InjectKind::kClosedLoop:
+      pattern.kind = ip::TrafficPattern::Kind::kClosedLoop;
+      break;
+    case InjectKind::kBursty:
+      AETHEREAL_CHECK_MSG(false, "bursty memory traffic rejected at parse");
+  }
+  pattern.read_fraction = traffic.read_fraction;
+  pattern.burst_words = traffic.mem_burst_words;
+  return pattern;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+ScenarioRunner::~ScenarioRunner() = default;
+
+Status ScenarioRunner::BuildTopologyAndSoc(
+    const std::vector<std::vector<Flow>>& flows_by_group) {
+  // Channels per NI: one per flow endpoint, assigned in directive order
+  // (this ordering is part of the scenario's deterministic identity).
+  std::vector<int> channels(static_cast<std::size_t>(spec_.NumNis()), 0);
+  for (const auto& flows : flows_by_group) {
+    for (const Flow& flow : flows) {
+      ++channels[static_cast<std::size_t>(flow.src)];
+      ++channels[static_cast<std::size_t>(flow.dst)];
+    }
+  }
+
+  topology::Topology topo;
+  switch (spec_.topology) {
+    case TopologyKind::kStar:
+      topo = topology::BuildStar(spec_.dim_a).topology;
+      break;
+    case TopologyKind::kMesh:
+      topo = topology::BuildMesh(spec_.dim_a, spec_.dim_b,
+                                 spec_.nis_per_router)
+                 .topology;
+      break;
+    case TopologyKind::kRing:
+      topo = topology::BuildRing(spec_.dim_a, spec_.nis_per_router).topology;
+      break;
+  }
+  AETHEREAL_CHECK(topo.NumNis() == spec_.NumNis());
+
+  std::vector<core::NiKernelParams> ni_params;
+  for (int count : channels) {
+    // NIs no flow touches still get one (idle) channel: the NI kernel is
+    // instantiated per NI regardless.
+    ni_params.push_back(NiWithChannels(std::max(count, 1), spec_.queue_words,
+                                       spec_.stu_slots, "ip"));
+  }
+
+  soc::SocOptions options;
+  options.net_mhz = spec_.net_mhz;
+  options.stu_slots = spec_.stu_slots;
+  options.optimize_engine = spec_.optimize_engine;
+  soc_ = std::make_unique<soc::Soc>(std::move(topo), std::move(ni_params),
+                                    options);
+  return OkStatus();
+}
+
+Status ScenarioRunner::OpenFlowConnection(const TrafficSpec& traffic,
+                                          const Flow& flow, int src_connid,
+                                          int dst_connid) {
+  config::ChannelQos forward;
+  forward.gt = traffic.gt;
+  forward.gt_slots = traffic.gt_slots;
+  forward.data_threshold = traffic.data_threshold;
+  forward.credit_threshold = traffic.credit_threshold;
+  // Stream flows send data one way; the reverse channel only returns
+  // credits and stays best-effort. Memory flows carry responses back, so
+  // a GT request direction gets a GT response direction too.
+  config::ChannelQos reverse;
+  if (traffic.pattern == PatternKind::kMemory) reverse = forward;
+  auto handle =
+      soc_->OpenConnection(tdm::GlobalChannel{flow.src, src_connid},
+                           tdm::GlobalChannel{flow.dst, dst_connid}, forward,
+                           reverse);
+  if (!handle.ok()) {
+    return Status(handle.status().code(),
+                  std::string(PatternKindName(traffic.pattern)) + " flow " +
+                      std::to_string(flow.src) + "->" +
+                      std::to_string(flow.dst) + ": " +
+                      handle.status().message());
+  }
+  return OkStatus();
+}
+
+Status ScenarioRunner::Build() {
+  if (built_) return OkStatus();
+
+  Rng rng(spec_.seed);
+  std::vector<std::vector<Flow>> flows_by_group;
+  for (const TrafficSpec& traffic : spec_.traffic) {
+    auto flows = ExpandPattern(spec_, traffic, rng);
+    if (!flows.ok()) return flows.status();
+    flows_by_group.push_back(std::move(*flows));
+  }
+
+  if (Status s = BuildTopologyAndSoc(flows_by_group); !s.ok()) return s;
+
+  // Assign connids in directive order (mirrors the channel counting).
+  std::vector<int> next_connid(static_cast<std::size_t>(spec_.NumNis()), 0);
+  struct Wired {
+    Flow flow;
+    int src_connid;
+    int dst_connid;
+  };
+  std::vector<std::vector<Wired>> wired_by_group;
+  for (std::size_t g = 0; g < flows_by_group.size(); ++g) {
+    std::vector<Wired> wired;
+    for (const Flow& flow : flows_by_group[g]) {
+      Wired w{flow, next_connid[static_cast<std::size_t>(flow.src)]++,
+              next_connid[static_cast<std::size_t>(flow.dst)]++};
+      if (Status s = OpenFlowConnection(spec_.traffic[g], flow, w.src_connid,
+                                        w.dst_connid);
+          !s.ok()) {
+        return s;
+      }
+      wired.push_back(w);
+    }
+    wired_by_group.push_back(std::move(wired));
+  }
+
+  // Instantiate the workload IPs. Per-flow RNG seeds are drawn from the
+  // master stream in directive order, after all pattern expansions.
+  for (std::size_t g = 0; g < wired_by_group.size(); ++g) {
+    const TrafficSpec& traffic = spec_.traffic[g];
+    const std::vector<Wired>& wired = wired_by_group[g];
+    const std::string tag = "g" + std::to_string(g);
+    if (traffic.pattern == PatternKind::kVideo) {
+      VideoChain chain;
+      chain.group = g;
+      chain.chain = traffic.nis;
+      const Wired& first = wired.front();
+      const Wired& last = wired.back();
+      chain.source = std::make_unique<PatternSource>(
+          tag + "_video_src", soc_->port(first.flow.src, 0), first.src_connid,
+          traffic, rng.Next());
+      soc_->RegisterOnPort(chain.source.get(), first.flow.src, 0);
+      for (std::size_t hop = 0; hop + 1 < wired.size(); ++hop) {
+        const NiId at = wired[hop].flow.dst;
+        auto relay = std::make_unique<Relay>(
+            tag + "_relay" + std::to_string(hop), soc_->port(at, 0),
+            wired[hop].dst_connid, wired[hop + 1].src_connid);
+        soc_->RegisterOnPort(relay.get(), at, 0);
+        chain.relays.push_back(std::move(relay));
+      }
+      chain.consumer = std::make_unique<ip::StreamConsumer>(
+          tag + "_video_sink", soc_->port(last.flow.dst, 0), last.dst_connid,
+          /*drain_per_cycle=*/1, /*timestamp_mode=*/true);
+      soc_->RegisterOnPort(chain.consumer.get(), last.flow.dst, 0);
+      video_chains_.push_back(std::move(chain));
+    } else if (traffic.pattern == PatternKind::kMemory) {
+      const Wired& w = wired.front();
+      MemoryFlow mem;
+      mem.group = g;
+      mem.flow = w.flow;
+      mem.master_shell = std::make_unique<shells::MasterShell>(
+          tag + "_master_shell", soc_->port(w.flow.src, 0), w.src_connid);
+      mem.master = std::make_unique<ip::TrafficGenMaster>(
+          tag + "_master", mem.master_shell.get(), MemoryPattern(traffic),
+          rng.Next());
+      mem.slave_shell = std::make_unique<shells::SlaveShell>(
+          tag + "_slave_shell", soc_->port(w.flow.dst, 0), w.dst_connid);
+      mem.memory = std::make_unique<ip::MemorySlave>(
+          tag + "_memory", mem.slave_shell.get(), /*base=*/0,
+          /*size_words=*/1024);
+      soc_->RegisterOnPort(mem.master_shell.get(), w.flow.src, 0);
+      soc_->RegisterOnPort(mem.master.get(), w.flow.src, 0);
+      soc_->RegisterOnPort(mem.slave_shell.get(), w.flow.dst, 0);
+      soc_->RegisterOnPort(mem.memory.get(), w.flow.dst, 0);
+      memory_flows_.push_back(std::move(mem));
+    } else {
+      for (std::size_t f = 0; f < wired.size(); ++f) {
+        const Wired& w = wired[f];
+        StreamFlow stream;
+        stream.group = g;
+        stream.flow = w.flow;
+        const std::string label = tag + "f" + std::to_string(f);
+        stream.source = std::make_unique<PatternSource>(
+            label + "_src", soc_->port(w.flow.src, 0), w.src_connid, traffic,
+            rng.Next());
+        stream.consumer = std::make_unique<ip::StreamConsumer>(
+            label + "_sink", soc_->port(w.flow.dst, 0), w.dst_connid,
+            /*drain_per_cycle=*/kFlitWords, /*timestamp_mode=*/true);
+        soc_->RegisterOnPort(stream.source.get(), w.flow.src, 0);
+        soc_->RegisterOnPort(stream.consumer.get(), w.flow.dst, 0);
+        stream_flows_.push_back(std::move(stream));
+      }
+    }
+  }
+
+  built_ = true;
+  return OkStatus();
+}
+
+Result<ScenarioResult> ScenarioRunner::Run() {
+  AETHEREAL_CHECK_MSG(!ran_, "ScenarioRunner::Run is single-shot");
+  if (Status s = Build(); !s.ok()) return s;
+  ran_ = true;
+
+  soc_->RunCycles(spec_.warmup);
+
+  // Measurement-window baselines (latency stats stay cumulative — they
+  // are summaries of exact integer samples either way).
+  std::vector<std::int64_t> stream0, video0, mem0;
+  for (const StreamFlow& f : stream_flows_) {
+    stream0.push_back(f.consumer->words_read());
+  }
+  for (const VideoChain& c : video_chains_) {
+    video0.push_back(c.consumer->words_read());
+  }
+  for (const MemoryFlow& m : memory_flows_) {
+    mem0.push_back(m.master->completed());
+  }
+
+  soc_->RunCycles(spec_.duration);
+
+  ScenarioResult result;
+  result.spec = spec_;
+  result.cycles_run = soc_->net_clock()->cycles();
+
+  // Flow results, grouped back into directive order.
+  std::size_t si = 0, vi = 0, mi = 0;
+  for (std::size_t g = 0; g < spec_.traffic.size(); ++g) {
+    const TrafficSpec& traffic = spec_.traffic[g];
+    auto base = [&](const TrafficSpec& t) {
+      FlowResult r;
+      r.pattern = PatternKindName(t.pattern);
+      r.group = static_cast<int>(g);
+      r.gt = t.gt;
+      r.gt_slots = t.gt_slots;
+      return r;
+    };
+    if (traffic.pattern == PatternKind::kVideo) {
+      const VideoChain& c = video_chains_[vi];
+      FlowResult r = base(traffic);
+      r.src = c.chain.front();
+      r.dst = c.chain.back();
+      r.words_total = c.consumer->words_read();
+      r.words_in_window = r.words_total - video0[vi];
+      r.latency = Summarize(c.consumer->latency());
+      result.flows.push_back(std::move(r));
+      ++vi;
+    } else if (traffic.pattern == PatternKind::kMemory) {
+      const MemoryFlow& m = memory_flows_[mi];
+      FlowResult r = base(traffic);
+      r.src = m.flow.src;
+      r.dst = m.flow.dst;
+      r.transactions_issued = m.master->issued();
+      r.transactions_completed = m.master->completed();
+      r.words_total = r.transactions_completed * traffic.mem_burst_words;
+      r.words_in_window =
+          (r.transactions_completed - mem0[mi]) * traffic.mem_burst_words;
+      r.latency = Summarize(m.master->latency());
+      result.flows.push_back(std::move(r));
+      ++mi;
+    } else {
+      while (si < stream_flows_.size() && stream_flows_[si].group == g) {
+        const StreamFlow& f = stream_flows_[si];
+        FlowResult r = base(traffic);
+        r.src = f.flow.src;
+        r.dst = f.flow.dst;
+        r.words_total = f.consumer->words_read();
+        r.words_in_window = r.words_total - stream0[si];
+        r.latency = Summarize(f.consumer->latency());
+        result.flows.push_back(std::move(r));
+        ++si;
+      }
+    }
+  }
+  for (FlowResult& r : result.flows) {
+    r.throughput_wpc =
+        static_cast<double>(r.words_in_window) / spec_.duration;
+    result.words_in_window += r.words_in_window;
+  }
+  result.throughput_wpc =
+      static_cast<double>(result.words_in_window) / spec_.duration;
+
+  const auto num_nis = static_cast<NiId>(spec_.NumNis());
+  for (NiId ni = 0; ni < num_nis; ++ni) {
+    const core::NiKernelStats& stats = soc_->ni(ni)->stats();
+    result.gt_flits += stats.gt_flits;
+    result.be_flits += stats.be_flits;
+    result.payload_words_sent += stats.payload_words_sent;
+    result.credit_only_packets += stats.credit_only_packets;
+    result.credits_piggybacked += stats.credits_piggybacked;
+    result.idle_slots += stats.idle_slots;
+    result.gt_slots_unused += stats.gt_slots_unused;
+  }
+  // The NI kernel accounts a slot at every cycle divisible by kFlitWords
+  // starting at cycle 0, hence the ceiling division.
+  const std::int64_t slot_opportunities =
+      static_cast<std::int64_t>(num_nis) *
+      ((result.cycles_run + kFlitWords - 1) / kFlitWords);
+  result.slot_utilization =
+      slot_opportunities > 0
+          ? 1.0 - static_cast<double>(result.idle_slots) / slot_opportunities
+          : 0.0;
+  return result;
+}
+
+std::string ScenarioResult::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("scenario").String(spec.name);
+  w.Key("topology").BeginObject();
+  w.Key("kind").String(TopologyKindName(spec.topology));
+  w.Key("dims").BeginArray();
+  w.Int(spec.dim_a);
+  if (spec.topology == TopologyKind::kMesh) w.Int(spec.dim_b);
+  if (spec.topology != TopologyKind::kStar) w.Int(spec.nis_per_router);
+  w.EndArray();
+  w.Key("nis").Int(spec.NumNis());
+  w.EndObject();
+  w.Key("stu_slots").Int(spec.stu_slots);
+  w.Key("net_mhz").Double(spec.net_mhz);
+  w.Key("queue_words").Int(spec.queue_words);
+  w.Key("seed").Int(static_cast<std::int64_t>(spec.seed));
+  w.Key("warmup").Int(spec.warmup);
+  w.Key("duration").Int(spec.duration);
+  w.Key("cycles_run").Int(cycles_run);
+  w.Key("flows").BeginArray();
+  for (const FlowResult& flow : flows) {
+    w.BeginObject();
+    w.Key("pattern").String(flow.pattern);
+    w.Key("group").Int(flow.group);
+    w.Key("src").Int(flow.src);
+    w.Key("dst").Int(flow.dst);
+    w.Key("qos").String(flow.gt ? "gt" : "be");
+    if (flow.gt) w.Key("gt_slots").Int(flow.gt_slots);
+    w.Key("words_total").Int(flow.words_total);
+    w.Key("words_in_window").Int(flow.words_in_window);
+    w.Key("throughput_wpc").Double(flow.throughput_wpc);
+    if (flow.pattern == PatternKindName(PatternKind::kMemory)) {
+      w.Key("transactions").BeginObject();
+      w.Key("issued").Int(flow.transactions_issued);
+      w.Key("completed").Int(flow.transactions_completed);
+      w.EndObject();
+    }
+    w.Key("latency");
+    WriteLatency(w, flow.latency);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("aggregate").BeginObject();
+  w.Key("words_in_window").Int(words_in_window);
+  w.Key("throughput_wpc").Double(throughput_wpc);
+  w.Key("gt_flits").Int(gt_flits);
+  w.Key("be_flits").Int(be_flits);
+  w.Key("payload_words_sent").Int(payload_words_sent);
+  w.Key("credit_only_packets").Int(credit_only_packets);
+  w.Key("credits_piggybacked").Int(credits_piggybacked);
+  w.Key("idle_slots").Int(idle_slots);
+  w.Key("gt_slots_unused").Int(gt_slots_unused);
+  w.Key("slot_utilization").Double(slot_utilization);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace aethereal::scenario

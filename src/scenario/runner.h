@@ -1,0 +1,143 @@
+// ScenarioRunner: turns a parsed ScenarioSpec into a fully wired SoC —
+// topology, NI channel provisioning, per-connection QoS, workload IPs —
+// runs it, and collects per-flow latency/throughput plus NI-level
+// slot-utilization statistics into a deterministic result.
+//
+// The result JSON contains only simulation-semantic quantities (no wall
+// clock, no engine identifier), so the same spec and seed produce the
+// byte-identical document on the optimized and the naive engine, on every
+// compiler and build type — the property the golden-results regression
+// test (tests/scenario_golden_test.cpp) locks down.
+#ifndef AETHEREAL_SCENARIO_RUNNER_H
+#define AETHEREAL_SCENARIO_RUNNER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ip/memory_slave.h"
+#include "ip/stream.h"
+#include "ip/traffic_gen.h"
+#include "scenario/patterns.h"
+#include "scenario/sources.h"
+#include "scenario/spec.h"
+#include "shells/master_shell.h"
+#include "shells/slave_shell.h"
+#include "soc/soc.h"
+#include "util/status.h"
+
+namespace aethereal::scenario {
+
+/// Latency summary of one flow. All fields derive from exact integer
+/// cycle samples through single IEEE operations, so they are reproducible
+/// bit-for-bit across compilers (see util/json.h).
+struct LatencySummary {
+  std::int64_t count = 0;
+  double min = 0;
+  double mean = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Result of one flow (a stream, a whole video chain, or a memory
+/// master/slave relationship).
+struct FlowResult {
+  std::string pattern;        // PatternKindName of the owning directive
+  int group = 0;              // index of the owning traffic directive
+  NiId src = kInvalidId;      // chain front for video
+  NiId dst = kInvalidId;      // chain back for video
+  bool gt = false;
+  int gt_slots = 0;
+
+  std::int64_t words_total = 0;      // delivered over the whole run
+  std::int64_t words_in_window = 0;  // delivered during `duration`
+  double throughput_wpc = 0;         // words_in_window / duration
+
+  /// Stream flows: per-word source->sink latency. Memory flows: per-
+  /// transaction round-trip latency. Cumulative over the whole run.
+  LatencySummary latency;
+
+  // Memory flows only.
+  std::int64_t transactions_issued = 0;
+  std::int64_t transactions_completed = 0;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  Cycle cycles_run = 0;
+  std::vector<FlowResult> flows;
+
+  // Aggregates over all flows / NIs, whole run.
+  std::int64_t words_in_window = 0;
+  double throughput_wpc = 0;
+  std::int64_t gt_flits = 0;
+  std::int64_t be_flits = 0;
+  std::int64_t payload_words_sent = 0;
+  std::int64_t credit_only_packets = 0;
+  std::int64_t credits_piggybacked = 0;
+  std::int64_t idle_slots = 0;
+  std::int64_t gt_slots_unused = 0;
+  /// Fraction of (NI, slot) opportunities that carried traffic.
+  double slot_utilization = 0;
+
+  /// Deterministic JSON encoding (the golden-test format).
+  std::string ToJson() const;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+  ~ScenarioRunner();
+
+  /// Instantiates the SoC, opens every connection, and creates the
+  /// workload IPs. Idempotent; returns the first wiring error (pattern
+  /// constraint violation, slot exhaustion, ...).
+  Status Build();
+
+  /// Build() + warmup + measured window; collects the result. Callable
+  /// once per runner.
+  Result<ScenarioResult> Run();
+
+  soc::Soc* soc() { return soc_.get(); }
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  struct StreamFlow {
+    std::size_t group;
+    Flow flow;
+    std::unique_ptr<PatternSource> source;
+    std::unique_ptr<ip::StreamConsumer> consumer;
+  };
+  struct VideoChain {
+    std::size_t group;
+    std::vector<NiId> chain;
+    std::unique_ptr<PatternSource> source;
+    std::vector<std::unique_ptr<Relay>> relays;
+    std::unique_ptr<ip::StreamConsumer> consumer;
+  };
+  struct MemoryFlow {
+    std::size_t group;
+    Flow flow;
+    std::unique_ptr<shells::MasterShell> master_shell;
+    std::unique_ptr<ip::TrafficGenMaster> master;
+    std::unique_ptr<shells::SlaveShell> slave_shell;
+    std::unique_ptr<ip::MemorySlave> memory;
+  };
+
+  Status BuildTopologyAndSoc(
+      const std::vector<std::vector<Flow>>& flows_by_group);
+  Status OpenFlowConnection(const TrafficSpec& traffic, const Flow& flow,
+                            int src_connid, int dst_connid);
+
+  ScenarioSpec spec_;
+  bool built_ = false;
+  bool ran_ = false;
+  std::unique_ptr<soc::Soc> soc_;
+  std::vector<StreamFlow> stream_flows_;
+  std::vector<VideoChain> video_chains_;
+  std::vector<MemoryFlow> memory_flows_;
+};
+
+}  // namespace aethereal::scenario
+
+#endif  // AETHEREAL_SCENARIO_RUNNER_H

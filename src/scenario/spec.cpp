@@ -1,0 +1,468 @@
+#include "scenario/spec.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace aethereal::scenario {
+
+const char* PatternKindName(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kUniform: return "uniform";
+    case PatternKind::kTranspose: return "transpose";
+    case PatternKind::kBitComplement: return "bitcomp";
+    case PatternKind::kBitReversal: return "bitrev";
+    case PatternKind::kNeighbor: return "neighbor";
+    case PatternKind::kHotspot: return "hotspot";
+    case PatternKind::kPairs: return "pairs";
+    case PatternKind::kVideo: return "video";
+    case PatternKind::kMemory: return "memory";
+  }
+  return "?";
+}
+
+const char* InjectKindName(InjectKind kind) {
+  switch (kind) {
+    case InjectKind::kPeriodic: return "periodic";
+    case InjectKind::kBernoulli: return "bernoulli";
+    case InjectKind::kBursty: return "bursty";
+    case InjectKind::kClosedLoop: return "closed";
+  }
+  return "?";
+}
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kRing: return "ring";
+  }
+  return "?";
+}
+
+int ScenarioSpec::NumNis() const {
+  switch (topology) {
+    case TopologyKind::kStar: return dim_a;
+    case TopologyKind::kMesh: return dim_a * dim_b * nis_per_router;
+    case TopologyKind::kRing: return dim_a * nis_per_router;
+  }
+  return 0;
+}
+
+namespace {
+
+struct Line {
+  int number;
+  std::vector<std::string> tokens;
+};
+
+std::vector<Line> Tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream stream(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    Line line{number, {}};
+    std::string token;
+    while (ls >> token) line.tokens.push_back(token);
+    if (!line.tokens.empty()) lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+Status ParseError(int line, const std::string& message) {
+  return InvalidArgumentError("line " + std::to_string(line) + ": " + message);
+}
+
+/// Largest NI population a scenario may instantiate. Keeps design-time
+/// arithmetic far from integer overflow and rejects obviously
+/// un-simulatable specs at parse time instead of hanging in allocation.
+constexpr std::int64_t kMaxScenarioNis = 4096;
+
+Result<std::int64_t> ParseInt(const Line& line, const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    return ParseError(line.number, "expected a number, got '" + token + "'");
+  }
+}
+
+/// ParseInt with an inclusive range check — every value that is later
+/// narrowed below int64 goes through this, so a typo'd huge literal fails
+/// loudly instead of silently wrapping.
+Result<std::int64_t> ParseIntIn(const Line& line, const std::string& token,
+                                std::int64_t lo, std::int64_t hi) {
+  auto value = ParseInt(line, token);
+  if (!value.ok()) return value;
+  if (*value < lo || *value > hi) {
+    return ParseError(line.number, "'" + token + "' out of range [" +
+                                       std::to_string(lo) + ", " +
+                                       std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(const Line& line, const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    return ParseError(line.number, "expected a number, got '" + token + "'");
+  }
+}
+
+/// Parses the clause tail of a traffic directive, starting at token `at`.
+Status ParseTrafficClauses(const Line& line, std::size_t at,
+                           TrafficSpec* traffic) {
+  const auto& t = line.tokens;
+  while (at < t.size()) {
+    const std::string& clause = t[at];
+    auto need = [&](std::size_t extra) -> Status {
+      if (at + extra >= t.size()) {
+        return ParseError(line.number,
+                          "clause '" + clause + "' is missing arguments");
+      }
+      return OkStatus();
+    };
+    if (clause == "inject") {
+      if (Status s = need(1); !s.ok()) return s;
+      const std::string& kind = t[at + 1];
+      if (kind == "periodic") {
+        if (Status s = need(2); !s.ok()) return s;
+        auto v = ParseInt(line, t[at + 2]);
+        if (!v.ok()) return v.status();
+        if (*v < 1) return ParseError(line.number, "period must be >= 1");
+        traffic->inject = InjectKind::kPeriodic;
+        traffic->period = *v;
+        at += 3;
+      } else if (kind == "bernoulli") {
+        if (Status s = need(2); !s.ok()) return s;
+        auto v = ParseDouble(line, t[at + 2]);
+        if (!v.ok()) return v.status();
+        if (*v <= 0.0 || *v > 1.0) {
+          return ParseError(line.number, "rate must be in (0, 1]");
+        }
+        traffic->inject = InjectKind::kBernoulli;
+        traffic->rate = *v;
+        at += 3;
+      } else if (kind == "bursty") {
+        if (Status s = need(3); !s.ok()) return s;
+        auto words = ParseInt(line, t[at + 2]);
+        auto gap = ParseInt(line, t[at + 3]);
+        if (!words.ok()) return words.status();
+        if (!gap.ok()) return gap.status();
+        if (*words < 1 || *gap < 0) {
+          return ParseError(line.number, "bursty needs WORDS >= 1, GAP >= 0");
+        }
+        traffic->inject = InjectKind::kBursty;
+        traffic->burst_words = *words;
+        traffic->gap_cycles = *gap;
+        at += 4;
+      } else if (kind == "closed") {
+        if (traffic->pattern != PatternKind::kMemory) {
+          return ParseError(line.number,
+                            "'inject closed' is memory-pattern only");
+        }
+        traffic->inject = InjectKind::kClosedLoop;
+        at += 2;
+      } else {
+        return ParseError(line.number, "unknown inject kind '" + kind + "'");
+      }
+    } else if (clause == "qos") {
+      if (Status s = need(1); !s.ok()) return s;
+      if (t[at + 1] == "be") {
+        traffic->gt = false;
+        traffic->gt_slots = 0;
+        at += 2;
+      } else if (t[at + 1] == "gt") {
+        if (Status s = need(2); !s.ok()) return s;
+        auto v = ParseIntIn(line, t[at + 2], 1, 1024);
+        if (!v.ok()) return v.status();
+        traffic->gt = true;
+        traffic->gt_slots = static_cast<int>(*v);
+        at += 3;
+      } else {
+        return ParseError(line.number, "qos must be 'be' or 'gt SLOTS'");
+      }
+    } else if (clause == "data_threshold" || clause == "credit_threshold") {
+      if (Status s = need(1); !s.ok()) return s;
+      auto v = ParseIntIn(line, t[at + 1], 1, 1 << 20);
+      if (!v.ok()) return v.status();
+      (clause[0] == 'd' ? traffic->data_threshold
+                        : traffic->credit_threshold) = static_cast<int>(*v);
+      at += 2;
+    } else if (clause == "read_fraction") {
+      if (traffic->pattern != PatternKind::kMemory) {
+        return ParseError(line.number, "'read_fraction' is memory-only");
+      }
+      if (Status s = need(1); !s.ok()) return s;
+      auto v = ParseDouble(line, t[at + 1]);
+      if (!v.ok()) return v.status();
+      if (*v < 0.0 || *v > 1.0) {
+        return ParseError(line.number, "read_fraction must be in [0, 1]");
+      }
+      traffic->read_fraction = *v;
+      at += 2;
+    } else if (clause == "burst") {
+      if (traffic->pattern != PatternKind::kMemory) {
+        return ParseError(line.number, "'burst' is memory-only");
+      }
+      if (Status s = need(1); !s.ok()) return s;
+      // Transport ceiling: a write request is 2 header words + payload and
+      // must fit the master shell's 64-word sequentializer staging, so
+      // bursts above 62 words could never be issued (silent zero traffic).
+      auto v = ParseIntIn(line, t[at + 1], 1, 62);
+      if (!v.ok()) return v.status();
+      traffic->mem_burst_words = static_cast<int>(*v);
+      at += 2;
+    } else {
+      return ParseError(line.number, "unknown clause '" + clause + "'");
+    }
+  }
+  return OkStatus();
+}
+
+/// Consumes leading NI-id tokens (for hotspot/pairs/video/memory) until a
+/// clause keyword appears.
+Result<std::size_t> ParseNiList(const Line& line, std::size_t at,
+                                std::vector<NiId>* out) {
+  const auto& t = line.tokens;
+  while (at < t.size() &&
+         (std::isdigit(static_cast<unsigned char>(t[at][0])) != 0 ||
+          t[at][0] == '-')) {
+    auto v = ParseIntIn(line, t[at], 0, kMaxScenarioNis);
+    if (!v.ok()) return v.status();
+    out->push_back(static_cast<NiId>(*v));
+    ++at;
+  }
+  return at;
+}
+
+Status ParseTraffic(const Line& line, ScenarioSpec* spec) {
+  if (line.tokens.size() < 2) {
+    return ParseError(line.number, "traffic <pattern> [args] [clauses]");
+  }
+  TrafficSpec traffic;
+  const std::string& pattern = line.tokens[1];
+  std::size_t at = 2;
+  if (pattern == "uniform") {
+    traffic.pattern = PatternKind::kUniform;
+  } else if (pattern == "transpose") {
+    traffic.pattern = PatternKind::kTranspose;
+  } else if (pattern == "bitcomp") {
+    traffic.pattern = PatternKind::kBitComplement;
+  } else if (pattern == "bitrev") {
+    traffic.pattern = PatternKind::kBitReversal;
+  } else if (pattern == "neighbor") {
+    traffic.pattern = PatternKind::kNeighbor;
+  } else if (pattern == "hotspot") {
+    traffic.pattern = PatternKind::kHotspot;
+    std::vector<NiId> ids;
+    auto next = ParseNiList(line, at, &ids);
+    if (!next.ok()) return next.status();
+    if (ids.size() != 1) {
+      return ParseError(line.number, "hotspot needs exactly one target NI");
+    }
+    traffic.hotspot = ids[0];
+    at = *next;
+  } else if (pattern == "pairs") {
+    traffic.pattern = PatternKind::kPairs;
+    auto next = ParseNiList(line, at, &traffic.nis);
+    if (!next.ok()) return next.status();
+    if (traffic.nis.empty() || traffic.nis.size() % 2 != 0) {
+      return ParseError(line.number, "pairs needs an even NI-id list");
+    }
+    at = *next;
+  } else if (pattern == "video") {
+    traffic.pattern = PatternKind::kVideo;
+    auto next = ParseNiList(line, at, &traffic.nis);
+    if (!next.ok()) return next.status();
+    if (traffic.nis.size() < 2) {
+      return ParseError(line.number, "video needs a chain of >= 2 NIs");
+    }
+    at = *next;
+  } else if (pattern == "memory") {
+    traffic.pattern = PatternKind::kMemory;
+    auto next = ParseNiList(line, at, &traffic.nis);
+    if (!next.ok()) return next.status();
+    if (traffic.nis.size() != 2) {
+      return ParseError(line.number, "memory needs <master_ni> <slave_ni>");
+    }
+    at = *next;
+  } else {
+    return ParseError(line.number, "unknown pattern '" + pattern + "'");
+  }
+  // ('inject closed' outside memory is already rejected clause-side, where
+  // the pattern is known.)
+  if (Status s = ParseTrafficClauses(line, at, &traffic); !s.ok()) return s;
+  if (traffic.pattern == PatternKind::kMemory &&
+      traffic.inject == InjectKind::kBursty) {
+    return ParseError(line.number,
+                      "memory traffic supports periodic/bernoulli/closed");
+  }
+  spec->traffic.push_back(std::move(traffic));
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<ScenarioSpec> ParseScenario(const std::string& text) {
+  ScenarioSpec spec;
+  bool have_noc = false;
+  for (const Line& line : Tokenize(text)) {
+    const std::string& kind = line.tokens[0];
+    auto int_arg = [&]() -> Result<std::int64_t> {
+      if (line.tokens.size() != 2) {
+        return ParseError(line.number, "'" + kind + "' takes one argument");
+      }
+      return ParseInt(line, line.tokens[1]);
+    };
+    if (kind == "scenario") {
+      if (line.tokens.size() != 2) {
+        return ParseError(line.number, "scenario <name>");
+      }
+      spec.name = line.tokens[1];
+    } else if (kind == "noc") {
+      if (have_noc) return ParseError(line.number, "duplicate 'noc'");
+      if (line.tokens.size() < 3) {
+        return ParseError(line.number, "noc <star|mesh|ring> <dims...>");
+      }
+      if (line.tokens[1] == "star") {
+        if (line.tokens.size() != 3) {
+          return ParseError(line.number, "noc star NIS");
+        }
+        auto n = ParseInt(line, line.tokens[2]);
+        if (!n.ok()) return n.status();
+        if (*n < 1 || *n > kMaxScenarioNis) {
+          return ParseError(line.number,
+                            "star needs 1.." +
+                                std::to_string(kMaxScenarioNis) + " NIs");
+        }
+        spec.topology = TopologyKind::kStar;
+        spec.dim_a = static_cast<int>(*n);
+      } else if (line.tokens[1] == "mesh") {
+        if (line.tokens.size() != 5) {
+          return ParseError(line.number, "noc mesh ROWS COLS NIS_PER_ROUTER");
+        }
+        // Per-dimension bounds first, so the product below cannot overflow.
+        auto rows = ParseIntIn(line, line.tokens[2], 1, kMaxScenarioNis);
+        auto cols = ParseIntIn(line, line.tokens[3], 1, kMaxScenarioNis);
+        auto nis = ParseIntIn(line, line.tokens[4], 1, kMaxScenarioNis);
+        if (!rows.ok()) return rows.status();
+        if (!cols.ok()) return cols.status();
+        if (!nis.ok()) return nis.status();
+        if (*rows * *cols * *nis > kMaxScenarioNis) {
+          return ParseError(line.number,
+                            "mesh gives at most " +
+                                std::to_string(kMaxScenarioNis) + " NIs");
+        }
+        spec.topology = TopologyKind::kMesh;
+        spec.dim_a = static_cast<int>(*rows);
+        spec.dim_b = static_cast<int>(*cols);
+        spec.nis_per_router = static_cast<int>(*nis);
+      } else if (line.tokens[1] == "ring") {
+        if (line.tokens.size() != 4) {
+          return ParseError(line.number, "noc ring ROUTERS NIS_PER_ROUTER");
+        }
+        // Per-dimension bounds first, so the product below cannot overflow.
+        auto routers = ParseIntIn(line, line.tokens[2], 3, kMaxScenarioNis);
+        auto nis = ParseIntIn(line, line.tokens[3], 1, kMaxScenarioNis);
+        if (!routers.ok()) return routers.status();
+        if (!nis.ok()) return nis.status();
+        if (*routers * *nis > kMaxScenarioNis) {
+          return ParseError(line.number,
+                            "ring gives at most " +
+                                std::to_string(kMaxScenarioNis) + " NIs");
+        }
+        spec.topology = TopologyKind::kRing;
+        spec.dim_a = static_cast<int>(*routers);
+        spec.nis_per_router = static_cast<int>(*nis);
+      } else {
+        return ParseError(line.number,
+                          "unknown topology '" + line.tokens[1] + "'");
+      }
+      have_noc = true;
+    } else if (kind == "stu") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      if (*v < 1 || *v > 1024) {
+        return ParseError(line.number, "stu must be in [1, 1024]");
+      }
+      spec.stu_slots = static_cast<int>(*v);
+    } else if (kind == "netmhz") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      if (*v < 1 || *v > 1000000) {
+        return ParseError(line.number, "netmhz must be in [1, 1000000]");
+      }
+      spec.net_mhz = static_cast<double>(*v);
+    } else if (kind == "queues") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      if (*v < 1 || *v > (1 << 20)) {
+        return ParseError(line.number, "queues must be in [1, 1048576]");
+      }
+      spec.queue_words = static_cast<int>(*v);
+    } else if (kind == "seed") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      // Reproducibility-critical: a negative seed must fail loudly, not
+      // silently wrap (mirrors the noc_sim --seed check).
+      if (*v < 0) return ParseError(line.number, "seed must be >= 0");
+      spec.seed = static_cast<std::uint64_t>(*v);
+    } else if (kind == "warmup") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      if (*v < 0) return ParseError(line.number, "warmup must be >= 0");
+      spec.warmup = *v;
+    } else if (kind == "duration") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      if (*v < 1) return ParseError(line.number, "duration must be >= 1");
+      spec.duration = *v;
+    } else if (kind == "engine") {
+      if (line.tokens.size() != 2 ||
+          (line.tokens[1] != "optimized" && line.tokens[1] != "naive")) {
+        return ParseError(line.number, "engine <optimized|naive>");
+      }
+      spec.optimize_engine = line.tokens[1] == "optimized";
+    } else if (kind == "traffic") {
+      if (!have_noc) {
+        return ParseError(line.number, "'noc' must come before 'traffic'");
+      }
+      if (Status s = ParseTraffic(line, &spec); !s.ok()) return s;
+    } else {
+      return ParseError(line.number, "unknown directive '" + kind + "'");
+    }
+  }
+  if (!have_noc) return InvalidArgumentError("scenario has no 'noc' line");
+  if (spec.traffic.empty()) {
+    return InvalidArgumentError("scenario has no 'traffic' directives");
+  }
+  return spec;
+}
+
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto spec = ParseScenario(text.str());
+  if (!spec.ok()) {
+    return Status(spec.status().code(), path + ": " + spec.status().message());
+  }
+  return spec;
+}
+
+}  // namespace aethereal::scenario

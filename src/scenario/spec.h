@@ -1,0 +1,143 @@
+// Declarative scenario specification — one small text file describes a
+// complete workload: topology, clocking, per-connection QoS, traffic
+// pattern, and duration. The scenario layer turns it into a fully wired
+// SoC on the optimized engine (scenario/runner.h) so the same NI design
+// can be exercised under the paper's wildly different use cases (GT video
+// chains, BE shared-memory traffic, synthetic permutation suites) without
+// writing wiring code.
+//
+// Line-based format ('#' starts a comment):
+//
+//   scenario NAME                 # result label (default "scenario")
+//   noc star N                    # or: noc mesh ROWS COLS NIS_PER_ROUTER
+//                                 # or: noc ring ROUTERS NIS_PER_ROUTER
+//   stu 8                         # slot-table size        (default 8)
+//   netmhz 500                    # network clock, MHz     (default 500)
+//   queues 32                     # channel queue words    (default 32)
+//   seed 1                        # RNG seed               (default 1)
+//   warmup 500                    # settle cycles          (default 500)
+//   duration 20000                # measured cycles        (default 20000)
+//   engine optimized              # optimized | naive      (default optimized)
+//
+// followed by one or more traffic directives. Each directive names a
+// pattern (which NIs talk to which), then optional clauses:
+//
+//   traffic uniform               # seeded random permutation (no self-loops)
+//   traffic transpose             # mesh (r,c) -> (c,r); square mesh only
+//   traffic bitcomp               # ni -> ~ni;      power-of-two NI count
+//   traffic bitrev                # ni -> reverse(ni); power-of-two NI count
+//   traffic neighbor              # ni -> ni+1 (mod N)
+//   traffic hotspot T             # every NI except T sends to NI T
+//   traffic pairs A B [C D ...]   # explicit src dst pairs
+//   traffic video A B C ...       # chain of point-to-point streams with
+//                                 # relay IPs at the intermediate NIs
+//   traffic memory M S            # transaction master at NI M, memory
+//                                 # slave at NI S (shared-memory traffic)
+//
+// Clauses (append after the pattern, any order):
+//
+//   inject periodic N             # one word / transaction every N cycles
+//   inject bernoulli R            # issue with probability R per cycle
+//   inject bursty W G             # W back-to-back words, then G idle cycles
+//   inject closed                 # memory only: issue on response return
+//   qos be                        # best-effort (default)
+//   qos gt S                      # guaranteed throughput, S reserved slots
+//   data_threshold N              # NI send threshold (words)
+//   credit_threshold N            # NI credit-report threshold (words)
+//   read_fraction P               # memory only: reads vs writes (default .5)
+//   burst N                       # memory only: words per transaction
+//
+// Directive order defines connid assignment and is part of the scenario's
+// deterministic identity: the same file and seed always produce the same
+// result JSON, on either engine (tests/scenario_test.cpp).
+#ifndef AETHEREAL_SCENARIO_SPEC_H
+#define AETHEREAL_SCENARIO_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace aethereal::scenario {
+
+enum class PatternKind {
+  kUniform,
+  kTranspose,
+  kBitComplement,
+  kBitReversal,
+  kNeighbor,
+  kHotspot,
+  kPairs,
+  kVideo,
+  kMemory,
+};
+
+const char* PatternKindName(PatternKind kind);
+
+enum class InjectKind {
+  kPeriodic,
+  kBernoulli,
+  kBursty,
+  kClosedLoop,  // memory flows only
+};
+
+const char* InjectKindName(InjectKind kind);
+
+/// One traffic directive: a pattern plus injection process and QoS.
+struct TrafficSpec {
+  PatternKind pattern = PatternKind::kUniform;
+
+  InjectKind inject = InjectKind::kPeriodic;
+  std::int64_t period = 8;       // kPeriodic: cycles between emissions
+  double rate = 0.05;            // kBernoulli: emission probability / cycle
+  std::int64_t burst_words = 4;  // kBursty: words per burst
+  std::int64_t gap_cycles = 64;  // kBursty: idle cycles between bursts
+
+  bool gt = false;
+  int gt_slots = 0;
+  int data_threshold = 1;
+  int credit_threshold = 1;
+
+  NiId hotspot = 0;             // kHotspot target
+  std::vector<NiId> nis;        // kPairs (flattened), kVideo chain,
+                                // kMemory {master, slave}
+
+  double read_fraction = 0.5;   // kMemory
+  int mem_burst_words = 4;      // kMemory: words per transaction
+};
+
+enum class TopologyKind { kStar, kMesh, kRing };
+
+const char* TopologyKindName(TopologyKind kind);
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  TopologyKind topology = TopologyKind::kStar;
+  int dim_a = 4;            // star: NIs; mesh: rows; ring: routers
+  int dim_b = 1;            // mesh: cols
+  int nis_per_router = 1;   // mesh / ring
+
+  int stu_slots = 8;
+  double net_mhz = 500.0;
+  int queue_words = 32;
+  std::uint64_t seed = 1;
+  Cycle warmup = 500;
+  Cycle duration = 20000;
+  bool optimize_engine = true;
+
+  std::vector<TrafficSpec> traffic;
+
+  int NumNis() const;
+};
+
+/// Parses the text form above. Errors carry the offending line number.
+Result<ScenarioSpec> ParseScenario(const std::string& text);
+
+/// Reads and parses a spec file.
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
+
+}  // namespace aethereal::scenario
+
+#endif  // AETHEREAL_SCENARIO_SPEC_H

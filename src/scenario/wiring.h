@@ -1,0 +1,73 @@
+// Small SoC-wiring helpers shared by the scenario runner, the benches and
+// the examples — the one place that knows how to turn "N channels of Q
+// words on every NI" into NiKernelParams and an assembled Soc, so no
+// harness keeps a private copy of that boilerplate.
+#ifndef AETHEREAL_SCENARIO_WIRING_H
+#define AETHEREAL_SCENARIO_WIRING_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "soc/soc.h"
+#include "topology/builders.h"
+
+namespace aethereal::scenario {
+
+/// A single-port NI with `channels` channels of `queue_words`-word queues.
+inline core::NiKernelParams NiWithChannels(int channels, int queue_words = 8,
+                                           int stu_slots = 8,
+                                           std::string port_name = {}) {
+  core::NiKernelParams params;
+  params.stu_slots = stu_slots;
+  core::PortParams port;
+  port.name = std::move(port_name);
+  port.channels.assign(static_cast<std::size_t>(channels),
+                       core::ChannelParams{queue_words, queue_words, 1});
+  params.ports.push_back(std::move(port));
+  return params;
+}
+
+/// One router, one NI per entry of `channels_per_ni` — the scale of most
+/// NI-level experiments in the paper.
+inline std::unique_ptr<soc::Soc> MakeStarSoc(
+    const std::vector<int>& channels_per_ni, int queue_words = 8,
+    soc::SocOptions options = {}) {
+  auto star = topology::BuildStar(static_cast<int>(channels_per_ni.size()));
+  std::vector<core::NiKernelParams> params;
+  for (int channels : channels_per_ni) {
+    params.push_back(
+        NiWithChannels(channels, queue_words, options.stu_slots));
+  }
+  return std::make_unique<soc::Soc>(std::move(star.topology),
+                                    std::move(params), options);
+}
+
+/// A rows x cols mesh with identical NIs everywhere.
+inline std::unique_ptr<soc::Soc> MakeMeshSoc(
+    int rows, int cols, int nis_per_router, int channels_per_ni,
+    int queue_words = 8, soc::SocOptions options = {}) {
+  auto mesh = topology::BuildMesh(rows, cols, nis_per_router);
+  std::vector<core::NiKernelParams> params(
+      static_cast<std::size_t>(rows * cols * nis_per_router),
+      NiWithChannels(channels_per_ni, queue_words, options.stu_slots));
+  return std::make_unique<soc::Soc>(std::move(mesh.topology),
+                                    std::move(params), options);
+}
+
+/// Runs until `done` or `max_cycles`; returns true if `done` was reached.
+inline bool RunUntil(soc::Soc& soc, const std::function<bool()>& done,
+                     Cycle max_cycles, Cycle step = 30) {
+  Cycle spent = 0;
+  while (!done() && spent < max_cycles) {
+    soc.RunCycles(step);
+    spent += step;
+  }
+  return done();
+}
+
+}  // namespace aethereal::scenario
+
+#endif  // AETHEREAL_SCENARIO_WIRING_H

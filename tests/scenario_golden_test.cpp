@@ -1,0 +1,82 @@
+// Golden-results regression: every canonical scenario spec in scenarios/
+// must reproduce its committed result JSON byte for byte. This locks the
+// *content* of the simulation — delivered word counts, latency summaries,
+// slot utilization — so an engine change that alters behaviour is caught
+// even if it stays self-consistent (the PR-1 bit-exactness test only
+// compares the two engines against each other).
+//
+// To regenerate after an intentional behaviour change:
+//   ./scripts/regen_goldens.sh <build-dir>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+
+namespace aethereal::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::set<fs::path> CanonicalSpecs() {
+  std::set<fs::path> specs;  // sorted for stable test order
+  for (const auto& entry : fs::directory_iterator(AETHEREAL_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scn") specs.insert(entry.path());
+  }
+  return specs;
+}
+
+TEST(ScenarioGoldenTest, CanonicalSuiteIsComplete) {
+  // The acceptance bar: at least 8 canonical scenarios, and together they
+  // exercise every pattern kind.
+  const auto specs = CanonicalSpecs();
+  EXPECT_GE(specs.size(), 8u);
+  std::set<PatternKind> kinds;
+  for (const fs::path& path : specs) {
+    auto spec = LoadScenarioFile(path.string());
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    for (const TrafficSpec& traffic : spec->traffic) {
+      kinds.insert(traffic.pattern);
+    }
+  }
+  EXPECT_EQ(kinds.size(), 9u) << "canonical suite misses a pattern kind";
+}
+
+TEST(ScenarioGoldenTest, EveryCanonicalScenarioMatchesItsGolden) {
+  for (const fs::path& path : CanonicalSpecs()) {
+    SCOPED_TRACE(path.filename().string());
+    auto spec = LoadScenarioFile(path.string());
+    ASSERT_TRUE(spec.ok()) << spec.status();
+
+    ScenarioRunner runner(*spec);
+    auto result = runner.Run();
+    ASSERT_TRUE(result.ok()) << result.status();
+    const std::string actual = result->ToJson();
+
+    const fs::path golden_path = fs::path(AETHEREAL_GOLDEN_DIR) /
+                                 path.stem().replace_extension(".json");
+    ASSERT_TRUE(fs::exists(golden_path))
+        << "missing golden " << golden_path
+        << " — run ./scripts/regen_goldens.sh";
+    const std::string golden = ReadFile(golden_path);
+    EXPECT_EQ(actual, golden)
+        << "result drifted from " << golden_path
+        << " — if the change is intentional, run ./scripts/regen_goldens.sh";
+  }
+}
+
+}  // namespace
+}  // namespace aethereal::scenario

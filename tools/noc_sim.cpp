@@ -1,0 +1,219 @@
+// noc_sim — the scenario-driven NoC simulator CLI.
+//
+// Parses one or more declarative scenario specs (see src/scenario/spec.h
+// for the format), wires and runs each on the cycle engine, prints a
+// human-readable summary, and emits a machine-readable result JSON
+// (deterministic for a given spec + seed, on either engine).
+//
+// Usage:
+//   noc_sim [options] SPEC_FILE...
+//     -o FILE             write result JSON to FILE (single spec: the
+//                         scenario object; several specs: an array).
+//                         '-' writes JSON to stdout.
+//     --engine E          override the spec's engine (optimized | naive)
+//     --seed N            override the spec's RNG seed
+//     --duration N        override the spec's measured-cycle count
+//     --quiet             suppress the human-readable summary
+//
+// Exit status: 0 on success, 1 on parse/build/run failure.
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "util/table.h"
+
+using namespace aethereal;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> spec_paths;
+  std::string json_path;  // empty: no JSON output
+  std::optional<bool> optimize_engine;
+  std::optional<std::uint64_t> seed;
+  std::optional<Cycle> duration;
+  bool quiet = false;
+};
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: noc_sim [-o FILE] [--engine optimized|naive] [--seed N]\n"
+        "               [--duration N] [--quiet] SPEC_FILE...\n";
+}
+
+/// Strict non-negative integer parse: the whole token must be consumed
+/// (seed/duration are reproducibility-critical — a typo must fail loudly,
+/// never silently prefix-parse).
+std::optional<std::uint64_t> ParseU64(const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    if (token.empty() || token[0] == '-') return std::nullopt;
+    const std::uint64_t value = std::stoull(token, &pos);
+    if (pos != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "noc_sim: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "-o" || arg == "--output") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->json_path = v;
+    } else if (arg == "--engine") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const std::string engine = v;
+      if (engine != "optimized" && engine != "naive") {
+        std::cerr << "noc_sim: --engine must be 'optimized' or 'naive'\n";
+        return false;
+      }
+      options->optimize_engine = engine == "optimized";
+    } else if (arg == "--seed" || arg == "--duration") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const auto parsed = ParseU64(v);
+      if (!parsed || (arg == "--duration" &&
+                      (*parsed < 1 ||
+                       *parsed > static_cast<std::uint64_t>(
+                                     std::numeric_limits<Cycle>::max())))) {
+        std::cerr << "noc_sim: " << arg << " needs a "
+                  << (arg == "--seed" ? "non-negative integer"
+                                      : "cycle count >= 1")
+                  << ", got '" << v << "'\n";
+        return false;
+      }
+      if (arg == "--seed") {
+        options->seed = *parsed;
+      } else {
+        options->duration = static_cast<Cycle>(*parsed);
+      }
+    } else if (arg == "--quiet") {
+      options->quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "noc_sim: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      options->spec_paths.push_back(arg);
+    }
+  }
+  if (options->spec_paths.empty()) {
+    std::cerr << "noc_sim: no scenario spec given\n";
+    PrintUsage(std::cerr);
+    return false;
+  }
+  // '-o -' streams the document to stdout, which must then be valid JSON:
+  // suppress the human-readable summary.
+  if (options->json_path == "-") options->quiet = true;
+  return true;
+}
+
+void PrintSummary(const scenario::ScenarioResult& result, bool optimized) {
+  std::cout << "=== scenario " << result.spec.name << " ("
+            << scenario::TopologyKindName(result.spec.topology) << ", "
+            << result.spec.NumNis() << " NIs, "
+            << (optimized ? "optimized" : "naive") << " engine) ===\n";
+  Table table({"pattern", "flow", "qos", "words", "w/cyc", "lat mean",
+               "lat p99", "lat max"});
+  for (const auto& flow : result.flows) {
+    const std::string qos =
+        flow.gt ? "gt/" + std::to_string(flow.gt_slots) : "be";
+    table.AddRow({flow.pattern,
+                  std::to_string(flow.src) + "->" + std::to_string(flow.dst),
+                  qos, Table::Fmt(flow.words_in_window),
+                  Table::Fmt(flow.throughput_wpc, 4),
+                  flow.latency.count > 0 ? Table::Fmt(flow.latency.mean, 1)
+                                         : "-",
+                  flow.latency.count > 0 ? Table::Fmt(flow.latency.p99, 0)
+                                         : "-",
+                  flow.latency.count > 0 ? Table::Fmt(flow.latency.max, 0)
+                                         : "-"});
+  }
+  table.Print(std::cout);
+  std::cout << "aggregate: " << result.words_in_window << " words in "
+            << result.spec.duration << " measured cycles ("
+            << Table::Fmt(result.throughput_wpc, 3)
+            << " w/cyc), slot utilization "
+            << Table::Fmt(100.0 * result.slot_utilization, 1) << "%\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return 1;
+
+  std::vector<std::string> jsons;
+  for (const std::string& path : options.spec_paths) {
+    auto spec = scenario::LoadScenarioFile(path);
+    if (!spec.ok()) {
+      std::cerr << "noc_sim: " << spec.status() << "\n";
+      return 1;
+    }
+    if (options.optimize_engine) {
+      spec->optimize_engine = *options.optimize_engine;
+    }
+    if (options.seed) spec->seed = *options.seed;
+    if (options.duration) spec->duration = *options.duration;
+
+    scenario::ScenarioRunner runner(*spec);
+    auto result = runner.Run();
+    if (!result.ok()) {
+      std::cerr << "noc_sim: " << path << ": " << result.status() << "\n";
+      return 1;
+    }
+    if (!options.quiet) PrintSummary(*result, spec->optimize_engine);
+    jsons.push_back(result->ToJson());
+  }
+
+  if (!options.json_path.empty()) {
+    // Single spec: the scenario object. Several: a JSON array of them.
+    std::string document;
+    if (jsons.size() == 1) {
+      document = jsons.front();
+    } else {
+      document = "[\n";
+      for (std::size_t i = 0; i < jsons.size(); ++i) {
+        std::string entry = jsons[i];
+        if (!entry.empty() && entry.back() == '\n') entry.pop_back();
+        document += entry;
+        document += i + 1 < jsons.size() ? ",\n" : "\n";
+      }
+      document += "]\n";
+    }
+    if (options.json_path == "-") {
+      std::cout << document;
+    } else {
+      std::ofstream out(options.json_path);
+      out << document;
+      out.flush();
+      if (!out.good()) {
+        std::cerr << "noc_sim: failed writing '" << options.json_path
+                  << "'\n";
+        return 1;
+      }
+      if (!options.quiet) {
+        std::cout << "wrote " << options.json_path << "\n";
+      }
+    }
+  }
+  return 0;
+}
