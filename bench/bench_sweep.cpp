@@ -1,0 +1,160 @@
+// Parallel-speedup benchmark for the sweep subsystem: runs one canonical
+// injection-rate grid (uniform bernoulli traffic on the 7-NI star, 16
+// points) at increasing --jobs counts and reports wall-clock, points/sec,
+// and the jobs=1 -> jobs=min(8, ncores) speedup ratio. Writes
+// BENCH_sweep.json (path overridable via argv[1]); scripts/ci.sh gates on
+// the ratio when the runner has enough cores for it to mean anything.
+//
+// The grid result itself is also cross-checked between the serial and the
+// widest parallel run — the byte-identity contract, re-proven where the
+// speedup is measured.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/table.h"
+
+using namespace aethereal;
+
+namespace {
+
+constexpr char kBaseScenario[] = R"(
+scenario bench_sweep_base
+noc star 7
+stu 8
+queues 32
+seed 1
+warmup 500
+duration 8000
+traffic uniform inject bernoulli 0.03 qos be
+)";
+
+constexpr char kSweepSpec[] = R"(
+sweep bench_sweep_grid
+base inline
+axis rate 0.01 0.02 0.03 0.04 0.05 0.06 0.07 0.08
+axis seed 1 2
+)";
+
+struct JobsResult {
+  int jobs = 0;
+  double wall_ms = 0;
+  double points_per_sec = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+  const int cores =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  auto spec = sweep::ParseSweep(kSweepSpec, [](const std::string&) {
+    return scenario::ParseScenario(kBaseScenario);
+  });
+  AETHEREAL_CHECK_MSG(spec.ok(), "bench sweep spec must parse");
+  const auto num_points = spec->NumPoints();
+
+  // Always measure up to 8 jobs (the acceptance point) even on smaller
+  // hosts — oversubscription costs little and keeps the serial-vs-
+  // parallel byte-identity crosscheck meaningful everywhere. Hosts with
+  // more cores get an extra all-cores row.
+  std::vector<int> jobs_list{1, 2, 4, 8};
+  if (cores > 8) jobs_list.push_back(cores);
+  const int wide_jobs = 8;
+
+  Table table({"jobs", "wall ms", "points/s"});
+  std::vector<JobsResult> results;
+  std::string serial_json;
+  std::string wide_json;
+  for (int jobs : jobs_list) {
+    // Warm once (page cache, allocator) then measure the better of two
+    // runs — sweeps are long enough that two samples keep noise modest
+    // without making the bench crawl on 1-core boxes.
+    double best_ms = 0;
+    std::string json;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      sweep::SweepRunner runner(*spec);
+      const auto start = std::chrono::steady_clock::now();
+      auto result = runner.Run(jobs);
+      const auto end = std::chrono::steady_clock::now();
+      AETHEREAL_CHECK_MSG(result.ok(), "bench sweep run failed");
+      const double ms =
+          std::chrono::duration<double, std::milli>(end - start).count();
+      if (attempt == 0 || ms < best_ms) best_ms = ms;
+      json = result->ToJson();
+    }
+    if (jobs == 1) serial_json = json;
+    if (jobs == wide_jobs) wide_json = json;
+
+    JobsResult r;
+    r.jobs = jobs;
+    r.wall_ms = best_ms;
+    r.points_per_sec = 1000.0 * static_cast<double>(num_points) / best_ms;
+    results.push_back(r);
+    table.AddRow({std::to_string(jobs), Table::Fmt(r.wall_ms, 1),
+                  Table::Fmt(r.points_per_sec, 1)});
+  }
+  AETHEREAL_CHECK_MSG(serial_json == wide_json,
+                      "jobs=1 and jobs=N sweep output diverged");
+
+  // The acceptance point is jobs=8 specifically (not all-cores on bigger
+  // hosts), so the ratio must come from that row.
+  double wide_wall_ms = 0;
+  for (const JobsResult& r : results) {
+    if (r.jobs == wide_jobs) wide_wall_ms = r.wall_ms;
+  }
+  const double ratio = results.front().wall_ms / wide_wall_ms;
+  table.Print(std::cout);
+  std::cout << "speedup jobs=1 -> jobs=" << wide_jobs << ": "
+            << Table::Fmt(ratio, 2) << "x on " << cores << " cores\n";
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("benchmark").String("bench_sweep");
+  w.Key("workload")
+      .String("16-point bernoulli-rate x seed grid on the 7-NI uniform "
+              "star (8.5k cycles per point), independent ScenarioRunners "
+              "on the work-stealing pool");
+  w.Key("cores").Int(cores);
+  w.Key("grid_points").Int(static_cast<std::int64_t>(num_points));
+  w.Key("deterministic").Bool(true);  // serial vs parallel JSON compared
+  w.Key("results").BeginArray();
+  for (const JobsResult& r : results) {
+    w.BeginObject();
+    w.Key("jobs").Int(r.jobs);
+    w.Key("wall_ms").Double(r.wall_ms);
+    w.Key("points_per_sec").Double(r.points_per_sec);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("speedup").BeginObject();
+  w.Key("jobs").Int(wide_jobs);
+  w.Key("serial_wall_ms").Double(results.front().wall_ms);
+  w.Key("parallel_wall_ms").Double(wide_wall_ms);
+  w.Key("ratio").Double(ratio);
+  // The acceptance bar applies where the hardware can express it: >= 3x
+  // at 8 jobs needs >= 8 cores. scripts/ci.sh scales the gate to the
+  // runner's core count.
+  w.Key("target_at_8_cores").Double(3.0);
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream out(out_path);
+  out << w.Take();
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "bench_sweep: failed writing " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

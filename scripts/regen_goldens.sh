@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Regenerates tests/golden/*.json from scenarios/*.scn using noc_sim.
+# Regenerates tests/golden/*.json from scenarios/*.scn (noc_sim) and
+# tests/golden/sweeps/*.{json,csv} from scenarios/sweeps/*.swp (noc_sweep).
 #
 # Run after an *intentional* simulation-behaviour change, then review the
 # golden diff like any other code change:
@@ -9,15 +10,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
 noc_sim="$build_dir/noc_sim"
+noc_sweep="$build_dir/noc_sweep"
 
-if [[ ! -x "$noc_sim" ]]; then
-  echo "error: $noc_sim not built (cmake --build $build_dir --target noc_sim)" >&2
-  exit 1
-fi
+for tool in "$noc_sim" "$noc_sweep"; do
+  if [[ ! -x "$tool" ]]; then
+    echo "error: $tool not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
 
 mkdir -p tests/golden
 for spec in scenarios/*.scn; do
   name="$(basename "$spec" .scn)"
   "$noc_sim" --quiet -o "tests/golden/$name.json" "$spec"
   echo "regenerated tests/golden/$name.json"
+done
+
+# Sweep goldens are generated serially (--jobs 1); the golden test reruns
+# them on a multi-worker pool, so a byte-match also proves the
+# determinism-under-parallelism contract.
+mkdir -p tests/golden/sweeps
+for sweep in scenarios/sweeps/*.swp; do
+  name="$(basename "$sweep" .swp)"
+  "$noc_sweep" --quiet --jobs 1 \
+    -o "tests/golden/sweeps/$name.json" \
+    --csv "tests/golden/sweeps/$name.csv" "$sweep"
+  echo "regenerated tests/golden/sweeps/$name.{json,csv}"
 done

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -320,8 +321,15 @@ Status ParseTraffic(const Line& line, ScenarioSpec* spec) {
 Result<ScenarioSpec> ParseScenario(const std::string& text) {
   ScenarioSpec spec;
   bool have_noc = false;
+  // Every scalar directive may appear at most once: a duplicate almost
+  // always means a copy-paste error, and silently keeping the later value
+  // would make the earlier line a lie.
+  std::set<std::string> seen;
   for (const Line& line : Tokenize(text)) {
     const std::string& kind = line.tokens[0];
+    if (kind != "traffic" && kind != "noc" && !seen.insert(kind).second) {
+      return ParseError(line.number, "duplicate '" + kind + "' directive");
+    }
     auto int_arg = [&]() -> Result<std::int64_t> {
       if (line.tokens.size() != 2) {
         return ParseError(line.number, "'" + kind + "' takes one argument");
@@ -424,12 +432,18 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
     } else if (kind == "warmup") {
       auto v = int_arg();
       if (!v.ok()) return v.status();
-      if (*v < 0) return ParseError(line.number, "warmup must be >= 0");
+      // ~12 days of 1 GHz simulation — anything beyond this is a typo,
+      // and the bound keeps warmup + duration far from Cycle overflow.
+      if (*v < 0 || *v > (std::int64_t{1} << 40)) {
+        return ParseError(line.number, "warmup must be in [0, 2^40]");
+      }
       spec.warmup = *v;
     } else if (kind == "duration") {
       auto v = int_arg();
       if (!v.ok()) return v.status();
-      if (*v < 1) return ParseError(line.number, "duration must be >= 1");
+      if (*v < 1 || *v > (std::int64_t{1} << 40)) {
+        return ParseError(line.number, "duration must be in [1, 2^40]");
+      }
       spec.duration = *v;
     } else if (kind == "engine") {
       if (line.tokens.size() != 2 ||

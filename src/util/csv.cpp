@@ -1,0 +1,67 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace aethereal {
+
+std::string CsvWriter::Escape(const std::string& raw) {
+  if (raw.find_first_of(",\"\n\r") == std::string::npos) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& header)
+    : columns_(header.size()) {
+  AETHEREAL_CHECK_MSG(columns_ > 0, "CSV needs at least one column");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_ += ',';
+    out_ += Escape(header[i]);
+  }
+  out_ += '\n';
+}
+
+void CsvWriter::Append(const std::string& escaped) {
+  AETHEREAL_CHECK_MSG(row_cells_ < columns_, "row has too many cells");
+  if (row_cells_ > 0) out_ += ',';
+  out_ += escaped;
+  ++row_cells_;
+}
+
+CsvWriter& CsvWriter::Cell(const std::string& value) {
+  Append(Escape(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::Cell(const char* value) {
+  return Cell(std::string(value));
+}
+
+CsvWriter& CsvWriter::Cell(std::int64_t value) {
+  Append(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::Double(double value) {
+  Append(FormatDouble(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::EndRow() {
+  AETHEREAL_CHECK_MSG(row_cells_ == columns_, "row has too few cells");
+  out_ += '\n';
+  row_cells_ = 0;
+  return *this;
+}
+
+std::string CsvWriter::Take() {
+  AETHEREAL_CHECK_MSG(row_cells_ == 0, "unterminated CSV row");
+  return std::move(out_);
+}
+
+}  // namespace aethereal

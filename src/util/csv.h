@@ -1,0 +1,57 @@
+// Minimal deterministic CSV writer — the tabular sibling of util/json.h.
+//
+// Sweep results are compared byte-for-byte by the sweep golden tests, so
+// the encoder shares the JSON writer's number formatting (FormatDouble)
+// and emits rows exactly as cells are appended. Cells containing commas,
+// quotes, or newlines are quoted per RFC 4180. Only writing is supported.
+#ifndef AETHEREAL_UTIL_CSV_H
+#define AETHEREAL_UTIL_CSV_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aethereal {
+
+/// Streaming CSV writer with a fixed header. Usage:
+///
+///   CsvWriter w({"point", "rate", "latency"});
+///   w.Cell(0).Cell("0.01").Double(12.5);
+///   w.EndRow();
+///   std::string text = w.Take();
+///
+/// Every row must carry exactly as many cells as the header has columns
+/// (checked), so a schema drift breaks loudly instead of producing a
+/// misaligned table.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::vector<std::string>& header);
+
+  CsvWriter& Cell(const std::string& value);
+  CsvWriter& Cell(const char* value);
+  CsvWriter& Cell(std::int64_t value);
+  CsvWriter& Cell(int value) { return Cell(static_cast<std::int64_t>(value)); }
+  /// Formats through FormatDouble (util/json.h) for byte stability.
+  CsvWriter& Double(double value);
+
+  /// Terminates the current row; checks the column count.
+  CsvWriter& EndRow();
+
+  /// Returns the finished document (header + rows, trailing newline).
+  std::string Take();
+
+  /// RFC 4180 quoting: wraps in quotes (doubling inner quotes) when the
+  /// value contains a comma, quote, or newline.
+  static std::string Escape(const std::string& raw);
+
+ private:
+  void Append(const std::string& escaped);
+
+  std::string out_;
+  std::size_t columns_;
+  std::size_t row_cells_ = 0;
+};
+
+}  // namespace aethereal
+
+#endif  // AETHEREAL_UTIL_CSV_H

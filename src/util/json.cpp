@@ -118,20 +118,20 @@ JsonWriter& JsonWriter::Bool(bool value) {
   return *this;
 }
 
-JsonWriter& JsonWriter::Double(double value) {
-  BeforeValue();
-  if (!std::isfinite(value)) {
-    out_ += "null";
-    return *this;
-  }
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";
   constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
   if (value == std::floor(value) && std::fabs(value) < kExactIntLimit) {
-    out_ += std::to_string(static_cast<std::int64_t>(value));
-    return *this;
+    return std::to_string(static_cast<std::int64_t>(value));
   }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
-  out_ += buf;
+  return buf;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  out_ += FormatDouble(value);
   return *this;
 }
 

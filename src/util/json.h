@@ -15,6 +15,12 @@
 
 namespace aethereal {
 
+/// Deterministic number formatting shared by the JSON and CSV writers:
+/// integral values (|v| < 2^53) print without a fractional part,
+/// everything else through a fixed "%.6g", non-finite values as "null".
+/// Byte-stable across compilers and build types.
+std::string FormatDouble(double value);
+
 /// Streaming JSON writer with explicit object/array scopes and two-space
 /// indentation. Usage:
 ///

@@ -1,0 +1,153 @@
+// Error-path coverage for the scenario spec parser: malformed keys,
+// out-of-range values, and duplicate directives must produce clear
+// diagnostics with line numbers — never silent defaults. A scenario file
+// is the experiment record; a typo that parses is a corrupted experiment.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/spec.h"
+
+namespace aethereal::scenario {
+namespace {
+
+/// Asserts `text` fails to parse and the message carries `needle` (and a
+/// line number when `line` >= 0).
+void ExpectError(const std::string& text, const std::string& needle,
+                 int line = -1) {
+  auto spec = ParseScenario(text);
+  ASSERT_FALSE(spec.ok()) << "expected failure containing '" << needle
+                          << "' for:\n"
+                          << text;
+  EXPECT_NE(spec.status().message().find(needle), std::string::npos)
+      << spec.status();
+  if (line >= 0) {
+    EXPECT_NE(spec.status().message().find("line " + std::to_string(line)),
+              std::string::npos)
+        << spec.status();
+  }
+}
+
+constexpr char kValid[] = R"(
+scenario ok
+noc star 4
+traffic neighbor inject periodic 8 qos be
+)";
+
+TEST(SpecErrorsTest, ValidBaselineParses) {
+  auto spec = ParseScenario(kValid);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "ok");
+  EXPECT_EQ(spec->traffic.size(), 1u);
+}
+
+TEST(SpecErrorsTest, UnknownDirective) {
+  ExpectError("scenario x\nnock star 4\n", "unknown directive 'nock'", 2);
+}
+
+TEST(SpecErrorsTest, UnknownPatternAndClause) {
+  ExpectError("noc star 4\ntraffic uniformm\n", "unknown pattern", 2);
+  ExpectError("noc star 4\ntraffic uniform qis be\n", "unknown clause", 2);
+}
+
+TEST(SpecErrorsTest, MissingStructure) {
+  ExpectError("scenario x\n", "no 'noc' line");
+  ExpectError("noc star 4\n", "no 'traffic' directives");
+  ExpectError("traffic uniform\n", "'noc' must come before 'traffic'", 1);
+}
+
+TEST(SpecErrorsTest, DuplicateDirectives) {
+  ExpectError("noc star 4\nnoc star 5\ntraffic uniform\n", "duplicate 'noc'",
+              2);
+  ExpectError("scenario a\nscenario b\nnoc star 4\ntraffic uniform\n",
+              "duplicate 'scenario' directive", 2);
+  ExpectError("seed 1\nnoc star 4\nseed 2\ntraffic uniform\n",
+              "duplicate 'seed' directive", 3);
+  ExpectError("stu 8\nstu 16\nnoc star 4\ntraffic uniform\n",
+              "duplicate 'stu' directive", 2);
+  ExpectError("duration 100\nnoc star 4\nduration 200\ntraffic uniform\n",
+              "duplicate 'duration' directive", 3);
+}
+
+TEST(SpecErrorsTest, MalformedNumbers) {
+  ExpectError("noc star four\ntraffic uniform\n", "expected a number", 1);
+  ExpectError("noc star 4\nseed 12x\ntraffic uniform\n", "expected a number",
+              2);
+  ExpectError("noc star 4\ntraffic uniform inject bernoulli fast\n",
+              "expected a number", 2);
+}
+
+TEST(SpecErrorsTest, OutOfRangeScalars) {
+  ExpectError("noc star 0\ntraffic uniform\n", "star needs 1..", 1);
+  ExpectError("noc star 9999\ntraffic uniform\n", "star needs 1..", 1);
+  ExpectError("noc mesh 100 100 100\ntraffic uniform\n", "at most", 1);
+  ExpectError("noc ring 2 1\ntraffic neighbor\n", "out of range", 1);
+  ExpectError("stu 0\nnoc star 4\ntraffic uniform\n", "stu must be in", 1);
+  ExpectError("stu 2048\nnoc star 4\ntraffic uniform\n", "stu must be in", 1);
+  ExpectError("queues 0\nnoc star 4\ntraffic uniform\n", "queues must be in",
+              1);
+  ExpectError("seed -1\nnoc star 4\ntraffic uniform\n", "seed must be >= 0",
+              1);
+  ExpectError("warmup -5\nnoc star 4\ntraffic uniform\n", "warmup must be in",
+              1);
+  ExpectError("duration 0\nnoc star 4\ntraffic uniform\n",
+              "duration must be in", 1);
+  ExpectError("duration 1099511627777\nnoc star 4\ntraffic uniform\n",
+              "duration must be in", 1);
+  ExpectError("netmhz 0\nnoc star 4\ntraffic uniform\n", "netmhz must be in",
+              1);
+}
+
+TEST(SpecErrorsTest, OutOfRangeClauses) {
+  ExpectError("noc star 4\ntraffic uniform inject periodic 0\n",
+              "period must be >= 1", 2);
+  ExpectError("noc star 4\ntraffic uniform inject bernoulli 0\n",
+              "rate must be in (0, 1]", 2);
+  ExpectError("noc star 4\ntraffic uniform inject bernoulli 1.5\n",
+              "rate must be in (0, 1]", 2);
+  ExpectError("noc star 4\ntraffic uniform inject bursty 0 10\n",
+              "bursty needs WORDS >= 1", 2);
+  ExpectError("noc star 4\ntraffic uniform qos gt 0\n", "out of range", 2);
+  ExpectError("noc star 4\ntraffic uniform data_threshold 0\n",
+              "out of range", 2);
+  ExpectError("noc star 4\ntraffic memory 0 1 burst 63\n", "out of range", 2);
+  ExpectError("noc star 4\ntraffic memory 0 1 read_fraction 1.5\n",
+              "read_fraction must be in [0, 1]", 2);
+}
+
+TEST(SpecErrorsTest, MissingClauseArguments) {
+  ExpectError("noc star 4\ntraffic uniform inject\n", "missing arguments", 2);
+  ExpectError("noc star 4\ntraffic uniform inject periodic\n",
+              "missing arguments", 2);
+  ExpectError("noc star 4\ntraffic uniform qos\n", "missing arguments", 2);
+  ExpectError("noc star 4\ntraffic uniform qos gt\n", "missing arguments", 2);
+}
+
+TEST(SpecErrorsTest, PatternArgumentConstraints) {
+  ExpectError("noc star 4\ntraffic hotspot\n", "exactly one target NI", 2);
+  ExpectError("noc star 4\ntraffic hotspot 1 2\n", "exactly one target NI",
+              2);
+  ExpectError("noc star 4\ntraffic pairs 0 1 2\n", "even NI-id list", 2);
+  ExpectError("noc star 4\ntraffic video 0\n", "chain of >= 2 NIs", 2);
+  ExpectError("noc star 4\ntraffic memory 0\n", "<master_ni> <slave_ni>", 2);
+}
+
+TEST(SpecErrorsTest, PatternClauseMismatches) {
+  ExpectError("noc star 4\ntraffic uniform inject closed\n",
+              "memory-pattern only", 2);
+  ExpectError("noc star 4\ntraffic memory 0 1 inject bursty 4 64\n",
+              "memory traffic supports", 2);
+  ExpectError("noc star 4\ntraffic uniform read_fraction 0.5\n",
+              "memory-only", 2);
+  ExpectError("noc star 4\ntraffic uniform burst 4\n", "memory-only", 2);
+}
+
+TEST(SpecErrorsTest, FileErrorsCarryPath) {
+  auto spec = LoadScenarioFile("/nonexistent/missing.scn");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(spec.status().message().find("missing.scn"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aethereal::scenario

@@ -1,0 +1,77 @@
+// Sweep golden-results regression: every canonical .swp in
+// scenarios/sweeps/ must reproduce its committed JSON *and* CSV byte for
+// byte, run on a multi-worker pool — locking simultaneously the
+// simulation content, the emitter formats, and the
+// determinism-under-parallelism contract.
+//
+// To regenerate after an intentional behaviour change:
+//   ./scripts/regen_goldens.sh <build-dir>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+
+namespace aethereal::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::set<fs::path> CanonicalSweeps() {
+  std::set<fs::path> sweeps;  // sorted for stable test order
+  for (const auto& entry : fs::directory_iterator(AETHEREAL_SWEEP_DIR)) {
+    if (entry.path().extension() == ".swp") sweeps.insert(entry.path());
+  }
+  return sweeps;
+}
+
+TEST(SweepGoldenTest, CanonicalSuiteIsComplete) {
+  const auto sweeps = CanonicalSweeps();
+  EXPECT_GE(sweeps.size(), 3u);
+  bool any_saturation = false;
+  bool any_multi_axis = false;
+  for (const fs::path& path : sweeps) {
+    auto spec = LoadSweepFile(path.string());
+    ASSERT_TRUE(spec.ok()) << path << ": " << spec.status();
+    any_saturation |= spec->saturation.enabled;
+    any_multi_axis |= spec->axes.size() >= 2;
+  }
+  EXPECT_TRUE(any_saturation) << "suite misses a saturation search";
+  EXPECT_TRUE(any_multi_axis) << "suite misses a multi-axis grid";
+}
+
+TEST(SweepGoldenTest, EveryCanonicalSweepMatchesItsGoldens) {
+  const fs::path golden_dir = fs::path(AETHEREAL_GOLDEN_DIR) / "sweeps";
+  for (const fs::path& path : CanonicalSweeps()) {
+    SCOPED_TRACE(path.filename().string());
+    auto spec = LoadSweepFile(path.string());
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    // A multi-worker pool on purpose: the goldens were produced with
+    // jobs=1, so a byte-match also re-proves determinism.
+    SweepRunner runner(*spec);
+    auto result = runner.Run(4);
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    const std::string stem = path.stem().string();
+    EXPECT_EQ(result->ToJson(), ReadFile(golden_dir / (stem + ".json")))
+        << "sweep JSON drifted; regenerate goldens if intentional";
+    EXPECT_EQ(result->ToCsv(), ReadFile(golden_dir / (stem + ".csv")))
+        << "sweep CSV drifted; regenerate goldens if intentional";
+  }
+}
+
+}  // namespace
+}  // namespace aethereal::sweep

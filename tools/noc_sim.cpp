@@ -13,6 +13,10 @@
 //     --engine E          override the spec's engine (optimized | naive)
 //     --seed N            override the spec's RNG seed
 //     --duration N        override the spec's measured-cycle count
+//     --validate          parse + fully wire each spec, report diagnostics
+//                         (with line numbers), and exit without running
+//     --print             like --validate, and dump the expanded SoC
+//                         (topology, per-NI channels, every flow + connid)
 //     --quiet             suppress the human-readable summary
 //
 // Exit status: 0 on success, 1 on parse/build/run failure.
@@ -24,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/inspect.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
 #include "util/table.h"
@@ -38,12 +43,15 @@ struct CliOptions {
   std::optional<bool> optimize_engine;
   std::optional<std::uint64_t> seed;
   std::optional<Cycle> duration;
+  bool validate = false;
+  bool print = false;
   bool quiet = false;
 };
 
 void PrintUsage(std::ostream& os) {
   os << "usage: noc_sim [-o FILE] [--engine optimized|naive] [--seed N]\n"
-        "               [--duration N] [--quiet] SPEC_FILE...\n";
+        "               [--duration N] [--validate] [--print] [--quiet]\n"
+        "               SPEC_FILE...\n";
 }
 
 /// Strict non-negative integer parse: the whole token must be consumed
@@ -103,6 +111,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       } else {
         options->duration = static_cast<Cycle>(*parsed);
       }
+    } else if (arg == "--validate") {
+      options->validate = true;
+    } else if (arg == "--print") {
+      options->print = true;
     } else if (arg == "--quiet") {
       options->quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -155,11 +167,41 @@ void PrintSummary(const scenario::ScenarioResult& result, bool optimized) {
             << Table::Fmt(100.0 * result.slot_utilization, 1) << "%\n\n";
 }
 
+/// --validate / --print: parse and fully wire each spec without running.
+/// Reports per-file diagnostics (parse errors carry line numbers) and
+/// keeps going so one bad spec doesn't mask the next one's problems.
+int ValidateSpecs(const CliOptions& options) {
+  int failures = 0;
+  for (const std::string& path : options.spec_paths) {
+    auto spec = scenario::LoadScenarioFile(path);
+    if (!spec.ok()) {
+      std::cerr << "noc_sim: " << spec.status() << "\n";
+      ++failures;
+      continue;
+    }
+    auto inspection = scenario::InspectScenario(*spec, /*wire=*/true);
+    if (!inspection.ok()) {
+      std::cerr << "noc_sim: " << path << ": " << inspection.status() << "\n";
+      ++failures;
+      continue;
+    }
+    if (options.print) {
+      std::cout << inspection->Describe();
+    } else if (!options.quiet) {
+      std::cout << path << ": OK (" << spec->name << ", "
+                << inspection->num_nis << " NIs, " << inspection->flows.size()
+                << " flows)\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return 1;
+  if (options.validate || options.print) return ValidateSpecs(options);
 
   std::vector<std::string> jsons;
   for (const std::string& path : options.spec_paths) {

@@ -1,0 +1,348 @@
+// noc_sweep — parallel parameter sweeps over scenario specs.
+//
+// Expands one or more .swp sweep specs (see src/sweep/spec.h for the
+// format) into a cartesian job grid, runs every point as an independent
+// ScenarioRunner on a work-stealing thread pool, and emits deterministic
+// sweep JSON / CSV — byte-identical for any --jobs value.
+//
+// Usage:
+//   noc_sweep [options] SWEEP_FILE...
+//     --jobs N            worker threads (default: all hardware threads)
+//     -o FILE             write sweep JSON to FILE (several sweeps: an
+//                         array). '-' writes JSON to stdout.
+//     --csv FILE          write the per-point CSV (single sweep only)
+//     --curve PARAM       with --csv: emit the latency–throughput curve
+//                         keyed on axis PARAM instead of the point table
+//     --axis PARAM=V1,V2,...  add or replace an axis from the command
+//                         line (repeatable)
+//     --validate          expand and fully validate every grid point
+//                         (parse + pattern + wiring) without running
+//     --quiet             suppress the human-readable summary
+//
+// Exit status: 0 on success, 1 on parse/validate/run failure.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "scenario/inspect.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+#include "util/table.h"
+
+using namespace aethereal;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> sweep_paths;
+  std::string json_path;   // empty: no JSON output
+  std::string csv_path;    // empty: no CSV output
+  std::string curve_param; // empty: point CSV
+  std::vector<std::pair<std::string, std::string>> axis_overrides;
+  int jobs = 0;            // 0: hardware concurrency
+  bool validate = false;
+  bool quiet = false;
+};
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: noc_sweep [--jobs N] [-o FILE] [--csv FILE] [--curve PARAM]\n"
+        "                 [--axis PARAM=V1,V2,...] [--validate] [--quiet]\n"
+        "                 SWEEP_FILE...\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "noc_sweep: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "-o" || arg == "--output") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->json_path = v;
+    } else if (arg == "--csv") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->csv_path = v;
+    } else if (arg == "--curve") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->curve_param = v;
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      try {
+        std::size_t pos = 0;
+        const int jobs = std::stoi(v, &pos);
+        if (pos != std::string(v).size() || jobs < 1 || jobs > 1024) {
+          throw std::invalid_argument(v);
+        }
+        options->jobs = jobs;
+      } catch (const std::exception&) {
+        std::cerr << "noc_sweep: --jobs needs an integer in [1, 1024], got '"
+                  << v << "'\n";
+        return false;
+      }
+    } else if (arg == "--axis") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const std::string spec = v;
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::cerr << "noc_sweep: --axis needs PARAM=V1,V2,..., got '" << spec
+                  << "'\n";
+        return false;
+      }
+      options->axis_overrides.emplace_back(spec.substr(0, eq),
+                                           spec.substr(eq + 1));
+    } else if (arg == "--validate") {
+      options->validate = true;
+    } else if (arg == "--quiet") {
+      options->quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "noc_sweep: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      options->sweep_paths.push_back(arg);
+    }
+  }
+  if (options->sweep_paths.empty()) {
+    std::cerr << "noc_sweep: no sweep spec given\n";
+    PrintUsage(std::cerr);
+    return false;
+  }
+  if (!options->csv_path.empty() && options->sweep_paths.size() > 1) {
+    std::cerr << "noc_sweep: --csv takes exactly one sweep spec\n";
+    return false;
+  }
+  if (!options->curve_param.empty() && options->csv_path.empty()) {
+    std::cerr << "noc_sweep: --curve needs --csv FILE\n";
+    return false;
+  }
+  if (options->json_path == "-") options->quiet = true;
+  return true;
+}
+
+/// Folds --axis PARAM=V1,V2,... overrides into the parsed sweep,
+/// replacing an existing axis on the same parameter or appending a new
+/// one. Values are validated exactly like file axes.
+Status ApplyAxisOverrides(const CliOptions& options, sweep::SweepSpec* spec) {
+  for (const auto& [name, csv_values] : options.axis_overrides) {
+    auto param = sweep::ParseParamRef(name);
+    if (!param.ok()) return param.status();
+    sweep::Axis axis;
+    axis.param = *param;
+    std::istringstream values(csv_values);
+    std::string token;
+    while (std::getline(values, token, ',')) {
+      if (token.empty()) continue;
+      if (Status s = sweep::ValidateAxisValue(*param, token, spec->base);
+          !s.ok()) {
+        return Status(s.code(), "--axis " + name + " value '" + token +
+                                    "': " + s.message());
+      }
+      axis.values.push_back(token);
+    }
+    if (axis.values.empty()) {
+      return InvalidArgumentError("--axis " + name + " has no values");
+    }
+    if (spec->saturation.enabled && axis.param == spec->saturation.param) {
+      return InvalidArgumentError("--axis " + name +
+                                  " collides with the saturate parameter");
+    }
+    bool replaced = false;
+    for (sweep::Axis& existing : spec->axes) {
+      if (existing.param == axis.param) {
+        existing.values = axis.values;
+        replaced = true;
+      }
+    }
+    if (!replaced) spec->axes.push_back(std::move(axis));
+  }
+  return OkStatus();
+}
+
+/// --validate: materialize and fully wire every grid point. Catches the
+/// cross-axis combinations the per-axis parse-time checks cannot.
+int ValidateSweep(const std::string& path, const sweep::SweepSpec& spec,
+                  bool quiet) {
+  const auto grid = sweep::ExpandGrid(spec);
+  int failures = 0;
+  for (const sweep::GridPoint& point : grid) {
+    auto materialized = sweep::MaterializePoint(spec, point);
+    if (materialized.ok()) {
+      auto inspection =
+          scenario::InspectScenario(*materialized, /*wire=*/true);
+      if (inspection.ok()) continue;
+      std::cerr << "noc_sweep: " << path << " point " << point.index << ": "
+                << inspection.status() << "\n";
+    } else {
+      std::cerr << "noc_sweep: " << path << ": " << materialized.status()
+                << "\n";
+    }
+    ++failures;
+  }
+  if (!quiet) {
+    std::cout << path << ": " << spec.name << ", " << grid.size()
+              << " grid points"
+              << (spec.saturation.enabled ? " (saturation search)" : "")
+              << ", " << (grid.size() - static_cast<std::size_t>(failures))
+              << " valid\n";
+  }
+  return failures;
+}
+
+void PrintSummary(const sweep::SweepResult& result) {
+  std::cout << "=== sweep " << result.spec.name << " ("
+            << result.points.size() << " points) ===\n";
+  if (result.spec.saturation.enabled) {
+    Table table({"point", "params", "saturation", "probes"});
+    for (const auto& point : result.points) {
+      std::string params;
+      for (std::size_t a = 0; a < result.spec.axes.size(); ++a) {
+        if (!params.empty()) params += " ";
+        params += result.spec.axes[a].param.Name() + "=" + point.values[a];
+      }
+      table.AddRow({std::to_string(point.index),
+                    params.empty() ? "-" : params,
+                    point.saturation.feasible
+                        ? point.saturation.value_label
+                        : "< " + point.saturation.value_label,
+                    std::to_string(point.saturation.probes.size())});
+    }
+    table.Print(std::cout);
+  } else {
+    Table table({"point", "params", "offered", "delivered", "lat mean",
+                 "lat p99", "util"});
+    for (const auto& point : result.points) {
+      std::string params;
+      for (std::size_t a = 0; a < result.spec.axes.size(); ++a) {
+        if (!params.empty()) params += " ";
+        params += result.spec.axes[a].param.Name() + "=" + point.values[a];
+      }
+      table.AddRow({std::to_string(point.index),
+                    params.empty() ? "-" : params,
+                    Table::Fmt(point.all.offered_wpc, 4),
+                    Table::Fmt(point.all.throughput_wpc, 4),
+                    point.all.latency_count > 0
+                        ? Table::Fmt(point.all.latency_mean, 1)
+                        : "-",
+                    point.all.latency_count > 0
+                        ? Table::Fmt(point.all.latency_p99, 0)
+                        : "-",
+                    Table::Fmt(100.0 * point.slot_utilization, 1) + "%"});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+bool WriteFile(const std::string& path, const std::string& content,
+               bool quiet) {
+  std::ofstream out(path);
+  out << content;
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "noc_sweep: failed writing '" << path << "'\n";
+    return false;
+  }
+  if (!quiet) std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return 1;
+  const int jobs =
+      options.jobs > 0
+          ? options.jobs
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  int validate_failures = 0;
+  std::vector<std::string> jsons;
+  for (const std::string& path : options.sweep_paths) {
+    auto spec = sweep::LoadSweepFile(path);
+    if (!spec.ok()) {
+      std::cerr << "noc_sweep: " << spec.status() << "\n";
+      // --validate keeps going so one bad sweep doesn't mask the next
+      // one's problems (mirrors noc_sim --validate).
+      if (!options.validate) return 1;
+      ++validate_failures;
+      continue;
+    }
+    if (Status s = ApplyAxisOverrides(options, &*spec); !s.ok()) {
+      std::cerr << "noc_sweep: " << path << ": " << s << "\n";
+      if (!options.validate) return 1;
+      ++validate_failures;
+      continue;
+    }
+
+    if (options.validate) {
+      validate_failures += ValidateSweep(path, *spec, options.quiet);
+      continue;
+    }
+
+    sweep::SweepRunner runner(std::move(*spec));
+    auto result = runner.Run(jobs);
+    if (!result.ok()) {
+      std::cerr << "noc_sweep: " << path << ": " << result.status() << "\n";
+      return 1;
+    }
+    if (!options.quiet) PrintSummary(*result);
+    jsons.push_back(result->ToJson());
+
+    if (!options.csv_path.empty()) {
+      std::string csv;
+      if (options.curve_param.empty()) {
+        csv = result->ToCsv();
+      } else {
+        auto curve = result->ToCurveCsv(options.curve_param);
+        if (!curve.ok()) {
+          std::cerr << "noc_sweep: " << path << ": " << curve.status()
+                    << "\n";
+          return 1;
+        }
+        csv = *curve;
+      }
+      if (!WriteFile(options.csv_path, csv, options.quiet)) return 1;
+    }
+  }
+  if (options.validate) return validate_failures == 0 ? 0 : 1;
+
+  if (!options.json_path.empty()) {
+    std::string document;
+    if (jsons.size() == 1) {
+      document = jsons.front();
+    } else {
+      document = "[\n";
+      for (std::size_t i = 0; i < jsons.size(); ++i) {
+        std::string entry = jsons[i];
+        if (!entry.empty() && entry.back() == '\n') entry.pop_back();
+        document += entry;
+        document += i + 1 < jsons.size() ? ",\n" : "\n";
+      }
+      document += "]\n";
+    }
+    if (options.json_path == "-") {
+      std::cout << document;
+    } else if (!WriteFile(options.json_path, document, options.quiet)) {
+      return 1;
+    }
+  }
+  return 0;
+}
