@@ -4,10 +4,17 @@
 #   CI_BUILD_TYPE  Debug | Release           (default Debug)
 #   CI_SANITIZE    ON | OFF  (ASan + UBSan)  (default OFF)
 #   CI_OUTPUT_DIR  artifact directory        (default ci-artifacts)
+#   CI_FUZZ_N      conformance-fuzz configs  (default 50)
+#   CI_VERIFY_ONLY 1 = build + verification sections only (the dedicated
+#                  verify workflow job runs a large fuzz batch without
+#                  repeating ctest / smokes / benches)
 #
 # Steps: configure (warnings-as-errors, ccache when present), build, ctest
-# with JUnit output, run noc_sim over every canonical scenario spec, and —
-# on plain Release — a bench_speed smoke so perf regressions surface.
+# with JUnit output, run noc_sim over every canonical scenario spec, run
+# the guarantee-verification layer (noc_verify over every canonical
+# scenario and sweep on both engines, plus a fixed-seed conformance-fuzz
+# batch — under ASan in the sanitize configuration), and — on plain
+# Release — a bench_speed smoke so perf regressions surface.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +23,8 @@ compiler="${CI_COMPILER:-gcc}"
 build_type="${CI_BUILD_TYPE:-Debug}"
 sanitize="${CI_SANITIZE:-OFF}"
 out_dir="${CI_OUTPUT_DIR:-ci-artifacts}"
+fuzz_n="${CI_FUZZ_N:-50}"
+verify_only="${CI_VERIFY_ONLY:-0}"
 build_dir="build-ci"
 
 case "$compiler" in
@@ -39,7 +48,15 @@ cmake -B "$build_dir" -S . \
   -DNOC_WERROR=ON \
   -DSANITIZE="$sanitize" \
   "${launcher_args[@]}"
-cmake --build "$build_dir" -j"$(nproc)"
+if [[ "$verify_only" == "1" ]]; then
+  # The verification sections only need the two tools; skip the ~25 test
+  # binaries, benches and examples the matrix jobs build and run anyway.
+  cmake --build "$build_dir" -j"$(nproc)" --target noc_verify noc_sweep
+else
+  cmake --build "$build_dir" -j"$(nproc)"
+fi
+
+if [[ "$verify_only" != "1" ]]; then
 
 echo "=== ctest ==="
 ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" \
@@ -60,6 +77,38 @@ for r in results:
     print(f"  {r['scenario']}: {agg['words_in_window']} words, "
           f"slot util {100 * agg['slot_utilization']:.1f}%")
 EOF
+
+fi  # verify_only
+
+echo "=== verify: guarantee checkers over canonical scenarios + sweeps ==="
+# Every canonical scenario runs with the runtime invariant monitor and the
+# analytical GT bound checks armed, on BOTH engines, with cross-engine
+# byte-identity of the result JSON enforced by noc_verify itself.
+./"$build_dir"/noc_verify --quiet --engine both scenarios/*.scn
+# Every canonical sweep point (and saturation probe) runs checked too,
+# once per engine; both engines' verified JSON must equal the committed
+# golden byte-for-byte.
+for swp in scenarios/sweeps/*.swp; do
+  name="$(basename "$swp" .swp)"
+  ./"$build_dir"/noc_sweep --quiet --verify --jobs "$(nproc)" \
+    -o "$out_dir/verify_${name}.json" "$swp"
+  ./"$build_dir"/noc_sweep --quiet --verify --engine naive \
+    --jobs "$(nproc)" -o "$out_dir/verify_${name}_naive.json" "$swp"
+  cmp "$out_dir/verify_${name}.json" "tests/golden/sweeps/${name}.json"
+  cmp "$out_dir/verify_${name}_naive.json" "tests/golden/sweeps/${name}.json"
+done
+echo "all canonical scenarios and sweeps pass verified on both engines"
+
+echo "=== verify: conformance fuzz (N=$fuzz_n, fixed seed) ==="
+# Seeded random topologies / slot allocations / traffic mixes, checkers
+# armed, both engines (the sanitize configuration runs this under ASan).
+./"$build_dir"/noc_verify --quiet --fuzz "$fuzz_n" --seed 2026
+echo "fuzz batch clean: $fuzz_n configs, zero invariant violations"
+
+if [[ "$verify_only" == "1" ]]; then
+  echo "CI OK (verify-only: $compiler $build_type fuzz=$fuzz_n)"
+  exit 0
+fi
 
 echo "=== noc_sweep grid smoke + determinism ==="
 ./"$build_dir"/noc_sweep --validate scenarios/sweeps/*.swp

@@ -90,8 +90,9 @@ void NiPort::WakeOnDelivery(int connid, sim::Module* listener) {
 NiKernel::NiKernel(std::string name, NiId id, const NiKernelParams& params)
     : sim::Module(std::move(name)), id_(id), params_(params) {
   AETHEREAL_CHECK(params.stu_slots > 0);
-  AETHEREAL_CHECK_MSG(params.stu_slots <= 32,
-                      "SLOTS register is a 32-bit mask; stu_slots must be <= 32");
+  AETHEREAL_CHECK_MSG(params.stu_slots <= regs::kMaxStuSlots,
+                      "SLOTS register is a 32-bit mask; stu_slots must be <= "
+                          << regs::kMaxStuSlots);
   AETHEREAL_CHECK(params.max_packet_flits > 0);
   AETHEREAL_CHECK_MSG(params.TotalChannels() > 0, "NI with no channels");
   AETHEREAL_CHECK_MSG(params.TotalChannels() <= link::kMaxQueueId + 1,

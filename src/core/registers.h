@@ -43,6 +43,11 @@ inline constexpr Word kNumPorts = 0x2;
 inline constexpr Word kChannelBase = 0x10;
 inline constexpr Word kRegsPerChannel = 8;
 
+/// Largest slot-table size the SLOTS register can express (one bit per
+/// slot in a 32-bit mask). The NI kernel, the scenario parser, and the
+/// sweep parser all enforce this same limit.
+inline constexpr int kMaxStuSlots = 32;
+
 enum class ChannelReg : Word {
   kCtrl = 0,
   kSpace = 1,

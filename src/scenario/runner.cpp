@@ -1,11 +1,14 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "link/header.h"
 #include "scenario/wiring.h"
 #include "topology/builders.h"
 #include "util/check.h"
 #include "util/json.h"
+#include "verify/monitor.h"
 
 namespace aethereal::scenario {
 
@@ -75,6 +78,18 @@ Status ScenarioRunner::BuildTopologyAndSoc(
       ++channels[static_cast<std::size_t>(flow.dst)];
     }
   }
+  // The packet header's qid field addresses at most kMaxQueueId + 1
+  // channels per NI; over-subscribed NIs previously aborted inside the
+  // NI-kernel constructor instead of failing the build.
+  for (std::size_t n = 0; n < channels.size(); ++n) {
+    if (channels[n] > link::kMaxQueueId + 1) {
+      return InvalidArgumentError(
+          "ni" + std::to_string(n) + " needs " +
+          std::to_string(channels[n]) + " channels, but the header qid "
+          "field addresses at most " +
+          std::to_string(link::kMaxQueueId + 1) + " per NI");
+    }
+  }
 
   topology::Topology topo;
   switch (spec_.topology) {
@@ -104,6 +119,7 @@ Status ScenarioRunner::BuildTopologyAndSoc(
   options.net_mhz = spec_.net_mhz;
   options.stu_slots = spec_.stu_slots;
   options.optimize_engine = spec_.optimize_engine;
+  options.verify = spec_.verify;
   soc_ = std::make_unique<soc::Soc>(std::move(topo), std::move(ni_params),
                                     options);
   return OkStatus();
@@ -182,6 +198,10 @@ Status ScenarioRunner::Build() {
       VideoChain chain;
       chain.group = g;
       chain.chain = traffic.nis;
+      for (const Wired& w : wired) {
+        chain.hop_flows.push_back(w.flow);
+        chain.hop_src_connids.push_back(w.src_connid);
+      }
       const Wired& first = wired.front();
       const Wired& last = wired.back();
       chain.source = std::make_unique<PatternSource>(
@@ -206,6 +226,7 @@ Status ScenarioRunner::Build() {
       MemoryFlow mem;
       mem.group = g;
       mem.flow = w.flow;
+      mem.src_connid = w.src_connid;
       mem.master_shell = std::make_unique<shells::MasterShell>(
           tag + "_master_shell", soc_->port(w.flow.src, 0), w.src_connid);
       mem.master = std::make_unique<ip::TrafficGenMaster>(
@@ -227,6 +248,7 @@ Status ScenarioRunner::Build() {
         StreamFlow stream;
         stream.group = g;
         stream.flow = w.flow;
+        stream.src_connid = w.src_connid;
         const std::string label = tag + "f" + std::to_string(f);
         stream.source = std::make_unique<PatternSource>(
             label + "_src", soc_->port(w.flow.src, 0), w.src_connid, traffic,
@@ -253,13 +275,16 @@ Result<ScenarioResult> ScenarioRunner::Run() {
   soc_->RunCycles(spec_.warmup);
 
   // Measurement-window baselines (latency stats stay cumulative — they
-  // are summaries of exact integer samples either way).
-  std::vector<std::int64_t> stream0, video0, mem0;
+  // are summaries of exact integer samples either way). The admitted-word
+  // baselines feed the verify-mode guarantee checks.
+  std::vector<std::int64_t> stream0, video0, mem0, stream_adm0, video_adm0;
   for (const StreamFlow& f : stream_flows_) {
     stream0.push_back(f.consumer->words_read());
+    stream_adm0.push_back(f.source->words_written());
   }
   for (const VideoChain& c : video_chains_) {
     video0.push_back(c.consumer->words_read());
+    video_adm0.push_back(c.source->words_written());
   }
   for (const MemoryFlow& m : memory_flows_) {
     mem0.push_back(m.master->completed());
@@ -348,7 +373,222 @@ Result<ScenarioResult> ScenarioRunner::Run() {
       slot_opportunities > 0
           ? 1.0 - static_cast<double>(result.idle_slots) / slot_opportunities
           : 0.0;
+
+  if (spec_.verify) {
+    std::vector<std::string> problems;
+    CheckGuarantees(stream_adm0, video_adm0, stream0, video0, &problems);
+    if (!problems.empty()) {
+      std::ostringstream oss;
+      oss << "verification failed for scenario '" << spec_.name << "' ("
+          << problems.size() << " problem(s)):";
+      const std::size_t shown = std::min<std::size_t>(problems.size(), 8);
+      for (std::size_t i = 0; i < shown; ++i) {
+        oss << "\n  " << problems[i];
+      }
+      if (problems.size() > shown) {
+        oss << "\n  ... and " << problems.size() - shown << " more";
+      }
+      return VerificationFailedError(oss.str());
+    }
+  }
   return result;
+}
+
+GtFlowBound ScenarioRunner::BoundOfHop(std::size_t group, const Flow& flow,
+                                       int src_connid) {
+  GtFlowBound report;
+  report.group = static_cast<int>(group);
+  report.src = flow.src;
+  report.dst = flow.dst;
+  const ChannelId flat =
+      soc_->port(flow.src, 0)->GlobalChannelOf(src_connid);
+  const tdm::GlobalChannel channel{flow.src, flat};
+  auto route = soc_->topology().Route(flow.src, flow.dst);
+  AETHEREAL_CHECK(route.ok());  // the connection was opened over it
+  const tdm::SlotTable& table = soc_->allocator().TableOf(route->links[0]);
+  report.bound = verify::ComputeGtBound(
+      table.SlotsOf(channel), spec_.stu_slots,
+      static_cast<int>(route->hops.size()),
+      soc_->ni(flow.src)->params().max_packet_flits);
+  return report;
+}
+
+Result<std::vector<GtFlowBound>> ScenarioRunner::ComputeGtBounds() {
+  if (Status s = Build(); !s.ok()) return s;
+  std::vector<GtFlowBound> bounds;
+  for (const StreamFlow& f : stream_flows_) {
+    if (!spec_.traffic[f.group].gt) continue;
+    bounds.push_back(BoundOfHop(f.group, f.flow, f.src_connid));
+  }
+  for (const VideoChain& c : video_chains_) {
+    if (!spec_.traffic[c.group].gt) continue;
+    for (std::size_t h = 0; h < c.hop_flows.size(); ++h) {
+      bounds.push_back(
+          BoundOfHop(c.group, c.hop_flows[h], c.hop_src_connids[h]));
+    }
+  }
+  for (const MemoryFlow& m : memory_flows_) {
+    if (!spec_.traffic[m.group].gt) continue;
+    bounds.push_back(BoundOfHop(m.group, m.flow, m.src_connid));
+  }
+  return bounds;
+}
+
+namespace {
+
+/// In-flight allowance for the throughput floor of one GT hop: words
+/// legitimately parked in the source and destination queues, the network
+/// pipeline, and the current (partial) table rotation at either window
+/// boundary.
+std::int64_t HopSlackWords(const verify::GtBound& bound, int queue_words) {
+  return 2 * static_cast<std::int64_t>(queue_words) +
+         static_cast<std::int64_t>(bound.hops + 2) * kFlitWords +
+         2 * bound.words_per_rotation + 2 * kFlitWords;
+}
+
+}  // namespace
+
+void ScenarioRunner::CheckGuarantees(
+    const std::vector<std::int64_t>& stream_admitted0,
+    const std::vector<std::int64_t>& video_admitted0,
+    const std::vector<std::int64_t>& stream_delivered0,
+    const std::vector<std::int64_t>& video_delivered0,
+    std::vector<std::string>* problems) {
+  verify::Monitor* monitor = soc_->monitor();
+  AETHEREAL_CHECK(monitor != nullptr);
+  monitor->Finalize();
+  for (const verify::Violation& v : monitor->violations()) {
+    std::ostringstream oss;
+    oss << "[cycle " << v.cycle << "] " << v.check << ": " << v.message;
+    problems->push_back(oss.str());
+  }
+  if (monitor->total_violations() >
+      static_cast<std::int64_t>(monitor->violations().size())) {
+    std::ostringstream oss;
+    oss << "monitor recorded "
+        << monitor->total_violations() -
+               static_cast<std::int64_t>(monitor->violations().size())
+        << " further violation(s) beyond the cap";
+    problems->push_back(oss.str());
+  }
+
+  // Analytical GT guarantees. The throughput floor holds per measurement
+  // window: the flow must deliver whatever it admitted, or at least the
+  // slot tables' guaranteed rate, minus a bounded in-flight allowance.
+  const Cycle duration = spec_.duration;
+  auto check_throughput = [&](const char* what, std::size_t group, NiId src,
+                              NiId dst, std::int64_t admitted,
+                              std::int64_t delivered, double guaranteed_wpc,
+                              std::int64_t slack) {
+    const auto guaranteed_words = static_cast<std::int64_t>(
+        guaranteed_wpc * static_cast<double>(duration));
+    const std::int64_t floor = std::min(admitted, guaranteed_words) - slack;
+    if (delivered < floor) {
+      std::ostringstream oss;
+      oss << "gt-throughput: " << what << " g" << group << " " << src << "->"
+          << dst << " delivered " << delivered << " words in the window; "
+          << "floor is min(admitted " << admitted << ", guaranteed "
+          << guaranteed_words << ") - slack " << slack;
+      problems->push_back(oss.str());
+    }
+  };
+
+  // The end-to-end (Write-to-Read) latency bound is table-derivable only
+  // when the credit loop provably cannot bind: stream credits return as
+  // best-effort packets, so any BE directive in the scenario can delay
+  // them arbitrarily and stretch end-to-end latency without violating any
+  // GT guarantee (the per-flit network timing is checked unconditionally
+  // by the monitor). With only GT directives, every reverse path carries
+  // at most a trickle of credit-only flits, bounded by one table rotation
+  // of jitter.
+  const bool all_gt =
+      std::all_of(spec_.traffic.begin(), spec_.traffic.end(),
+                  [](const TrafficSpec& t) { return t.gt; });
+
+  for (std::size_t i = 0; i < stream_flows_.size(); ++i) {
+    const StreamFlow& f = stream_flows_[i];
+    const TrafficSpec& traffic = spec_.traffic[f.group];
+    if (!traffic.gt) continue;
+    const GtFlowBound hop = BoundOfHop(f.group, f.flow, f.src_connid);
+    const std::int64_t admitted =
+        f.source->words_written() - stream_admitted0[i];
+    const std::int64_t delivered =
+        f.consumer->words_read() - stream_delivered0[i];
+    check_throughput("stream", f.group, f.flow.src, f.flow.dst, admitted,
+                     delivered, hop.bound.min_throughput_wpc,
+                     HopSlackWords(hop.bound, spec_.queue_words));
+    // The per-word latency bound applies when each word provably finds an
+    // empty source queue and full credit: periodic injection at most once
+    // per table rotation, unmodified thresholds, a queue deep enough to
+    // ride out the credit round trip, and no BE directive that could
+    // starve the credit return (see above).
+    if (all_gt && traffic.inject == InjectKind::kPeriodic &&
+        traffic.period >=
+            static_cast<std::int64_t>(spec_.stu_slots) * kFlitWords &&
+        traffic.data_threshold == 1 && traffic.credit_threshold == 1 &&
+        spec_.queue_words >= 4 && f.consumer->latency().count() > 0) {
+      // One rotation of margin absorbs credit-return and BE-arbitration
+      // jitter among the (all-GT) companion flows.
+      const Cycle bound =
+          hop.bound.worst_case_latency +
+          static_cast<Cycle>(spec_.stu_slots) * kFlitWords;
+      const double measured = f.consumer->latency().Max();
+      if (measured > static_cast<double>(bound)) {
+        std::ostringstream oss;
+        oss << "gt-latency: stream g" << f.group << " " << f.flow.src << "->"
+            << f.flow.dst << " saw a word latency of " << measured
+            << " cycles; the slot tables bound it by " << bound
+            << " (max gap " << hop.bound.max_gap_slots << " slots, "
+            << hop.bound.hops << " hops, one rotation of credit jitter)";
+        problems->push_back(oss.str());
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < video_chains_.size(); ++i) {
+    const VideoChain& c = video_chains_[i];
+    const TrafficSpec& traffic = spec_.traffic[c.group];
+    if (!traffic.gt) continue;
+    double guaranteed_wpc = -1;
+    std::int64_t slack = 0;
+    for (std::size_t h = 0; h < c.hop_flows.size(); ++h) {
+      const GtFlowBound hop =
+          BoundOfHop(c.group, c.hop_flows[h], c.hop_src_connids[h]);
+      if (guaranteed_wpc < 0 ||
+          hop.bound.min_throughput_wpc < guaranteed_wpc) {
+        guaranteed_wpc = hop.bound.min_throughput_wpc;
+      }
+      slack += HopSlackWords(hop.bound, spec_.queue_words);
+    }
+    const std::int64_t admitted =
+        c.source->words_written() - video_admitted0[i];
+    const std::int64_t delivered =
+        c.consumer->words_read() - video_delivered0[i];
+    check_throughput("video", c.group, c.chain.front(), c.chain.back(),
+                     admitted, delivered, guaranteed_wpc, slack);
+  }
+
+  for (const MemoryFlow& m : memory_flows_) {
+    if (m.master->completed() > m.master->issued()) {
+      std::ostringstream oss;
+      oss << "transaction-ordering: memory g" << m.group << " completed "
+          << m.master->completed() << " transactions but only issued "
+          << m.master->issued();
+      problems->push_back(oss.str());
+    }
+  }
+
+  // Best-effort sanity: a consumer can never read more than its producer
+  // wrote (whole-run totals; flit integrity is the monitor's job).
+  for (const StreamFlow& f : stream_flows_) {
+    if (f.consumer->words_read() > f.source->words_written()) {
+      std::ostringstream oss;
+      oss << "flit-integrity: stream g" << f.group << " " << f.flow.src
+          << "->" << f.flow.dst << " read " << f.consumer->words_read()
+          << " words but the source only wrote " << f.source->words_written();
+      problems->push_back(oss.str());
+    }
+  }
 }
 
 std::string ScenarioResult::ToJson() const {

@@ -25,6 +25,7 @@
 #include "shells/slave_shell.h"
 #include "soc/soc.h"
 #include "util/status.h"
+#include "verify/bounds.h"
 
 namespace aethereal::scenario {
 
@@ -84,6 +85,16 @@ struct ScenarioResult {
   std::string ToJson() const;
 };
 
+/// Analytical guarantees of one GT flow hop, as wired by the runner
+/// (streams and memory request directions are single hops; a video chain
+/// contributes one entry per chain hop).
+struct GtFlowBound {
+  int group = 0;
+  NiId src = kInvalidId;
+  NiId dst = kInvalidId;
+  verify::GtBound bound;
+};
+
 class ScenarioRunner {
  public:
   explicit ScenarioRunner(ScenarioSpec spec);
@@ -95,8 +106,15 @@ class ScenarioRunner {
   Status Build();
 
   /// Build() + warmup + measured window; collects the result. Callable
-  /// once per runner.
+  /// once per runner. With spec().verify set, a run that violates any
+  /// runtime invariant or analytical GT bound fails with
+  /// kVerificationFailed.
   Result<ScenarioResult> Run();
+
+  /// Build() + the analytical bounds of every GT flow hop, derived from
+  /// the allocator's slot tables (verify/bounds.h). Also the noc_verify
+  /// --bounds table.
+  Result<std::vector<GtFlowBound>> ComputeGtBounds();
 
   soc::Soc* soc() { return soc_.get(); }
   const ScenarioSpec& spec() const { return spec_; }
@@ -105,12 +123,15 @@ class ScenarioRunner {
   struct StreamFlow {
     std::size_t group;
     Flow flow;
+    int src_connid = 0;
     std::unique_ptr<PatternSource> source;
     std::unique_ptr<ip::StreamConsumer> consumer;
   };
   struct VideoChain {
     std::size_t group;
     std::vector<NiId> chain;
+    std::vector<Flow> hop_flows;      // consecutive chain hops
+    std::vector<int> hop_src_connids;  // source connid of each hop
     std::unique_ptr<PatternSource> source;
     std::vector<std::unique_ptr<Relay>> relays;
     std::unique_ptr<ip::StreamConsumer> consumer;
@@ -118,6 +139,7 @@ class ScenarioRunner {
   struct MemoryFlow {
     std::size_t group;
     Flow flow;
+    int src_connid = 0;
     std::unique_ptr<shells::MasterShell> master_shell;
     std::unique_ptr<ip::TrafficGenMaster> master;
     std::unique_ptr<shells::SlaveShell> slave_shell;
@@ -128,6 +150,15 @@ class ScenarioRunner {
       const std::vector<std::vector<Flow>>& flows_by_group);
   Status OpenFlowConnection(const TrafficSpec& traffic, const Flow& flow,
                             int src_connid, int dst_connid);
+  GtFlowBound BoundOfHop(std::size_t group, const Flow& flow,
+                         int src_connid);
+  /// The verify-mode epilogue: monitor violations plus the analytical
+  /// throughput/latency checks, formatted into `problems`.
+  void CheckGuarantees(const std::vector<std::int64_t>& stream_admitted0,
+                       const std::vector<std::int64_t>& video_admitted0,
+                       const std::vector<std::int64_t>& stream_delivered0,
+                       const std::vector<std::int64_t>& video_delivered0,
+                       std::vector<std::string>* problems);
 
   ScenarioSpec spec_;
   bool built_ = false;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/registers.h"
+
 namespace aethereal::scenario {
 
 const char* PatternKindName(PatternKind kind) {
@@ -404,8 +406,13 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
     } else if (kind == "stu") {
       auto v = int_arg();
       if (!v.ok()) return v.status();
-      if (*v < 1 || *v > 1024) {
-        return ParseError(line.number, "stu must be in [1, 1024]");
+      // The NI's SLOTS register is a 32-bit mask, so kMaxStuSlots is a
+      // hard hardware limit; values beyond it previously aborted deep in
+      // the NI kernel instead of failing here.
+      if (*v < 1 || *v > core::regs::kMaxStuSlots) {
+        return ParseError(line.number,
+                          "stu must be in [1, " +
+                              std::to_string(core::regs::kMaxStuSlots) + "]");
       }
       spec.stu_slots = static_cast<int>(*v);
     } else if (kind == "netmhz") {
@@ -451,6 +458,12 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
         return ParseError(line.number, "engine <optimized|naive>");
       }
       spec.optimize_engine = line.tokens[1] == "optimized";
+    } else if (kind == "verify") {
+      if (line.tokens.size() != 2 ||
+          (line.tokens[1] != "on" && line.tokens[1] != "off")) {
+        return ParseError(line.number, "verify <on|off>");
+      }
+      spec.verify = line.tokens[1] == "on";
     } else if (kind == "traffic") {
       if (!have_noc) {
         return ParseError(line.number, "'noc' must come before 'traffic'");

@@ -18,6 +18,11 @@
 //   warmup 500                    # settle cycles          (default 500)
 //   duration 20000                # measured cycles        (default 20000)
 //   engine optimized              # optimized | naive      (default optimized)
+//   verify on                     # on | off               (default off)
+//                                 # arm the guarantee-verification layer:
+//                                 # runtime invariant checkers plus
+//                                 # analytical GT bound checks; any
+//                                 # violation fails the run
 //
 // followed by one or more traffic directives. Each directive names a
 // pattern (which NIs talk to which), then optional clauses:
@@ -126,6 +131,9 @@ struct ScenarioSpec {
   Cycle warmup = 500;
   Cycle duration = 20000;
   bool optimize_engine = true;
+  /// Arm the verification layer (verify/). Never affects the result JSON:
+  /// a clean run is byte-identical, a violating run fails with an error.
+  bool verify = false;
 
   std::vector<TrafficSpec> traffic;
 

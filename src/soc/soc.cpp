@@ -4,6 +4,7 @@
 
 #include "core/registers.h"
 #include "util/check.h"
+#include "verify/monitor.h"
 
 namespace aethereal::soc {
 
@@ -21,6 +22,16 @@ Soc::Soc(topology::Topology topology,
   sim_.set_optimize(options_.optimize_engine);
   net_clock_ = sim_.AddClockMhz("net", options_.net_mhz);
   clock_by_period_[net_clock_->period_ps()] = net_clock_;
+
+  // The verification monitor must be the FIRST module on the network
+  // clock: modules evaluate in registration order, so running before every
+  // NI and router lets it observe a consistent end-of-previous-slot
+  // snapshot (see verify/monitor.h). It is attached after the network is
+  // built, below.
+  if (options_.verify) {
+    monitor_ = std::make_unique<verify::Monitor>("verify_monitor");
+    net_clock_->Register(monitor_.get());
+  }
 
   // Routers.
   for (RouterId r = 0; r < topology_.NumRouters(); ++r) {
@@ -50,6 +61,9 @@ Soc::Soc(topology::Topology topology,
     link::DirectedLink* del = links_.back().get();
     net_clock_->Register(inj);
     net_clock_->Register(del);
+
+    injection_wires_.push_back(&inj->wires());
+    delivery_wires_.push_back(&del->wires());
 
     const RouterId r = topology_.NiRouter(n);
     const int rp = topology_.NiRouterPort(n);
@@ -90,9 +104,33 @@ Soc::Soc(topology::Topology topology,
 
   allocator_ = std::make_unique<tdm::CentralizedAllocator>(
       &topology_, options_.stu_slots);
+
+  if (monitor_ != nullptr) {
+    verify::MonitorHookup hookup;
+    hookup.topology = &topology_;
+    hookup.allocator = allocator_.get();
+    for (auto& ni : nis_) hookup.nis.push_back(ni.get());
+    hookup.injection = injection_wires_;
+    hookup.delivery = delivery_wires_;
+    hookup.dest_queue_words = [this](const tdm::GlobalChannel& channel) {
+      return DestQueueWordsOf(channel);
+    };
+    hookup.channel_pairs = [this] { return OpenChannelPairs(); };
+    hookup.pairs_version = [this] { return connections_version(); };
+    monitor_->Attach(std::move(hookup));
+  }
 }
 
 Soc::~Soc() = default;
+
+std::vector<std::pair<tdm::GlobalChannel, tdm::GlobalChannel>>
+Soc::OpenChannelPairs() const {
+  std::vector<std::pair<tdm::GlobalChannel, tdm::GlobalChannel>> pairs;
+  for (const DirectConnection& conn : direct_connections_) {
+    if (conn.open) pairs.emplace_back(conn.a, conn.b);
+  }
+  return pairs;
+}
 
 sim::Clock* Soc::ClockForMhz(double mhz) {
   const auto period = static_cast<Picoseconds>(std::llround(1e6 / mhz));
@@ -220,6 +258,7 @@ Result<int> Soc::OpenConnection(const tdm::GlobalChannel& a,
   if (!status.ok()) return status;
   conn.open = true;
   direct_connections_.push_back(std::move(conn));
+  ++connections_version_;
   return static_cast<int>(direct_connections_.size() - 1);
 }
 
@@ -248,6 +287,7 @@ Status Soc::CloseConnection(int handle) {
     conn.slots_ba.clear();
   }
   conn.open = false;
+  ++connections_version_;
   return OkStatus();
 }
 

@@ -27,6 +27,10 @@
 #include "topology/topology.h"
 #include "util/status.h"
 
+namespace aethereal::verify {
+class Monitor;
+}
+
 namespace aethereal::soc {
 
 struct SocOptions {
@@ -41,6 +45,12 @@ struct SocOptions {
   /// Per-(NI, port) clock override in MHz; unlisted ports run on the
   /// network clock. The channel queues implement the crossing.
   std::map<std::pair<NiId, int>, double> port_mhz;
+  /// Arms the guarantee-verification monitor (verify/monitor.h): a
+  /// read-only network tap registered before every other module that
+  /// checks slot-table conformance, GT timing, flit integrity/ordering and
+  /// credit conservation each slot. Observation only — simulation results
+  /// are bit-identical with or without it.
+  bool verify = false;
 };
 
 /// Description of the configuration infrastructure (paper Fig. 8).
@@ -68,6 +78,16 @@ class Soc {
   router::Router* router(RouterId id);
   core::NiPort* port(NiId id, int port_index);
   sim::Clock* port_clock(NiId id, int port_index);
+
+  /// The verification monitor (null unless SocOptions::verify).
+  verify::Monitor* monitor() { return monitor_.get(); }
+
+  /// Endpoints of every open direct connection, for the monitor's credit
+  /// pairing; `connections_version()` bumps on every open/close so the
+  /// monitor re-queries only when the set changed.
+  std::vector<std::pair<tdm::GlobalChannel, tdm::GlobalChannel>>
+  OpenChannelPairs() const;
+  std::int64_t connections_version() const { return connections_version_; }
 
   /// Registers an application module (shell or IP) on the clock of the
   /// given NI port.
@@ -130,8 +150,12 @@ class Soc {
   std::vector<std::unique_ptr<router::Router>> routers_;
   std::vector<std::unique_ptr<core::NiKernel>> nis_;
   std::vector<std::unique_ptr<link::DirectedLink>> links_;
+  std::vector<const link::LinkWires*> injection_wires_;  // per NI
+  std::vector<const link::LinkWires*> delivery_wires_;   // per NI
   std::unique_ptr<tdm::CentralizedAllocator> allocator_;
   std::vector<DirectConnection> direct_connections_;
+  std::int64_t connections_version_ = 0;
+  std::unique_ptr<verify::Monitor> monitor_;
 
   // Configuration infrastructure (EnableConfig).
   std::unique_ptr<shells::ConfigShell> config_shell_;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/registers.h"
 #include "scenario/patterns.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -231,7 +232,8 @@ Status ApplyParam(const ParamRef& param, const std::string& value,
                   ScenarioSpec* spec) {
   switch (param.key) {
     case ParamRef::Key::kStu: {
-      auto v = ParseIntIn(value, 1, 1024);
+      // Mirrors the scenario parser: the SLOTS register is a 32-bit mask.
+      auto v = ParseIntIn(value, 1, core::regs::kMaxStuSlots);
       if (!v.ok()) return v.status();
       spec->stu_slots = static_cast<int>(*v);
       return OkStatus();

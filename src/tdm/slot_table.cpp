@@ -1,5 +1,6 @@
 #include "tdm/slot_table.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/check.h"
@@ -76,17 +77,22 @@ double SlotTable::Utilization() const {
   return static_cast<double>(Reserved()) / static_cast<double>(num_slots());
 }
 
-int SlotTable::MaxGap(const GlobalChannel& owner) const {
-  const std::vector<SlotIndex> mine = SlotsOf(owner);
-  if (mine.empty()) return num_slots();
+int MaxCircularGap(std::vector<SlotIndex> slots, int num_slots) {
+  AETHEREAL_CHECK(num_slots > 0);
+  if (slots.empty()) return num_slots;
+  std::sort(slots.begin(), slots.end());
   int max_gap = 0;
-  for (std::size_t i = 0; i < mine.size(); ++i) {
-    const SlotIndex cur = mine[i];
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const SlotIndex cur = slots[i];
     const SlotIndex next =
-        (i + 1 < mine.size()) ? mine[i + 1] : mine[0] + num_slots();
+        (i + 1 < slots.size()) ? slots[i + 1] : slots[0] + num_slots;
     max_gap = std::max(max_gap, next - cur);
   }
   return max_gap;
+}
+
+int SlotTable::MaxGap(const GlobalChannel& owner) const {
+  return MaxCircularGap(SlotsOf(owner), num_slots());
 }
 
 }  // namespace aethereal::tdm

@@ -31,6 +31,12 @@ struct GlobalChannel {
 
 std::ostream& operator<<(std::ostream& os, const GlobalChannel& channel);
 
+/// Largest circular distance (in slots) between consecutive entries of
+/// `slots` in a table of `num_slots` — the paper's jitter bound, shared by
+/// SlotTable::MaxGap and the analytical bound model (verify/bounds.h).
+/// Returns num_slots for an empty set (worst case); never 0 otherwise.
+int MaxCircularGap(std::vector<SlotIndex> slots, int num_slots);
+
 /// Slot ownership table for one link (or for the NI's slot-table unit, STU).
 class SlotTable {
  public:

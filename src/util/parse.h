@@ -1,0 +1,29 @@
+// Strict CLI number parsing shared by the tools.
+#ifndef AETHEREAL_UTIL_PARSE_H
+#define AETHEREAL_UTIL_PARSE_H
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace aethereal {
+
+/// Strict non-negative integer parse: the whole token must be consumed
+/// (seeds / durations / fuzz counts are reproducibility-critical — a typo
+/// must fail loudly, never silently prefix-parse).
+inline std::optional<std::uint64_t> ParseU64(const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    if (token.empty() || token[0] == '-') return std::nullopt;
+    const std::uint64_t value = std::stoull(token, &pos);
+    if (pos != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace aethereal
+
+#endif  // AETHEREAL_UTIL_PARSE_H

@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kRejected: return "REJECTED";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kVerificationFailed: return "VERIFICATION_FAILED";
   }
   return "UNKNOWN";
 }
@@ -54,6 +55,9 @@ Status OutOfRangeError(std::string message) {
 }
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status VerificationFailedError(std::string message) {
+  return Status(StatusCode::kVerificationFailed, std::move(message));
 }
 
 }  // namespace aethereal

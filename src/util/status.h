@@ -24,6 +24,7 @@ enum class StatusCode {
   kRejected,          // tentative distributed reservation rejected
   kOutOfRange,        // index outside table
   kUnimplemented,
+  kVerificationFailed,// a runtime invariant or analytical GT bound broke
 };
 
 /// Human-readable name of a status code (stable, for logs and tests).
@@ -65,6 +66,7 @@ Status FailedPreconditionError(std::string message);
 Status RejectedError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
+Status VerificationFailedError(std::string message);
 
 /// Result<T>: either a value or an error status.
 template <typename T>

@@ -1,0 +1,75 @@
+#include "verify/bounds.h"
+
+#include <algorithm>
+
+#include "tdm/slot_table.h"
+#include "util/check.h"
+
+namespace aethereal::verify {
+
+GtBound ComputeGtBound(std::vector<SlotIndex> slots, int table_slots,
+                       int hops, int max_packet_flits) {
+  AETHEREAL_CHECK(table_slots > 0);
+  AETHEREAL_CHECK(hops >= 0);
+  AETHEREAL_CHECK(max_packet_flits > 0);
+  GtBound bound;
+  bound.table_slots = table_slots;
+  bound.hops = hops;
+  std::sort(slots.begin(), slots.end());
+  bound.slots = static_cast<int>(slots.size());
+  // The jitter bound, shared with SlotTable::MaxGap so the analytical
+  // model can never drift from the table's own definition.
+  bound.max_gap_slots = tdm::MaxCircularGap(slots, table_slots);
+  if (slots.empty()) {
+    // Even with no reservation, a hypothetical flit that did get a slot
+    // would cross the network in the pipelined time; keep the latency field
+    // meaningful for diagnostics.
+    bound.worst_case_latency =
+        static_cast<Cycle>(table_slots + hops + 3) * kFlitWords;
+    return bound;
+  }
+  AETHEREAL_CHECK(slots.front() >= 0 && slots.back() < table_slots);
+
+  // Group the reservations into maximal circular runs of consecutive slots;
+  // a run of r slots carries ceil(r / max_packet_flits) packet headers per
+  // rotation (NiKernel opens a fresh packet, spending one header word,
+  // whenever the previous one fills or the run would end).
+  std::vector<int> runs;
+  if (bound.slots == table_slots) {
+    runs.push_back(table_slots);  // the whole table is one circular run
+  } else {
+    std::vector<bool> owned(static_cast<std::size_t>(table_slots), false);
+    for (SlotIndex s : slots) owned[static_cast<std::size_t>(s)] = true;
+    // Start scanning just past a free slot so no run is split by the
+    // table's wrap point.
+    SlotIndex start = 0;
+    while (owned[static_cast<std::size_t>(start)]) ++start;
+    int run = 0;
+    for (int k = 1; k <= table_slots; ++k) {
+      if (owned[static_cast<std::size_t>((start + k) % table_slots)]) {
+        ++run;
+      } else if (run > 0) {
+        runs.push_back(run);
+        run = 0;
+      }
+    }
+    if (run > 0) runs.push_back(run);
+  }
+  for (int r : runs) {
+    const std::int64_t packets = (r + max_packet_flits - 1) / max_packet_flits;
+    bound.words_per_rotation +=
+        static_cast<std::int64_t>(r) * kFlitWords - packets;
+  }
+  bound.min_throughput_wpc =
+      static_cast<double>(bound.words_per_rotation) /
+      static_cast<double>(static_cast<std::int64_t>(table_slots) * kFlitWords);
+
+  // See the derivation in the header: CDC visibility + slot alignment +
+  // reserved-slot wait + one slot per link + destination CDC, all bounded
+  // by (max_gap + hops + 3) slot times.
+  bound.worst_case_latency =
+      static_cast<Cycle>(bound.max_gap_slots + hops + 3) * kFlitWords;
+  return bound;
+}
+
+}  // namespace aethereal::verify

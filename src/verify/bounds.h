@@ -1,0 +1,70 @@
+// Analytical GT-service bound model (the paper's TDM algebra).
+//
+// The headline property of the Æthereal GT service is that a connection's
+// minimum throughput and worst-case latency follow from the slot tables
+// alone (paper §2): reserving N of S slots on a route buys a hard bandwidth
+// share, and the latency bound is the wait until the next reserved slot
+// plus one slot per hop. This header turns a channel's reserved
+// injection-link slots into those numbers so runtime checkers
+// (verify/monitor.h, scenario/runner.cpp) can hold the simulator to them.
+//
+// Derivation against the simulator's exact mechanics (see DESIGN.md §10):
+//
+//  * Throughput. One reserved slot carries one flit of kFlitWords words,
+//    but every packet spends one word on its header, and a GT packet must
+//    fit inside a contiguous run of reserved slots (NiKernel::GtRunWords)
+//    and inside max_packet_flits. A maximal circular run of r reserved
+//    slots therefore carries ceil(r / max_packet_flits) packets per table
+//    rotation, for r*kFlitWords - ceil(r / max_packet_flits) payload words.
+//    Summing over the runs gives words_per_rotation; dividing by the
+//    rotation length S*kFlitWords gives the guaranteed payload rate a
+//    saturated, credit-unconstrained source achieves — and a floor the
+//    simulator must never undercut.
+//
+//  * Latency. For a word that finds an empty source queue (offered load
+//    within the guarantee, data threshold 1), the worst-case path from the
+//    producer's Write() to the consumer's Read() is:
+//      source CDC visibility        kCdcSyncEdges + 1 cycles
+//      slot-boundary alignment      kFlitWords - 1 cycles
+//      wait for a reserved slot     max_gap * kFlitWords cycles
+//      network pipeline             (hops + 1) * kFlitWords cycles
+//                                   (one slot per traversed link,
+//                                   injection link included)
+//      destination CDC visibility   kCdcSyncEdges + 1 cycles
+//    which is bounded by (max_gap + hops) * kFlitWords + 3 * kFlitWords.
+//    max_gap is the largest circular distance between consecutive reserved
+//    slots (SlotTable::MaxGap) — also the paper's jitter bound.
+#ifndef AETHEREAL_VERIFY_BOUNDS_H
+#define AETHEREAL_VERIFY_BOUNDS_H
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace aethereal::verify {
+
+/// Analytical guarantees of one GT channel, derived from its reserved
+/// injection-link slots and its route length.
+struct GtBound {
+  int slots = 0;                  // reserved slots on the injection link
+  int table_slots = 0;            // slot-table size S
+  int hops = 0;                   // routers traversed (route links - 1)
+  int max_gap_slots = 0;          // paper's jitter bound (slots)
+  std::int64_t words_per_rotation = 0;  // guaranteed payload words / rotation
+  double min_throughput_wpc = 0;  // words_per_rotation / (S * kFlitWords)
+  /// Worst-case producer-Write to consumer-Read latency of a word that
+  /// finds an empty source queue (cycles).
+  Cycle worst_case_latency = 0;
+};
+
+/// Computes the bound for a channel holding `slots` (injection-link slot
+/// indices, any order) out of a table of `table_slots`, on a route
+/// traversing `hops` routers, with the NI's maximum packet length.
+/// An empty slot set yields the degenerate bound (zero throughput,
+/// max_gap = table_slots).
+GtBound ComputeGtBound(std::vector<SlotIndex> slots, int table_slots,
+                       int hops, int max_packet_flits);
+
+}  // namespace aethereal::verify
+
+#endif  // AETHEREAL_VERIFY_BOUNDS_H

@@ -1,0 +1,215 @@
+#include "verify/fuzz.h"
+
+#include <string>
+
+#include "scenario/runner.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace aethereal::verify {
+
+namespace {
+
+using scenario::InjectKind;
+using scenario::PatternKind;
+using scenario::ScenarioSpec;
+using scenario::TopologyKind;
+using scenario::TrafficSpec;
+
+/// splitmix64 finalizer: decorrelates (seed, index, attempt) into an Rng
+/// seed so neighbouring indices explore unrelated configurations.
+std::uint64_t Mix(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// `count` distinct NI ids, uniformly without replacement.
+std::vector<NiId> DistinctNis(Rng& rng, int num_nis, int count) {
+  std::vector<NiId> all(static_cast<std::size_t>(num_nis));
+  for (int i = 0; i < num_nis; ++i) all[static_cast<std::size_t>(i)] = i;
+  std::vector<NiId> picked;
+  for (int k = 0; k < count; ++k) {
+    const auto at = static_cast<std::size_t>(
+        rng.NextBelow(static_cast<std::uint64_t>(all.size())));
+    picked.push_back(all[at]);
+    all.erase(all.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  return picked;
+}
+
+TrafficSpec RandomTraffic(Rng& rng, int num_nis, int stu_slots) {
+  TrafficSpec traffic;
+  switch (rng.NextBelow(10)) {
+    case 0:
+    case 1:
+    case 2:
+      traffic.pattern = PatternKind::kUniform;
+      break;
+    case 3:
+    case 4:
+      traffic.pattern = PatternKind::kNeighbor;
+      break;
+    case 5:
+      traffic.pattern = PatternKind::kHotspot;
+      traffic.hotspot = static_cast<NiId>(
+          rng.NextBelow(static_cast<std::uint64_t>(num_nis)));
+      break;
+    case 6:
+    case 7: {
+      traffic.pattern = PatternKind::kPairs;
+      const int pairs =
+          num_nis >= 4 && rng.NextBool(0.5) ? 2 : 1;
+      traffic.nis = DistinctNis(rng, num_nis, 2 * pairs);
+      break;
+    }
+    case 8: {
+      traffic.pattern = PatternKind::kVideo;
+      const int chain = num_nis >= 3 && rng.NextBool(0.5) ? 3 : 2;
+      traffic.nis = DistinctNis(rng, num_nis, chain);
+      break;
+    }
+    default: {
+      traffic.pattern = PatternKind::kMemory;
+      traffic.nis = DistinctNis(rng, num_nis, 2);
+      traffic.read_fraction = 0.25 * static_cast<double>(rng.NextBelow(5));
+      traffic.mem_burst_words = 2 + static_cast<int>(rng.NextBelow(7));
+      break;
+    }
+  }
+
+  const bool memory = traffic.pattern == PatternKind::kMemory;
+  if (memory && rng.NextBool(0.3)) {
+    traffic.inject = InjectKind::kClosedLoop;
+  } else {
+    switch (rng.NextBelow(memory ? 2 : 3)) {
+      case 0:
+        traffic.inject = InjectKind::kPeriodic;
+        traffic.period = 4 + static_cast<std::int64_t>(rng.NextBelow(45));
+        break;
+      case 1:
+        traffic.inject = InjectKind::kBernoulli;
+        traffic.rate = 0.005 + 0.055 * rng.NextDouble();
+        break;
+      default:
+        traffic.inject = InjectKind::kBursty;
+        traffic.burst_words = 2 + static_cast<std::int64_t>(rng.NextBelow(5));
+        traffic.gap_cycles = 24 + static_cast<std::int64_t>(rng.NextBelow(97));
+        break;
+    }
+  }
+
+  if (rng.NextBool(0.5)) {
+    traffic.gt = true;
+    traffic.gt_slots =
+        1 + static_cast<int>(rng.NextBelow(
+                static_cast<std::uint64_t>(std::max(1, stu_slots / 4))));
+    if (traffic.inject == InjectKind::kPeriodic && rng.NextBool(0.4)) {
+      // At most one word per table rotation: arms the analytical
+      // worst-case latency check (scenario/runner.cpp).
+      traffic.period = static_cast<std::int64_t>(stu_slots) * kFlitWords +
+                       static_cast<std::int64_t>(rng.NextBelow(30));
+    }
+  }
+  traffic.data_threshold =
+      rng.NextBool(0.8) ? 1 : 2 + static_cast<int>(rng.NextBelow(3));
+  traffic.credit_threshold = 1 + static_cast<int>(rng.NextBelow(4));
+  return traffic;
+}
+
+ScenarioSpec Candidate(Rng& rng, std::uint64_t run_seed) {
+  ScenarioSpec spec;
+  spec.verify = true;
+  spec.seed = run_seed;
+  switch (rng.NextBelow(3)) {
+    case 0:
+      spec.topology = TopologyKind::kStar;
+      spec.dim_a = 2 + static_cast<int>(rng.NextBelow(5));  // 2..6 NIs
+      break;
+    case 1:
+      spec.topology = TopologyKind::kMesh;
+      spec.dim_a = 2 + static_cast<int>(rng.NextBelow(2));  // rows 2..3
+      spec.dim_b = 2 + static_cast<int>(rng.NextBelow(2));  // cols 2..3
+      spec.nis_per_router = 1;
+      break;
+    default:
+      spec.topology = TopologyKind::kRing;
+      spec.dim_a = 3 + static_cast<int>(rng.NextBelow(3));  // 3..5 routers
+      spec.nis_per_router = 1 + static_cast<int>(rng.NextBelow(2));
+      break;
+  }
+  // Odd table sizes (co-prime with the 3-word flit) stress every slot
+  // wraparound path; tiny queues stress the credit loop.
+  const int stu_choices[] = {4, 5, 7, 8, 12, 16};
+  spec.stu_slots = stu_choices[rng.NextBelow(6)];
+  const int queue_choices[] = {4, 8, 16, 32};
+  spec.queue_words = queue_choices[rng.NextBelow(4)];
+  spec.warmup = 200 + static_cast<Cycle>(rng.NextBelow(200));
+  spec.duration = 1500 + static_cast<Cycle>(rng.NextBelow(1500));
+
+  const int num_nis = spec.NumNis();
+  if (rng.NextBool(0.25)) {
+    // A latency-probe configuration: only light periodic GT streams, so
+    // the analytical end-to-end latency bound is armed (it requires an
+    // all-GT scenario — BE traffic may legitimately delay credit returns;
+    // see scenario/runner.cpp).
+    spec.queue_words = 8 + static_cast<int>(rng.NextBelow(3)) * 8;
+    const int directives = 1 + static_cast<int>(rng.NextBelow(2));
+    for (int d = 0; d < directives; ++d) {
+      TrafficSpec traffic;
+      traffic.pattern =
+          rng.NextBool(0.5) ? PatternKind::kNeighbor : PatternKind::kPairs;
+      if (traffic.pattern == PatternKind::kPairs) {
+        traffic.nis = DistinctNis(rng, num_nis, 2);
+      }
+      traffic.inject = InjectKind::kPeriodic;
+      traffic.period = static_cast<std::int64_t>(spec.stu_slots) *
+                           kFlitWords +
+                       static_cast<std::int64_t>(rng.NextBelow(40));
+      traffic.gt = true;
+      traffic.gt_slots = 1 + static_cast<int>(rng.NextBelow(2));
+      spec.traffic.push_back(traffic);
+    }
+    return spec;
+  }
+  const int directives = 1 + static_cast<int>(rng.NextBelow(3));
+  for (int d = 0; d < directives; ++d) {
+    spec.traffic.push_back(RandomTraffic(rng, num_nis, spec.stu_slots));
+  }
+  return spec;
+}
+
+}  // namespace
+
+ScenarioSpec RandomConformanceSpec(std::uint64_t seed, int index) {
+  AETHEREAL_CHECK(index >= 0);
+  // Retry with derived sub-seeds until the candidate wires (GT slot
+  // allocations can legitimately exhaust a small table).
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const std::uint64_t salt =
+        static_cast<std::uint64_t>(index) * 64 +
+        static_cast<std::uint64_t>(attempt);
+    Rng rng(Mix(seed, salt));
+    ScenarioSpec spec = Candidate(rng, Mix(seed, salt + 0x100000));
+    spec.name = "fuzz" + std::to_string(index);
+    scenario::ScenarioRunner probe(spec);
+    if (probe.Build().ok()) return spec;
+  }
+  // Degrade deterministically to best-effort only, which needs no slot
+  // reservations and always wires.
+  Rng rng(Mix(seed, static_cast<std::uint64_t>(index)));
+  ScenarioSpec spec =
+      Candidate(rng, Mix(seed, static_cast<std::uint64_t>(index) + 0x200000));
+  for (TrafficSpec& traffic : spec.traffic) {
+    traffic.gt = false;
+    traffic.gt_slots = 0;
+  }
+  spec.name = "fuzz" + std::to_string(index) + "_be";
+  scenario::ScenarioRunner probe(spec);
+  AETHEREAL_CHECK_MSG(probe.Build().ok(),
+                      "best-effort fallback config failed to wire");
+  return spec;
+}
+
+}  // namespace aethereal::verify

@@ -1,0 +1,31 @@
+// Randomized conformance-fuzz configuration generator.
+//
+// Produces seeded random scenario specs — topology, slot-table size, queue
+// depths, and a mixed GT/BE traffic blend over every injection process —
+// that the conformance fuzzer (tests/conformance_fuzz_test.cpp, noc_verify
+// --fuzz) runs with the verification layer armed, on both engines.
+//
+// Seeding contract (documented in DESIGN.md §10.4): config `index` under
+// `seed` seeds its Rng with splitmix64(seed, index*64 + attempt), where
+// `attempt` counts deterministic regeneration retries after infeasible
+// slot allocations (attempt 0 first), so any single configuration can be
+// reproduced in isolation and the same (seed, index) always yields the
+// same spec, across platforms. Infeasible candidates never surface to the
+// caller.
+#ifndef AETHEREAL_VERIFY_FUZZ_H
+#define AETHEREAL_VERIFY_FUZZ_H
+
+#include <cstdint>
+
+#include "scenario/spec.h"
+
+namespace aethereal::verify {
+
+/// The `index`-th random conformance configuration for `seed`. The
+/// returned spec always wires successfully (ScenarioRunner::Build) and has
+/// spec.verify already set.
+scenario::ScenarioSpec RandomConformanceSpec(std::uint64_t seed, int index);
+
+}  // namespace aethereal::verify
+
+#endif  // AETHEREAL_VERIFY_FUZZ_H

@@ -1,0 +1,496 @@
+#include "verify/monitor.h"
+
+#include <sstream>
+
+#include "core/registers.h"
+#include "link/flit.h"
+#include "link/header.h"
+#include "util/check.h"
+
+namespace aethereal::verify {
+
+using link::Flit;
+using link::FlitKind;
+using link::PacketHeader;
+
+namespace {
+
+/// A mismatch must be seen this many times for the same (NI, slot) before
+/// it is reported: a legitimate register update (open/close staged one
+/// cycle before the allocator table changes) can disagree for at most one
+/// observation of a slot index.
+constexpr int kStuMismatchThreshold = 2;
+
+/// Recorded-violation cap; total_violations() keeps counting beyond it.
+constexpr std::size_t kMaxRecorded = 64;
+
+}  // namespace
+
+Monitor::Monitor(std::string name) : sim::Module(std::move(name)) {
+  // The monitor is a pure observer: no registered state, nothing to
+  // commit, and all work happens at slot boundaries.
+  SetEvaluateStride(kFlitWords);
+  SetDefaultCommitOnly();
+}
+
+Monitor::~Monitor() = default;
+
+void Monitor::Attach(MonitorHookup hookup) {
+  AETHEREAL_CHECK_MSG(!attached_, "monitor already attached");
+  AETHEREAL_CHECK(hookup.topology != nullptr && hookup.allocator != nullptr);
+  const auto num_nis = hookup.nis.size();
+  AETHEREAL_CHECK(hookup.injection.size() == num_nis &&
+                  hookup.delivery.size() == num_nis);
+  hookup_ = std::move(hookup);
+  table_slots_ = hookup_.allocator->num_slots();
+  max_qid_ = link::kMaxQueueId + 1;
+  prev_snapshot_.resize(num_nis);
+  open_inj_gt_.resize(num_nis);
+  open_inj_be_.resize(num_nis);
+  open_del_gt_.resize(num_nis);
+  open_del_be_.resize(num_nis);
+  ledgers_.resize(num_nis * static_cast<std::size_t>(max_qid_));
+  stu_mismatch_streak_.assign(
+      num_nis * static_cast<std::size_t>(table_slots_), 0);
+  stu_mismatch_reported_.assign(
+      num_nis * static_cast<std::size_t>(table_slots_), false);
+  attached_ = true;
+}
+
+int Monitor::LedgerIndex(NiId ni, int qid) const {
+  AETHEREAL_CHECK(ni >= 0 && static_cast<std::size_t>(ni) < hookup_.nis.size());
+  AETHEREAL_CHECK(qid >= 0 && qid < max_qid_);
+  return ni * max_qid_ + qid;
+}
+
+Monitor::ChannelLedger& Monitor::Ledger(int index) {
+  return ledgers_[static_cast<std::size_t>(index)];
+}
+
+void Monitor::Report(const char* check, std::string message) {
+  ++total_violations_;
+  if (violations_.size() < kMaxRecorded) {
+    violations_.push_back(
+        Violation{clock() != nullptr ? CycleCount() : 0, check,
+                  std::move(message)});
+  }
+}
+
+void Monitor::RefreshPairs() {
+  if (!hookup_.pairs_version || !hookup_.channel_pairs) return;
+  const std::int64_t version = hookup_.pairs_version();
+  if (version == pairs_version_seen_) return;
+  pairs_version_seen_ = version;
+  std::vector<int> old_peer(ledgers_.size());
+  for (std::size_t i = 0; i < ledgers_.size(); ++i) {
+    old_peer[i] = ledgers_[i].peer;
+    ledgers_[i].peer = -1;
+  }
+  for (const auto& [a, b] : hookup_.channel_pairs()) {
+    // a sends into b's destination queue and vice versa, so the ledger of
+    // destination b is paired with the ledger of destination a: credits
+    // addressed to a acknowledge words delivered to b.
+    const int la = LedgerIndex(a.ni, a.channel);
+    const int lb = LedgerIndex(b.ni, b.channel);
+    Ledger(la).peer = lb;
+    Ledger(lb).peer = la;
+  }
+  // A queue re-paired with a DIFFERENT partner (close + reopen) starts a
+  // fresh credit loop: its conservation counters must restart with it, or
+  // the old connection's totals would fire false violations against the
+  // new partner's zeroed ledger. (Reconfiguring while old traffic is
+  // still in flight remains outside the checked envelope.)
+  for (std::size_t i = 0; i < ledgers_.size(); ++i) {
+    ChannelLedger& ledger = ledgers_[i];
+    if (ledger.peer != -1 && old_peer[i] != -1 &&
+        ledger.peer != old_peer[i]) {
+      ledger.sent_words = 0;
+      ledger.delivered_words = 0;
+      ledger.credits_in = 0;
+      ledger.capacity = -1;
+    }
+  }
+}
+
+NiId Monitor::ResolveDestination(NiId ni, const link::SourcePath& path) {
+  RouterId router = hookup_.topology->NiRouter(ni);
+  link::SourcePath rest = path;
+  while (!rest.Exhausted()) {
+    const int port = rest.NextHop();
+    if (port < 0 || port >= hookup_.topology->RouterPorts(router)) {
+      std::ostringstream oss;
+      oss << "packet from ni" << ni << " routes to port " << port
+          << " of router" << router << " which has "
+          << hookup_.topology->RouterPorts(router) << " ports";
+      Report("gt-route-conformance", oss.str());
+      return kInvalidId;
+    }
+    const topology::Endpoint& peer = hookup_.topology->PortPeer(router, port);
+    rest = rest.Consume();
+    if (peer.kind == topology::EndpointKind::kNi) {
+      if (!rest.Exhausted()) {
+        std::ostringstream oss;
+        oss << "packet from ni" << ni << " reaches ni" << peer.id
+            << " with unconsumed path hops";
+        Report("gt-route-conformance", oss.str());
+        return kInvalidId;
+      }
+      return peer.id;
+    }
+    if (peer.kind != topology::EndpointKind::kRouter) {
+      std::ostringstream oss;
+      oss << "packet from ni" << ni << " routes into unconnected port "
+          << port << " of router" << router;
+      Report("gt-route-conformance", oss.str());
+      return kInvalidId;
+    }
+    router = peer.id;
+  }
+  std::ostringstream oss;
+  oss << "packet from ni" << ni << " has an empty source path";
+  Report("gt-route-conformance", oss.str());
+  return kInvalidId;
+}
+
+void Monitor::CheckStuConformance(SlotIndex slot) {
+  // An enabled channel owning STU slot `slot` must be backed by an
+  // allocator reservation on the NI's injection link for the same channel.
+  // (The reverse — reserved but not yet programmed — is the normal state
+  // during connection setup and is fine.)
+  for (std::size_t n = 0; n < hookup_.nis.size(); ++n) {
+    const auto ni = static_cast<NiId>(n);
+    const std::size_t key =
+        n * static_cast<std::size_t>(table_slots_) +
+        static_cast<std::size_t>(slot);
+    const ChannelId stu_owner = hookup_.nis[n]->SlotOwner(slot);
+    bool mismatch = false;
+    if (stu_owner != kInvalidId &&
+        hookup_.nis[n]->ChannelEnabled(stu_owner)) {
+      const tdm::SlotTable& table = hookup_.allocator->TableOf(
+          topology::LinkId{/*from_ni=*/true, ni, /*port=*/0});
+      const tdm::GlobalChannel& owner = table.Owner(slot);
+      mismatch = !(owner == tdm::GlobalChannel{ni, stu_owner});
+    }
+    if (!mismatch) {
+      stu_mismatch_streak_[key] = 0;
+      continue;
+    }
+    if (++stu_mismatch_streak_[key] >= kStuMismatchThreshold &&
+        !stu_mismatch_reported_[key]) {
+      stu_mismatch_reported_[key] = true;
+      std::ostringstream oss;
+      oss << "ni" << ni << " STU slot " << slot << " owned by enabled channel "
+          << stu_owner << " without a matching allocator reservation";
+      Report("stu-allocator-conformance", oss.str());
+    }
+  }
+}
+
+void Monitor::ObserveInjection(NiId ni, const Flit& flit) {
+  ++flits_checked_;
+  OpenPacket& open = flit.gt ? open_inj_gt_[static_cast<std::size_t>(ni)]
+                             : open_inj_be_[static_cast<std::size_t>(ni)];
+  const Cycle now = CycleCount();
+
+  ExpectedFlit expect;
+  expect.kind = flit.kind;
+  expect.gt = flit.gt;
+  expect.eop = flit.eop;
+
+  if (flit.kind == FlitKind::kHeader) {
+    const PacketHeader header = PacketHeader::Decode(flit.words[0]);
+    if (header.gt != flit.gt) {
+      std::ostringstream oss;
+      oss << "ni" << ni << " injected a flit whose sideband class disagrees "
+          << "with its header";
+      Report("flit-integrity", oss.str());
+    }
+    const NiId dest = ResolveDestination(ni, header.path);
+    if (dest == kInvalidId) return;  // already reported
+    if (header.remote_qid >=
+        hookup_.nis[static_cast<std::size_t>(dest)]->params().TotalChannels()) {
+      // Diagnose the corruption instead of letting the capacity lookup
+      // CHECK-abort on the nonexistent queue (the destination NI kernel
+      // still treats the arrival itself as fatal, per its contract).
+      std::ostringstream oss;
+      oss << "ni" << ni << " packet addresses queue " << header.remote_qid
+          << " of ni" << dest << " which has only "
+          << hookup_.nis[static_cast<std::size_t>(dest)]->params()
+                 .TotalChannels()
+          << " channels";
+      Report("gt-route-conformance", oss.str());
+      return;
+    }
+    if (open.ledger != -1) {
+      std::ostringstream oss;
+      oss << "ni" << ni << " injected a " << (flit.gt ? "GT" : "BE")
+          << " header while a packet of the same class is open";
+      Report("flit-ordering", oss.str());
+    }
+    open.ledger = LedgerIndex(dest, header.remote_qid);
+    open.hops = header.path.HopCount();
+    expect.credits = header.credits;
+
+    if (flit.gt) {
+      // Drive-time slot-table conformance (the tables were snapshotted one
+      // slot before this flit became observable).
+      const SlotSnapshot& snap = prev_snapshot_[static_cast<std::size_t>(ni)];
+      if (snap.valid) {
+        if (!snap.alloc_owner.valid()) {
+          std::ostringstream oss;
+          oss << "ni" << ni << " injected a GT flit in slot " << snap.slot
+              << " which is not reserved on its injection link";
+          Report("gt-slot-reservation", oss.str());
+        } else if (snap.alloc_owner.ni != ni) {
+          std::ostringstream oss;
+          oss << "ni" << ni << " injected a GT flit in slot " << snap.slot
+              << " reserved for " << "ni" << snap.alloc_owner.ni << ".ch"
+              << snap.alloc_owner.channel;
+          Report("gt-slot-reservation", oss.str());
+        } else {
+          if (snap.stu_owner != snap.alloc_owner.channel) {
+            std::ostringstream oss;
+            oss << "ni" << ni << " STU granted channel " << snap.stu_owner
+                << " slot " << snap.slot << " but the allocator reserved it "
+                << "for channel " << snap.alloc_owner.channel;
+            Report("gt-slot-reservation", oss.str());
+          }
+          // The emitting channel's configured route must be the route the
+          // packet actually took.
+          auto reg = hookup_.nis[static_cast<std::size_t>(ni)]->ReadRegister(
+              core::regs::ChannelRegAddr(snap.alloc_owner.channel,
+                                         core::regs::ChannelReg::kPathRqid));
+          if (reg.ok()) {
+            const link::SourcePath conf_path = core::regs::UnpackPath(*reg);
+            const int conf_rqid = core::regs::UnpackRqid(*reg);
+            if (!(conf_path == header.path) ||
+                conf_rqid != header.remote_qid) {
+              std::ostringstream oss;
+              oss << "ni" << ni << " channel " << snap.alloc_owner.channel
+                  << " emitted a GT header whose path/rqid differ from its "
+                  << "configured PATH_RQID register";
+              Report("gt-route-conformance", oss.str());
+            }
+          }
+        }
+      }
+    }
+
+  } else {
+    if (open.ledger == -1) {
+      std::ostringstream oss;
+      oss << "ni" << ni << " injected a " << (flit.gt ? "GT" : "BE")
+          << " payload flit with no packet open";
+      Report("flit-ordering", oss.str());
+      return;
+    }
+    if (flit.gt) {
+      // Payload flits of a GT packet must stay inside reserved slots too
+      // (a packet overrunning its contiguous run lands here).
+      const SlotSnapshot& snap = prev_snapshot_[static_cast<std::size_t>(ni)];
+      if (snap.valid &&
+          (!snap.alloc_owner.valid() || snap.alloc_owner.ni != ni)) {
+        std::ostringstream oss;
+        oss << "ni" << ni << " GT payload flit in slot " << snap.slot
+            << " which is not reserved for this NI on its injection link";
+        Report("gt-slot-reservation", oss.str());
+      }
+    }
+  }
+
+  // Payload words (header word excluded) and the conservation ledger.
+  const int first = flit.kind == FlitKind::kHeader ? 1 : 0;
+  for (int i = first; i < flit.valid_words; ++i) {
+    expect.payload[static_cast<std::size_t>(expect.payload_words++)] =
+        flit.words[static_cast<std::size_t>(i)];
+  }
+  ChannelLedger& ledger = Ledger(open.ledger);
+  ledger.sent_words += expect.payload_words;
+  if (ledger.capacity < 0 && hookup_.dest_queue_words) {
+    ledger.capacity = hookup_.dest_queue_words(tdm::GlobalChannel{
+        static_cast<NiId>(open.ledger / max_qid_), open.ledger % max_qid_});
+  }
+  if (ledger.peer >= 0 && ledger.capacity >= 0) {
+    // Space conservation for the sender: words in the network or the
+    // destination queue can never exceed the queue capacity. The tap sees
+    // sends one slot late and credit returns no later than the sender, so
+    // this difference is a strict lower bound on capacity - Space.
+    const std::int64_t outstanding =
+        ledger.sent_words - Ledger(ledger.peer).credits_in;
+    if (outstanding > ledger.capacity) {
+      std::ostringstream oss;
+      oss << "credit conservation violated toward ni"
+          << open.ledger / max_qid_ << ".q" << open.ledger % max_qid_
+          << ": " << ledger.sent_words << " words sent, "
+          << Ledger(ledger.peer).credits_in
+          << " credits returned, capacity " << ledger.capacity;
+      Report("credit-conservation", oss.str());
+    }
+  }
+
+  expect.arrival = flit.gt ? now + static_cast<Cycle>(open.hops) * kFlitWords
+                           : Cycle{-1};
+  ledger.expected.push_back(expect);
+  if (flit.eop) open.ledger = -1;
+}
+
+void Monitor::ObserveDelivery(NiId ni, const Flit& flit) {
+  OpenPacket& open = flit.gt ? open_del_gt_[static_cast<std::size_t>(ni)]
+                             : open_del_be_[static_cast<std::size_t>(ni)];
+  const Cycle now = CycleCount();
+
+  int credits = 0;
+  if (flit.kind == FlitKind::kHeader) {
+    const PacketHeader header = PacketHeader::Decode(flit.words[0]);
+    if (!header.path.Exhausted()) {
+      std::ostringstream oss;
+      oss << "ni" << ni << " received a packet with unconsumed path hops";
+      Report("gt-route-conformance", oss.str());
+    }
+    if (header.remote_qid >=
+        hookup_.nis[static_cast<std::size_t>(ni)]->params().TotalChannels()) {
+      std::ostringstream oss;
+      oss << "ni" << ni << " received a packet for queue "
+          << header.remote_qid << " which it does not have";
+      Report("gt-route-conformance", oss.str());
+      return;
+    }
+    open.ledger = LedgerIndex(ni, header.remote_qid);
+    credits = header.credits;
+  } else if (open.ledger == -1) {
+    std::ostringstream oss;
+    oss << "ni" << ni << " received a " << (flit.gt ? "GT" : "BE")
+        << " payload flit with no packet open";
+    Report("flit-ordering", oss.str());
+    return;
+  }
+
+  ChannelLedger& ledger = Ledger(open.ledger);
+  const int qid = open.ledger % max_qid_;
+  if (flit.eop) open.ledger = -1;
+
+  if (ledger.expected.empty()) {
+    std::ostringstream oss;
+    oss << "ni" << ni << ".q" << qid << " received a flit that never "
+        << "entered the network (injection tap saw nothing)";
+    Report("flit-ordering", oss.str());
+    return;
+  }
+  const ExpectedFlit expect = ledger.expected.front();
+  ledger.expected.pop_front();
+
+  // In-order, uncorrupted delivery: the flit must be exactly the oldest
+  // in-flight flit for this destination queue.
+  int payload_words = 0;
+  std::array<Word, kFlitWords> payload{};
+  const int first = flit.kind == FlitKind::kHeader ? 1 : 0;
+  for (int i = first; i < flit.valid_words; ++i) {
+    payload[static_cast<std::size_t>(payload_words++)] =
+        flit.words[static_cast<std::size_t>(i)];
+  }
+  const bool fields_match = expect.kind == flit.kind && expect.gt == flit.gt &&
+                            expect.eop == flit.eop &&
+                            expect.credits == credits &&
+                            expect.payload_words == payload_words;
+  bool words_match = fields_match;
+  for (int i = 0; words_match && i < payload_words; ++i) {
+    words_match = expect.payload[static_cast<std::size_t>(i)] ==
+                  payload[static_cast<std::size_t>(i)];
+  }
+  if (!words_match) {
+    std::ostringstream oss;
+    oss << "ni" << ni << ".q" << qid << " delivery differs from the oldest "
+        << "in-flight flit (reordered or corrupted)";
+    Report("flit-integrity", oss.str());
+  }
+
+  // The GT latency contract: exactly one slot per traversed link, which
+  // also proves the flit was never queued behind best-effort traffic.
+  if (flit.gt && expect.gt && expect.arrival >= 0 &&
+      now != expect.arrival) {
+    std::ostringstream oss;
+    oss << "ni" << ni << ".q" << qid << " GT flit arrived at cycle " << now
+        << ", expected exactly " << expect.arrival
+        << " (one slot per link)";
+    Report("gt-timing", oss.str());
+  }
+
+  ledger.delivered_words += payload_words;
+  if (credits > 0) {
+    ledger.credits_in += credits;
+    if (ledger.peer >= 0 &&
+        ledger.credits_in > Ledger(ledger.peer).delivered_words) {
+      std::ostringstream oss;
+      oss << "ni" << ni << ".q" << qid << " accumulated " << ledger.credits_in
+          << " returned credits but only " << Ledger(ledger.peer).delivered_words
+          << " words were ever delivered to its paired queue "
+          << "(credits fabricated)";
+      Report("credit-conservation", oss.str());
+    }
+  }
+}
+
+void Monitor::Evaluate() {
+  if (!attached_ || !IsSlotBoundary()) return;
+  const Cycle now = CycleCount();
+  RefreshPairs();
+
+  // Validate the flits committed at the last end-of-slot edge (driven one
+  // slot ago) against the tables snapshotted one slot ago.
+  if (now >= kFlitWords) {
+    for (std::size_t n = 0; n < hookup_.nis.size(); ++n) {
+      const Flit& inj = hookup_.injection[n]->data.Sample();
+      if (!inj.IsIdle()) ObserveInjection(static_cast<NiId>(n), inj);
+      const Flit& del = hookup_.delivery[n]->data.Sample();
+      if (!del.IsIdle()) ObserveDelivery(static_cast<NiId>(n), del);
+    }
+  }
+
+  // Snapshot the tables governing the slot the NIs are about to schedule
+  // (this same cycle, after us), for use one slot from now.
+  const auto slot = static_cast<SlotIndex>((now / kFlitWords) % table_slots_);
+  for (std::size_t n = 0; n < hookup_.nis.size(); ++n) {
+    const auto ni = static_cast<NiId>(n);
+    SlotSnapshot& snap = prev_snapshot_[n];
+    snap.valid = true;
+    snap.slot = slot;
+    snap.stu_owner = hookup_.nis[n]->SlotOwner(slot);
+    snap.alloc_owner = hookup_.allocator
+                           ->TableOf(topology::LinkId{/*from_ni=*/true, ni,
+                                                      /*port=*/0})
+                           .Owner(slot);
+  }
+  CheckStuConformance(slot);
+}
+
+void Monitor::Finalize() {
+  if (!attached_ || clock() == nullptr) return;
+  const Cycle now = CycleCount();
+  for (std::size_t i = 0; i < ledgers_.size(); ++i) {
+    const ChannelLedger& ledger = ledgers_[i];
+    for (const ExpectedFlit& expect : ledger.expected) {
+      if (expect.gt && expect.arrival >= 0 && expect.arrival < now) {
+        std::ostringstream oss;
+        oss << "ni" << i / static_cast<std::size_t>(max_qid_) << ".q"
+            << i % static_cast<std::size_t>(max_qid_)
+            << " GT flit still undelivered at end of run (was due at cycle "
+            << expect.arrival << ")";
+        Report("gt-timing", oss.str());
+        break;  // one report per channel is enough
+      }
+    }
+  }
+}
+
+std::string Monitor::Describe() const {
+  std::ostringstream oss;
+  oss << flits_checked_ << " flits checked, " << total_violations_
+      << " violation(s)";
+  if (!violations_.empty()) {
+    oss << "; first: [cycle " << violations_.front().cycle << "] "
+        << violations_.front().check << ": " << violations_.front().message;
+  }
+  return oss.str();
+}
+
+}  // namespace aethereal::verify

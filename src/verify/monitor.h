@@ -1,0 +1,188 @@
+// Runtime invariant monitor: a read-only network tap that proves, cycle by
+// cycle, that the simulator honors the GT contract the slot tables promise.
+//
+// The monitor is a sim::Module registered on the network clock *before*
+// every other module (soc/soc.cpp registers it first when
+// SocOptions::verify is set). Because modules of one clock evaluate in
+// registration order and all NI/router-internal mutations happen in the
+// Evaluate phase, the monitor's Evaluate at slot boundary t observes a
+// consistent "end of slot t-1" snapshot: link wires as committed at the
+// end-of-slot edge, NI register/credit state as left by the previous slot.
+// It samples committed state only (Wire::Sample, const NiKernel accessors)
+// and never stages anything, so arming it cannot change simulation results
+// — the golden tests run byte-identical with the monitor on
+// (tests/verify_test.cpp).
+//
+// Checks (violations are recorded, not fatal, so negative tests can assert
+// on them; the scenario runner turns a non-empty list into a run error):
+//
+//  * gt-slot-reservation — a GT flit observed on an NI's injection link
+//    must have been driven in a slot the centralized allocator reserved on
+//    that link, for a channel of that NI, and the NI's own STU must have
+//    named the same channel (the drive-time tables are snapshotted one
+//    slot earlier, so reconfiguration cannot race the check).
+//  * stu-allocator-conformance — an enabled GT channel owning an STU slot
+//    without a matching allocator reservation (checked per slot index as
+//    the table rotates; a mismatch must persist for two rotations before
+//    it is reported, so the one-cycle window of a legitimate register
+//    update never false-positives).
+//  * gt-route-conformance — a GT header's path and remote queue id must
+//    equal the emitting channel's configured PATH/RQID register.
+//  * gt-timing — every GT flit entering the network at observation time t
+//    on a route of h hops must appear on the destination NI's delivery
+//    link at exactly t + h*kFlitWords: the pipelined-circuit latency, and
+//    the proof that GT flits are never delayed by best-effort traffic.
+//    Finalize() reports GT flits still unaccounted past their deadline.
+//  * flit-integrity / flit-ordering — every flit delivered to (NI, queue)
+//    is matched FIFO against what entered the network for (NI, queue):
+//    payload words, header fields, end-of-packet, and traffic class must
+//    agree (per-channel in-order, uncorrupted delivery — for BE too).
+//  * credit-conservation — per connection direction a->b, the words that
+//    entered the network for b minus the credits returned to a never
+//    exceed b's destination-queue capacity (the Space counter can never
+//    have gone negative), and credits returned to a never exceed the words
+//    delivered to b (credits cannot be fabricated).
+//
+// The tap attributes payload flits to packets with the same per-link,
+// per-class open-packet state the NI receive path uses (GT packets occupy
+// consecutive slots, so at most one is open per link and class).
+#ifndef AETHEREAL_VERIFY_MONITOR_H
+#define AETHEREAL_VERIFY_MONITOR_H
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ni_kernel.h"
+#include "link/wire.h"
+#include "sim/kernel.h"
+#include "tdm/allocator.h"
+#include "topology/topology.h"
+
+namespace aethereal::verify {
+
+struct Violation {
+  Cycle cycle = 0;
+  std::string check;    // e.g. "gt-timing"
+  std::string message;
+};
+
+/// Everything the monitor needs from the assembled SoC, passed as plain
+/// pointers/functions so verify/ never includes soc/ (the Soc owns the
+/// monitor).
+struct MonitorHookup {
+  const topology::Topology* topology = nullptr;
+  const tdm::CentralizedAllocator* allocator = nullptr;
+  std::vector<core::NiKernel*> nis;
+  std::vector<const link::LinkWires*> injection;  // per NI: NI -> router
+  std::vector<const link::LinkWires*> delivery;   // per NI: router -> NI
+  /// Destination-queue capacity of a channel (credit-conservation bound).
+  std::function<int(const tdm::GlobalChannel&)> dest_queue_words;
+  /// Currently open connection endpoints (a sends to b's queue and vice
+  /// versa), re-queried whenever pairs_version changes.
+  std::function<std::vector<
+      std::pair<tdm::GlobalChannel, tdm::GlobalChannel>>()>
+      channel_pairs;
+  std::function<std::int64_t()> pairs_version;
+};
+
+class Monitor : public sim::Module {
+ public:
+  explicit Monitor(std::string name);
+  ~Monitor() override;
+
+  /// Wires the tap to the built network. Must be called before the first
+  /// cycle; the monitor idles (and checks nothing) until attached.
+  void Attach(MonitorHookup hookup);
+  bool attached() const { return attached_; }
+
+  void Evaluate() override;
+
+  /// End-of-run checks: GT flits still in flight past their deadline.
+  /// Idempotent per call site (re-running after more cycles re-arms).
+  void Finalize();
+
+  /// Recorded violations (capped; total_violations() keeps counting).
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::int64_t total_violations() const { return total_violations_; }
+  std::int64_t flits_checked() const { return flits_checked_; }
+
+  /// One-line human-readable status, e.g. for noc_verify.
+  std::string Describe() const;
+
+ private:
+  /// What must arrive at the destination for one flit that entered the
+  /// network (header word excluded — the path field mutates en route;
+  /// header fields are compared decoded).
+  struct ExpectedFlit {
+    Cycle arrival = -1;  // exact delivery-observation cycle; -1 for BE
+    link::FlitKind kind = link::FlitKind::kIdle;
+    bool gt = false;
+    bool eop = false;
+    int credits = 0;
+    int payload_words = 0;
+    std::array<Word, kFlitWords> payload{};
+  };
+
+  /// Per destination channel (ni, qid): the in-flight expectation FIFO and
+  /// the credit-conservation ledgers.
+  struct ChannelLedger {
+    std::deque<ExpectedFlit> expected;
+    std::int64_t sent_words = 0;       // entered the network toward here
+    std::int64_t delivered_words = 0;  // observed on the delivery link
+    std::int64_t credits_in = 0;       // credits in headers addressed here
+    int capacity = -1;                 // dest-queue words (lazy)
+    int peer = -1;                     // ledger index of the paired channel
+  };
+
+  /// Drive-time table snapshot of one NI's current slot, taken one slot
+  /// before the driven flit becomes observable.
+  struct SlotSnapshot {
+    bool valid = false;
+    SlotIndex slot = -1;
+    tdm::GlobalChannel alloc_owner;
+    ChannelId stu_owner = kInvalidId;
+  };
+
+  /// Per-link, per-class open-packet attribution state.
+  struct OpenPacket {
+    int ledger = -1;  // destination ledger index; -1 = no packet open
+    int hops = 0;     // route length of the open packet (injection side)
+  };
+
+  bool IsSlotBoundary() const { return CycleCount() % kFlitWords == 0; }
+  int LedgerIndex(NiId ni, int qid) const;
+  ChannelLedger& Ledger(int index);
+  void Report(const char* check, std::string message);
+  void RefreshPairs();
+  void CheckStuConformance(SlotIndex slot);
+  void ObserveInjection(NiId ni, const link::Flit& flit);
+  void ObserveDelivery(NiId ni, const link::Flit& flit);
+  /// Walks a full source route from `ni`'s router; returns the destination
+  /// NI or kInvalidId (reporting the violation).
+  NiId ResolveDestination(NiId ni, const link::SourcePath& path);
+
+  bool attached_ = false;
+  MonitorHookup hookup_;
+  int table_slots_ = 0;
+  int max_qid_ = 0;  // channels addressable per NI (ledger stride)
+
+  std::vector<SlotSnapshot> prev_snapshot_;       // per NI
+  std::vector<OpenPacket> open_inj_gt_, open_inj_be_;  // per NI
+  std::vector<OpenPacket> open_del_gt_, open_del_be_;  // per NI
+  std::vector<ChannelLedger> ledgers_;            // NI-major, qid-minor
+  std::vector<int> stu_mismatch_streak_;          // per (NI, slot)
+  std::vector<bool> stu_mismatch_reported_;       // per (NI, slot)
+  std::int64_t pairs_version_seen_ = -1;
+
+  std::vector<Violation> violations_;
+  std::int64_t total_violations_ = 0;
+  std::int64_t flits_checked_ = 0;
+};
+
+}  // namespace aethereal::verify
+
+#endif  // AETHEREAL_VERIFY_MONITOR_H

@@ -298,6 +298,23 @@ TEST(ScenarioRunnerTest, BuildFailsOnSlotExhaustion) {
   EXPECT_FALSE(runner.Build().ok());
 }
 
+TEST(ScenarioRunnerTest, BuildFailsOnChannelOversubscription) {
+  // Regression (found by the verification fuzzing work): 35 hotspot
+  // senders need 35 destination channels at NI 0, beyond the packet
+  // header's 5-bit qid field. This used to abort inside the NI-kernel
+  // constructor — even under noc_sim --validate — instead of failing the
+  // build with a diagnostic.
+  const ScenarioSpec spec = MustParse(R"(
+    noc ring 3 12
+    traffic hotspot 0 inject periodic 50
+  )");
+  ScenarioRunner runner(spec);
+  const Status status = runner.Build();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("qid"), std::string::npos) << status;
+}
+
 // ---------------------------------------------------------------------------
 // Determinism
 // ---------------------------------------------------------------------------

@@ -84,6 +84,11 @@ TEST(SpecErrorsTest, OutOfRangeScalars) {
   ExpectError("noc ring 2 1\ntraffic neighbor\n", "out of range", 1);
   ExpectError("stu 0\nnoc star 4\ntraffic uniform\n", "stu must be in", 1);
   ExpectError("stu 2048\nnoc star 4\ntraffic uniform\n", "stu must be in", 1);
+  // Regression (found by the verification fuzzing work): 33..1024 used to
+  // parse, then abort on the NI kernel's 32-bit SLOTS-mask CHECK — a crash
+  // reachable from any spec file, even under --validate.
+  ExpectError("stu 64\nnoc star 4\ntraffic uniform\n", "stu must be in", 1);
+  ExpectError("stu 33\nnoc star 4\ntraffic uniform\n", "stu must be in", 1);
   ExpectError("queues 0\nnoc star 4\ntraffic uniform\n", "queues must be in",
               1);
   ExpectError("seed -1\nnoc star 4\ntraffic uniform\n", "seed must be >= 0",

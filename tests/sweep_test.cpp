@@ -75,6 +75,9 @@ TEST(ApplyParamTest, ScenarioLevelKeys) {
   EXPECT_EQ(spec.NumNis(), 6);
 
   EXPECT_FALSE(ApplyParam(*ParseParamRef("stu"), "0", &spec).ok());
+  // Regression: a stu axis value above the 32-bit SLOTS-mask limit used
+  // to pass validation and abort inside the NI kernel at run time.
+  EXPECT_FALSE(ApplyParam(*ParseParamRef("stu"), "64", &spec).ok());
   EXPECT_FALSE(ApplyParam(*ParseParamRef("noc"), "torus4", &spec).ok());
   EXPECT_FALSE(ApplyParam(*ParseParamRef("noc"), "ring2x1", &spec).ok());
 }

@@ -242,5 +242,170 @@ TEST(DistributedAllocator, MoreMessagesThanHops) {
   EXPECT_GE(alloc.stats().messages, 2 * hops);
 }
 
+// ---------------------------------------------------------------------------
+// Rejection paths
+// ---------------------------------------------------------------------------
+
+TEST(CentralizedAllocator, RejectsInvalidRequests) {
+  auto star = BuildStar(2);
+  CentralizedAllocator alloc(&star.topology, 8);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(alloc.Allocate(*route, Ch(0, 0), 0, AllocPolicy::kFirstFit)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(alloc.Allocate(*route, Ch(0, 0), -3, AllocPolicy::kFirstFit)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(alloc.Allocate(*route, GlobalChannel{}, 1, AllocPolicy::kFirstFit)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A request for more slots than the table holds can never fit.
+  EXPECT_EQ(alloc.Allocate(*route, Ch(0, 0), 9, AllocPolicy::kFirstFit)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(CentralizedAllocator, FullTableReportsNoFeasibleSlots) {
+  auto star = BuildStar(2);
+  CentralizedAllocator alloc(&star.topology, 4);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  ASSERT_TRUE(alloc.Allocate(*route, Ch(0, 0), 4, AllocPolicy::kFirstFit).ok());
+  EXPECT_TRUE(alloc.FeasibleSlots(*route).empty());
+  for (SlotIndex s = 0; s < 4; ++s) {
+    EXPECT_FALSE(alloc.SlotFeasible(*route, s));
+  }
+  EXPECT_EQ(alloc.Allocate(*route, Ch(0, 1), 1, AllocPolicy::kSpread)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(alloc.TableOf(route->links[0]).Utilization(), 1.0);
+}
+
+TEST(CentralizedAllocator, FailedAllocationLeavesTablesUntouched) {
+  // A rejected request must not leak partial reservations on any link.
+  auto star = BuildStar(3);
+  CentralizedAllocator alloc(&star.topology, 4);
+  auto r02 = star.topology.Route(star.nis[0], star.nis[2]);
+  auto r12 = star.topology.Route(star.nis[1], star.nis[2]);
+  ASSERT_TRUE(r02.ok() && r12.ok());
+  ASSERT_TRUE(alloc.Allocate(*r02, Ch(0, 0), 3, AllocPolicy::kFirstFit).ok());
+  const double before = alloc.MeanUtilization();
+  EXPECT_FALSE(alloc.Allocate(*r12, Ch(1, 0), 2, AllocPolicy::kFirstFit).ok());
+  EXPECT_DOUBLE_EQ(alloc.MeanUtilization(), before);
+  // The injection link of NI 1 is still completely free.
+  EXPECT_EQ(alloc.TableOf(r12->links[0]).Reserved(), 0);
+}
+
+TEST(DistributedAllocator, FailedRequestReleasesTentativeHolds) {
+  auto star = BuildStar(2);
+  DistributedAllocator alloc(&star.topology, 2, /*max_attempts=*/4);
+  auto route = star.topology.Route(star.nis[0], star.nis[1]);
+  ASSERT_TRUE(route.ok());
+  const int a = alloc.StartRequest(*route, Ch(0, 0), 2, AllocPolicy::kFirstFit);
+  const int b = alloc.StartRequest(*route, Ch(0, 1), 2, AllocPolicy::kFirstFit);
+  alloc.RunToCompletion();
+  // Exactly one finished; the loser left no committed residue anywhere.
+  const bool a_done =
+      alloc.request(a).phase == DistributedAllocator::RequestPhase::kDone;
+  const bool b_done =
+      alloc.request(b).phase == DistributedAllocator::RequestPhase::kDone;
+  EXPECT_NE(a_done, b_done);
+  const GlobalChannel loser = a_done ? Ch(0, 1) : Ch(0, 0);
+  for (const topology::LinkId& link : route->links) {
+    EXPECT_TRUE(alloc.TableOf(link).SlotsOf(loser).empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed / centralized agreement
+// ---------------------------------------------------------------------------
+
+/// Routes of a 3x3 mesh workload that share links aggressively.
+std::vector<topology::ChannelRoute> MeshCrossRoutes(
+    const topology::Mesh& mesh) {
+  std::vector<topology::ChannelRoute> routes;
+  const int pairs[][2] = {{0, 8}, {8, 0}, {2, 6}, {6, 2}, {1, 7}, {3, 5}};
+  for (const auto& p : pairs) {
+    auto route = mesh.topology.Route(mesh.nis[static_cast<std::size_t>(p[0])],
+                                     mesh.nis[static_cast<std::size_t>(p[1])]);
+    EXPECT_TRUE(route.ok());
+    routes.push_back(*route);
+  }
+  return routes;
+}
+
+TEST(DistributedAllocator, SequentialRequestsMatchCentralizedExactly) {
+  // Served one at a time (each runs to completion before the next starts),
+  // the distributed protocol must pick the same slots as the centralized
+  // allocator: no contention means the local view it picks from coincides
+  // with the global feasible set after the blacklist learns the conflicts.
+  for (const AllocPolicy policy :
+       {AllocPolicy::kFirstFit, AllocPolicy::kSpread,
+        AllocPolicy::kContiguous}) {
+    auto mesh = BuildMesh(3, 3, 1);
+    CentralizedAllocator central(&mesh.topology, 8);
+    DistributedAllocator distributed(&mesh.topology, 8);
+    const auto routes = MeshCrossRoutes(mesh);
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      const GlobalChannel channel = Ch(routes[i].source_ni,
+                                       static_cast<ChannelId>(i));
+      auto central_slots = central.Allocate(routes[i], channel, 2, policy);
+      const int id = distributed.StartRequest(routes[i], channel, 2, policy);
+      distributed.RunToCompletion();
+      const auto& req = distributed.request(id);
+      if (!central_slots.ok()) {
+        EXPECT_EQ(req.phase, DistributedAllocator::RequestPhase::kFailed);
+        continue;
+      }
+      ASSERT_EQ(req.phase, DistributedAllocator::RequestPhase::kDone)
+          << "policy " << static_cast<int>(policy) << " request " << i;
+      EXPECT_EQ(req.slots, *central_slots)
+          << "policy " << static_cast<int>(policy) << " request " << i;
+    }
+  }
+}
+
+TEST(DistributedAllocator, ConcurrentOutcomeReplaysIntoCentralized) {
+  // Under concurrency the slot choices may differ from the centralized
+  // ones, but the committed outcome must still be a valid global
+  // allocation: replaying every completed request into a fresh centralized
+  // allocator (which checks all links) must succeed slot for slot.
+  auto mesh = BuildMesh(3, 3, 1);
+  DistributedAllocator distributed(&mesh.topology, 8);
+  const auto routes = MeshCrossRoutes(mesh);
+  std::vector<int> ids;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    ids.push_back(distributed.StartRequest(
+        routes[i], Ch(routes[i].source_ni, static_cast<ChannelId>(i)), 2,
+        AllocPolicy::kSpread));
+  }
+  distributed.RunToCompletion();
+
+  CentralizedAllocator replay(&mesh.topology, 8);
+  int completed = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& req = distributed.request(ids[static_cast<std::size_t>(i)]);
+    if (req.phase != DistributedAllocator::RequestPhase::kDone) continue;
+    ++completed;
+    for (SlotIndex s : req.slots) {
+      ASSERT_TRUE(replay.SlotFeasible(routes[i], s))
+          << "request " << i << " slot " << s
+          << " double-booked by the distributed protocol";
+    }
+    ASSERT_TRUE(replay
+                    .Allocate(routes[i], req.channel,
+                              static_cast<int>(req.slots.size()),
+                              AllocPolicy::kFirstFit)
+                    .ok());
+  }
+  EXPECT_GT(completed, 0);
+}
+
 }  // namespace
 }  // namespace aethereal::tdm

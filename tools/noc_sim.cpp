@@ -13,6 +13,9 @@
 //     --engine E          override the spec's engine (optimized | naive)
 //     --seed N            override the spec's RNG seed
 //     --duration N        override the spec's measured-cycle count
+//     --verify            arm the guarantee-verification layer (runtime
+//                         invariant checkers + analytical GT bounds); any
+//                         violation fails the run
 //     --validate          parse + fully wire each spec, report diagnostics
 //                         (with line numbers), and exit without running
 //     --print             like --validate, and dump the expanded SoC
@@ -31,6 +34,7 @@
 #include "scenario/inspect.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "util/parse.h"
 #include "util/table.h"
 
 using namespace aethereal;
@@ -43,6 +47,7 @@ struct CliOptions {
   std::optional<bool> optimize_engine;
   std::optional<std::uint64_t> seed;
   std::optional<Cycle> duration;
+  bool verify = false;
   bool validate = false;
   bool print = false;
   bool quiet = false;
@@ -50,23 +55,8 @@ struct CliOptions {
 
 void PrintUsage(std::ostream& os) {
   os << "usage: noc_sim [-o FILE] [--engine optimized|naive] [--seed N]\n"
-        "               [--duration N] [--validate] [--print] [--quiet]\n"
-        "               SPEC_FILE...\n";
-}
-
-/// Strict non-negative integer parse: the whole token must be consumed
-/// (seed/duration are reproducibility-critical — a typo must fail loudly,
-/// never silently prefix-parse).
-std::optional<std::uint64_t> ParseU64(const std::string& token) {
-  try {
-    std::size_t pos = 0;
-    if (token.empty() || token[0] == '-') return std::nullopt;
-    const std::uint64_t value = std::stoull(token, &pos);
-    if (pos != token.size()) return std::nullopt;
-    return value;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+        "               [--duration N] [--verify] [--validate] [--print]\n"
+        "               [--quiet] SPEC_FILE...\n";
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -111,6 +101,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       } else {
         options->duration = static_cast<Cycle>(*parsed);
       }
+    } else if (arg == "--verify") {
+      options->verify = true;
     } else if (arg == "--validate") {
       options->validate = true;
     } else if (arg == "--print") {
@@ -215,6 +207,7 @@ int main(int argc, char** argv) {
     }
     if (options.seed) spec->seed = *options.seed;
     if (options.duration) spec->duration = *options.duration;
+    if (options.verify) spec->verify = true;
 
     scenario::ScenarioRunner runner(*spec);
     auto result = runner.Run();

@@ -15,6 +15,11 @@
 //                         keyed on axis PARAM instead of the point table
 //     --axis PARAM=V1,V2,...  add or replace an axis from the command
 //                         line (repeatable)
+//     --verify            arm the guarantee-verification layer in every
+//                         grid point and saturation probe; any violation
+//                         fails the sweep
+//     --engine E          override the base scenario's engine
+//                         (optimized | naive) for every point
 //     --validate          expand and fully validate every grid point
 //                         (parse + pattern + wiring) without running
 //     --quiet             suppress the human-readable summary
@@ -23,6 +28,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -46,13 +52,16 @@ struct CliOptions {
   std::string curve_param; // empty: point CSV
   std::vector<std::pair<std::string, std::string>> axis_overrides;
   int jobs = 0;            // 0: hardware concurrency
+  bool verify = false;
+  std::optional<bool> optimize_engine;
   bool validate = false;
   bool quiet = false;
 };
 
 void PrintUsage(std::ostream& os) {
   os << "usage: noc_sweep [--jobs N] [-o FILE] [--csv FILE] [--curve PARAM]\n"
-        "                 [--axis PARAM=V1,V2,...] [--validate] [--quiet]\n"
+        "                 [--axis PARAM=V1,V2,...] [--verify]\n"
+        "                 [--engine optimized|naive] [--validate] [--quiet]\n"
         "                 SWEEP_FILE...\n";
 }
 
@@ -105,6 +114,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
       options->axis_overrides.emplace_back(spec.substr(0, eq),
                                            spec.substr(eq + 1));
+    } else if (arg == "--verify") {
+      options->verify = true;
+    } else if (arg == "--engine") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const std::string engine = v;
+      if (engine != "optimized" && engine != "naive") {
+        std::cerr << "noc_sweep: --engine must be 'optimized' or 'naive'\n";
+        return false;
+      }
+      options->optimize_engine = engine == "optimized";
     } else if (arg == "--validate") {
       options->validate = true;
     } else if (arg == "--quiet") {
@@ -290,6 +310,12 @@ int main(int argc, char** argv) {
       if (!options.validate) return 1;
       ++validate_failures;
       continue;
+    }
+    // Materialized points copy the base spec, so these flags reach every
+    // grid point and saturation probe.
+    if (options.verify) spec->base.verify = true;
+    if (options.optimize_engine) {
+      spec->base.optimize_engine = *options.optimize_engine;
     }
 
     if (options.validate) {

@@ -1,0 +1,213 @@
+// noc_verify — the guarantee-verification CLI.
+//
+// Runs scenario specs (and/or seeded random conformance configs) with the
+// verification layer armed: the runtime invariant monitor (slot-table
+// conformance, GT timing, flit integrity/ordering, credit conservation)
+// plus the analytical GT throughput/latency bound checks. By default every
+// workload runs on BOTH engines and the result JSON is compared
+// byte-for-byte across them.
+//
+// Usage:
+//   noc_verify [options] [SPEC_FILE...]
+//     --engine E          optimized | naive | both     (default both)
+//     --fuzz N            also run N seeded random conformance configs
+//     --seed S            fuzz batch seed              (default 1)
+//     --bounds            print the analytical GT bound table per workload
+//     --quiet             only report failures
+//
+// Exit status: 0 when every run passed verified (and, with --engine both,
+// every pair of runs agreed bit-for-bit); 1 otherwise.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "util/parse.h"
+#include "util/table.h"
+#include "verify/fuzz.h"
+#include "verify/monitor.h"
+
+using namespace aethereal;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> spec_paths;
+  bool run_optimized = true;
+  bool run_naive = true;
+  int fuzz = 0;
+  std::uint64_t seed = 1;
+  bool bounds = false;
+  bool quiet = false;
+};
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: noc_verify [--engine optimized|naive|both] [--fuzz N]\n"
+        "                  [--seed S] [--bounds] [--quiet] [SPEC_FILE...]\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "noc_verify: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--engine") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const std::string engine = v;
+      if (engine == "optimized") {
+        options->run_naive = false;
+      } else if (engine == "naive") {
+        options->run_optimized = false;
+      } else if (engine != "both") {
+        std::cerr << "noc_verify: --engine must be optimized, naive or "
+                     "both\n";
+        return false;
+      }
+    } else if (arg == "--fuzz" || arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const auto parsed = ParseU64(v);
+      if (!parsed) {
+        std::cerr << "noc_verify: " << arg
+                  << " needs a non-negative integer, got '" << v << "'\n";
+        return false;
+      }
+      if (arg == "--fuzz") {
+        if (*parsed > 1'000'000) {
+          std::cerr << "noc_verify: --fuzz batch too large\n";
+          return false;
+        }
+        options->fuzz = static_cast<int>(*parsed);
+      } else {
+        options->seed = *parsed;
+      }
+    } else if (arg == "--bounds") {
+      options->bounds = true;
+    } else if (arg == "--quiet") {
+      options->quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "noc_verify: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      options->spec_paths.push_back(arg);
+    }
+  }
+  if (options->spec_paths.empty() && options->fuzz == 0) {
+    std::cerr << "noc_verify: nothing to do (no specs, no --fuzz)\n";
+    PrintUsage(std::cerr);
+    return false;
+  }
+  return true;
+}
+
+void PrintBounds(const std::string& label,
+                 const std::vector<scenario::GtFlowBound>& bounds) {
+  if (bounds.empty()) {
+    std::cout << label << ": no GT flows\n";
+    return;
+  }
+  std::cout << "=== GT bounds: " << label << " ===\n";
+  Table table({"flow", "slots/stu", "max gap", "hops", "words/rot",
+               "min w/cyc", "worst lat"});
+  for (const scenario::GtFlowBound& flow : bounds) {
+    table.AddRow({std::to_string(flow.src) + "->" + std::to_string(flow.dst),
+                  std::to_string(flow.bound.slots) + "/" +
+                      std::to_string(flow.bound.table_slots),
+                  std::to_string(flow.bound.max_gap_slots),
+                  std::to_string(flow.bound.hops),
+                  Table::Fmt(flow.bound.words_per_rotation),
+                  Table::Fmt(flow.bound.min_throughput_wpc, 4),
+                  Table::Fmt(flow.bound.worst_case_latency)});
+  }
+  table.Print(std::cout);
+}
+
+/// Runs one workload verified on the selected engines; returns false on
+/// any verification failure or cross-engine divergence.
+bool RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
+                 const std::string& label) {
+  spec.verify = true;
+  if (options.bounds) {
+    scenario::ScenarioRunner prober(spec);
+    auto bounds = prober.ComputeGtBounds();
+    if (!bounds.ok()) {
+      std::cerr << "noc_verify: " << label << ": " << bounds.status() << "\n";
+      return false;
+    }
+    PrintBounds(label, *bounds);
+  }
+
+  std::vector<std::pair<const char*, bool>> engines;
+  if (options.run_optimized) engines.emplace_back("optimized", true);
+  if (options.run_naive) engines.emplace_back("naive", false);
+
+  std::vector<std::string> jsons;
+  for (const auto& [engine_name, optimized] : engines) {
+    spec.optimize_engine = optimized;
+    scenario::ScenarioRunner runner(spec);
+    auto result = runner.Run();
+    if (!result.ok()) {
+      std::cerr << "FAIL " << label << " (" << engine_name
+                << "): " << result.status() << "\n";
+      return false;
+    }
+    jsons.push_back(result->ToJson());
+    if (!options.quiet) {
+      const verify::Monitor* monitor = runner.soc()->monitor();
+      std::cout << "PASS " << label << " (" << engine_name << "): "
+                << (monitor != nullptr ? monitor->Describe()
+                                       : std::string("no monitor"))
+                << "\n";
+    }
+  }
+  if (jsons.size() == 2 && jsons[0] != jsons[1]) {
+    std::cerr << "FAIL " << label
+              << ": optimized and naive engines disagree bit-for-bit\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return 1;
+
+  int failures = 0;
+  for (const std::string& path : options.spec_paths) {
+    auto spec = scenario::LoadScenarioFile(path);
+    if (!spec.ok()) {
+      std::cerr << "noc_verify: " << spec.status() << "\n";
+      ++failures;
+      continue;
+    }
+    if (!RunWorkload(options, *spec, path)) ++failures;
+  }
+  for (int i = 0; i < options.fuzz; ++i) {
+    scenario::ScenarioSpec spec =
+        verify::RandomConformanceSpec(options.seed, i);
+    if (!RunWorkload(options, spec, spec.name)) ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << "noc_verify: " << failures << " workload(s) FAILED\n";
+    return 1;
+  }
+  if (!options.quiet) {
+    std::cout << "noc_verify: all "
+              << options.spec_paths.size() + options.fuzz
+              << " workload(s) passed verified\n";
+  }
+  return 0;
+}
