@@ -8,13 +8,33 @@
 #   CI_VERIFY_ONLY 1 = build + verification sections only (the dedicated
 #                  verify workflow job runs a large fuzz batch without
 #                  repeating ctest / smokes / benches)
+#   CI_COVERAGE    1 = gcc --coverage build: ctest, then the line-coverage
+#                  gate (scripts/coverage_gate.py) against the baseline in
+#                  scripts/coverage_baseline.txt, plus gcovr HTML/XML
+#                  artifacts when gcovr is installed. Implies gcc.
+#   CI_NIGHTLY     1 = deep-soak extras after the verify section: the full
+#                  sweep curve set (every sweep x every axis) and a
+#                  phased-scenario seed soak (fresh seeds, verified,
+#                  cross-engine byte-compare). The nightly workflow runs
+#                  this under ASan/UBSan with CI_FUZZ_N=1000.
 #
 # Steps: configure (warnings-as-errors, ccache when present), build, ctest
-# with JUnit output, run noc_sim over every canonical scenario spec, run
-# the guarantee-verification layer (noc_verify over every canonical
-# scenario and sweep on both engines, plus a fixed-seed conformance-fuzz
-# batch — under ASan in the sanitize configuration), and — on plain
-# Release — a bench_speed smoke so perf regressions surface.
+# with JUnit output, run noc_sim over every canonical scenario spec, check
+# the committed goldens are regen-clean, run the guarantee-verification
+# layer (noc_verify over every canonical scenario and sweep on both
+# engines, plus a fixed-seed conformance-fuzz batch — under ASan in the
+# sanitize configuration), and — on plain Release — a bench_speed smoke so
+# perf regressions surface.
+#
+# Coverage baseline-bump procedure: scripts/coverage_baseline.txt records
+# the minimum acceptable src/ line coverage (whole percents). When a PR
+# adds meaningful tests, raise it to lock the gain:
+#   CI_COVERAGE=1 ./scripts/ci.sh      # prints the measured percentage
+#   echo NN > scripts/coverage_baseline.txt
+# When a PR legitimately lowers coverage (e.g. defensive paths only a
+# fuzzer reaches), lower the number in the SAME PR and justify the drop in
+# its description — the gate exists to make that an explicit decision, not
+# to forbid it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,7 +45,13 @@ sanitize="${CI_SANITIZE:-OFF}"
 out_dir="${CI_OUTPUT_DIR:-ci-artifacts}"
 fuzz_n="${CI_FUZZ_N:-50}"
 verify_only="${CI_VERIFY_ONLY:-0}"
+coverage="${CI_COVERAGE:-0}"
+nightly="${CI_NIGHTLY:-0}"
 build_dir="build-ci"
+if [[ "$coverage" == "1" ]]; then
+  compiler=gcc  # gcov data needs the gcc toolchain
+  build_dir="build-cov"
+fi
 
 case "$compiler" in
   gcc)   export CC=gcc CXX=g++ ;;
@@ -42,11 +68,17 @@ fi
 mkdir -p "$out_dir"
 out_abs="$(realpath "$out_dir")"
 
-echo "=== configure + build ($compiler, $build_type, sanitize=$sanitize) ==="
+coverage_args=()
+if [[ "$coverage" == "1" ]]; then
+  coverage_args+=(-DCMAKE_CXX_FLAGS=--coverage)
+fi
+
+echo "=== configure + build ($compiler, $build_type, sanitize=$sanitize, coverage=$coverage) ==="
 cmake -B "$build_dir" -S . \
   -DCMAKE_BUILD_TYPE="$build_type" \
   -DNOC_WERROR=ON \
   -DSANITIZE="$sanitize" \
+  "${coverage_args[@]}" \
   "${launcher_args[@]}"
 if [[ "$verify_only" == "1" ]]; then
   # The verification sections only need the two tools; skip the ~25 test
@@ -77,6 +109,25 @@ for r in results:
     print(f"  {r['scenario']}: {agg['words_in_window']} words, "
           f"slot util {100 * agg['slot_utilization']:.1f}%")
 EOF
+
+echo "=== goldens-clean: committed goldens match a fresh regeneration ==="
+# A builder who changes simulation behaviour but forgets to regenerate the
+# goldens gets this targeted message instead of a raw byte-compare failure
+# deep inside ctest.
+goldens_tmp="$(mktemp -d)"
+trap 'rm -rf "$goldens_tmp"' EXIT
+./scripts/regen_goldens.sh "$build_dir" "$goldens_tmp" >/dev/null
+if ! diff -r "$goldens_tmp" tests/golden >/dev/null 2>&1; then
+  echo "--- drift (regenerated vs committed) ---"
+  diff -r "$goldens_tmp" tests/golden | head -40 || true
+  echo ""
+  echo "error: tests/golden/ drifts from what this build regenerates."
+  echo "If the simulation change is intentional, run:"
+  echo "    ./scripts/regen_goldens.sh $build_dir"
+  echo "and commit the golden diff (review it like any other code change)."
+  exit 1
+fi
+echo "goldens are regen-clean"
 
 fi  # verify_only
 
@@ -138,6 +189,36 @@ for p in points:
 print(f"  {sweep['sweep']}: {len(points)} points, all delivering")
 EOF
 
+if [[ "$nightly" == "1" ]]; then
+  echo "=== nightly: full sweep curve set (every sweep x every axis) ==="
+  for swp in scenarios/sweeps/*.swp; do
+    name="$(basename "$swp" .swp)"
+    for axis in $(awk '$1 == "axis" {print $2}' "$swp"); do
+      safe="${axis//./_}"
+      ./"$build_dir"/noc_sweep --quiet --jobs "$(nproc)" --curve "$axis" \
+        --csv "$out_dir/curve_${name}_${safe}.csv" "$swp"
+      echo "  curve ${name} / ${axis}"
+    done
+  done
+
+  echo "=== nightly: phased-scenario seed soak (verified, both engines) ==="
+  # Fresh seeds leave the golden-locked path on purpose: every seed must
+  # still pass the full verification layer, and the optimized and naive
+  # engines must stay byte-identical on each.
+  for scn in $(grep -l '^phase ' scenarios/*.scn); do
+    name="$(basename "$scn" .scn)"
+    for seed in 1001 1002 1003 1004 1005; do
+      ./"$build_dir"/noc_sim --quiet --verify --seed "$seed" \
+        -o "$out_dir/soak_${name}_${seed}.json" "$scn"
+      ./"$build_dir"/noc_sim --quiet --verify --seed "$seed" --engine naive \
+        -o "$out_dir/soak_${name}_${seed}_naive.json" "$scn"
+      cmp "$out_dir/soak_${name}_${seed}.json" \
+          "$out_dir/soak_${name}_${seed}_naive.json"
+    done
+    echo "  ${name}: 5 seeds verified, engines byte-identical"
+  done
+fi
+
 # Perf smoke only where the numbers mean something (optimizer on, no
 # sanitizer overhead). The committed BENCH_speed.json stays the curated
 # baseline; CI gates on a conservative floor for noisy shared runners.
@@ -177,4 +258,19 @@ assert ratio >= floor, \
 EOF
 fi
 
-echo "CI OK ($compiler $build_type sanitize=$sanitize)"
+if [[ "$coverage" == "1" ]]; then
+  echo "=== coverage: src/ line-coverage gate ==="
+  # Pretty per-file HTML/XML artifacts when gcovr is installed (the CI
+  # workflow pip-installs it); the pass/fail gate itself needs only gcov.
+  if command -v gcovr >/dev/null 2>&1; then
+    gcovr --root . --filter 'src/' \
+      --xml "$out_dir/coverage.xml" \
+      --html --html-details -o "$out_dir/coverage.html" \
+      "$build_dir" || echo "gcovr failed (non-fatal); the gate still runs"
+  else
+    echo "gcovr not installed; skipping HTML/XML artifacts"
+  fi
+  python3 scripts/coverage_gate.py "$build_dir" "$out_dir/coverage.json"
+fi
+
+echo "CI OK ($compiler $build_type sanitize=$sanitize coverage=$coverage nightly=$nightly)"

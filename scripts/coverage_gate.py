@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for src/.
+
+Aggregates gcov data (gcc --coverage build) over every object file in the
+build directory, computes the union line coverage of each src/ file, and
+fails if the total line coverage of src/ drops below the recorded baseline
+in scripts/coverage_baseline.txt.
+
+Usage: coverage_gate.py BUILD_DIR [ARTIFACT_JSON]
+
+Baseline-bump procedure (documented in scripts/ci.sh): when a PR
+legitimately raises coverage, tighten the baseline to lock the gain; when
+it legitimately lowers it (e.g. new defensive code that only a fuzzer
+reaches), lower the number in scripts/coverage_baseline.txt in the same PR
+and justify the drop in the PR description. The gate uses whole percents
+so formatting noise never flips it.
+"""
+import gzip
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_json(gcda, build_dir):
+    """Runs gcov --json-format --stdout on one .gcda; yields file records."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        cwd=build_dir, capture_output=True)
+    if proc.returncode != 0:
+        return
+    # --stdout emits one JSON document per input file (possibly gzipped on
+    # older gcc; 9+ prints plain JSON lines).
+    text = proc.stdout
+    if text[:2] == b"\x1f\x8b":
+        text = gzip.decompress(text)
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        for record in doc.get("files", []):
+            yield record
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit("usage: coverage_gate.py BUILD_DIR [ARTIFACT_JSON]")
+    build_dir = os.path.abspath(sys.argv[1])
+    artifact = sys.argv[2] if len(sys.argv) > 2 else None
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    gcdas = []
+    for root, _dirs, files in os.walk(build_dir):
+        gcdas.extend(os.path.join(root, f)
+                     for f in files if f.endswith(".gcda"))
+    if not gcdas:
+        sys.exit(f"coverage_gate: no .gcda files under {build_dir} — "
+                 "was the build configured with --coverage and the tests run?")
+
+    # Union coverage per source file: a line counts as covered if ANY
+    # object (test binary, tool, bench) executed it.
+    executable = {}  # path -> set(line)
+    executed = {}    # path -> set(line)
+    for gcda in gcdas:
+        for record in gcov_json(gcda, build_dir):
+            path = record.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.normpath(os.path.join(build_dir, path))
+            rel = os.path.relpath(path, repo)
+            if not rel.startswith("src" + os.sep):
+                continue
+            exe = executable.setdefault(rel, set())
+            hit = executed.setdefault(rel, set())
+            for line in record.get("lines", []):
+                number = line.get("line_number")
+                if number is None:
+                    continue
+                exe.add(number)
+                if line.get("count", 0) > 0:
+                    hit.add(number)
+
+    if not executable:
+        sys.exit("coverage_gate: no src/ coverage records found")
+
+    total_exe = sum(len(s) for s in executable.values())
+    total_hit = sum(len(executed[f]) for f in executable)
+    percent = 100.0 * total_hit / total_exe
+
+    per_file = {
+        f: {"lines": len(executable[f]), "covered": len(executed[f])}
+        for f in sorted(executable)
+    }
+    worst = sorted(
+        ((v["covered"] / v["lines"], f) for f, v in per_file.items()
+         if v["lines"] > 0))[:8]
+    print(f"coverage_gate: src/ line coverage {percent:.2f}% "
+          f"({total_hit}/{total_exe} lines over {len(per_file)} files)")
+    for frac, f in worst:
+        print(f"  lowest: {f} {100 * frac:.1f}%")
+
+    if artifact:
+        with open(artifact, "w") as out:
+            json.dump({"percent": round(percent, 2),
+                       "lines": total_exe, "covered": total_hit,
+                       "files": per_file}, out, indent=1, sort_keys=True)
+        print(f"coverage_gate: wrote {artifact}")
+
+    baseline_path = os.path.join(repo, "scripts", "coverage_baseline.txt")
+    with open(baseline_path) as f:
+        baseline = float(f.read().split()[0])
+    if percent + 1e-9 < baseline:
+        sys.exit(f"coverage_gate: src/ line coverage {percent:.2f}% fell "
+                 f"below the recorded baseline {baseline:.2f}% "
+                 f"({baseline_path}). If the drop is intentional, lower the "
+                 "baseline in the same PR and say why; see scripts/ci.sh.")
+    print(f"coverage_gate: OK (baseline {baseline:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Regenerates tests/golden/*.json from scenarios/*.scn (noc_sim) and
-# tests/golden/sweeps/*.{json,csv} from scenarios/sweeps/*.swp (noc_sweep).
+# Regenerates golden results from the canonical specs:
+#   <out>/*.json          from scenarios/*.scn           (noc_sim)
+#   <out>/sweeps/*.{json,csv} from scenarios/sweeps/*.swp (noc_sweep)
 #
 # Run after an *intentional* simulation-behaviour change, then review the
 # golden diff like any other code change:
-#   ./scripts/regen_goldens.sh [build-dir]   (default: build)
+#   ./scripts/regen_goldens.sh [build-dir] [out-dir]
+# Defaults: build-dir = build, out-dir = tests/golden. CI's goldens-clean
+# step regenerates into a temp out-dir and diffs it against tests/golden,
+# so a forgotten regen fails with a targeted message.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
+out_dir="${2:-tests/golden}"
 noc_sim="$build_dir/noc_sim"
 noc_sweep="$build_dir/noc_sweep"
 
@@ -19,21 +24,21 @@ for tool in "$noc_sim" "$noc_sweep"; do
   fi
 done
 
-mkdir -p tests/golden
+mkdir -p "$out_dir"
 for spec in scenarios/*.scn; do
   name="$(basename "$spec" .scn)"
-  "$noc_sim" --quiet -o "tests/golden/$name.json" "$spec"
-  echo "regenerated tests/golden/$name.json"
+  "$noc_sim" --quiet -o "$out_dir/$name.json" "$spec"
+  echo "regenerated $out_dir/$name.json"
 done
 
 # Sweep goldens are generated serially (--jobs 1); the golden test reruns
 # them on a multi-worker pool, so a byte-match also proves the
 # determinism-under-parallelism contract.
-mkdir -p tests/golden/sweeps
+mkdir -p "$out_dir/sweeps"
 for sweep in scenarios/sweeps/*.swp; do
   name="$(basename "$sweep" .swp)"
   "$noc_sweep" --quiet --jobs 1 \
-    -o "tests/golden/sweeps/$name.json" \
-    --csv "tests/golden/sweeps/$name.csv" "$sweep"
-  echo "regenerated tests/golden/sweeps/$name.{json,csv}"
+    -o "$out_dir/sweeps/$name.json" \
+    --csv "$out_dir/sweeps/$name.csv" "$sweep"
+  echo "regenerated $out_dir/sweeps/$name.{json,csv}"
 done

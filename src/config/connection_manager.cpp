@@ -41,7 +41,7 @@ ConnectionManager::ConnectionManager(
 int ConnectionManager::RequestOpen(const ConnectionSpec& spec) {
   const int handle = static_cast<int>(records_.size());
   records_.push_back(Record{spec, ConnectionState::kPending, OkStatus(),
-                            {}, {}, {}, {}, -1});
+                            {}, {}, {}, {}, -1, 0, false});
   if (spec.master.ni != cfg_ni_ && !config_live_[spec.master.ni]) {
     ops_.push_back(Op{Op::Kind::kEnsureConfig, spec.master.ni, -1});
   }
@@ -50,6 +50,7 @@ int ConnectionManager::RequestOpen(const ConnectionSpec& spec) {
     ops_.push_back(Op{Op::Kind::kEnsureConfig, spec.slave.ni, -1});
   }
   ops_.push_back(Op{Op::Kind::kOpenData, kInvalidId, handle});
+  Wake();
   return handle;
 }
 
@@ -57,7 +58,29 @@ Status ConnectionManager::RequestClose(int handle) {
   if (handle < 0 || handle >= static_cast<int>(records_.size())) {
     return InvalidArgumentError("unknown connection handle");
   }
+  // Terminal and duplicate requests are rejected up front with a clean
+  // status: a double close (completed OR still queued) or a close of a
+  // connection whose open already failed must never clobber the record,
+  // double-count teardown metrics, or abort deep in the close actions. An
+  // open that is still merely queued is fine — the close op runs after it.
+  Record& record = records_[static_cast<std::size_t>(handle)];
+  if (record.close_requested) {
+    return FailedPreconditionError("connection close already requested");
+  }
+  switch (record.state) {
+    case ConnectionState::kClosed:
+      return FailedPreconditionError("connection already closed");
+    case ConnectionState::kFailed:
+      return FailedPreconditionError(
+          "cannot close a connection whose open failed: " +
+          record.error.message());
+    case ConnectionState::kPending:
+    case ConnectionState::kOpen:
+      break;
+  }
+  record.close_requested = true;
   ops_.push_back(Op{Op::Kind::kCloseData, kInvalidId, handle});
+  Wake();
   return OkStatus();
 }
 
@@ -76,9 +99,32 @@ Cycle ConnectionManager::CompletionCycleOf(int handle) const {
   return records_[static_cast<std::size_t>(handle)].completed_at;
 }
 
+int ConnectionManager::ConfigWritesOf(int handle) const {
+  AETHEREAL_CHECK(handle >= 0 && handle < static_cast<int>(records_.size()));
+  return records_[static_cast<std::size_t>(handle)].config_writes;
+}
+
+int ConnectionManager::SlotsHeldOf(int handle) const {
+  AETHEREAL_CHECK(handle >= 0 && handle < static_cast<int>(records_.size()));
+  const Record& record = records_[static_cast<std::size_t>(handle)];
+  return static_cast<int>(record.request_slots.size() +
+                          record.response_slots.size());
+}
+
 bool ConnectionManager::ConfigConnectionLive(NiId ni) const {
   auto it = config_live_.find(ni);
   return it != config_live_.end() && it->second;
+}
+
+std::vector<std::pair<tdm::GlobalChannel, tdm::GlobalChannel>>
+ConnectionManager::OpenPairs() const {
+  std::vector<std::pair<tdm::GlobalChannel, tdm::GlobalChannel>> pairs;
+  for (const Record& record : records_) {
+    if (record.state == ConnectionState::kOpen) {
+      pairs.emplace_back(record.spec.master, record.spec.slave);
+    }
+  }
+  return pairs;
 }
 
 Word ConnectionManager::SlotMask(const std::vector<SlotIndex>& slots) const {
@@ -238,21 +284,43 @@ bool ConnectionManager::BuildOpenActions(Record& record) {
 
 bool ConnectionManager::BuildCloseActions(Record& record) {
   if (record.state != ConnectionState::kOpen) {
-    FailCurrentOp(
-        FailedPreconditionError("closing a connection that is not open"));
+    // RequestClose rejects terminal states up front, so the only way here
+    // is a close queued behind an open that failed afterwards. Complete as
+    // a no-op without touching the record: the kFailed state (and its
+    // error) must survive for the caller to inspect.
+    current_actions_.clear();
+    op_active_ = false;
     return false;
   }
   // Disable the master first so no new requests enter the NoC, then the
-  // slave; both acknowledged.
+  // slave; both acknowledged. A GT endpoint additionally clears its SLOTS
+  // register (CNIP executes the writes in arrival order, so the disable
+  // lands first): the STU releases the slot ownership, without which a
+  // later open could never re-program those slots for another channel of
+  // the same NI.
   current_actions_.push_back(Action{
       record.spec.master.ni,
       regs::ChannelRegAddr(record.spec.master.channel, regs::ChannelReg::kCtrl),
       0, true});
+  if (!record.request_slots.empty()) {
+    current_actions_.push_back(Action{
+        record.spec.master.ni,
+        regs::ChannelRegAddr(record.spec.master.channel,
+                             regs::ChannelReg::kSlots),
+        0, true});
+  }
   current_actions_.push_back(Action{kInvalidId, 0, 0, false});
   current_actions_.push_back(Action{
       record.spec.slave.ni,
       regs::ChannelRegAddr(record.spec.slave.channel, regs::ChannelReg::kCtrl),
       0, true});
+  if (!record.response_slots.empty()) {
+    current_actions_.push_back(Action{
+        record.spec.slave.ni,
+        regs::ChannelRegAddr(record.spec.slave.channel,
+                             regs::ChannelReg::kSlots),
+        0, true});
+  }
   current_actions_.push_back(Action{kInvalidId, 0, 0, false});
   return true;
 }
@@ -317,6 +385,9 @@ void ConnectionManager::Evaluate() {
         shell_->WriteRegister(action.ni, action.reg, action.value,
                               action.acked);
     if (action.acked) outstanding_tids_.push_back(tid);
+    if (current_op_.handle >= 0) {
+      ++records_[static_cast<std::size_t>(current_op_.handle)].config_writes;
+    }
     current_actions_.pop_front();
     return;
   }
@@ -331,6 +402,7 @@ void ConnectionManager::Evaluate() {
       Record& record = records_[static_cast<std::size_t>(current_op_.handle)];
       record.state = ConnectionState::kOpen;
       record.completed_at = CycleCount();
+      if (on_connections_changed_) on_connections_changed_();
       break;
     }
     case Op::Kind::kCloseData: {
@@ -351,6 +423,7 @@ void ConnectionManager::Evaluate() {
       }
       record.state = ConnectionState::kClosed;
       record.completed_at = CycleCount();
+      if (on_connections_changed_) on_connections_changed_();
       break;
     }
   }

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ni_kernel.h"
@@ -74,7 +75,10 @@ class ConnectionManager : public sim::Module {
   /// simulation runs; poll StateOf()/Idle().
   int RequestOpen(const ConnectionSpec& spec);
 
-  /// Queues a connection-close.
+  /// Queues a connection-close. Closing a handle that is already closed, or
+  /// whose open has already failed, is rejected here with a clean status
+  /// (never an abort). A close queued behind a still-pending open is
+  /// accepted; if that open later fails, the close completes as a no-op.
   Status RequestClose(int handle);
 
   bool Idle() const { return ops_.empty() && !op_active_; }
@@ -84,8 +88,27 @@ class ConnectionManager : public sim::Module {
   /// Cycle at which the handle's last operation completed (-1 if pending).
   Cycle CompletionCycleOf(int handle) const;
 
+  /// Configuration register writes issued for the handle's connection so
+  /// far (open + close actions; EnsureConfig traffic is not attributed).
+  int ConfigWritesOf(int handle) const;
+
+  /// TDM slots currently held by the handle (request + response channels).
+  int SlotsHeldOf(int handle) const;
+
   /// True once the configuration connection to `ni` is established.
   bool ConfigConnectionLive(NiId ni) const;
+
+  /// Endpoints (master, slave) of every connection currently kOpen — the
+  /// runtime-configured complement of Soc::OpenChannelPairs, consumed by
+  /// the verification monitor's credit pairing.
+  std::vector<std::pair<tdm::GlobalChannel, tdm::GlobalChannel>> OpenPairs()
+      const;
+
+  /// Invoked after every completed open/close (the Soc bumps its
+  /// connections version so the monitor re-queries channel pairs).
+  void SetOnConnectionsChanged(std::function<void()> callback) {
+    on_connections_changed_ = std::move(callback);
+  }
 
   std::int64_t operations_completed() const { return operations_completed_; }
 
@@ -112,6 +135,8 @@ class ConnectionManager : public sim::Module {
     topology::ChannelRoute request_route;
     topology::ChannelRoute response_route;
     Cycle completed_at = -1;
+    int config_writes = 0;     // register writes attributed to this handle
+    bool close_requested = false;  // a close is queued or done
   };
 
   void StartNextOp();
@@ -145,6 +170,7 @@ class ConnectionManager : public sim::Module {
   std::vector<int> outstanding_tids_;
   std::vector<Record> records_;
   std::int64_t operations_completed_ = 0;
+  std::function<void()> on_connections_changed_;
 };
 
 }  // namespace aethereal::config

@@ -17,6 +17,12 @@ TrafficGenMaster::TrafficGenMaster(std::string name,
   AETHEREAL_CHECK(pattern.max_outstanding >= 1);
 }
 
+void TrafficGenMaster::Activate(Cycle now) {
+  active_ = true;
+  next_issue_cycle_ =
+      pattern_.kind == TrafficPattern::Kind::kClosedLoop ? -1 : now;
+}
+
 bool TrafficGenMaster::Done() const {
   return pattern_.max_transactions >= 0 &&
          issued_ >= pattern_.max_transactions && outstanding() == 0;
@@ -81,6 +87,7 @@ void TrafficGenMaster::Evaluate() {
     }
   }
 
+  if (!active_) return;  // deactivated: drain responses, issue nothing
   const bool time_ok =
       pattern_.kind == TrafficPattern::Kind::kClosedLoop
           ? (outstanding() == 0 || issued_ == 0)

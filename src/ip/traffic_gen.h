@@ -45,6 +45,14 @@ class TrafficGenMaster : public sim::Module {
   std::int64_t completed() const { return completed_; }
   std::int64_t outstanding() const { return issued_responses_ - completed_; }
 
+  /// Gate for phased scenarios: while inactive the master issues nothing
+  /// (responses to already-issued transactions are still collected, so a
+  /// deactivated master drains to outstanding() == 0). Activate() rebases
+  /// the next-issue time to `now`. Callable between cycles only.
+  void Activate(Cycle now);
+  void Deactivate() { active_ = false; }
+  bool active() const { return active_; }
+
   /// Latency from issue to response delivery, in cycles (response-carrying
   /// transactions only).
   const Stats& latency() const { return latency_; }
@@ -60,6 +68,7 @@ class TrafficGenMaster : public sim::Module {
   shells::MasterEndpoint* endpoint_;
   TrafficPattern pattern_;
   Rng rng_;
+  bool active_ = true;
   std::int64_t issued_ = 0;
   std::int64_t issued_responses_ = 0;  // transactions expecting a response
   std::int64_t completed_ = 0;

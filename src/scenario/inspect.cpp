@@ -15,8 +15,13 @@ Result<Inspection> InspectScenario(const ScenarioSpec& spec, bool wire) {
 
   // Mirror of ScenarioRunner::Build: one seeded master RNG, patterns
   // expanded in directive order, connids assigned per NI in flow order.
+  // Phased scenarios provision the configuration plumbing first: one
+  // channel per remote NI at the Cfg NI, a CNIP channel everywhere else.
   Rng rng(spec.seed);
   std::vector<int> next_connid(static_cast<std::size_t>(spec.NumNis()), 0);
+  for (std::size_t n = 0; n < next_connid.size(); ++n) {
+    next_connid[n] = spec.ConfigChannelsOf(static_cast<NiId>(n));
+  }
   for (std::size_t g = 0; g < spec.traffic.size(); ++g) {
     auto flows = ExpandPattern(spec, spec.traffic[g], rng);
     if (!flows.ok()) {
@@ -56,8 +61,27 @@ std::string Inspection::Describe() const {
   if (spec.topology != TopologyKind::kStar) os << "x" << spec.nis_per_router;
   os << ") — " << num_nis << " NIs, stu " << spec.stu_slots << ", queues "
      << spec.queue_words << ", seed " << spec.seed << ", warmup "
-     << spec.warmup << ", duration " << spec.duration << ", engine "
+     << spec.warmup << ", duration " << spec.TotalDuration() << ", engine "
      << (spec.optimize_engine ? "optimized" : "naive") << "\n";
+  if (spec.Phased()) {
+    os << "  phased: " << spec.phases.size() << " phases, cfg ni "
+       << spec.cfg_ni << " (config channels occupy the lowest connids), "
+       << "drain bound " << spec.drain_cycles << "\n";
+    for (std::size_t k = 0; k < spec.phases.size(); ++k) {
+      const PhaseSpec& phase = spec.phases[k];
+      os << "  phase " << k << " '" << phase.name << "' duration "
+         << phase.duration;
+      if (phase.warmup > 0) os << " warmup " << phase.warmup;
+      os << " — groups:";
+      for (std::size_t g = 0; g < spec.traffic.size(); ++g) {
+        if (spec.traffic[g].phase == static_cast<int>(k)) {
+          os << " g" << g
+             << (spec.traffic[g].persist ? " (persist)" : "");
+        }
+      }
+      os << "\n";
+    }
+  }
   for (int ni = 0; ni < num_nis; ++ni) {
     os << "  ni " << ni << ": "
        << channels_per_ni[static_cast<std::size_t>(ni)] << " channel"

@@ -62,6 +62,92 @@ ip::TrafficPattern MemoryPattern(const TrafficSpec& traffic) {
   return pattern;
 }
 
+/// Collects the monitor's recorded violations, plus the beyond-cap note
+/// (shared by the static and the phased verify epilogues).
+void AppendMonitorProblems(verify::Monitor* monitor,
+                           std::vector<std::string>* problems) {
+  monitor->Finalize();
+  for (const verify::Violation& v : monitor->violations()) {
+    std::ostringstream oss;
+    oss << "[cycle " << v.cycle << "] " << v.check << ": " << v.message;
+    problems->push_back(oss.str());
+  }
+  if (monitor->total_violations() >
+      static_cast<std::int64_t>(monitor->violations().size())) {
+    std::ostringstream oss;
+    oss << "monitor recorded "
+        << monitor->total_violations() -
+               static_cast<std::int64_t>(monitor->violations().size())
+        << " further violation(s) beyond the cap";
+    problems->push_back(oss.str());
+  }
+}
+
+/// The GT throughput floor of one flow over one measurement window: the
+/// flow must deliver whatever it admitted, or at least the slot tables'
+/// guaranteed rate, minus a bounded in-flight allowance. `where` names
+/// the window ("in the window" / "in phase '...'"). One formula for the
+/// static and the phased paths.
+void CheckGtThroughputFloor(const char* what, std::size_t group,
+                            const std::string& where, NiId src, NiId dst,
+                            std::int64_t admitted, std::int64_t delivered,
+                            double guaranteed_wpc, std::int64_t slack,
+                            Cycle duration,
+                            std::vector<std::string>* problems) {
+  const auto guaranteed_words = static_cast<std::int64_t>(
+      guaranteed_wpc * static_cast<double>(duration));
+  const std::int64_t floor = std::min(admitted, guaranteed_words) - slack;
+  if (delivered >= floor) return;
+  std::ostringstream oss;
+  oss << "gt-throughput: " << what << " g" << group << " " << src << "->"
+      << dst << " delivered " << delivered << " words " << where
+      << "; floor is min(admitted " << admitted << ", guaranteed "
+      << guaranteed_words << ") - slack " << slack;
+  problems->push_back(oss.str());
+}
+
+/// Whole-run NI-level aggregates and slot utilization, identical for the
+/// static and the phased paths. The NI kernel accounts a slot at every
+/// cycle divisible by kFlitWords starting at cycle 0, hence the ceiling
+/// division.
+void AggregateNiStats(soc::Soc* soc, int num_nis, ScenarioResult* result) {
+  for (NiId ni = 0; ni < static_cast<NiId>(num_nis); ++ni) {
+    const core::NiKernelStats& stats = soc->ni(ni)->stats();
+    result->gt_flits += stats.gt_flits;
+    result->be_flits += stats.be_flits;
+    result->payload_words_sent += stats.payload_words_sent;
+    result->credit_only_packets += stats.credit_only_packets;
+    result->credits_piggybacked += stats.credits_piggybacked;
+    result->idle_slots += stats.idle_slots;
+    result->gt_slots_unused += stats.gt_slots_unused;
+  }
+  const std::int64_t slot_opportunities =
+      static_cast<std::int64_t>(num_nis) *
+      ((result->cycles_run + kFlitWords - 1) / kFlitWords);
+  result->slot_utilization =
+      slot_opportunities > 0
+          ? 1.0 -
+                static_cast<double>(result->idle_slots) / slot_opportunities
+          : 0.0;
+}
+
+/// Formats the verify-mode problem list into the run error (shared by the
+/// static and the phased paths).
+Status VerificationError(const std::string& name,
+                         const std::vector<std::string>& problems) {
+  std::ostringstream oss;
+  oss << "verification failed for scenario '" << name << "' ("
+      << problems.size() << " problem(s)):";
+  const std::size_t shown = std::min<std::size_t>(problems.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    oss << "\n  " << problems[i];
+  }
+  if (problems.size() > shown) {
+    oss << "\n  ... and " << problems.size() - shown << " more";
+  }
+  return VerificationFailedError(oss.str());
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
@@ -71,7 +157,13 @@ Status ScenarioRunner::BuildTopologyAndSoc(
     const std::vector<std::vector<Flow>>& flows_by_group) {
   // Channels per NI: one per flow endpoint, assigned in directive order
   // (this ordering is part of the scenario's deterministic identity).
+  // Phased scenarios additionally provision the configuration plumbing
+  // FIRST (lowest connids): one channel per remote NI at the Cfg NI, and
+  // one CNIP channel (connid 0) at every other NI.
   std::vector<int> channels(static_cast<std::size_t>(spec_.NumNis()), 0);
+  for (std::size_t n = 0; n < channels.size(); ++n) {
+    channels[n] = spec_.ConfigChannelsOf(static_cast<NiId>(n));
+  }
   for (const auto& flows : flows_by_group) {
     for (const Flow& flow : flows) {
       ++channels[static_cast<std::size_t>(flow.src)];
@@ -125,23 +217,32 @@ Status ScenarioRunner::BuildTopologyAndSoc(
   return OkStatus();
 }
 
-Status ScenarioRunner::OpenFlowConnection(const TrafficSpec& traffic,
-                                          const Flow& flow, int src_connid,
-                                          int dst_connid) {
-  config::ChannelQos forward;
-  forward.gt = traffic.gt;
-  forward.gt_slots = traffic.gt_slots;
-  forward.data_threshold = traffic.data_threshold;
-  forward.credit_threshold = traffic.credit_threshold;
+config::ConnectionSpec ScenarioRunner::ConnSpecOfFlow(
+    const TrafficSpec& traffic, const Flow& flow, int src_connid,
+    int dst_connid) const {
+  config::ConnectionSpec conn;
+  conn.master = tdm::GlobalChannel{flow.src, src_connid};
+  conn.slave = tdm::GlobalChannel{flow.dst, dst_connid};
+  conn.request.gt = traffic.gt;
+  conn.request.gt_slots = traffic.gt_slots;
+  conn.request.data_threshold = traffic.data_threshold;
+  conn.request.credit_threshold = traffic.credit_threshold;
   // Stream flows send data one way; the reverse channel only returns
   // credits and stays best-effort. Memory flows carry responses back, so
   // a GT request direction gets a GT response direction too.
-  config::ChannelQos reverse;
-  if (traffic.pattern == PatternKind::kMemory) reverse = forward;
-  auto handle =
-      soc_->OpenConnection(tdm::GlobalChannel{flow.src, src_connid},
-                           tdm::GlobalChannel{flow.dst, dst_connid}, forward,
-                           reverse);
+  if (traffic.pattern == PatternKind::kMemory) {
+    conn.response = conn.request;
+  }
+  return conn;
+}
+
+Status ScenarioRunner::OpenFlowConnection(const TrafficSpec& traffic,
+                                          const Flow& flow, int src_connid,
+                                          int dst_connid) {
+  const config::ConnectionSpec conn =
+      ConnSpecOfFlow(traffic, flow, src_connid, dst_connid);
+  auto handle = soc_->OpenConnection(conn.master, conn.slave, conn.request,
+                                     conn.response);
   if (!handle.ok()) {
     return Status(handle.status().code(),
                   std::string(PatternKindName(traffic.pattern)) + " flow " +
@@ -165,8 +266,33 @@ Status ScenarioRunner::Build() {
 
   if (Status s = BuildTopologyAndSoc(flows_by_group); !s.ok()) return s;
 
-  // Assign connids in directive order (mirrors the channel counting).
+  const bool phased = spec_.Phased();
+  if (phased) {
+    // The configuration infrastructure of the Fig. 8/9 flow: config shell
+    // + connection manager at the Cfg NI, CNIP slave at every other NI,
+    // and the scripted driver that will sequence each transition's ops.
+    soc::ConfigSetup setup;
+    setup.cfg_ni = spec_.cfg_ni;
+    setup.cfg_port = 0;
+    int cfg_connid = 0;
+    for (NiId n = 0; n < static_cast<NiId>(spec_.NumNis()); ++n) {
+      if (n == spec_.cfg_ni) continue;
+      setup.cfg_connid_of_ni[n] = cfg_connid++;
+      setup.cnip_of_ni[n] = {0, 0};  // port 0, connid 0
+    }
+    config::ConnectionManager* manager = soc_->EnableConfig(setup);
+    driver_ = std::make_unique<config::ScriptedConfigDriver>("config_driver",
+                                                             manager);
+    soc_->RegisterOnPort(driver_.get(), spec_.cfg_ni, 0);
+  }
+
+  // Assign connids in directive order (mirrors the channel counting; in a
+  // phased scenario the config channels occupy the lowest connids, so
+  // flow connids start above them).
   std::vector<int> next_connid(static_cast<std::size_t>(spec_.NumNis()), 0);
+  for (std::size_t n = 0; n < next_connid.size(); ++n) {
+    next_connid[n] = spec_.ConfigChannelsOf(static_cast<NiId>(n));
+  }
   struct Wired {
     Flow flow;
     int src_connid;
@@ -175,18 +301,26 @@ Status ScenarioRunner::Build() {
   std::vector<std::vector<Wired>> wired_by_group;
   for (std::size_t g = 0; g < flows_by_group.size(); ++g) {
     std::vector<Wired> wired;
+    std::vector<config::ConnectionSpec> conns;
     for (const Flow& flow : flows_by_group[g]) {
       Wired w{flow, next_connid[static_cast<std::size_t>(flow.src)]++,
               next_connid[static_cast<std::size_t>(flow.dst)]++};
-      if (Status s = OpenFlowConnection(spec_.traffic[g], flow, w.src_connid,
-                                        w.dst_connid);
-          !s.ok()) {
+      if (phased) {
+        // Connections of a phased run are opened at runtime, over the NoC,
+        // when their phase begins.
+        conns.push_back(ConnSpecOfFlow(spec_.traffic[g], flow, w.src_connid,
+                                       w.dst_connid));
+      } else if (Status s = OpenFlowConnection(spec_.traffic[g], flow,
+                                               w.src_connid, w.dst_connid);
+                 !s.ok()) {
         return s;
       }
       wired.push_back(w);
     }
     wired_by_group.push_back(std::move(wired));
+    conns_by_group_.push_back(std::move(conns));
   }
+  open_refs_by_group_.resize(conns_by_group_.size());
 
   // Instantiate the workload IPs. Per-flow RNG seeds are drawn from the
   // master stream in directive order, after all pattern expansions.
@@ -206,7 +340,7 @@ Status ScenarioRunner::Build() {
       const Wired& last = wired.back();
       chain.source = std::make_unique<PatternSource>(
           tag + "_video_src", soc_->port(first.flow.src, 0), first.src_connid,
-          traffic, rng.Next());
+          traffic, rng.Next(), /*start_active=*/!phased);
       soc_->RegisterOnPort(chain.source.get(), first.flow.src, 0);
       for (std::size_t hop = 0; hop + 1 < wired.size(); ++hop) {
         const NiId at = wired[hop].flow.dst;
@@ -232,6 +366,7 @@ Status ScenarioRunner::Build() {
       mem.master = std::make_unique<ip::TrafficGenMaster>(
           tag + "_master", mem.master_shell.get(), MemoryPattern(traffic),
           rng.Next());
+      if (phased) mem.master->Deactivate();
       mem.slave_shell = std::make_unique<shells::SlaveShell>(
           tag + "_slave_shell", soc_->port(w.flow.dst, 0), w.dst_connid);
       mem.memory = std::make_unique<ip::MemorySlave>(
@@ -252,7 +387,7 @@ Status ScenarioRunner::Build() {
         const std::string label = tag + "f" + std::to_string(f);
         stream.source = std::make_unique<PatternSource>(
             label + "_src", soc_->port(w.flow.src, 0), w.src_connid, traffic,
-            rng.Next());
+            rng.Next(), /*start_active=*/!phased);
         stream.consumer = std::make_unique<ip::StreamConsumer>(
             label + "_sink", soc_->port(w.flow.dst, 0), w.dst_connid,
             /*drain_per_cycle=*/kFlitWords, /*timestamp_mode=*/true);
@@ -271,6 +406,7 @@ Result<ScenarioResult> ScenarioRunner::Run() {
   AETHEREAL_CHECK_MSG(!ran_, "ScenarioRunner::Run is single-shot");
   if (Status s = Build(); !s.ok()) return s;
   ran_ = true;
+  if (spec_.Phased()) return RunPhased();
 
   soc_->RunCycles(spec_.warmup);
 
@@ -353,43 +489,12 @@ Result<ScenarioResult> ScenarioRunner::Run() {
   result.throughput_wpc =
       static_cast<double>(result.words_in_window) / spec_.duration;
 
-  const auto num_nis = static_cast<NiId>(spec_.NumNis());
-  for (NiId ni = 0; ni < num_nis; ++ni) {
-    const core::NiKernelStats& stats = soc_->ni(ni)->stats();
-    result.gt_flits += stats.gt_flits;
-    result.be_flits += stats.be_flits;
-    result.payload_words_sent += stats.payload_words_sent;
-    result.credit_only_packets += stats.credit_only_packets;
-    result.credits_piggybacked += stats.credits_piggybacked;
-    result.idle_slots += stats.idle_slots;
-    result.gt_slots_unused += stats.gt_slots_unused;
-  }
-  // The NI kernel accounts a slot at every cycle divisible by kFlitWords
-  // starting at cycle 0, hence the ceiling division.
-  const std::int64_t slot_opportunities =
-      static_cast<std::int64_t>(num_nis) *
-      ((result.cycles_run + kFlitWords - 1) / kFlitWords);
-  result.slot_utilization =
-      slot_opportunities > 0
-          ? 1.0 - static_cast<double>(result.idle_slots) / slot_opportunities
-          : 0.0;
+  AggregateNiStats(soc_.get(), spec_.NumNis(), &result);
 
   if (spec_.verify) {
     std::vector<std::string> problems;
     CheckGuarantees(stream_adm0, video_adm0, stream0, video0, &problems);
-    if (!problems.empty()) {
-      std::ostringstream oss;
-      oss << "verification failed for scenario '" << spec_.name << "' ("
-          << problems.size() << " problem(s)):";
-      const std::size_t shown = std::min<std::size_t>(problems.size(), 8);
-      for (std::size_t i = 0; i < shown; ++i) {
-        oss << "\n  " << problems[i];
-      }
-      if (problems.size() > shown) {
-        oss << "\n  ... and " << problems.size() - shown << " more";
-      }
-      return VerificationFailedError(oss.str());
-    }
+    if (!problems.empty()) return VerificationError(spec_.name, problems);
   }
   return result;
 }
@@ -414,6 +519,13 @@ GtFlowBound ScenarioRunner::BoundOfHop(std::size_t group, const Flow& flow,
 }
 
 Result<std::vector<GtFlowBound>> ScenarioRunner::ComputeGtBounds() {
+  if (spec_.Phased()) {
+    return FailedPreconditionError(
+        "GT bounds of a phased scenario are phase-dependent (connections "
+        "open and close at runtime); run it with verify on instead — the "
+        "verified run checks each phase window against the tables then in "
+        "force");
+  }
   if (Status s = Build(); !s.ok()) return s;
   std::vector<GtFlowBound> bounds;
   for (const StreamFlow& f : stream_flows_) {
@@ -448,6 +560,443 @@ std::int64_t HopSlackWords(const verify::GtBound& bound, int queue_words) {
 
 }  // namespace
 
+std::vector<std::size_t> ScenarioRunner::ClosingGroupsOf(int phase) const {
+  std::vector<std::size_t> groups;
+  for (std::size_t g = 0; g < spec_.traffic.size(); ++g) {
+    if (spec_.traffic[g].phase == phase && !spec_.traffic[g].persist) {
+      groups.push_back(g);
+    }
+  }
+  return groups;
+}
+
+void ScenarioRunner::SetGroupActive(std::size_t group, bool active,
+                                    Cycle now) {
+  for (StreamFlow& f : stream_flows_) {
+    if (f.group != group) continue;
+    if (active) {
+      f.source->Activate(now);
+    } else {
+      f.source->Deactivate();
+    }
+  }
+  for (VideoChain& c : video_chains_) {
+    if (c.group != group) continue;
+    if (active) {
+      c.source->Activate(now);
+    } else {
+      c.source->Deactivate();
+    }
+  }
+  for (MemoryFlow& m : memory_flows_) {
+    if (m.group != group) continue;
+    if (active) {
+      m.master->Activate(now);
+    } else {
+      m.master->Deactivate();
+    }
+  }
+}
+
+bool ScenarioRunner::GroupDrained(std::size_t group) const {
+  // Every word the (now silent) sources ever wrote must have reached its
+  // consumer...
+  for (const StreamFlow& f : stream_flows_) {
+    if (f.group != group) continue;
+    if (f.consumer->words_read() != f.source->words_written()) return false;
+  }
+  for (const VideoChain& c : video_chains_) {
+    if (c.group != group) continue;
+    if (c.consumer->words_read() != c.source->words_written()) return false;
+  }
+  for (const MemoryFlow& m : memory_flows_) {
+    if (m.group != group) continue;
+    if (m.master->outstanding() != 0) return false;
+  }
+  // ... and every credit must have returned: each channel's Space counter
+  // reads full again (phased directives pin credit_threshold to 1, so no
+  // credit can linger below a reporting threshold). Only then can the
+  // close disable the channels with nothing of this connection in flight.
+  for (const config::ConnectionSpec& conn :
+       conns_by_group_[group]) {
+    if (soc_->ni(conn.master.ni)->SpaceOf(conn.master.channel) !=
+        soc_->DestQueueWordsOf(conn.slave)) {
+      return false;
+    }
+    if (soc_->ni(conn.slave.ni)->SpaceOf(conn.slave.channel) !=
+        soc_->DestQueueWordsOf(conn.master)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<ScenarioResult> ScenarioRunner::RunPhased() {
+  verify::Monitor* monitor = soc_->monitor();
+  shells::ConfigShell* shell = soc_->config_shell();
+  AETHEREAL_CHECK(shell != nullptr && driver_ != nullptr);
+  auto now = [&] { return soc_->net_clock()->cycles(); };
+
+  ScenarioResult result;
+  result.spec = spec_;
+
+  // Whole-run accumulators: delivered words inside measured windows.
+  std::vector<std::int64_t> stream_window(stream_flows_.size(), 0);
+  std::vector<std::int64_t> video_window(video_chains_.size(), 0);
+  std::vector<std::int64_t> mem_window(memory_flows_.size(), 0);
+  std::vector<std::vector<PhaseFlowStats>> stream_ps(stream_flows_.size());
+  std::vector<std::vector<PhaseFlowStats>> video_ps(video_chains_.size());
+  std::vector<std::vector<PhaseFlowStats>> mem_ps(memory_flows_.size());
+
+  // Verify mode: per-window GT throughput-floor checks, evaluated at the
+  // end (the bound is computed at window start, from the slot tables in
+  // force during that phase).
+  struct WindowCheck {
+    const char* what;
+    std::size_t group;
+    std::size_t phase;
+    NiId src, dst;
+    std::int64_t admitted = 0, delivered = 0;
+    double guaranteed_wpc = 0;
+    std::int64_t slack = 0;
+    Cycle duration = 0;
+  };
+  std::vector<WindowCheck> window_checks;
+
+  auto active_in = [&](std::size_t g, std::size_t k) {
+    return spec_.traffic[g].ActiveIn(static_cast<int>(k));
+  };
+
+  for (std::size_t k = 0; k < spec_.phases.size(); ++k) {
+    const PhaseSpec& phase = spec_.phases[k];
+    TransitionResult tr;
+    tr.phase = static_cast<int>(k);
+    tr.phase_name = phase.name;
+    tr.start_cycle = now();
+
+    // 1. Silence the outgoing phase's non-persistent sources and wait for
+    // their traffic (words AND credits) to drain off the NoC.
+    const std::vector<std::size_t> closing =
+        k > 0 ? ClosingGroupsOf(static_cast<int>(k) - 1)
+              : std::vector<std::size_t>{};
+    if (!closing.empty()) {
+      for (std::size_t g : closing) SetGroupActive(g, false, now());
+      const Cycle drain_start = now();
+      const Cycle deadline = drain_start + spec_.drain_cycles;
+      auto drained = [&] {
+        for (std::size_t g : closing) {
+          if (!GroupDrained(g)) return false;
+        }
+        return true;
+      };
+      while (!drained() && now() < deadline) soc_->RunCycles(1);
+      if (!drained()) {
+        return FailedPreconditionError(
+            "phase transition into '" + phase.name +
+            "': outgoing traffic failed to drain within " +
+            std::to_string(spec_.drain_cycles) +
+            " cycles (raise 'drain' or lower the offered load)");
+      }
+      tr.drain_cycles = now() - drain_start;
+    }
+
+    // 2. Reconfigure over the NoC itself: the outgoing phase's closes
+    // first, then the incoming phase's opens — the manager serializes the
+    // Fig. 9 sequences, so slots freed by the closes are reusable by the
+    // opens of the same transition.
+    if (monitor != nullptr) monitor->NotePhaseBoundary();
+    const Cycle config_start = now();
+    const std::int64_t writes0 =
+        shell->local_writes() + shell->remote_writes();
+    std::vector<std::size_t> batch;
+    for (std::size_t g : closing) {
+      for (int ref : open_refs_by_group_[g]) {
+        batch.push_back(static_cast<std::size_t>(driver_->PushClose(ref)));
+        ++tr.closes;
+      }
+    }
+    for (std::size_t g = 0; g < spec_.traffic.size(); ++g) {
+      if (spec_.traffic[g].phase != static_cast<int>(k)) continue;
+      for (const config::ConnectionSpec& conn : conns_by_group_[g]) {
+        const int ref = driver_->PushOpen(conn);
+        open_refs_by_group_[g].push_back(ref);
+        batch.push_back(static_cast<std::size_t>(ref));
+        ++tr.opens;
+      }
+    }
+    const Cycle config_deadline = now() + spec_.drain_cycles;
+    while (!driver_->Done() && now() < config_deadline) soc_->RunCycles(1);
+    if (!driver_->Done()) {
+      return FailedPreconditionError(
+          "phase '" + phase.name +
+          "': runtime configuration did not complete within " +
+          std::to_string(spec_.drain_cycles) +
+          " cycles (the 'drain' directive bounds each transition stage; "
+          "raise it)");
+    }
+    for (std::size_t i : batch) {
+      const config::ScriptedOp& op = driver_->op(i);
+      if (!op.error.ok()) {
+        return Status(
+            op.error.code(),
+            "phase '" + phase.name + "': " +
+                (op.kind == config::ScriptedOp::Kind::kOpen ? "open"
+                                                            : "close") +
+                " failed: " + op.error.message());
+      }
+      if (op.kind == config::ScriptedOp::Kind::kOpen) {
+        tr.setup_latency_max = std::max(tr.setup_latency_max, op.Latency());
+        tr.slots_allocated += op.slots_delta;
+      } else {
+        tr.teardown_latency_max =
+            std::max(tr.teardown_latency_max, op.Latency());
+        tr.slots_reclaimed += op.slots_delta;
+      }
+    }
+    tr.config_cycles = now() - config_start;
+    tr.config_messages =
+        shell->local_writes() + shell->remote_writes() - writes0;
+    result.transitions.push_back(std::move(tr));
+
+    // 3. Switch the incoming phase's sources on and let the new use case
+    // settle before measuring.
+    for (std::size_t g = 0; g < spec_.traffic.size(); ++g) {
+      if (spec_.traffic[g].phase == static_cast<int>(k)) {
+        SetGroupActive(g, true, now());
+      }
+    }
+    soc_->RunCycles(k == 0 ? spec_.warmup + phase.warmup : phase.warmup);
+
+    // 4. The measured window.
+    PhaseResult pr;
+    pr.name = phase.name;
+    pr.duration = phase.duration;
+    pr.window_start = now();
+
+    struct Snap {
+      std::int64_t delivered = 0, admitted = 0, lat_count = 0;
+      double lat_sum = 0;
+    };
+    std::vector<Snap> s0(stream_flows_.size());
+    std::vector<Snap> v0(video_chains_.size());
+    std::vector<Snap> m0(memory_flows_.size());
+    for (std::size_t i = 0; i < stream_flows_.size(); ++i) {
+      const StreamFlow& f = stream_flows_[i];
+      s0[i] = Snap{f.consumer->words_read(), f.source->words_written(),
+                   f.consumer->latency().count(),
+                   f.consumer->latency().Sum()};
+    }
+    for (std::size_t i = 0; i < video_chains_.size(); ++i) {
+      const VideoChain& c = video_chains_[i];
+      v0[i] = Snap{c.consumer->words_read(), c.source->words_written(),
+                   c.consumer->latency().count(),
+                   c.consumer->latency().Sum()};
+    }
+    for (std::size_t i = 0; i < memory_flows_.size(); ++i) {
+      const MemoryFlow& m = memory_flows_[i];
+      m0[i] = Snap{m.master->completed(), m.master->issued(),
+                   m.master->latency().count(), m.master->latency().Sum()};
+    }
+
+    // Verify mode: the guaranteed rate of each active GT flow under the
+    // slot tables in force during THIS phase.
+    struct WindowBound {
+      double guaranteed_wpc = 0;
+      std::int64_t slack = 0;
+    };
+    std::vector<WindowBound> s_bound(stream_flows_.size());
+    std::vector<WindowBound> v_bound(video_chains_.size());
+    if (spec_.verify) {
+      for (std::size_t i = 0; i < stream_flows_.size(); ++i) {
+        const StreamFlow& f = stream_flows_[i];
+        if (!spec_.traffic[f.group].gt || !active_in(f.group, k)) continue;
+        const GtFlowBound hop = BoundOfHop(f.group, f.flow, f.src_connid);
+        s_bound[i] = WindowBound{
+            hop.bound.min_throughput_wpc,
+            HopSlackWords(hop.bound, spec_.queue_words)};
+      }
+      for (std::size_t i = 0; i < video_chains_.size(); ++i) {
+        const VideoChain& c = video_chains_[i];
+        if (!spec_.traffic[c.group].gt || !active_in(c.group, k)) continue;
+        WindowBound bound;
+        bound.guaranteed_wpc = -1;
+        for (std::size_t h = 0; h < c.hop_flows.size(); ++h) {
+          const GtFlowBound hop =
+              BoundOfHop(c.group, c.hop_flows[h], c.hop_src_connids[h]);
+          if (bound.guaranteed_wpc < 0 ||
+              hop.bound.min_throughput_wpc < bound.guaranteed_wpc) {
+            bound.guaranteed_wpc = hop.bound.min_throughput_wpc;
+          }
+          bound.slack += HopSlackWords(hop.bound, spec_.queue_words);
+        }
+        v_bound[i] = bound;
+      }
+    }
+
+    soc_->RunCycles(phase.duration);
+
+    auto push_stats = [&](std::vector<PhaseFlowStats>* stats,
+                          std::int64_t words, const Snap& snap,
+                          std::int64_t lat_count, double lat_sum) {
+      PhaseFlowStats ps;
+      ps.phase = static_cast<int>(k);
+      ps.words = words;
+      ps.throughput_wpc =
+          static_cast<double>(words) / static_cast<double>(phase.duration);
+      ps.latency_count = lat_count - snap.lat_count;
+      ps.latency_mean =
+          ps.latency_count > 0
+              ? (lat_sum - snap.lat_sum) /
+                    static_cast<double>(ps.latency_count)
+              : 0.0;
+      stats->push_back(ps);
+      pr.words_in_window += words;
+    };
+    for (std::size_t i = 0; i < stream_flows_.size(); ++i) {
+      const StreamFlow& f = stream_flows_[i];
+      if (!active_in(f.group, k)) continue;
+      const std::int64_t words = f.consumer->words_read() - s0[i].delivered;
+      push_stats(&stream_ps[i], words, s0[i],
+                 f.consumer->latency().count(), f.consumer->latency().Sum());
+      stream_window[i] += words;
+      if (spec_.verify && spec_.traffic[f.group].gt) {
+        window_checks.push_back(WindowCheck{
+            "stream", f.group, k, f.flow.src, f.flow.dst,
+            f.source->words_written() - s0[i].admitted, words,
+            s_bound[i].guaranteed_wpc, s_bound[i].slack, phase.duration});
+      }
+    }
+    for (std::size_t i = 0; i < video_chains_.size(); ++i) {
+      const VideoChain& c = video_chains_[i];
+      if (!active_in(c.group, k)) continue;
+      const std::int64_t words = c.consumer->words_read() - v0[i].delivered;
+      push_stats(&video_ps[i], words, v0[i],
+                 c.consumer->latency().count(), c.consumer->latency().Sum());
+      video_window[i] += words;
+      if (spec_.verify && spec_.traffic[c.group].gt) {
+        window_checks.push_back(WindowCheck{
+            "video", c.group, k, c.chain.front(), c.chain.back(),
+            c.source->words_written() - v0[i].admitted, words,
+            v_bound[i].guaranteed_wpc, v_bound[i].slack, phase.duration});
+      }
+    }
+    for (std::size_t i = 0; i < memory_flows_.size(); ++i) {
+      const MemoryFlow& m = memory_flows_[i];
+      if (!active_in(m.group, k)) continue;
+      const std::int64_t transactions = m.master->completed() - m0[i].delivered;
+      const std::int64_t words =
+          transactions * spec_.traffic[m.group].mem_burst_words;
+      push_stats(&mem_ps[i], words, m0[i], m.master->latency().count(),
+                 m.master->latency().Sum());
+      mem_window[i] += words;
+    }
+    pr.throughput_wpc = static_cast<double>(pr.words_in_window) /
+                        static_cast<double>(pr.duration);
+    result.phases.push_back(std::move(pr));
+  }
+
+  // --- whole-run assembly (mirrors the static path) -------------------------
+  result.cycles_run = soc_->net_clock()->cycles();
+  const Cycle measured = spec_.TotalDuration();
+  std::size_t si = 0, vi = 0, mi = 0;
+  for (std::size_t g = 0; g < spec_.traffic.size(); ++g) {
+    const TrafficSpec& traffic = spec_.traffic[g];
+    auto base = [&](const TrafficSpec& t) {
+      FlowResult r;
+      r.pattern = PatternKindName(t.pattern);
+      r.group = static_cast<int>(g);
+      r.gt = t.gt;
+      r.gt_slots = t.gt_slots;
+      r.phase = t.phase;
+      r.persist = t.persist;
+      return r;
+    };
+    if (traffic.pattern == PatternKind::kVideo) {
+      const VideoChain& c = video_chains_[vi];
+      FlowResult r = base(traffic);
+      r.src = c.chain.front();
+      r.dst = c.chain.back();
+      r.words_total = c.consumer->words_read();
+      r.words_in_window = video_window[vi];
+      r.latency = Summarize(c.consumer->latency());
+      r.phase_stats = std::move(video_ps[vi]);
+      result.flows.push_back(std::move(r));
+      ++vi;
+    } else if (traffic.pattern == PatternKind::kMemory) {
+      const MemoryFlow& m = memory_flows_[mi];
+      FlowResult r = base(traffic);
+      r.src = m.flow.src;
+      r.dst = m.flow.dst;
+      r.transactions_issued = m.master->issued();
+      r.transactions_completed = m.master->completed();
+      r.words_total = r.transactions_completed * traffic.mem_burst_words;
+      r.words_in_window = mem_window[mi];
+      r.latency = Summarize(m.master->latency());
+      r.phase_stats = std::move(mem_ps[mi]);
+      result.flows.push_back(std::move(r));
+      ++mi;
+    } else {
+      while (si < stream_flows_.size() && stream_flows_[si].group == g) {
+        const StreamFlow& f = stream_flows_[si];
+        FlowResult r = base(traffic);
+        r.src = f.flow.src;
+        r.dst = f.flow.dst;
+        r.words_total = f.consumer->words_read();
+        r.words_in_window = stream_window[si];
+        r.latency = Summarize(f.consumer->latency());
+        r.phase_stats = std::move(stream_ps[si]);
+        result.flows.push_back(std::move(r));
+        ++si;
+      }
+    }
+  }
+  for (FlowResult& r : result.flows) {
+    r.throughput_wpc = static_cast<double>(r.words_in_window) /
+                       static_cast<double>(measured);
+    result.words_in_window += r.words_in_window;
+  }
+  result.throughput_wpc = static_cast<double>(result.words_in_window) /
+                          static_cast<double>(measured);
+
+  AggregateNiStats(soc_.get(), spec_.NumNis(), &result);
+
+  if (spec_.verify) {
+    std::vector<std::string> problems;
+    AETHEREAL_CHECK(monitor != nullptr);
+    AppendMonitorProblems(monitor, &problems);
+    // Per-window GT throughput floors, against the slot tables that were
+    // in force during each phase window.
+    for (const WindowCheck& check : window_checks) {
+      CheckGtThroughputFloor(
+          check.what, check.group,
+          "in phase '" + spec_.phases[check.phase].name + "'", check.src,
+          check.dst, check.admitted, check.delivered, check.guaranteed_wpc,
+          check.slack, check.duration, &problems);
+    }
+    for (const MemoryFlow& m : memory_flows_) {
+      if (m.master->completed() > m.master->issued()) {
+        std::ostringstream oss;
+        oss << "transaction-ordering: memory g" << m.group << " completed "
+            << m.master->completed() << " transactions but only issued "
+            << m.master->issued();
+        problems.push_back(oss.str());
+      }
+    }
+    for (const StreamFlow& f : stream_flows_) {
+      if (f.consumer->words_read() > f.source->words_written()) {
+        std::ostringstream oss;
+        oss << "flit-integrity: stream g" << f.group << " " << f.flow.src
+            << "->" << f.flow.dst << " read " << f.consumer->words_read()
+            << " words but the source only wrote "
+            << f.source->words_written();
+        problems.push_back(oss.str());
+      }
+    }
+    if (!problems.empty()) return VerificationError(spec_.name, problems);
+  }
+  return result;
+}
+
 void ScenarioRunner::CheckGuarantees(
     const std::vector<std::int64_t>& stream_admitted0,
     const std::vector<std::int64_t>& video_admitted0,
@@ -456,41 +1005,18 @@ void ScenarioRunner::CheckGuarantees(
     std::vector<std::string>* problems) {
   verify::Monitor* monitor = soc_->monitor();
   AETHEREAL_CHECK(monitor != nullptr);
-  monitor->Finalize();
-  for (const verify::Violation& v : monitor->violations()) {
-    std::ostringstream oss;
-    oss << "[cycle " << v.cycle << "] " << v.check << ": " << v.message;
-    problems->push_back(oss.str());
-  }
-  if (monitor->total_violations() >
-      static_cast<std::int64_t>(monitor->violations().size())) {
-    std::ostringstream oss;
-    oss << "monitor recorded "
-        << monitor->total_violations() -
-               static_cast<std::int64_t>(monitor->violations().size())
-        << " further violation(s) beyond the cap";
-    problems->push_back(oss.str());
-  }
+  AppendMonitorProblems(monitor, problems);
 
-  // Analytical GT guarantees. The throughput floor holds per measurement
-  // window: the flow must deliver whatever it admitted, or at least the
-  // slot tables' guaranteed rate, minus a bounded in-flight allowance.
+  // Analytical GT guarantees: the throughput floor, per measurement
+  // window.
   const Cycle duration = spec_.duration;
   auto check_throughput = [&](const char* what, std::size_t group, NiId src,
                               NiId dst, std::int64_t admitted,
                               std::int64_t delivered, double guaranteed_wpc,
                               std::int64_t slack) {
-    const auto guaranteed_words = static_cast<std::int64_t>(
-        guaranteed_wpc * static_cast<double>(duration));
-    const std::int64_t floor = std::min(admitted, guaranteed_words) - slack;
-    if (delivered < floor) {
-      std::ostringstream oss;
-      oss << "gt-throughput: " << what << " g" << group << " " << src << "->"
-          << dst << " delivered " << delivered << " words in the window; "
-          << "floor is min(admitted " << admitted << ", guaranteed "
-          << guaranteed_words << ") - slack " << slack;
-      problems->push_back(oss.str());
-    }
+    CheckGtThroughputFloor(what, group, "in the window", src, dst, admitted,
+                           delivered, guaranteed_wpc, slack, duration,
+                           problems);
   };
 
   // The end-to-end (Write-to-Read) latency bound is table-derivable only
@@ -609,8 +1135,42 @@ std::string ScenarioResult::ToJson() const {
   w.Key("queue_words").Int(spec.queue_words);
   w.Key("seed").Int(static_cast<std::int64_t>(spec.seed));
   w.Key("warmup").Int(spec.warmup);
-  w.Key("duration").Int(spec.duration);
+  w.Key("duration").Int(spec.TotalDuration());
   w.Key("cycles_run").Int(cycles_run);
+  if (spec.Phased()) {
+    w.Key("cfg_ni").Int(spec.cfg_ni);
+    w.Key("phases").BeginArray();
+    for (std::size_t k = 0; k < phases.size(); ++k) {
+      const PhaseResult& phase = phases[k];
+      w.BeginObject();
+      w.Key("phase").Int(static_cast<std::int64_t>(k));
+      w.Key("name").String(phase.name);
+      w.Key("window_start").Int(phase.window_start);
+      w.Key("duration").Int(phase.duration);
+      w.Key("words_in_window").Int(phase.words_in_window);
+      w.Key("throughput_wpc").Double(phase.throughput_wpc);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("transitions").BeginArray();
+    for (const TransitionResult& tr : transitions) {
+      w.BeginObject();
+      w.Key("into_phase").Int(tr.phase);
+      w.Key("name").String(tr.phase_name);
+      w.Key("start_cycle").Int(tr.start_cycle);
+      w.Key("drain_cycles").Int(tr.drain_cycles);
+      w.Key("config_cycles").Int(tr.config_cycles);
+      w.Key("closes").Int(tr.closes);
+      w.Key("opens").Int(tr.opens);
+      w.Key("teardown_latency_max").Int(tr.teardown_latency_max);
+      w.Key("setup_latency_max").Int(tr.setup_latency_max);
+      w.Key("config_messages").Int(tr.config_messages);
+      w.Key("slots_reclaimed").Int(tr.slots_reclaimed);
+      w.Key("slots_allocated").Int(tr.slots_allocated);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.Key("flows").BeginArray();
   for (const FlowResult& flow : flows) {
     w.BeginObject();
@@ -628,6 +1188,23 @@ std::string ScenarioResult::ToJson() const {
       w.Key("issued").Int(flow.transactions_issued);
       w.Key("completed").Int(flow.transactions_completed);
       w.EndObject();
+    }
+    if (spec.Phased()) {
+      w.Key("phase").Int(flow.phase);
+      if (flow.persist) w.Key("persist").Bool(true);
+      w.Key("phase_stats").BeginArray();
+      for (const PhaseFlowStats& ps : flow.phase_stats) {
+        w.BeginObject();
+        w.Key("phase").Int(ps.phase);
+        w.Key("words").Int(ps.words);
+        w.Key("throughput_wpc").Double(ps.throughput_wpc);
+        w.Key("latency_count").Int(ps.latency_count);
+        if (ps.latency_count > 0) {
+          w.Key("latency_mean").Double(ps.latency_mean);
+        }
+        w.EndObject();
+      }
+      w.EndArray();
     }
     w.Key("latency");
     WriteLatency(w, flow.latency);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "config/script.h"
 #include "ip/memory_slave.h"
 #include "ip/stream.h"
 #include "ip/traffic_gen.h"
@@ -40,6 +41,18 @@ struct LatencySummary {
   double max = 0;
 };
 
+/// One phase window's slice of a flow's statistics (phased scenarios).
+/// Percentiles need the whole sample population, so per-phase latency is
+/// count + mean (exact, from streaming count/sum snapshots); the full
+/// summary stays on the owning FlowResult.
+struct PhaseFlowStats {
+  int phase = 0;
+  std::int64_t words = 0;         // delivered inside the phase window
+  double throughput_wpc = 0;      // words / phase duration
+  std::int64_t latency_count = 0;
+  double latency_mean = 0;
+};
+
 /// Result of one flow (a stream, a whole video chain, or a memory
 /// master/slave relationship).
 struct FlowResult {
@@ -51,8 +64,8 @@ struct FlowResult {
   int gt_slots = 0;
 
   std::int64_t words_total = 0;      // delivered over the whole run
-  std::int64_t words_in_window = 0;  // delivered during `duration`
-  double throughput_wpc = 0;         // words_in_window / duration
+  std::int64_t words_in_window = 0;  // delivered during measured windows
+  double throughput_wpc = 0;         // words_in_window / measured cycles
 
   /// Stream flows: per-word source->sink latency. Memory flows: per-
   /// transaction round-trip latency. Cumulative over the whole run.
@@ -61,12 +74,47 @@ struct FlowResult {
   // Memory flows only.
   std::int64_t transactions_issued = 0;
   std::int64_t transactions_completed = 0;
+
+  // Phased scenarios only.
+  int phase = -1;       // owning phase index
+  bool persist = false;
+  std::vector<PhaseFlowStats> phase_stats;  // one entry per active window
+};
+
+/// Reconfiguration cost of entering one phase — the runtime-configuration
+/// costs the paper reports (§3, Fig. 9), measured on the NoC itself.
+struct TransitionResult {
+  int phase = 0;                 // the phase being entered
+  std::string phase_name;
+  Cycle start_cycle = 0;         // cycle the transition began
+  Cycle drain_cycles = 0;        // outgoing traffic drain (0 for phase 0)
+  Cycle config_cycles = 0;       // Fig. 9 open/close sequencing
+  int closes = 0;
+  int opens = 0;
+  Cycle teardown_latency_max = 0;  // worst single close, request->done
+  Cycle setup_latency_max = 0;     // worst single open, request->done
+  std::int64_t config_messages = 0;  // register writes (local + via NoC)
+  int slots_reclaimed = 0;       // TDM slots freed by the closes
+  int slots_allocated = 0;       // TDM slots reserved by the opens
+};
+
+/// One phase window of a phased run.
+struct PhaseResult {
+  std::string name;
+  Cycle window_start = 0;        // first measured cycle of the window
+  Cycle duration = 0;
+  std::int64_t words_in_window = 0;  // all flows, this window
+  double throughput_wpc = 0;
 };
 
 struct ScenarioResult {
   ScenarioSpec spec;
   Cycle cycles_run = 0;
   std::vector<FlowResult> flows;
+
+  // Phased scenarios only (empty otherwise).
+  std::vector<PhaseResult> phases;
+  std::vector<TransitionResult> transitions;
 
   // Aggregates over all flows / NIs, whole run.
   std::int64_t words_in_window = 0;
@@ -113,7 +161,8 @@ class ScenarioRunner {
 
   /// Build() + the analytical bounds of every GT flow hop, derived from
   /// the allocator's slot tables (verify/bounds.h). Also the noc_verify
-  /// --bounds table.
+  /// --bounds table. Phased scenarios fail here: their slot tables are
+  /// phase-dependent (bounds are checked per window by the verified run).
   Result<std::vector<GtFlowBound>> ComputeGtBounds();
 
   soc::Soc* soc() { return soc_.get(); }
@@ -150,8 +199,19 @@ class ScenarioRunner {
       const std::vector<std::vector<Flow>>& flows_by_group);
   Status OpenFlowConnection(const TrafficSpec& traffic, const Flow& flow,
                             int src_connid, int dst_connid);
+  config::ConnectionSpec ConnSpecOfFlow(const TrafficSpec& traffic,
+                                        const Flow& flow, int src_connid,
+                                        int dst_connid) const;
   GtFlowBound BoundOfHop(std::size_t group, const Flow& flow,
                          int src_connid);
+
+  // --- phased execution (spec().Phased()) ----------------------------------
+  Result<ScenarioResult> RunPhased();
+  void SetGroupActive(std::size_t group, bool active, Cycle now);
+  bool GroupDrained(std::size_t group) const;
+  /// Groups whose connections are torn down when leaving `phase` (its own
+  /// non-persistent directives).
+  std::vector<std::size_t> ClosingGroupsOf(int phase) const;
   /// The verify-mode epilogue: monitor violations plus the analytical
   /// throughput/latency checks, formatted into `problems`.
   void CheckGuarantees(const std::vector<std::int64_t>& stream_admitted0,
@@ -167,6 +227,15 @@ class ScenarioRunner {
   std::vector<StreamFlow> stream_flows_;
   std::vector<VideoChain> video_chains_;
   std::vector<MemoryFlow> memory_flows_;
+
+  // Phased scenarios: the runtime-configuration machinery. Connections are
+  // NOT opened at build time; each phase's are opened (and the outgoing
+  // phase's closed) through the scripted driver as the run reaches them.
+  std::unique_ptr<config::ScriptedConfigDriver> driver_;
+  /// One ConnectionSpec per flow, grouped by traffic directive.
+  std::vector<std::vector<config::ConnectionSpec>> conns_by_group_;
+  /// Driver op index of each group's opens (targets for the later closes).
+  std::vector<std::vector<int>> open_refs_by_group_;
 };
 
 }  // namespace aethereal::scenario

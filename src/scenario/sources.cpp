@@ -7,7 +7,8 @@
 namespace aethereal::scenario {
 
 PatternSource::PatternSource(std::string name, core::NiPort* port, int connid,
-                             const TrafficSpec& traffic, std::uint64_t seed)
+                             const TrafficSpec& traffic, std::uint64_t seed,
+                             bool start_active)
     : sim::Module(std::move(name)),
       port_(port),
       connid_(connid),
@@ -16,7 +17,8 @@ PatternSource::PatternSource(std::string name, core::NiPort* port, int connid,
       rate_(traffic.rate),
       burst_words_(traffic.burst_words),
       gap_cycles_(traffic.gap_cycles),
-      rng_(seed) {
+      rng_(seed),
+      active_(start_active) {
   AETHEREAL_CHECK(port != nullptr);
   AETHEREAL_CHECK(inject_ != InjectKind::kClosedLoop);
   SetDefaultCommitOnly();  // no registered state, no Commit override
@@ -24,19 +26,34 @@ PatternSource::PatternSource(std::string name, core::NiPort* port, int connid,
   // or the arbiter would see an artificial synchronized burst every period.
   switch (inject_) {
     case InjectKind::kPeriodic:
-      next_emit_ = static_cast<Cycle>(
+      initial_offset_ = static_cast<Cycle>(
           rng_.NextBelow(static_cast<std::uint64_t>(period_)));
       break;
     case InjectKind::kBernoulli:
-      next_emit_ = rng_.NextGeometric(rate_);
+      initial_offset_ = rng_.NextGeometric(rate_);
       break;
     case InjectKind::kBursty:
-      next_emit_ = static_cast<Cycle>(rng_.NextBelow(
+      initial_offset_ = static_cast<Cycle>(rng_.NextBelow(
           static_cast<std::uint64_t>(burst_words_ + gap_cycles_)));
       break;
     case InjectKind::kClosedLoop:
       break;
   }
+  next_emit_ = initial_offset_;
+}
+
+void PatternSource::Activate(Cycle now) {
+  active_ = true;
+  backlog_ = 0;
+  // Same seeded offset, rebased to the activation instant, so a phase's
+  // flows fan out over the period exactly like a run that started here.
+  next_emit_ = now + initial_offset_;
+  Wake();
+}
+
+void PatternSource::Deactivate() {
+  active_ = false;
+  backlog_ = 0;
 }
 
 void PatternSource::ScheduleNext(Cycle now) {
@@ -58,6 +75,10 @@ void PatternSource::ScheduleNext(Cycle now) {
 }
 
 void PatternSource::Evaluate() {
+  if (!active_) {
+    Park();  // silent until Activate() wakes us
+    return;
+  }
   const Cycle now = CycleCount();
   if (now >= next_emit_) {
     backlog_ += inject_ == InjectKind::kBursty ? burst_words_ : 1;

@@ -27,9 +27,22 @@ class PatternSource : public sim::Module {
   /// Emits timestamped words on `connid` following the injection process
   /// of `traffic` (kPeriodic / kBernoulli / kBursty). The seeded RNG
   /// provides the Bernoulli gaps and a per-flow phase offset so flows of
-  /// one pattern do not inject in lockstep.
+  /// one pattern do not inject in lockstep. With `start_active` false the
+  /// source sits silent until Activate() — phased scenarios create every
+  /// phase's sources up front and switch them on as their phase begins.
   PatternSource(std::string name, core::NiPort* port, int connid,
-                const TrafficSpec& traffic, std::uint64_t seed);
+                const TrafficSpec& traffic, std::uint64_t seed,
+                bool start_active = true);
+
+  /// Starts injecting: the first emission happens at `now` plus the
+  /// constructor-drawn phase offset. Callable between cycles only.
+  void Activate(Cycle now);
+
+  /// Stops injecting immediately; pending backlog is discarded so
+  /// words_written() is final as soon as this returns.
+  void Deactivate();
+
+  bool active() const { return active_; }
 
   std::int64_t words_written() const { return words_written_; }
   std::int64_t stall_cycles() const { return stall_cycles_; }
@@ -47,6 +60,8 @@ class PatternSource : public sim::Module {
   std::int64_t burst_words_;
   std::int64_t gap_cycles_;
   Rng rng_;
+  bool active_ = true;
+  Cycle initial_offset_ = 0;  // constructor-drawn first-emission offset
   std::int64_t backlog_ = 0;
   Cycle next_emit_ = 0;
   std::int64_t words_written_ = 0;

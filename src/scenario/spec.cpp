@@ -54,6 +54,18 @@ int ScenarioSpec::NumNis() const {
   return 0;
 }
 
+int ScenarioSpec::ConfigChannelsOf(NiId ni) const {
+  if (!Phased()) return 0;
+  return ni == cfg_ni ? NumNis() - 1 : 1;
+}
+
+Cycle ScenarioSpec::TotalDuration() const {
+  if (!Phased()) return duration;
+  Cycle total = 0;
+  for (const PhaseSpec& phase : phases) total += phase.duration;
+  return total;
+}
+
 namespace {
 
 struct Line {
@@ -205,6 +217,9 @@ Status ParseTrafficClauses(const Line& line, std::size_t at,
       (clause[0] == 'd' ? traffic->data_threshold
                         : traffic->credit_threshold) = static_cast<int>(*v);
       at += 2;
+    } else if (clause == "persist") {
+      traffic->persist = true;
+      at += 1;
     } else if (clause == "read_fraction") {
       if (traffic->pattern != PatternKind::kMemory) {
         return ParseError(line.number, "'read_fraction' is memory-only");
@@ -252,11 +267,12 @@ Result<std::size_t> ParseNiList(const Line& line, std::size_t at,
   return at;
 }
 
-Status ParseTraffic(const Line& line, ScenarioSpec* spec) {
+Status ParseTraffic(const Line& line, ScenarioSpec* spec, int current_phase) {
   if (line.tokens.size() < 2) {
     return ParseError(line.number, "traffic <pattern> [args] [clauses]");
   }
   TrafficSpec traffic;
+  traffic.phase = current_phase;
   const std::string& pattern = line.tokens[1];
   std::size_t at = 2;
   if (pattern == "uniform") {
@@ -314,6 +330,16 @@ Status ParseTraffic(const Line& line, ScenarioSpec* spec) {
     return ParseError(line.number,
                       "memory traffic supports periodic/bernoulli/closed");
   }
+  if (traffic.persist && current_phase < 0) {
+    return ParseError(line.number, "'persist' needs a phase block");
+  }
+  if (current_phase >= 0 &&
+      (traffic.data_threshold != 1 || traffic.credit_threshold != 1)) {
+    return ParseError(line.number,
+                      "phased directives require data_threshold 1 and "
+                      "credit_threshold 1 (a closing channel must be able "
+                      "to drain completely)");
+  }
   spec->traffic.push_back(std::move(traffic));
   return OkStatus();
 }
@@ -323,13 +349,18 @@ Status ParseTraffic(const Line& line, ScenarioSpec* spec) {
 Result<ScenarioSpec> ParseScenario(const std::string& text) {
   ScenarioSpec spec;
   bool have_noc = false;
+  bool have_duration = false;
+  bool have_cfgni = false;
+  bool have_drain = false;
+  int current_phase = -1;
   // Every scalar directive may appear at most once: a duplicate almost
   // always means a copy-paste error, and silently keeping the later value
   // would make the earlier line a lie.
   std::set<std::string> seen;
   for (const Line& line : Tokenize(text)) {
     const std::string& kind = line.tokens[0];
-    if (kind != "traffic" && kind != "noc" && !seen.insert(kind).second) {
+    if (kind != "traffic" && kind != "noc" && kind != "phase" &&
+        !seen.insert(kind).second) {
       return ParseError(line.number, "duplicate '" + kind + "' directive");
     }
     auto int_arg = [&]() -> Result<std::int64_t> {
@@ -446,12 +477,72 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
       }
       spec.warmup = *v;
     } else if (kind == "duration") {
+      if (!spec.phases.empty()) {
+        return ParseError(line.number,
+                          "phased scenarios take per-phase durations; drop "
+                          "the scenario-level 'duration'");
+      }
       auto v = int_arg();
       if (!v.ok()) return v.status();
       if (*v < 1 || *v > (std::int64_t{1} << 40)) {
         return ParseError(line.number, "duration must be in [1, 2^40]");
       }
       spec.duration = *v;
+      have_duration = true;
+    } else if (kind == "phase") {
+      if (line.tokens.size() != 4 && line.tokens.size() != 6) {
+        return ParseError(line.number,
+                          "phase <name> duration <cycles> [warmup <cycles>]");
+      }
+      if (have_duration) {
+        return ParseError(line.number,
+                          "phased scenarios take per-phase durations; drop "
+                          "the scenario-level 'duration'");
+      }
+      if (spec.phases.size() >= 64) {
+        return ParseError(line.number, "at most 64 phases");
+      }
+      PhaseSpec phase;
+      phase.name = line.tokens[1];
+      for (const PhaseSpec& earlier : spec.phases) {
+        if (earlier.name == phase.name) {
+          return ParseError(line.number,
+                            "duplicate phase name '" + phase.name + "'");
+        }
+      }
+      if (line.tokens[2] != "duration") {
+        return ParseError(line.number,
+                          "phase <name> duration <cycles> [warmup <cycles>]");
+      }
+      auto d = ParseIntIn(line, line.tokens[3], 1, std::int64_t{1} << 40);
+      if (!d.ok()) return d.status();
+      phase.duration = *d;
+      if (line.tokens.size() == 6) {
+        if (line.tokens[4] != "warmup") {
+          return ParseError(line.number, "expected 'warmup <cycles>'");
+        }
+        auto w = ParseIntIn(line, line.tokens[5], 0, std::int64_t{1} << 40);
+        if (!w.ok()) return w.status();
+        phase.warmup = *w;
+      }
+      current_phase = static_cast<int>(spec.phases.size());
+      spec.phases.push_back(std::move(phase));
+    } else if (kind == "cfgni") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      if (*v < 0 || *v > kMaxScenarioNis) {
+        return ParseError(line.number, "cfgni must be a valid NI id");
+      }
+      spec.cfg_ni = static_cast<NiId>(*v);
+      have_cfgni = true;
+    } else if (kind == "drain") {
+      auto v = int_arg();
+      if (!v.ok()) return v.status();
+      if (*v < 1 || *v > (std::int64_t{1} << 40)) {
+        return ParseError(line.number, "drain must be in [1, 2^40]");
+      }
+      spec.drain_cycles = *v;
+      have_drain = true;
     } else if (kind == "engine") {
       if (line.tokens.size() != 2 ||
           (line.tokens[1] != "optimized" && line.tokens[1] != "naive")) {
@@ -468,7 +559,9 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
       if (!have_noc) {
         return ParseError(line.number, "'noc' must come before 'traffic'");
       }
-      if (Status s = ParseTraffic(line, &spec); !s.ok()) return s;
+      if (Status s = ParseTraffic(line, &spec, current_phase); !s.ok()) {
+        return s;
+      }
     } else {
       return ParseError(line.number, "unknown directive '" + kind + "'");
     }
@@ -476,6 +569,38 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
   if (!have_noc) return InvalidArgumentError("scenario has no 'noc' line");
   if (spec.traffic.empty()) {
     return InvalidArgumentError("scenario has no 'traffic' directives");
+  }
+  if (spec.Phased()) {
+    for (const TrafficSpec& traffic : spec.traffic) {
+      if (traffic.phase < 0) {
+        return InvalidArgumentError(
+            "phased scenario has a traffic directive before the first "
+            "'phase' block");
+      }
+    }
+    if (spec.cfg_ni >= spec.NumNis()) {
+      return InvalidArgumentError("cfgni " + std::to_string(spec.cfg_ni) +
+                                  " is off the topology (" +
+                                  std::to_string(spec.NumNis()) + " NIs)");
+    }
+    // Every phase window must observe at least one flow — its own
+    // directives or a persistent one from an earlier phase.
+    for (std::size_t k = 0; k < spec.phases.size(); ++k) {
+      bool active = false;
+      for (const TrafficSpec& traffic : spec.traffic) {
+        if (traffic.ActiveIn(static_cast<int>(k))) {
+          active = true;
+          break;
+        }
+      }
+      if (!active) {
+        return InvalidArgumentError("phase '" + spec.phases[k].name +
+                                    "' has no active traffic directive");
+      }
+    }
+  } else if (have_cfgni || have_drain) {
+    return InvalidArgumentError(
+        "'cfgni'/'drain' apply to phased scenarios only");
   }
   return spec;
 }

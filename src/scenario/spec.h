@@ -39,6 +39,39 @@
 //   traffic memory M S            # transaction master at NI M, memory
 //                                 # slave at NI S (shared-memory traffic)
 //
+// Phased scenarios (runtime reconfiguration, paper §3/§4.3/Fig. 9): with
+// `phase` blocks the run becomes a sequence of use cases. Each phase owns
+// the traffic directives that follow it; at every phase transition the
+// outgoing phase's connections are closed and the incoming phase's opened
+// AT RUNTIME, through ConnectionManager transactions carried over the NoC
+// itself (never a side channel), with per-transition setup/teardown
+// metrics in the result. A directive marked `persist` stays open through
+// every later phase (its in-flight GT traffic must be undisturbed by the
+// transitions around it).
+//
+//   phase NAME duration D [warmup W]
+//                                 # starts a phase block; following
+//                                 # traffic directives belong to it. D =
+//                                 # measured cycles of the phase window,
+//                                 # W = settle cycles after the phase's
+//                                 # reconfiguration completes (default 0;
+//                                 # the scenario-level `warmup` applies
+//                                 # before the first phase's window)
+//   cfgni N                       # NI hosting the configuration master
+//                                 # (default 0); every other NI gets a
+//                                 # CNIP channel. Phased scenarios only.
+//   drain N                       # per-transition cycle bound, applied
+//                                 # separately to the outgoing-traffic
+//                                 # drain and to the Fig. 9 configuration
+//                                 # sequencing (default 20000). Phased
+//                                 # only.
+//
+// Phased constraints: the scenario-level `duration` directive is replaced
+// by the per-phase durations; every traffic directive must live inside a
+// phase; and phased directives require data_threshold/credit_threshold 1
+// (a closing channel must drain completely — words or credits parked
+// below a threshold would never move again).
+//
 // Clauses (append after the pattern, any order):
 //
 //   inject periodic N             # one word / transaction every N cycles
@@ -47,6 +80,8 @@
 //   inject closed                 # memory only: issue on response return
 //   qos be                        # best-effort (default)
 //   qos gt S                      # guaranteed throughput, S reserved slots
+//   persist                       # phased only: keep the connection open
+//                                 # through every later phase
 //   data_threshold N              # NI send threshold (words)
 //   credit_threshold N            # NI credit-report threshold (words)
 //   read_fraction P               # memory only: reads vs writes (default .5)
@@ -111,6 +146,28 @@ struct TrafficSpec {
 
   double read_fraction = 0.5;   // kMemory
   int mem_burst_words = 4;      // kMemory: words per transaction
+
+  /// Phased scenarios: index of the owning phase (-1 = no phase blocks),
+  /// and whether the directive survives every later phase transition.
+  int phase = -1;
+  bool persist = false;
+
+  /// True when the directive's flows inject during phase `k`: its own
+  /// phase, or any later one if persistent. The single source of the
+  /// activity predicate shared by parse-time validation, the phased
+  /// runner's windows, and the sweep's offered-load weighting.
+  bool ActiveIn(int k) const {
+    return phase == k || (persist && phase >= 0 && phase < k);
+  }
+};
+
+/// One use case of a phased scenario: a named measurement window whose
+/// connections are opened (and, unless persisted, later closed) at runtime
+/// over the NoC.
+struct PhaseSpec {
+  std::string name;
+  Cycle duration = 0;  // measured cycles of the phase window
+  Cycle warmup = 0;    // settle cycles between reconfiguration and window
 };
 
 enum class TopologyKind { kStar, kMesh, kRing };
@@ -137,7 +194,29 @@ struct ScenarioSpec {
 
   std::vector<TrafficSpec> traffic;
 
+  /// Phased scenarios only (empty otherwise). Directive order and phase
+  /// order are both part of the scenario's deterministic identity.
+  std::vector<PhaseSpec> phases;
+  /// NI hosting the configuration master of a phased scenario.
+  NiId cfg_ni = 0;
+  /// Per-transition cycle bound, applied separately to the outgoing-
+  /// traffic drain and to the Fig. 9 configuration sequencing.
+  Cycle drain_cycles = 20000;
+
+  bool Phased() const { return !phases.empty(); }
+
   int NumNis() const;
+
+  /// Configuration channels provisioned at NI `ni` BEFORE any flow
+  /// channel (config connections at the Cfg NI, the CNIP channel at
+  /// connid 0 everywhere else); zero for non-phased specs. The single
+  /// source of the connid-offset rule shared by the runner's channel
+  /// counting, its connid assignment, and the inspector — the three must
+  /// agree bit-for-bit or connids lose their deterministic identity.
+  int ConfigChannelsOf(NiId ni) const;
+
+  /// Total measured cycles: the sum of phase durations, or `duration`.
+  Cycle TotalDuration() const;
 };
 
 /// Parses the text form above. Errors carry the offending line number.

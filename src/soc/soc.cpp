@@ -129,6 +129,11 @@ Soc::OpenChannelPairs() const {
   for (const DirectConnection& conn : direct_connections_) {
     if (conn.open) pairs.emplace_back(conn.a, conn.b);
   }
+  // Connections opened at runtime over the NoC (the Fig. 9 path) count
+  // too: the monitor's credit pairing must follow reconfiguration.
+  if (manager_ != nullptr) {
+    for (const auto& pair : manager_->OpenPairs()) pairs.push_back(pair);
+  }
   return pairs;
 }
 
@@ -276,6 +281,18 @@ Status Soc::CloseConnection(int handle) {
   status = ni(conn.b.ni)->WriteRegister(
       regs::ChannelRegAddr(conn.b.channel, regs::ChannelReg::kCtrl), 0);
   if (!status.ok()) return status;
+  // Release the STU slot ownership too, or a later open could never
+  // re-program the freed slots for a different channel of the same NI.
+  if (!conn.slots_ab.empty()) {
+    status = ni(conn.a.ni)->WriteRegister(
+        regs::ChannelRegAddr(conn.a.channel, regs::ChannelReg::kSlots), 0);
+    if (!status.ok()) return status;
+  }
+  if (!conn.slots_ba.empty()) {
+    status = ni(conn.b.ni)->WriteRegister(
+        regs::ChannelRegAddr(conn.b.channel, regs::ChannelReg::kSlots), 0);
+    if (!status.ok()) return status;
+  }
   if (!conn.slots_ab.empty()) {
     AETHEREAL_CHECK(
         allocator_->Free(conn.route_ab, conn.a, conn.slots_ab).ok());
@@ -331,6 +348,9 @@ config::ConnectionManager* Soc::EnableConfig(const ConfigSetup& setup) {
       "connection_manager", &topology_, allocator_.get(), config_shell_.get(),
       port(setup.cfg_ni, setup.cfg_port), setup.cfg_ni,
       setup.cfg_connid_of_ni, std::move(cnip_info), lookup);
+  // Every runtime open/close changes the open-pair set the verification
+  // monitor pairs credits over; bump the version so it re-queries.
+  manager_->SetOnConnectionsChanged([this] { ++connections_version_; });
   RegisterOnPort(manager_.get(), setup.cfg_ni, setup.cfg_port);
   return manager_.get();
 }

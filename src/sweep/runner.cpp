@@ -16,6 +16,24 @@ using scenario::ScenarioResult;
 using scenario::ScenarioSpec;
 using scenario::TrafficSpec;
 
+/// Fraction of the measured cycles a directive's flows are actually
+/// injecting: 1 for static scenarios; for phased ones, the directive's
+/// active windows (its own phase, plus every later phase if persistent)
+/// over the total measured duration. Offered load must be weighted by
+/// this, or a flow active in one of N phases looks like it lost
+/// (N-1)/N of its traffic.
+double ActiveFraction(const ScenarioSpec& spec, const TrafficSpec& traffic) {
+  if (!spec.Phased()) return 1.0;
+  Cycle active = 0;
+  for (std::size_t k = 0; k < spec.phases.size(); ++k) {
+    if (traffic.ActiveIn(static_cast<int>(k))) {
+      active += spec.phases[k].duration;
+    }
+  }
+  return static_cast<double>(active) /
+         static_cast<double>(spec.TotalDuration());
+}
+
 double OfferedWpc(const TrafficSpec& traffic) {
   double words_per_event = 1.0;
   if (traffic.pattern == PatternKind::kMemory) {
@@ -92,7 +110,9 @@ void WriteClass(JsonWriter& w, const ClassSummary& s) {
 }  // namespace
 
 void SummarizePoint(const ScenarioResult& result, PointResult* point) {
-  point->duration = result.spec.duration;
+  // TotalDuration: phased scenarios measure the sum of their phase
+  // windows; spec.duration is not meaningful there.
+  point->duration = result.spec.TotalDuration();
   point->words_in_window = result.words_in_window;
   point->throughput_wpc = result.throughput_wpc;
   point->slot_utilization = result.slot_utilization;
@@ -101,13 +121,15 @@ void SummarizePoint(const ScenarioResult& result, PointResult* point) {
   for (const scenario::FlowResult& flow : result.flows) {
     const auto group = static_cast<std::size_t>(flow.group);
     AETHEREAL_CHECK(group < result.spec.traffic.size());
-    const double offered = OfferedWpc(result.spec.traffic[group]);
+    const double offered =
+        OfferedWpc(result.spec.traffic[group]) *
+        ActiveFraction(result.spec, result.spec.traffic[group]);
     AddFlow(&point->all, flow, offered);
     AddFlow(flow.gt ? &point->gt : &point->be, flow, offered);
   }
-  FinishClass(&point->all, result.spec.duration);
-  FinishClass(&point->gt, result.spec.duration);
-  FinishClass(&point->be, result.spec.duration);
+  FinishClass(&point->all, result.spec.TotalDuration());
+  FinishClass(&point->gt, result.spec.TotalDuration());
+  FinishClass(&point->be, result.spec.TotalDuration());
 }
 
 SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {}

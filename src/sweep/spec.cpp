@@ -153,6 +153,11 @@ Status ApplyNoc(const std::string& value, ScenarioSpec* spec) {
         "noc value must be starN, meshRxCxN, or ringRxN, got '" + value +
         "'");
   }
+  if (spec->Phased() && spec->cfg_ni >= spec->NumNis()) {
+    return InvalidArgumentError("noc '" + value + "': cfgni " +
+                                std::to_string(spec->cfg_ni) +
+                                " is off the new topology");
+  }
   return OkStatus();
 }
 
@@ -197,6 +202,7 @@ Status ForEachTarget(const ParamRef& param, ScenarioSpec* spec,
 std::string ParamRef::Name() const {
   std::string name;
   if (group >= 0) name = "g" + std::to_string(group) + ".";
+  if (phase >= 0) name = "p" + std::to_string(phase) + ".";
   name += KeyName(key);
   return name;
 }
@@ -213,6 +219,15 @@ Result<ParamRef> ParseParamRef(const std::string& token) {
       param.group = static_cast<int>(*group);
       key = token.substr(dot + 1);
     }
+  } else if (token.size() >= 2 && token[0] == 'p' &&
+             std::isdigit(static_cast<unsigned char>(token[1])) != 0) {
+    const auto dot = token.find('.');
+    if (dot != std::string::npos) {
+      auto phase = ParseIntIn(token.substr(1, dot - 1), 0, 64);
+      if (!phase.ok()) return phase.status();
+      param.phase = static_cast<int>(*phase);
+      key = token.substr(dot + 1);
+    }
   }
   for (ParamRef::Key candidate : kAllKeys) {
     if (key == KeyName(candidate)) {
@@ -221,6 +236,12 @@ Result<ParamRef> ParseParamRef(const std::string& token) {
         return InvalidArgumentError("'" + key +
                                     "' is scenario-level; it cannot be "
                                     "scoped to a traffic directive");
+      }
+      if (param.phase >= 0 && candidate != ParamRef::Key::kDuration &&
+          candidate != ParamRef::Key::kWarmup) {
+        return InvalidArgumentError(
+            "only duration/warmup can be scoped to a phase, not '" + key +
+            "'");
       }
       return param;
     }
@@ -253,13 +274,35 @@ Status ApplyParam(const ParamRef& param, const std::string& value,
     case ParamRef::Key::kWarmup: {
       auto v = ParseIntIn(value, 0, std::int64_t{1} << 40);
       if (!v.ok()) return v.status();
-      spec->warmup = *v;
+      if (param.phase >= 0) {
+        if (static_cast<std::size_t>(param.phase) >= spec->phases.size()) {
+          return InvalidArgumentError(
+              param.Name() + ": base scenario has " +
+              std::to_string(spec->phases.size()) + " phases");
+        }
+        spec->phases[static_cast<std::size_t>(param.phase)].warmup = *v;
+      } else {
+        spec->warmup = *v;
+      }
       return OkStatus();
     }
     case ParamRef::Key::kDuration: {
       auto v = ParseIntIn(value, 1, std::int64_t{1} << 40);
       if (!v.ok()) return v.status();
-      spec->duration = *v;
+      if (param.phase >= 0) {
+        if (static_cast<std::size_t>(param.phase) >= spec->phases.size()) {
+          return InvalidArgumentError(
+              param.Name() + ": base scenario has " +
+              std::to_string(spec->phases.size()) + " phases");
+        }
+        spec->phases[static_cast<std::size_t>(param.phase)].duration = *v;
+      } else if (spec->Phased()) {
+        return InvalidArgumentError(
+            "a phased base scenario takes per-phase durations; use "
+            "pN.duration");
+      } else {
+        spec->duration = *v;
+      }
       return OkStatus();
     }
     case ParamRef::Key::kNetMhz: {

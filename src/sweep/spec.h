@@ -31,6 +31,11 @@
 //                    burst    (bursty directives; value WORDS/GAP)
 //                    gtslots  (GT directives; reserved slots >= 1)
 //                    qos      (any directive; value be or gtN)
+//   phase level:     pN.duration / pN.warmup (phased base scenarios; N =
+//       phase index). Directive indices gN are global across phases, so
+//       traffic knobs already scope to one phase's directives — e.g.
+//       `axis g2.gtslots 1 2 4` sweeps the slot budget of phase 2's
+//       directive when g2 lives in phase 2.
 //
 // Every `set` and axis value is validated against the base spec at parse
 // time, so a bad grid fails with a line number before any job runs.
@@ -72,9 +77,10 @@ struct ParamRef {
 
   Key key = Key::kSeed;
   int group = -1;  // traffic directive index; -1 = all matching directives
+  int phase = -1;  // phase index (kDuration/kWarmup of a phased base)
 
   bool IsTrafficKey() const;
-  /// Canonical spelling, e.g. "rate" or "g0.rate".
+  /// Canonical spelling, e.g. "rate", "g0.rate", or "p1.duration".
   std::string Name() const;
 
   friend bool operator==(const ParamRef&, const ParamRef&) = default;

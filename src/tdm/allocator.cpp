@@ -156,4 +156,10 @@ double CentralizedAllocator::MeanUtilization() const {
   return sum / static_cast<double>(tables_.size());
 }
 
+std::int64_t CentralizedAllocator::TotalReserved() const {
+  std::int64_t total = 0;
+  for (const auto& table : tables_) total += table.Reserved();
+  return total;
+}
+
 }  // namespace aethereal::tdm

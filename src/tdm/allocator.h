@@ -9,6 +9,7 @@
 #ifndef AETHEREAL_TDM_ALLOCATOR_H
 #define AETHEREAL_TDM_ALLOCATOR_H
 
+#include <cstdint>
 #include <vector>
 
 #include "tdm/slot_table.h"
@@ -58,6 +59,11 @@ class CentralizedAllocator {
 
   /// Mean reserved fraction over all links.
   double MeanUtilization() const;
+
+  /// Total reserved slots summed over every link table — the NoC-wide slot
+  /// occupancy. Runtime reconfiguration metrics (slots reclaimed by a close,
+  /// reallocated by an open) are deltas of this value.
+  std::int64_t TotalReserved() const;
 
  private:
   SlotTable& MutableTableOf(const topology::LinkId& link);

@@ -1,5 +1,6 @@
 #include "verify/monitor.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/registers.h"
@@ -461,6 +462,19 @@ void Monitor::Evaluate() {
                            .Owner(slot);
   }
   CheckStuConformance(slot);
+}
+
+void Monitor::NotePhaseBoundary() {
+  if (!attached_) return;
+  ++phase_boundaries_;
+  // Invalidate the drive-time snapshots: the next slot boundary re-reads
+  // the (reconfigured) allocator tables and STU state from scratch instead
+  // of judging the first post-boundary flit against pre-boundary tables.
+  for (SlotSnapshot& snap : prev_snapshot_) snap = SlotSnapshot{};
+  // A mismatch streak must not straddle two configurations.
+  std::fill(stu_mismatch_streak_.begin(), stu_mismatch_streak_.end(), 0);
+  // Re-pair unconditionally on the next Evaluate.
+  pairs_version_seen_ = -1;
 }
 
 void Monitor::Finalize() {

@@ -105,6 +105,21 @@ class Monitor : public sim::Module {
   /// Idempotent per call site (re-running after more cycles re-arms).
   void Finalize();
 
+  /// Declares a reconfiguration boundary (the phased scenario runner calls
+  /// this as each use-case transition begins, after traffic has drained):
+  /// the slot tables and the open-connection set are about to change under
+  /// the tap. The monitor re-snapshots — drive-time table snapshots are
+  /// invalidated so the first post-boundary slot is judged against the NEW
+  /// tables, the stu-allocator mismatch streaks restart (a disagreement
+  /// spanning the boundary is two different configurations, not one
+  /// persistent corruption), and the channel pairing is re-queried even if
+  /// the version counter has not ticked yet. All checks stay armed
+  /// throughout: GT traffic of connections that survive the transition is
+  /// still held to exact per-flit timing, which is what proves a
+  /// reconfiguration never disturbs in-flight guaranteed traffic.
+  void NotePhaseBoundary();
+  std::int64_t phase_boundaries() const { return phase_boundaries_; }
+
   /// Recorded violations (capped; total_violations() keeps counting).
   const std::vector<Violation>& violations() const { return violations_; }
   std::int64_t total_violations() const { return total_violations_; }
@@ -181,6 +196,7 @@ class Monitor : public sim::Module {
   std::vector<Violation> violations_;
   std::int64_t total_violations_ = 0;
   std::int64_t flits_checked_ = 0;
+  std::int64_t phase_boundaries_ = 0;
 };
 
 }  // namespace aethereal::verify

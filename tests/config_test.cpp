@@ -8,11 +8,13 @@
 #include <memory>
 
 #include "config/connection_manager.h"
+#include "config/script.h"
 #include "core/registers.h"
 #include "ip/memory_slave.h"
 #include "shells/master_shell.h"
 #include "shells/slave_shell.h"
 #include "soc/soc.h"
+#include "tdm/allocator.h"
 #include "topology/builders.h"
 
 namespace aethereal::config {
@@ -24,11 +26,13 @@ using tdm::GlobalChannel;
 
 // Star of 3 NIs. NI0 = Cfg (2 config channels, one per remote NI).
 // NI1: channel 0 = CNIP, channel 1 = data (master). NI2: likewise (slave).
+// `data_channels` > 1 adds further data channels (connids 2, 3, ...) at
+// NI1/NI2 for the slot-reuse regressions.
 struct ConfigRig {
   std::unique_ptr<soc::Soc> soc;
   ConnectionManager* manager = nullptr;
 
-  explicit ConfigRig(int stu_slots = 8) {
+  explicit ConfigRig(int stu_slots = 8, int data_channels = 1) {
     auto star = topology::BuildStar(3);
     std::vector<core::NiKernelParams> params(3);
     auto make_ni = [&](int channels) {
@@ -41,8 +45,8 @@ struct ConfigRig {
       return p;
     };
     params[0] = make_ni(2);  // Cfg: config connections to NI1, NI2
-    params[1] = make_ni(2);  // CNIP + one data channel
-    params[2] = make_ni(2);
+    params[1] = make_ni(1 + data_channels);  // CNIP + data channel(s)
+    params[2] = make_ni(1 + data_channels);
     soc::SocOptions options;
     options.stu_slots = stu_slots;
     soc = std::make_unique<soc::Soc>(std::move(star.topology),
@@ -182,6 +186,214 @@ TEST(ConnectionManager, GtExhaustionFailsTheOpen) {
   const int h2 = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 8));
   rig.RunUntilIdle();
   EXPECT_EQ(rig.manager->StateOf(h2), ConnectionState::kOpen);
+}
+
+// ---------------------------------------------------------------------------
+// Close-path hardening (regressions)
+// ---------------------------------------------------------------------------
+
+TEST(ConnectionManager, CloseAfterFailedOpenReturnsCleanStatus) {
+  ConfigRig rig;
+  // 9 slots on an 8-slot table: the open fails.
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 9));
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kFailed);
+
+  // Closing the failed handle must be rejected cleanly — no abort, and the
+  // record keeps its kFailed state and original error.
+  const Status close = rig.manager->RequestClose(handle);
+  EXPECT_EQ(close.code(), StatusCode::kFailedPrecondition) << close;
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kFailed);
+  EXPECT_EQ(rig.manager->ErrorOf(handle).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ConnectionManager, DoubleCloseReturnsCleanStatus) {
+  ConfigRig rig;
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 2));
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+  ASSERT_TRUE(rig.manager->RequestClose(handle).ok());
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kClosed);
+
+  // The second close is rejected up front and must NOT clobber kClosed.
+  const Status again = rig.manager->RequestClose(handle);
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition) << again;
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kClosed);
+}
+
+TEST(ConnectionManager, DuplicateCloseWhileStillOpenIsRejected) {
+  ConfigRig rig;
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 2));
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+  // Two closes queued back-to-back BEFORE the first executes: the second
+  // must be rejected at request time (it would otherwise no-op "cleanly"
+  // and double-count teardown metrics downstream).
+  ASSERT_TRUE(rig.manager->RequestClose(handle).ok());
+  const Status dup = rig.manager->RequestClose(handle);
+  EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition) << dup;
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kClosed);
+}
+
+TEST(ConnectionManager, CloseQueuedBehindFailingOpenCompletesAsNoop) {
+  ConfigRig rig;
+  // The open will fail (9 > 8 slots), but at RequestClose time it is still
+  // merely queued (kPending), so the close is legitimately accepted.
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 9));
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kPending);
+  ASSERT_TRUE(rig.manager->RequestClose(handle).ok());
+  rig.RunUntilIdle();
+  // The close completed as a no-op; the open's failure survives.
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kFailed);
+  EXPECT_EQ(rig.manager->ErrorOf(handle).code(),
+            StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 phase ordering and slot reclamation
+// ---------------------------------------------------------------------------
+
+TEST(ConnectionManager, AckBarriersOrderTheFigNinePhases) {
+  // Fig. 9 step 3 (slave response channel) carries an acknowledged write;
+  // step 4 (master request channel) must never outrun that barrier. The
+  // observable consequence, checked every single cycle of the open: the
+  // master's data channel is never enabled while the slave's is still
+  // disabled, and no data channel is enabled before both configuration
+  // connections are live.
+  ConfigRig rig;
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 2));
+  for (Cycle spent = 0; !rig.manager->Idle() && spent < 20000; ++spent) {
+    rig.soc->RunCycles(1);
+    const bool master_enabled = rig.soc->ni(1)->ChannelEnabled(1);
+    const bool slave_enabled = rig.soc->ni(2)->ChannelEnabled(1);
+    ASSERT_FALSE(master_enabled && !slave_enabled)
+        << "master channel enabled before the slave's ack barrier";
+    ASSERT_FALSE((master_enabled || slave_enabled) &&
+                 !(rig.manager->ConfigConnectionLive(1) &&
+                   rig.manager->ConfigConnectionLive(2)))
+        << "data channel enabled before the config connections were live";
+  }
+  ASSERT_TRUE(rig.manager->Idle());
+  EXPECT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+}
+
+TEST(ConnectionManager, CloseReturnsAllocatorToPreOpenSnapshot) {
+  ConfigRig rig;
+  const std::int64_t occupancy0 = rig.soc->allocator().TotalReserved();
+
+  const int handle = rig.manager->RequestOpen(DataConnection(/*gt=*/true, 3));
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kOpen);
+  // 3 injection-link slots, each reserved on every link of the 2-hop
+  // route: occupancy grew by exactly 3 * hops.
+  const std::int64_t occupancy_open = rig.soc->allocator().TotalReserved();
+  EXPECT_GT(occupancy_open, occupancy0);
+  EXPECT_EQ(rig.manager->SlotsHeldOf(handle), 3);
+
+  ASSERT_TRUE(rig.manager->RequestClose(handle).ok());
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(handle), ConnectionState::kClosed);
+  // Exact return to the pre-open snapshot — nothing leaked, nothing
+  // double-freed.
+  EXPECT_EQ(rig.soc->allocator().TotalReserved(), occupancy0);
+  EXPECT_EQ(rig.manager->SlotsHeldOf(handle), 0);
+  // And the NI's own STU released the ownership (the kSlots clear).
+  for (SlotIndex s = 0; s < 8; ++s) {
+    EXPECT_EQ(rig.soc->ni(1)->SlotOwner(s), kInvalidId) << "slot " << s;
+  }
+}
+
+TEST(ConnectionManager, FreedSlotsAreReusableByAnotherChannel) {
+  // Before the close path cleared the SLOTS register, re-reserving the
+  // freed slots for a DIFFERENT channel of the same NI aborted inside the
+  // NI kernel ("STU slot already owned").
+  ConfigRig rig(/*stu_slots=*/8, /*data_channels=*/2);
+  ConnectionSpec first = DataConnection(/*gt=*/true, 6);
+  const int h1 = rig.manager->RequestOpen(first);
+  rig.RunUntilIdle();
+  ASSERT_EQ(rig.manager->StateOf(h1), ConnectionState::kOpen);
+  ASSERT_TRUE(rig.manager->RequestClose(h1).ok());
+  rig.RunUntilIdle();
+
+  // 6 of 8 slots were just freed; the second connection (different
+  // channels: connid 2) needs 6 — it can only succeed if the STU released
+  // them.
+  ConnectionSpec second = first;
+  second.master = GlobalChannel{1, 2};
+  second.slave = GlobalChannel{2, 2};
+  const int h2 = rig.manager->RequestOpen(second);
+  rig.RunUntilIdle();
+  EXPECT_EQ(rig.manager->StateOf(h2), ConnectionState::kOpen)
+      << rig.manager->ErrorOf(h2);
+}
+
+// ---------------------------------------------------------------------------
+// Scripted configuration driver
+// ---------------------------------------------------------------------------
+
+TEST(ScriptedConfigDriver, SequencesScheduledOpsAndSurfacesLatency) {
+  ConfigRig rig(/*stu_slots=*/8, /*data_channels=*/2);
+  ScriptedConfigDriver driver("driver", rig.manager);
+  rig.soc->RegisterOnPort(&driver, 0, 0);
+
+  // Open at cycle 0, close no earlier than cycle 500, reopen on another
+  // channel right after.
+  const int open1 = driver.PushOpen(DataConnection(/*gt=*/true, 2));
+  const int close1 = driver.PushClose(open1, /*not_before=*/500);
+  ConnectionSpec second = DataConnection(/*gt=*/true, 2);
+  second.master = GlobalChannel{1, 2};
+  second.slave = GlobalChannel{2, 2};
+  const int open2 = driver.PushOpen(second, /*not_before=*/500);
+
+  for (Cycle spent = 0; !driver.Done() && spent < 40000; spent += 10) {
+    rig.soc->RunCycles(10);
+  }
+  ASSERT_TRUE(driver.Done());
+  EXPECT_EQ(driver.ops_succeeded(), 3);
+  EXPECT_EQ(driver.ops_failed(), 0);
+
+  const ScriptedOp& op_open = driver.op(static_cast<std::size_t>(open1));
+  EXPECT_EQ(op_open.final_state, ConnectionState::kOpen);
+  EXPECT_GT(op_open.Latency(), 0);
+  // Fig. 9 register count for this topology: 2 config connections (4
+  // local + 3 remote writes each) are EnsureConfig traffic, not this op's;
+  // the data connection itself is 5 master + 3 slave writes.
+  EXPECT_EQ(op_open.config_writes, 8);
+  EXPECT_EQ(op_open.slots_delta, 2);
+
+  const ScriptedOp& op_close = driver.op(static_cast<std::size_t>(close1));
+  EXPECT_GE(op_close.issued_at, 500);
+  EXPECT_EQ(op_close.final_state, ConnectionState::kClosed);
+  EXPECT_GT(op_close.Latency(), 0);
+  EXPECT_EQ(op_close.slots_delta, 2);
+  // Close of a GT master: CTRL + SLOTS at the master, CTRL at the slave.
+  EXPECT_EQ(op_close.config_writes, 3);
+
+  const ScriptedOp& op_reopen = driver.op(static_cast<std::size_t>(open2));
+  EXPECT_EQ(op_reopen.final_state, ConnectionState::kOpen);
+  // Script order is completion order: the reopen finished after the close.
+  EXPECT_GE(op_reopen.completed_at, op_close.completed_at);
+}
+
+TEST(ScriptedConfigDriver, CloseOfFailedOpenReportsFailureCleanly) {
+  ConfigRig rig;
+  ScriptedConfigDriver driver("driver", rig.manager);
+  rig.soc->RegisterOnPort(&driver, 0, 0);
+  const int open = driver.PushOpen(DataConnection(/*gt=*/true, 9));
+  const int close = driver.PushClose(open);
+  for (Cycle spent = 0; !driver.Done() && spent < 40000; spent += 10) {
+    rig.soc->RunCycles(10);
+  }
+  ASSERT_TRUE(driver.Done());
+  EXPECT_EQ(driver.ops_failed(), 2);
+  EXPECT_EQ(driver.op(static_cast<std::size_t>(open)).final_state,
+            ConnectionState::kFailed);
+  EXPECT_FALSE(driver.op(static_cast<std::size_t>(close)).error.ok());
 }
 
 TEST(ConnectionManager, CnipRegistersReadableOverTheNoc) {

@@ -1,0 +1,286 @@
+// Phased scenarios: runtime reconfiguration (use-case switching) end to
+// end. The spec grammar, the per-phase statistics and reconfiguration
+// metrics, the undisturbed-survivor guarantee, byte-identity of verified
+// runs across engines, and the negative proof that the verification
+// monitor still catches a slot-table corruption injected mid-phase.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ni_kernel.h"
+#include "core/registers.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "sim/kernel.h"
+#include "util/status.h"
+
+namespace aethereal::scenario {
+namespace {
+
+namespace regs = core::regs;
+
+// ---------------------------------------------------------------------------
+// Grammar
+// ---------------------------------------------------------------------------
+
+constexpr char kSwitchSpec[] = R"(
+scenario switch_test
+noc star 4
+stu 8
+queues 16
+seed 3
+warmup 200
+phase first duration 2000
+traffic pairs 1 2 inject periodic 8 qos gt 2
+phase second duration 2000 warmup 100
+traffic pairs 2 3 inject periodic 8 qos gt 2
+traffic pairs 1 3 inject bernoulli 0.02 qos be
+)";
+
+constexpr char kPersistSpec[] = R"(
+scenario persist_test
+noc star 4
+stu 8
+queues 16
+seed 5
+warmup 200
+phase first duration 3000
+traffic pairs 1 2 inject periodic 8 qos gt 2 persist
+phase second duration 3000
+traffic pairs 3 2 inject bursty 4 32 qos be
+)";
+
+TEST(PhaseSpecTest, ParsesPhaseBlocks) {
+  auto spec = ParseScenario(kSwitchSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_TRUE(spec->Phased());
+  ASSERT_EQ(spec->phases.size(), 2u);
+  EXPECT_EQ(spec->phases[0].name, "first");
+  EXPECT_EQ(spec->phases[0].duration, 2000);
+  EXPECT_EQ(spec->phases[0].warmup, 0);
+  EXPECT_EQ(spec->phases[1].warmup, 100);
+  ASSERT_EQ(spec->traffic.size(), 3u);
+  EXPECT_EQ(spec->traffic[0].phase, 0);
+  EXPECT_EQ(spec->traffic[1].phase, 1);
+  EXPECT_EQ(spec->traffic[2].phase, 1);
+  EXPECT_FALSE(spec->traffic[0].persist);
+  EXPECT_EQ(spec->TotalDuration(), 4000);
+  EXPECT_EQ(spec->cfg_ni, 0);
+
+  auto persist = ParseScenario(kPersistSpec);
+  ASSERT_TRUE(persist.ok()) << persist.status();
+  EXPECT_TRUE(persist->traffic[0].persist);
+}
+
+TEST(PhaseSpecTest, RejectsMalformedPhasedSpecs) {
+  auto expect_error = [](const std::string& text, const std::string& what) {
+    auto spec = ParseScenario(text);
+    ASSERT_FALSE(spec.ok()) << "accepted: " << text;
+    EXPECT_NE(spec.status().message().find(what), std::string::npos)
+        << spec.status() << "\nexpected: " << what;
+  };
+  const std::string head = "noc star 4\n";
+  // Traffic outside any phase while phases exist.
+  expect_error(head +
+                   "traffic neighbor\n"
+                   "phase p duration 100\ntraffic neighbor\n",
+               "before the first 'phase'");
+  // Scenario-level duration conflicts with phases, in either order.
+  expect_error(head + "duration 500\nphase p duration 100\ntraffic neighbor\n",
+               "per-phase durations");
+  expect_error(head + "phase p duration 100\ntraffic neighbor\nduration 500\n",
+               "per-phase durations");
+  // persist outside a phase.
+  expect_error(head + "traffic neighbor persist\n", "needs a phase block");
+  // Thresholds must stay 1 inside phases (drainability).
+  expect_error(head +
+                   "phase p duration 100\n"
+                   "traffic neighbor data_threshold 4\n",
+               "data_threshold 1");
+  // Duplicate phase names.
+  expect_error(head +
+                   "phase p duration 100\ntraffic neighbor\n"
+                   "phase p duration 100\ntraffic neighbor\n",
+               "duplicate phase name");
+  // A phase with nothing active.
+  expect_error(head +
+                   "phase a duration 100\ntraffic pairs 1 2\n"
+                   "phase b duration 100\n",
+               "no active traffic directive");
+  // cfgni off the topology / without phases.
+  expect_error(head + "cfgni 9\nphase p duration 100\ntraffic neighbor\n",
+               "off the topology");
+  expect_error(head + "cfgni 1\ntraffic neighbor\n", "phased scenarios only");
+  expect_error(head + "drain 100\ntraffic neighbor\n",
+               "phased scenarios only");
+  // Malformed phase line.
+  expect_error(head + "phase p 100\ntraffic neighbor\n", "phase <name>");
+}
+
+// ---------------------------------------------------------------------------
+// End to end
+// ---------------------------------------------------------------------------
+
+TEST(PhasedRunTest, SwitchesUseCasesWithReconfigurationMetrics) {
+  auto spec = ParseScenario(kSwitchSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ScenarioRunner runner(*spec);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  ASSERT_EQ(result->phases.size(), 2u);
+  ASSERT_EQ(result->transitions.size(), 2u);
+  // Phase 0: two opens (the pair + nothing else), no closes.
+  const auto& t0 = result->transitions[0];
+  EXPECT_EQ(t0.opens, 1);
+  EXPECT_EQ(t0.closes, 0);
+  EXPECT_GT(t0.setup_latency_max, 0);
+  EXPECT_GT(t0.config_messages, 0);
+  EXPECT_EQ(t0.slots_allocated, 2);
+  // Phase 1: the GT pair closes (reclaiming its 2 slots), two opens.
+  const auto& t1 = result->transitions[1];
+  EXPECT_EQ(t1.opens, 2);
+  EXPECT_EQ(t1.closes, 1);
+  EXPECT_GT(t1.teardown_latency_max, 0);
+  EXPECT_EQ(t1.slots_reclaimed, 2);
+  EXPECT_EQ(t1.slots_allocated, 2);
+  EXPECT_GE(t1.drain_cycles, 0);
+  EXPECT_GT(t1.config_cycles, 0);
+
+  // Every phase delivered traffic, and the per-flow windows add up.
+  for (const auto& phase : result->phases) {
+    EXPECT_GT(phase.words_in_window, 0) << phase.name;
+  }
+  ASSERT_EQ(result->flows.size(), 3u);
+  EXPECT_EQ(result->flows[0].phase, 0);
+  EXPECT_EQ(result->flows[1].phase, 1);
+  // The phase-0 flow was active only in its own window.
+  ASSERT_EQ(result->flows[0].phase_stats.size(), 1u);
+  EXPECT_EQ(result->flows[0].phase_stats[0].phase, 0);
+  EXPECT_EQ(result->flows[0].phase_stats[0].words,
+            result->flows[0].words_in_window);
+  EXPECT_GT(result->flows[0].phase_stats[0].latency_count, 0);
+  // The spec's JSON carries the phased sections.
+  const std::string json = result->ToJson();
+  EXPECT_NE(json.find("\"phases\":"), std::string::npos);
+  EXPECT_NE(json.find("\"transitions\":"), std::string::npos);
+  EXPECT_NE(json.find("\"slots_reclaimed\": 2"), std::string::npos);
+}
+
+TEST(PhasedRunTest, PersistentFlowSurvivesTransitionsUndisturbed) {
+  auto spec = ParseScenario(kPersistSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ScenarioRunner runner(*spec);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // The persistent GT flow is measured in BOTH windows and is never closed.
+  const FlowResult& survivor = result->flows[0];
+  EXPECT_TRUE(survivor.persist);
+  ASSERT_EQ(survivor.phase_stats.size(), 2u);
+  // Periodic injection at a guaranteed rate: the second window (equal
+  // duration, transition in between) must deliver essentially the same
+  // word count — the transition did not disturb the surviving connection.
+  const auto& w0 = survivor.phase_stats[0];
+  const auto& w1 = survivor.phase_stats[1];
+  EXPECT_GT(w0.words, 0);
+  EXPECT_NEAR(static_cast<double>(w1.words), static_cast<double>(w0.words),
+              2.0);
+  // No teardown happened for it: transition 1 closes nothing.
+  EXPECT_EQ(result->transitions[1].closes, 0);
+}
+
+TEST(PhasedRunTest, VerifiedRunIsByteIdenticalAcrossEnginesAndVerify) {
+  auto spec = ParseScenario(kSwitchSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+
+  auto run = [&](bool optimized, bool verify) {
+    ScenarioSpec variant = *spec;
+    variant.optimize_engine = optimized;
+    variant.verify = verify;
+    ScenarioRunner runner(variant);
+    auto result = runner.Run();
+    EXPECT_TRUE(result.ok()) << result.status();
+    // Neutralize the spec-echo fields that differ by construction.
+    result->spec.optimize_engine = true;
+    result->spec.verify = false;
+    return result.ok() ? result->ToJson() : std::string();
+  };
+  const std::string baseline = run(true, false);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(run(false, false), baseline) << "naive engine diverged";
+  EXPECT_EQ(run(true, true), baseline) << "verification perturbed the run";
+  EXPECT_EQ(run(false, true), baseline) << "verified naive run diverged";
+}
+
+TEST(PhasedRunTest, GtBoundsAreRejectedForPhasedScenarios) {
+  auto spec = ParseScenario(kSwitchSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ScenarioRunner runner(*spec);
+  auto bounds = runner.ComputeGtBounds();
+  ASSERT_FALSE(bounds.ok());
+  EXPECT_EQ(bounds.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Negative: a slot-table corruption injected MID-PHASE is still caught
+// ---------------------------------------------------------------------------
+
+/// At a scheduled cycle, grants an enabled GT channel one STU slot the
+/// allocator never reserved — exactly what a buggy runtime-reconfiguration
+/// flow would do to a live NI.
+class SlotThief : public sim::Module {
+ public:
+  SlotThief(core::NiKernel* kernel, ChannelId channel, Cycle at)
+      : sim::Module("slot_thief"), kernel_(kernel), channel_(channel),
+        at_(at) {}
+
+  bool stole() const { return stole_; }
+
+  void Evaluate() override {
+    if (stole_ || CycleCount() < at_) return;
+    const Word addr =
+        regs::ChannelRegAddr(channel_, regs::ChannelReg::kSlots);
+    auto mask = kernel_->ReadRegister(addr);
+    if (!mask.ok() || *mask == 0 || !kernel_->ChannelEnabled(channel_)) {
+      return;  // connection not (yet) open at this cycle; retry next
+    }
+    for (SlotIndex s = 0; s < kernel_->params().stu_slots; ++s) {
+      if ((*mask & (1u << s)) == 0 && kernel_->SlotOwner(s) == kInvalidId) {
+        ASSERT_TRUE(kernel_->WriteRegister(addr, *mask | (1u << s)).ok());
+        stole_ = true;
+        return;
+      }
+    }
+  }
+
+ private:
+  core::NiKernel* kernel_;
+  ChannelId channel_;
+  Cycle at_;
+  bool stole_ = false;
+};
+
+TEST(PhasedRunTest, MidPhaseSlotTableCorruptionIsCaught) {
+  auto spec = ParseScenario(kPersistSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  spec->verify = true;
+  ScenarioRunner runner(*spec);
+  ASSERT_TRUE(runner.Build().ok());
+
+  // The persistent GT flow's master channel lives at NI 1 (CNIP is connid
+  // 0, the flow channel is connid 1). Steal a slot for it deep inside
+  // phase 2's window — long after the phase-boundary re-snapshot.
+  SlotThief thief(runner.soc()->ni(1), /*channel=*/1, /*at=*/5000);
+  runner.soc()->RegisterOnNet(&thief);
+
+  auto result = runner.Run();
+  EXPECT_TRUE(thief.stole());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kVerificationFailed);
+  EXPECT_NE(result.status().message().find("slot"), std::string::npos)
+      << result.status();
+}
+
+}  // namespace
+}  // namespace aethereal::scenario

@@ -40,19 +40,22 @@ std::set<fs::path> CanonicalSpecs() {
 }
 
 TEST(ScenarioGoldenTest, CanonicalSuiteIsComplete) {
-  // The acceptance bar: at least 8 canonical scenarios, and together they
-  // exercise every pattern kind.
+  // The acceptance bar: at least 8 canonical scenarios (3+ of them phased
+  // use-case switches), and together they exercise every pattern kind.
   const auto specs = CanonicalSpecs();
-  EXPECT_GE(specs.size(), 8u);
+  EXPECT_GE(specs.size(), 11u);
   std::set<PatternKind> kinds;
+  std::size_t phased = 0;
   for (const fs::path& path : specs) {
     auto spec = LoadScenarioFile(path.string());
     ASSERT_TRUE(spec.ok()) << spec.status();
+    if (spec->Phased()) ++phased;
     for (const TrafficSpec& traffic : spec->traffic) {
       kinds.insert(traffic.pattern);
     }
   }
   EXPECT_EQ(kinds.size(), 9u) << "canonical suite misses a pattern kind";
+  EXPECT_GE(phased, 3u) << "canonical suite misses phased scenarios";
 }
 
 TEST(ScenarioGoldenTest, EveryCanonicalScenarioMatchesItsGolden) {

@@ -134,7 +134,31 @@ void PrintSummary(const scenario::ScenarioResult& result, bool optimized) {
   std::cout << "=== scenario " << result.spec.name << " ("
             << scenario::TopologyKindName(result.spec.topology) << ", "
             << result.spec.NumNis() << " NIs, "
-            << (optimized ? "optimized" : "naive") << " engine) ===\n";
+            << (optimized ? "optimized" : "naive") << " engine";
+  if (result.spec.Phased()) {
+    std::cout << ", " << result.spec.phases.size() << " phases";
+  }
+  std::cout << ") ===\n";
+  if (result.spec.Phased()) {
+    Table phases({"phase", "window", "words", "w/cyc", "opens", "closes",
+                  "setup", "teardown", "cfg msgs", "slots +/-"});
+    for (std::size_t k = 0; k < result.phases.size(); ++k) {
+      const auto& phase = result.phases[k];
+      const auto& tr = result.transitions[k];
+      phases.AddRow(
+          {phase.name,
+           Table::Fmt(phase.window_start) + "+" + Table::Fmt(phase.duration),
+           Table::Fmt(phase.words_in_window),
+           Table::Fmt(phase.throughput_wpc, 4), std::to_string(tr.opens),
+           std::to_string(tr.closes),
+           tr.opens > 0 ? Table::Fmt(tr.setup_latency_max) : "-",
+           tr.closes > 0 ? Table::Fmt(tr.teardown_latency_max) : "-",
+           Table::Fmt(tr.config_messages),
+           "+" + std::to_string(tr.slots_allocated) + "/-" +
+               std::to_string(tr.slots_reclaimed)});
+    }
+    phases.Print(std::cout);
+  }
   Table table({"pattern", "flow", "qos", "words", "w/cyc", "lat mean",
                "lat p99", "lat max"});
   for (const auto& flow : result.flows) {
@@ -153,7 +177,7 @@ void PrintSummary(const scenario::ScenarioResult& result, bool optimized) {
   }
   table.Print(std::cout);
   std::cout << "aggregate: " << result.words_in_window << " words in "
-            << result.spec.duration << " measured cycles ("
+            << result.spec.TotalDuration() << " measured cycles ("
             << Table::Fmt(result.throughput_wpc, 3)
             << " w/cyc), slot utilization "
             << Table::Fmt(100.0 * result.slot_utilization, 1) << "%\n\n";
@@ -206,7 +230,14 @@ int main(int argc, char** argv) {
       spec->optimize_engine = *options.optimize_engine;
     }
     if (options.seed) spec->seed = *options.seed;
-    if (options.duration) spec->duration = *options.duration;
+    if (options.duration) {
+      if (spec->Phased()) {
+        std::cerr << "noc_sim: " << path << ": --duration cannot override a "
+                  << "phased scenario (durations are per phase)\n";
+        return 1;
+      }
+      spec->duration = *options.duration;
+    }
     if (options.verify) spec->verify = true;
 
     scenario::ScenarioRunner runner(*spec);

@@ -14,7 +14,10 @@
 //     --curve PARAM       with --csv: emit the latency–throughput curve
 //                         keyed on axis PARAM instead of the point table
 //     --axis PARAM=V1,V2,...  add or replace an axis from the command
-//                         line (repeatable)
+//                         line (repeatable). PARAM accepts the same gN.
+//                         directive scoping and pN. phase scoping
+//                         (pN.duration / pN.warmup of phased bases) as
+//                         the .swp grammar (src/sweep/spec.h)
 //     --verify            arm the guarantee-verification layer in every
 //                         grid point and saturation probe; any violation
 //                         fails the sweep
