@@ -13,10 +13,11 @@
 #                  scripts/coverage_baseline.txt, plus gcovr HTML/XML
 #                  artifacts when gcovr is installed. Implies gcc.
 #   CI_NIGHTLY     1 = deep-soak extras after the verify section: the full
-#                  sweep curve set (every sweep x every axis) and a
+#                  sweep curve set (every sweep x every axis), a
 #                  phased-scenario seed soak (fresh seeds, verified,
-#                  cross-engine byte-compare). The nightly workflow runs
-#                  this under ASan/UBSan with CI_FUZZ_N=1000.
+#                  cross-engine byte-compare), and a 200-config seeded
+#                  fault-fuzz soak (noc_verify --fault-fuzz). The nightly
+#                  workflow runs this under ASan/UBSan with CI_FUZZ_N=1000.
 #
 # Steps: configure (warnings-as-errors, ccache when present), build, ctest
 # with JUnit output, run noc_sim over every canonical scenario spec, check
@@ -129,6 +130,28 @@ if ! diff -r "$goldens_tmp" tests/golden >/dev/null 2>&1; then
 fi
 echo "goldens are regen-clean"
 
+echo "=== fault resilience: canonical fault goldens + kill switch ==="
+# The two canonical fault scenarios (network faults; config faults +
+# retry) must reproduce their committed goldens byte-for-byte on BOTH
+# engines — seeded fault injection is part of the determinism contract.
+for name in fault_stream_star fault_retry_churn; do
+  ./"$build_dir"/noc_sim --quiet -o "$out_dir/${name}_opt.json" \
+    "scenarios/${name}.scn"
+  ./"$build_dir"/noc_sim --quiet --engine naive \
+    -o "$out_dir/${name}_naive.json" "scenarios/${name}.scn"
+  cmp "$out_dir/${name}_opt.json" "tests/golden/${name}.json"
+  cmp "$out_dir/${name}_naive.json" "tests/golden/${name}.json"
+  echo "  ${name}: both engines match the golden"
+done
+# Kill switch: a zero-rate fault file installs every tap but must not
+# perturb one bit of a fault-free run.
+./"$build_dir"/noc_sim --quiet -o "$out_dir/killswitch_plain.json" \
+  scenarios/uniform_star.scn
+./"$build_dir"/noc_sim --quiet --fault scenarios/faults/zero.flt \
+  -o "$out_dir/killswitch_zero.json" scenarios/uniform_star.scn
+cmp "$out_dir/killswitch_plain.json" "$out_dir/killswitch_zero.json"
+echo "  zero-rate fault file is byte-inert"
+
 fi  # verify_only
 
 echo "=== verify: guarantee checkers over canonical scenarios + sweeps ==="
@@ -217,6 +240,13 @@ if [[ "$nightly" == "1" ]]; then
     done
     echo "  ${name}: 5 seeds verified, engines byte-identical"
   done
+
+  echo "=== nightly: fault-fuzz soak (N=200, seeded random fault configs) ==="
+  # Random stream workloads each under a random seeded fault mix, checkers
+  # armed, both engines: every violation must be classified fault-induced
+  # (degradations), nothing unexplained, engines byte-identical.
+  ./"$build_dir"/noc_verify --quiet --fault-fuzz 200 --seed 2026
+  echo "fault-fuzz soak clean: 200 faulted configs, zero unexplained"
 fi
 
 # Perf smoke only where the numbers mean something (optimizer on, no

@@ -1,5 +1,7 @@
 #include "config/cnip.h"
 
+#include "core/registers.h"
+#include "fault/injector.h"
 #include "transaction/message.h"
 #include "util/check.h"
 
@@ -16,11 +18,43 @@ CnipAgent::CnipAgent(std::string name, core::NiKernel* kernel,
   AETHEREAL_CHECK(kernel != nullptr && shell != nullptr);
 }
 
+bool CnipAgent::IsBootstrapAddress(Word address) const {
+  if (cnip_channel_ == kInvalidId) return false;
+  const Word base =
+      core::regs::ChannelRegAddr(cnip_channel_, core::regs::ChannelReg::kCtrl);
+  return address >= base && address < base + core::regs::kRegsPerChannel;
+}
+
 void CnipAgent::Evaluate() {
   // One configuration transaction per cycle.
   if (!shell_->HasRequest()) return;
+
+  // Config-path faults: judge the request once when it reaches the head.
+  // Requests addressing the CNIP channel's own register block are exempt
+  // (bootstrap is reliable by construction; see SetFaultInjector).
+  if (fault_ != nullptr && !verdict_valid_ &&
+      !IsBootstrapAddress(shell_->PeekRequest().address)) {
+    Cycle delay = 0;
+    const auto verdict =
+        fault_->JudgeConfigRequest(kernel_->id(), CycleCount(), &delay);
+    verdict_valid_ = true;
+    verdict_drop_ = verdict == fault::FaultInjector::ConfigVerdict::kDrop;
+    release_at_ = verdict == fault::FaultInjector::ConfigVerdict::kDelay
+                      ? CycleCount() + delay
+                      : CycleCount();
+  }
+  if (verdict_valid_) {
+    if (verdict_drop_) {
+      (void)shell_->PopRequest();  // lost: unexecuted, its ack never sent
+      verdict_valid_ = false;
+      return;
+    }
+    if (CycleCount() < release_at_) return;  // delayed in flight
+  }
+
   if (!shell_->CanRespond(1)) return;  // leave the request queued
   const RequestMessage req = shell_->PopRequest();
+  verdict_valid_ = false;
 
   ResponseMessage rsp;
   rsp.transaction_id = req.transaction_id;

@@ -141,7 +141,11 @@ void ConnectionManager::FailCurrentOp(Status status) {
     record.completed_at = CycleCount();
   }
   current_actions_.clear();
+  // Acks of the abandoned writes may still arrive; remember their tids so
+  // the stale responses get drained instead of pooling in the shell.
+  for (int tid : outstanding_tids_) abandoned_tids_.push_back(tid);
   outstanding_tids_.clear();
+  outstanding_writes_.clear();
   op_active_ = false;
 }
 
@@ -353,19 +357,83 @@ void ConnectionManager::StartNextOp() {
   }
 }
 
+Cycle ConnectionManager::RetryDeadline(const OutstandingWrite& write) const {
+  Cycle window = retry_.timeout;
+  for (int a = 0; a < write.attempt && a < 16; ++a) {
+    window *= retry_.backoff;  // exponential backoff per attempt
+  }
+  return write.issued_at + window;
+}
+
+ConnectionManager::TimeoutScan ConnectionManager::ScanForTimeouts() {
+  for (OutstandingWrite& write : outstanding_writes_) {
+    if (CycleCount() < RetryDeadline(write)) continue;
+    if (write.attempt >= retry_.max_retries) {
+      ++ack_timeouts_;
+      FailCurrentOp(RetriesExhaustedError(
+          "configuration write to NI " + std::to_string(write.action.ni) +
+          " lost " + std::to_string(write.attempt + 1) +
+          " time(s); retry budget exhausted"));
+      return TimeoutScan::kOpFailed;
+    }
+    // Counted only when the re-issue actually happens, so a shell backlog
+    // does not tally the same expiry once per waiting cycle.
+    if (!shell_->CanIssue()) return TimeoutScan::kReissued;  // next cycle
+    ++ack_timeouts_;
+    // Abandon the timed-out tid (its ack may still arrive late and will be
+    // drained) and re-issue the same write under a fresh transaction.
+    abandoned_tids_.push_back(write.tid);
+    auto it = std::find(outstanding_tids_.begin(), outstanding_tids_.end(),
+                        write.tid);
+    AETHEREAL_CHECK(it != outstanding_tids_.end());
+    outstanding_tids_.erase(it);
+    write.attempt += 1;
+    write.issued_at = CycleCount();
+    write.tid = shell_->WriteRegister(write.action.ni, write.action.reg,
+                                      write.action.value, /*acked=*/true);
+    outstanding_tids_.push_back(write.tid);
+    ++writes_retried_;
+    return TimeoutScan::kReissued;  // one register write per cycle
+  }
+  return TimeoutScan::kNothing;
+}
+
 void ConnectionManager::Evaluate() {
+  // Drain stale acks of abandoned (timed-out and re-issued) writes.
+  transaction::ResponseMessage rsp;
+  while (!abandoned_tids_.empty() &&
+         shell_->TakeResponseFor(abandoned_tids_, &rsp)) {
+    auto it = std::find(abandoned_tids_.begin(), abandoned_tids_.end(),
+                        rsp.transaction_id);
+    AETHEREAL_CHECK(it != abandoned_tids_.end());
+    abandoned_tids_.erase(it);
+  }
+
   // Collect acknowledgments addressed to this manager (the config shell may
   // be shared with other agents; take only our transaction ids).
-  transaction::ResponseMessage rsp;
   while (shell_->TakeResponseFor(outstanding_tids_, &rsp)) {
     auto it = std::find(outstanding_tids_.begin(), outstanding_tids_.end(),
                         rsp.transaction_id);
     AETHEREAL_CHECK(it != outstanding_tids_.end());
     outstanding_tids_.erase(it);
+    if (retry_.enabled) {
+      auto wit = std::find_if(outstanding_writes_.begin(),
+                              outstanding_writes_.end(),
+                              [&](const OutstandingWrite& w) {
+                                return w.tid == rsp.transaction_id;
+                              });
+      if (wit != outstanding_writes_.end()) outstanding_writes_.erase(wit);
+    }
     if (rsp.error != ResponseError::kOk && op_active_) {
       FailCurrentOp(FailedPreconditionError("configuration write rejected"));
       return;
     }
+  }
+
+  // Ack-timeout scan: a pending re-issue takes priority over new actions
+  // (the phase barrier cannot pass without the lost write anyway).
+  if (retry_.enabled && op_active_ && !outstanding_writes_.empty()) {
+    if (ScanForTimeouts() != TimeoutScan::kNothing) return;
   }
 
   StartNextOp();
@@ -381,10 +449,18 @@ void ConnectionManager::Evaluate() {
       return;
     }
     if (!shell_->CanIssue()) return;
+    // Under a retry policy every write is acknowledged: an unacked write
+    // that the fault model drops could never be detected.
+    const bool acked = action.acked || retry_.enabled;
     const int tid =
-        shell_->WriteRegister(action.ni, action.reg, action.value,
-                              action.acked);
-    if (action.acked) outstanding_tids_.push_back(tid);
+        shell_->WriteRegister(action.ni, action.reg, action.value, acked);
+    if (acked) {
+      outstanding_tids_.push_back(tid);
+      if (retry_.enabled) {
+        outstanding_writes_.push_back(
+            OutstandingWrite{tid, action, CycleCount(), 0});
+      }
+    }
     if (current_op_.handle >= 0) {
       ++records_[static_cast<std::size_t>(current_op_.handle)].config_writes;
     }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/ni_kernel.h"
+#include "fault/spec.h"
 #include "shells/config_shell.h"
 #include "tdm/allocator.h"
 #include "topology/topology.h"
@@ -112,6 +113,19 @@ class ConnectionManager : public sim::Module {
 
   std::int64_t operations_completed() const { return operations_completed_; }
 
+  /// Arms the acknowledgment-timeout / bounded-retry / exponential-backoff
+  /// policy (DESIGN.md §12). With a policy enabled, EVERY register write is
+  /// issued acknowledged and tracked individually — a lost unacked write
+  /// could never be detected, let alone recovered — and a write whose ack
+  /// has not arrived within timeout * backoff^attempt cycles is re-issued,
+  /// up to max_retries re-issues, after which the owning operation fails
+  /// with kRetriesExhausted. Register writes are idempotent, so a duplicate
+  /// caused by a delayed-but-not-lost ack is harmless.
+  void SetRetryPolicy(const fault::RetryPolicy& policy) { retry_ = policy; }
+
+  std::int64_t ack_timeouts() const { return ack_timeouts_; }
+  std::int64_t writes_retried() const { return writes_retried_; }
+
   void Evaluate() override;
 
  private:
@@ -139,7 +153,18 @@ class ConnectionManager : public sim::Module {
     bool close_requested = false;  // a close is queued or done
   };
 
+  /// An acknowledged write awaiting its ack under the retry policy.
+  struct OutstandingWrite {
+    int tid = -1;
+    Action action{};
+    Cycle issued_at = 0;
+    int attempt = 0;  // 0 = initial issue
+  };
+
   void StartNextOp();
+  Cycle RetryDeadline(const OutstandingWrite& write) const;
+  enum class TimeoutScan { kNothing, kReissued, kOpFailed };
+  TimeoutScan ScanForTimeouts();
   bool BuildEnsureConfigActions(NiId target);
   bool BuildOpenActions(Record& record);
   bool BuildCloseActions(Record& record);
@@ -171,6 +196,15 @@ class ConnectionManager : public sim::Module {
   std::vector<Record> records_;
   std::int64_t operations_completed_ = 0;
   std::function<void()> on_connections_changed_;
+
+  fault::RetryPolicy retry_;
+  std::vector<OutstandingWrite> outstanding_writes_;
+  // Tids of timed-out writes that were re-issued (or whose op failed): a
+  // delayed-but-not-lost ack may still arrive and must be drained, or it
+  // would sit in the config shell's response queue forever.
+  std::vector<int> abandoned_tids_;
+  std::int64_t ack_timeouts_ = 0;
+  std::int64_t writes_retried_ = 0;
 };
 
 }  // namespace aethereal::config

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
 #include "link/flit.h"
 #include "util/check.h"
 
@@ -580,6 +581,20 @@ int NiKernel::GtRunWords(ChannelId ch, SlotIndex slot) const {
 bool NiKernel::Schedule() {
   const SlotIndex slot = CurrentSlot();
   ChannelId granted = kInvalidId;
+
+  // Fault stall window: the scheduler grants nothing this slot (transient
+  // scheduling fault, DESIGN.md §12). The accounting mirrors a slot in
+  // which nothing was sendable — idle, plus an unused GT slot when the
+  // owner is enabled — so it matches both the naïve walk and the parked
+  // replay of AccountIdleThrough exactly.
+  if (fault_ != nullptr && fault_->NiStalled(id_, CycleCount())) {
+    const ChannelId stalled_owner = stu_[static_cast<std::size_t>(slot)];
+    if (stalled_owner != kInvalidId && ChannelAt(stalled_owner).enabled) {
+      ++stats_.gt_slots_unused;
+    }
+    ++stats_.idle_slots;
+    return false;
+  }
 
   const ChannelId owner = stu_[static_cast<std::size_t>(slot)];
   if (owner != kInvalidId) {

@@ -33,6 +33,10 @@
 #include "util/status.h"
 #include "util/types.h"
 
+namespace aethereal::fault {
+class FaultInjector;
+}
+
 namespace aethereal::core {
 
 class NiKernel;
@@ -151,6 +155,14 @@ class NiKernel : public sim::Module {
   ChannelId SlotOwner(SlotIndex slot) const;
   SlotIndex CurrentSlot() const;
   bool ChannelEnabled(ChannelId ch) const;
+
+  /// Arms fault injection (DESIGN.md §12). During a stall window the STU
+  /// scheduler grants nothing — a transient scheduling fault. Receive,
+  /// credit harvesting, and register writes are unaffected; the stalled
+  /// slots account as idle/unused exactly like naturally idle ones.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
 
   void Evaluate() override;
 
@@ -274,6 +286,7 @@ class NiKernel : public sim::Module {
   std::vector<std::pair<Word, Word>> pending_register_writes_;
   RegApply reg_apply_{this};
   NiKernelStats stats_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace aethereal::core

@@ -1,0 +1,260 @@
+#include "fault/spec.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace aethereal::fault {
+
+namespace {
+
+bool ParseDoubleToken(const std::string& token, double* out) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(token, &pos);
+    if (pos != token.size()) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool ParseI64Token(const std::string& token, std::int64_t* out) {
+  try {
+    std::size_t pos = 0;
+    if (token.empty()) return false;
+    const std::int64_t value = std::stoll(token, &pos);
+    if (pos != token.size()) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Status ParseRate(const std::string& token, const char* what, double* out) {
+  double rate = 0.0;
+  if (!ParseDoubleToken(token, &rate) || rate < 0.0 || rate > 1.0) {
+    return InvalidArgumentError(std::string(what) +
+                                " rate must be a number in [0, 1], got '" +
+                                token + "'");
+  }
+  *out = rate;
+  return OkStatus();
+}
+
+Status ParseStall(const std::vector<std::string>& tokens, const char* what,
+                  std::vector<StallWindow>* out) {
+  // <what> ID stall START LENGTH
+  if (tokens.size() != 5 || tokens[2] != "stall") {
+    return InvalidArgumentError(std::string("expected '") + what +
+                                " ID stall START LENGTH'");
+  }
+  std::int64_t id = 0;
+  std::int64_t start = 0;
+  std::int64_t length = 0;
+  if (!ParseI64Token(tokens[1], &id) || id < 0) {
+    return InvalidArgumentError(std::string(what) +
+                                " id must be a non-negative integer, got '" +
+                                tokens[1] + "'");
+  }
+  if (!ParseI64Token(tokens[3], &start) || start < 0) {
+    return InvalidArgumentError("stall start must be a non-negative cycle, "
+                                "got '" + tokens[3] + "'");
+  }
+  if (!ParseI64Token(tokens[4], &length) || length < 1) {
+    return InvalidArgumentError("stall length must be a positive cycle "
+                                "count, got '" + tokens[4] + "'");
+  }
+  out->push_back(StallWindow{static_cast<std::int32_t>(id), start, length});
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ApplyFaultDirective(const std::vector<std::string>& tokens,
+                           FaultSpec* spec) {
+  if (tokens.empty()) return OkStatus();
+  const std::string& kind = tokens[0];
+  if (kind == "seed") {
+    std::int64_t seed = 0;
+    if (tokens.size() != 2 || !ParseI64Token(tokens[1], &seed) || seed < 0) {
+      return InvalidArgumentError(
+          "expected 'seed N' with a non-negative integer");
+    }
+    spec->seed = static_cast<std::uint64_t>(seed);
+    return OkStatus();
+  }
+  if (kind == "link") {
+    // link corrupt RATE | link drop RATE
+    if (tokens.size() != 3 ||
+        (tokens[1] != "corrupt" && tokens[1] != "drop")) {
+      return InvalidArgumentError(
+          "expected 'link corrupt RATE' or 'link drop RATE'");
+    }
+    double* target = tokens[1] == "corrupt" ? &spec->link_corrupt_rate
+                                            : &spec->link_drop_rate;
+    return ParseRate(tokens[2], tokens[1] == "corrupt" ? "link corrupt"
+                                                       : "link drop",
+                     target);
+  }
+  if (kind == "router") return ParseStall(tokens, "router",
+                                          &spec->router_stalls);
+  if (kind == "ni") return ParseStall(tokens, "ni", &spec->ni_stalls);
+  if (kind == "config") {
+    // config drop RATE | config delay RATE CYCLES
+    if (tokens.size() == 3 && tokens[1] == "drop") {
+      return ParseRate(tokens[2], "config drop", &spec->config_drop_rate);
+    }
+    if (tokens.size() == 4 && tokens[1] == "delay") {
+      Status status =
+          ParseRate(tokens[2], "config delay", &spec->config_delay_rate);
+      if (!status.ok()) return status;
+      std::int64_t cycles = 0;
+      if (!ParseI64Token(tokens[3], &cycles) || cycles < 1) {
+        return InvalidArgumentError("config delay cycles must be a positive "
+                                    "integer, got '" + tokens[3] + "'");
+      }
+      spec->config_delay_cycles = cycles;
+      return OkStatus();
+    }
+    return InvalidArgumentError(
+        "expected 'config drop RATE' or 'config delay RATE CYCLES'");
+  }
+  if (kind == "retry") {
+    // retry timeout T max R backoff B
+    if (tokens.size() != 7 || tokens[1] != "timeout" || tokens[3] != "max" ||
+        tokens[5] != "backoff") {
+      return InvalidArgumentError(
+          "expected 'retry timeout T max R backoff B'");
+    }
+    std::int64_t timeout = 0;
+    std::int64_t max_retries = 0;
+    std::int64_t backoff = 0;
+    if (!ParseI64Token(tokens[2], &timeout) || timeout < 1) {
+      return InvalidArgumentError("retry timeout must be a positive cycle "
+                                  "count, got '" + tokens[2] + "'");
+    }
+    if (!ParseI64Token(tokens[4], &max_retries) || max_retries < 0 ||
+        max_retries > 64) {
+      return InvalidArgumentError("retry max must be in [0, 64], got '" +
+                                  tokens[4] + "'");
+    }
+    if (!ParseI64Token(tokens[6], &backoff) || backoff < 1 || backoff > 8) {
+      return InvalidArgumentError("retry backoff must be in [1, 8], got '" +
+                                  tokens[6] + "'");
+    }
+    spec->retry.enabled = true;
+    spec->retry.timeout = timeout;
+    spec->retry.max_retries = static_cast<int>(max_retries);
+    spec->retry.backoff = static_cast<int>(backoff);
+    return OkStatus();
+  }
+  return InvalidArgumentError("unknown fault directive '" + kind + "'");
+}
+
+Result<FaultSpec> ParseFaultText(const std::string& text) {
+  FaultSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (ls >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;
+    Status status = ApplyFaultDirective(tokens, &spec);
+    if (!status.ok()) {
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                  status.message());
+    }
+  }
+  return spec;
+}
+
+Result<FaultSpec> LoadFaultFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open fault file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto spec = ParseFaultText(buffer.str());
+  if (!spec.ok()) {
+    return InvalidArgumentError(path + ": " + spec.status().message());
+  }
+  return spec;
+}
+
+std::string Describe(const FaultSpec& spec) {
+  std::ostringstream os;
+  os << "seed " << spec.seed;
+  if (spec.link_corrupt_rate > 0.0) os << ", corrupt " << spec.link_corrupt_rate;
+  if (spec.link_drop_rate > 0.0) os << ", drop " << spec.link_drop_rate;
+  if (!spec.router_stalls.empty())
+    os << ", " << spec.router_stalls.size() << " router stall(s)";
+  if (!spec.ni_stalls.empty())
+    os << ", " << spec.ni_stalls.size() << " ni stall(s)";
+  if (spec.config_drop_rate > 0.0) os << ", cfg drop " << spec.config_drop_rate;
+  if (spec.config_delay_rate > 0.0)
+    os << ", cfg delay " << spec.config_delay_rate << "x"
+       << spec.config_delay_cycles;
+  if (spec.retry.enabled)
+    os << ", retry t=" << spec.retry.timeout << " max=" << spec.retry.max_retries
+       << " b=" << spec.retry.backoff;
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultSpec RandomFaultSpec(std::uint64_t seed, int index, int num_routers,
+                          int num_nis, Cycle duration) {
+  FaultSpec spec;
+  const std::uint64_t base =
+      Mix64(seed ^ (static_cast<std::uint64_t>(index) * 0x9e3779b9ULL));
+  spec.seed = Mix64(base);
+  // Low rates: a soak workload must stay live (drops leak end-to-end
+  // credits, so the expected loss per flow has to stay well under one
+  // source queue of words over the run).
+  spec.link_corrupt_rate =
+      (Mix64(base ^ 1) % 3 != 0) ? 0.002 * ((Mix64(base ^ 2) % 4) + 1) : 0.0;
+  spec.link_drop_rate =
+      (Mix64(base ^ 3) % 3 != 0) ? 0.001 * ((Mix64(base ^ 4) % 3) + 1) : 0.0;
+  if (num_routers > 0 && Mix64(base ^ 5) % 2 == 0) {
+    const Cycle start = 200 + static_cast<Cycle>(Mix64(base ^ 6) %
+                                                 static_cast<std::uint64_t>(
+                                                     duration / 2 + 1));
+    const Cycle length = 30 + static_cast<Cycle>(Mix64(base ^ 7) % 120);
+    spec.router_stalls.push_back(StallWindow{
+        static_cast<std::int32_t>(Mix64(base ^ 8) %
+                                  static_cast<std::uint64_t>(num_routers)),
+        start, length});
+  }
+  if (num_nis > 0 && Mix64(base ^ 9) % 2 == 0) {
+    const Cycle start = 200 + static_cast<Cycle>(Mix64(base ^ 10) %
+                                                 static_cast<std::uint64_t>(
+                                                     duration / 2 + 1));
+    const Cycle length = 30 + static_cast<Cycle>(Mix64(base ^ 11) % 120);
+    spec.ni_stalls.push_back(StallWindow{
+        static_cast<std::int32_t>(Mix64(base ^ 12) %
+                                  static_cast<std::uint64_t>(num_nis)),
+        start, length});
+  }
+  // Ensure at least one model is armed so every soak iteration injects.
+  if (!spec.Enabled()) spec.link_corrupt_rate = 0.002;
+  return spec;
+}
+
+}  // namespace aethereal::fault

@@ -22,11 +22,23 @@
 #ifndef AETHEREAL_LINK_WIRE_H
 #define AETHEREAL_LINK_WIRE_H
 
+#include <type_traits>
+
 #include "link/flit.h"
 #include "sim/kernel.h"
 #include "util/check.h"
 
 namespace aethereal::link {
+
+/// Fault-injection tap consulted by FlitWire::Drive (DESIGN.md §12). The
+/// tap may corrupt the flit in place; returning false swallows it (the wire
+/// stays idle that slot — a drop on the physical link). Implemented by
+/// fault::FaultInjector; null (the default) costs one pointer compare.
+class FlitTap {
+ public:
+  virtual ~FlitTap() = default;
+  virtual bool OnDrive(int site, Cycle now, Flit* flit) = 0;
+};
 
 template <typename T>
 class SlotWire : public sim::TwoPhase {
@@ -38,10 +50,33 @@ class SlotWire : public sim::TwoPhase {
   /// a parked consumer never misses a slot transfer.
   void SetConsumer(sim::Module* consumer) { consumer_ = consumer; }
 
+  /// Installs a fault tap (FlitWire only); `site` is the injector's stable
+  /// id for this wire. Pass nullptr to remove.
+  void SetFaultTap(FlitTap* tap, int site) {
+    static_assert(std::is_same_v<T, Flit>,
+                  "fault taps apply to flit wires only");
+    tap_ = tap;
+    tap_site_ = site;
+  }
+
   /// Producer: drive the wire for the current slot (call during Evaluate of
   /// a slot-boundary cycle, at most once per slot).
   void Drive(const T& value) {
     AETHEREAL_CHECK_MSG(!driven_, "wire driven twice in one slot");
+    if constexpr (std::is_same_v<T, Flit>) {
+      if (tap_ != nullptr) {
+        T tapped = value;
+        const sim::Module* m = owner();
+        const Cycle now =
+            (m != nullptr && m->clock() != nullptr) ? m->CycleCount() : phase_;
+        if (!tap_->OnDrive(tap_site_, now, &tapped)) return;  // dropped
+        next_ = tapped;
+        driven_ = true;
+        MarkDirty();
+        if (consumer_ != nullptr) consumer_->Wake(kFlitWords);
+        return;
+      }
+    }
     next_ = value;
     driven_ = true;
     MarkDirty();
@@ -85,6 +120,8 @@ class SlotWire : public sim::TwoPhase {
   bool driven_ = false;
   bool holding_ = false;  // current_ carries a driven value to revert
   sim::Module* consumer_ = nullptr;
+  FlitTap* tap_ = nullptr;
+  int tap_site_ = -1;
   Cycle phase_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
 #include "link/header.h"
 #include "util/check.h"
 
@@ -68,12 +69,17 @@ void Router::Evaluate() {
   }
 
   // Phase A: accept arriving flits. GT flits are switched through
-  // immediately; BE flits go to the input buffers.
+  // immediately; BE flits go to the input buffers. During a fault stall
+  // window the router accepts no NEW packets: arriving headers (and their
+  // continuations) are dropped whole, with link credits returned for the
+  // discarded BE flits; packets already in flight complete normally.
+  const bool frozen =
+      fault_ != nullptr && fault_->RouterStalled(id_, CycleCount());
   std::fill(gt_out_scratch_.begin(), gt_out_scratch_.end(), Flit::Idle());
-  const bool flits_arrived = AcceptInputs(gt_out_scratch_);
+  const bool flits_arrived = AcceptInputs(gt_out_scratch_, frozen);
 
   // Phase B: BE wormhole arbitration on the outputs GT left free.
-  ArbitrateBestEffort(gt_out_scratch_);
+  ArbitrateBestEffort(gt_out_scratch_, frozen);
 
   // Phase C: return one link-level credit per BE flit drained from each
   // input buffer this slot.
@@ -97,7 +103,7 @@ void Router::Evaluate() {
   }
 }
 
-bool Router::AcceptInputs(std::vector<Flit>& gt_out) {
+bool Router::AcceptInputs(std::vector<Flit>& gt_out, bool frozen) {
   bool any = false;
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     auto& in = inputs_[i];
@@ -105,6 +111,30 @@ bool Router::AcceptInputs(std::vector<Flit>& gt_out) {
     const Flit& flit = in.wires->data.Sample();
     if (flit.IsIdle()) continue;
     any = true;
+
+    // Continuations of a packet whose header was dropped during a stall
+    // window are discarded until (and including) its EOP, so downstream
+    // never sees a half-open packet.
+    if (flit.kind == FlitKind::kPayload &&
+        (flit.gt ? in.gt_discard : in.be_discard)) {
+      if (flit.eop) (flit.gt ? in.gt_discard : in.be_discard) = false;
+      if (!flit.gt) in.credits_freed_this_slot += 1;
+      fault_->NoteRouterStallDrop(id_, CycleCount(), flit.gt,
+                                  /*is_header=*/false, flit.valid_words);
+      continue;
+    }
+
+    if (frozen && flit.kind == FlitKind::kHeader) {
+      if (flit.gt) {
+        in.gt_discard = !flit.eop;
+      } else {
+        in.be_discard = !flit.eop;
+        in.credits_freed_this_slot += 1;
+      }
+      fault_->NoteRouterStallDrop(id_, CycleCount(), flit.gt,
+                                  /*is_header=*/true, flit.valid_words - 1);
+      continue;
+    }
 
     if (flit.kind == FlitKind::kHeader) {
       PacketHeader header = PacketHeader::Decode(flit.words[0]);
@@ -171,7 +201,8 @@ void Router::BufferBe(int input, const Flit& flit, int target) {
                static_cast<std::int64_t>(in.be_queue.SizeAfterCommit()));
 }
 
-void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out) {
+void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out,
+                                 bool frozen) {
   for (int o = 0; o < config_.num_ports; ++o) {
     auto& out = outputs_[static_cast<std::size_t>(o)];
     if (out.wires == nullptr) continue;
@@ -208,7 +239,9 @@ void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out) {
     }
 
     // Free output: round-robin among inputs whose head is a header flit
-    // routed to this output.
+    // routed to this output. A stalled router grants no new wormholes (the
+    // arbiter is frozen); buffered headers wait out the window.
+    if (frozen) continue;
     for (int k = 0; k < config_.num_ports; ++k) {
       const int i = (out.rr_pointer + k) % config_.num_ports;
       auto& in = inputs_[static_cast<std::size_t>(i)];

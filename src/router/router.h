@@ -30,6 +30,10 @@
 #include "sim/kernel.h"
 #include "util/types.h"
 
+namespace aethereal::fault {
+class FaultInjector;
+}
+
 namespace aethereal::router {
 
 struct RouterConfig {
@@ -67,6 +71,15 @@ class Router : public sim::Module {
   RouterId id() const { return id_; }
   const RouterStats& stats() const { return stats_; }
 
+  /// Arms fault injection (DESIGN.md §12). During a stall window the router
+  /// stops accepting NEW packets (arriving headers are dropped whole, with
+  /// link credits returned for discarded BE flits) and grants no new BE
+  /// wormholes; in-flight continuations complete and credits keep flowing,
+  /// so the datapath contract with neighbors is never violated.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   /// BE credits currently available toward the peer of `port`.
   int OutputCredits(int port) const;
 
@@ -81,11 +94,12 @@ class Router : public sim::Module {
 
   bool IsSlotBoundary() const { return CycleCount() % kFlitWords == 0; }
   /// Returns true if any input carried a flit this slot.
-  bool AcceptInputs(std::vector<link::Flit>& gt_out);
+  bool AcceptInputs(std::vector<link::Flit>& gt_out, bool frozen);
   void ForwardGt(int input, const link::Flit& flit, int target,
                  std::vector<link::Flit>& gt_out);
   void BufferBe(int input, const link::Flit& flit, int target);
-  void ArbitrateBestEffort(const std::vector<link::Flit>& gt_out);
+  void ArbitrateBestEffort(const std::vector<link::Flit>& gt_out,
+                           bool frozen);
 
   RouterId id_;
   RouterConfig config_;
@@ -97,6 +111,8 @@ class Router : public sim::Module {
     int be_accept_target = kInvalidId;  // target of the BE packet being received
     int be_drain_target = kInvalidId;   // output of the BE packet being sent
     int credits_freed_this_slot = 0;
+    bool gt_discard = false;  // dropping a GT packet begun during a stall
+    bool be_discard = false;  // dropping a BE packet begun during a stall
     explicit InputState(int capacity) : be_queue(capacity) {}
   };
   struct OutputState {
@@ -112,6 +128,7 @@ class Router : public sim::Module {
   // the heap (it used to build a fresh std::vector<Flit> every slot).
   std::vector<link::Flit> gt_out_scratch_;
   RouterStats stats_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace aethereal::router

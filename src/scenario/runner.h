@@ -12,6 +12,7 @@
 #define AETHEREAL_SCENARIO_RUNNER_H
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,57 @@ struct PhaseResult {
   double throughput_wpc = 0;
 };
 
+/// One recorded fault event (the injector caps the list; events_total
+/// keeps counting).
+struct FaultEventRecord {
+  Cycle cycle = 0;
+  std::string kind;
+  std::string site;
+};
+
+/// Graceful-degradation accounting of a fault-injected run (DESIGN.md
+/// §12): what was injected, what the resilience machinery recovered, and
+/// which guarantee shortfalls are explained by the armed fault model.
+/// Present in the result exactly when the spec carries an Enabled() fault
+/// block.
+struct FaultResult {
+  std::uint64_t seed = 0;
+
+  // Injection ledger (from the FaultInjector).
+  std::int64_t flits_corrupted = 0;
+  std::int64_t link_packets_dropped = 0;
+  std::int64_t link_words_dropped = 0;
+  std::int64_t router_stall_packets_dropped = 0;
+  std::int64_t router_stall_words_dropped = 0;
+  std::int64_t config_requests_dropped = 0;
+  std::int64_t config_requests_delayed = 0;
+
+  // Recovery ledger (connection manager retry machinery).
+  std::int64_t config_ack_timeouts = 0;
+  std::int64_t config_write_retries = 0;
+
+  // Verification classification (zeros when verify is off).
+  std::int64_t monitor_fault_violations = 0;
+  std::int64_t monitor_unexplained_violations = 0;
+  std::int64_t monitor_corrupted_flits = 0;
+  std::int64_t monitor_lost_flits = 0;
+  std::int64_t monitor_lost_words = 0;
+
+  // Delivered-vs-offered GT words over the whole run (monitor-observed;
+  // zeros when verify is off). recovery_ratio is 1 when nothing offered.
+  std::int64_t gt_words_offered = 0;
+  std::int64_t gt_words_delivered = 0;
+  double gt_recovery_ratio = 1.0;
+
+  /// Guarantee shortfalls demoted from hard failures because the armed
+  /// fault model explains them (fault-induced monitor violations, GT
+  /// floors missed under drop/stall faults).
+  std::vector<std::string> degradations;
+
+  std::vector<FaultEventRecord> events;
+  std::int64_t events_total = 0;
+};
+
 struct ScenarioResult {
   ScenarioSpec spec;
   Cycle cycles_run = 0;
@@ -128,6 +180,11 @@ struct ScenarioResult {
   std::int64_t gt_slots_unused = 0;
   /// Fraction of (NI, slot) opportunities that carried traffic.
   double slot_utilization = 0;
+
+  /// Fault-injection accounting; present exactly when the spec has an
+  /// Enabled() fault block (a zero-rate block stays invisible here so the
+  /// byte-identity property of the kill switch holds).
+  std::optional<FaultResult> fault;
 
   /// Deterministic JSON encoding (the golden-test format).
   std::string ToJson() const;
@@ -213,12 +270,20 @@ class ScenarioRunner {
   /// non-persistent directives).
   std::vector<std::size_t> ClosingGroupsOf(int phase) const;
   /// The verify-mode epilogue: monitor violations plus the analytical
-  /// throughput/latency checks, formatted into `problems`.
+  /// throughput/latency checks, formatted into `problems`. With
+  /// `degradations` non-null (network faults armed), fault-induced
+  /// violations and GT-floor shortfalls land there instead — degraded, not
+  /// failed.
   void CheckGuarantees(const std::vector<std::int64_t>& stream_admitted0,
                        const std::vector<std::int64_t>& video_admitted0,
                        const std::vector<std::int64_t>& stream_delivered0,
                        const std::vector<std::int64_t>& video_delivered0,
-                       std::vector<std::string>* problems);
+                       std::vector<std::string>* problems,
+                       std::vector<std::string>* degradations);
+  /// Fills result->fault from the injector / manager / monitor ledgers
+  /// (no-op unless the spec's fault block is Enabled()).
+  void FillFaultResult(std::vector<std::string> degradations,
+                       ScenarioResult* result);
 
   ScenarioSpec spec_;
   bool built_ = false;

@@ -273,6 +273,7 @@ Status ParseTraffic(const Line& line, ScenarioSpec* spec, int current_phase) {
   }
   TrafficSpec traffic;
   traffic.phase = current_phase;
+  traffic.line = line.number;
   const std::string& pattern = line.tokens[1];
   std::size_t at = 2;
   if (pattern == "uniform") {
@@ -352,13 +353,33 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
   bool have_duration = false;
   bool have_cfgni = false;
   bool have_drain = false;
+  int cfgni_line = 0;
   int current_phase = -1;
+  bool in_fault = false;
+  int fault_line = 0;
   // Every scalar directive may appear at most once: a duplicate almost
   // always means a copy-paste error, and silently keeping the later value
   // would make the earlier line a lie.
   std::set<std::string> seen;
   for (const Line& line : Tokenize(text)) {
     const std::string& kind = line.tokens[0];
+    // Inside a `fault` block every line belongs to the fault grammar, so
+    // its directive names (seed, link, ...) never collide with the
+    // scenario-level ones.
+    if (in_fault) {
+      if (kind == "end") {
+        if (line.tokens.size() != 1) {
+          return ParseError(line.number, "'end' takes no arguments");
+        }
+        in_fault = false;
+        continue;
+      }
+      if (Status s = fault::ApplyFaultDirective(line.tokens, &*spec.fault);
+          !s.ok()) {
+        return ParseError(line.number, s.message());
+      }
+      continue;
+    }
     if (kind != "traffic" && kind != "noc" && kind != "phase" &&
         !seen.insert(kind).second) {
       return ParseError(line.number, "duplicate '" + kind + "' directive");
@@ -504,6 +525,7 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
       }
       PhaseSpec phase;
       phase.name = line.tokens[1];
+      phase.line = line.number;
       for (const PhaseSpec& earlier : spec.phases) {
         if (earlier.name == phase.name) {
           return ParseError(line.number,
@@ -535,6 +557,7 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
       }
       spec.cfg_ni = static_cast<NiId>(*v);
       have_cfgni = true;
+      cfgni_line = line.number;
     } else if (kind == "drain") {
       auto v = int_arg();
       if (!v.ok()) return v.status();
@@ -555,6 +578,18 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
         return ParseError(line.number, "verify <on|off>");
       }
       spec.verify = line.tokens[1] == "on";
+    } else if (kind == "fault") {
+      if (line.tokens.size() != 1) {
+        return ParseError(line.number,
+                          "'fault' opens a block; directives go on the "
+                          "following lines, closed with 'end'");
+      }
+      if (spec.fault.has_value()) {
+        return ParseError(line.number, "duplicate 'fault' block");
+      }
+      spec.fault.emplace();
+      in_fault = true;
+      fault_line = line.number;
     } else if (kind == "traffic") {
       if (!have_noc) {
         return ParseError(line.number, "'noc' must come before 'traffic'");
@@ -566,6 +601,9 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
       return ParseError(line.number, "unknown directive '" + kind + "'");
     }
   }
+  if (in_fault) {
+    return ParseError(fault_line, "'fault' block is never closed with 'end'");
+  }
   if (!have_noc) return InvalidArgumentError("scenario has no 'noc' line");
   if (spec.traffic.empty()) {
     return InvalidArgumentError("scenario has no 'traffic' directives");
@@ -573,15 +611,16 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
   if (spec.Phased()) {
     for (const TrafficSpec& traffic : spec.traffic) {
       if (traffic.phase < 0) {
-        return InvalidArgumentError(
-            "phased scenario has a traffic directive before the first "
-            "'phase' block");
+        return ParseError(traffic.line,
+                          "phased scenario has a traffic directive before "
+                          "the first 'phase' block");
       }
     }
     if (spec.cfg_ni >= spec.NumNis()) {
-      return InvalidArgumentError("cfgni " + std::to_string(spec.cfg_ni) +
-                                  " is off the topology (" +
-                                  std::to_string(spec.NumNis()) + " NIs)");
+      return ParseError(cfgni_line,
+                        "cfgni " + std::to_string(spec.cfg_ni) +
+                            " is off the topology (" +
+                            std::to_string(spec.NumNis()) + " NIs)");
     }
     // Every phase window must observe at least one flow — its own
     // directives or a persistent one from an earlier phase.
@@ -594,13 +633,23 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
         }
       }
       if (!active) {
-        return InvalidArgumentError("phase '" + spec.phases[k].name +
-                                    "' has no active traffic directive");
+        return ParseError(spec.phases[k].line,
+                          "phase '" + spec.phases[k].name +
+                              "' has no active traffic directive");
       }
     }
-  } else if (have_cfgni || have_drain) {
-    return InvalidArgumentError(
-        "'cfgni'/'drain' apply to phased scenarios only");
+  } else {
+    if (have_cfgni || have_drain) {
+      return InvalidArgumentError(
+          "'cfgni'/'drain' apply to phased scenarios only");
+    }
+    if (spec.fault.has_value() &&
+        (spec.fault->AnyConfigFaults() || spec.fault->retry.enabled)) {
+      return ParseError(fault_line,
+                        "config faults and the retry policy act on the "
+                        "runtime configuration protocol, which only phased "
+                        "scenarios exercise");
+    }
   }
   return spec;
 }

@@ -66,6 +66,23 @@
 //                                 # sequencing (default 20000). Phased
 //                                 # only.
 //
+// Fault injection (DESIGN.md §12): an optional `fault` block arms the
+// seeded fault models. Directives inside the block use the fault/spec.h
+// grammar; the block must be closed with `end`:
+//
+//   fault
+//     seed 7                      # fault-stream seed  (default 1)
+//     link corrupt 0.001          # per-flit payload bit-flip probability
+//     link drop 0.0005            # per-GT-packet whole-packet drop prob.
+//     router 0 stall 1000 64      # router 0 freezes for cycles [1000,1064)
+//     ni 2 stall 500 32           # NI 2 scheduler stalls for [500, 532)
+//     config drop 0.01            # per-CNIP-request loss probability
+//     config delay 0.02 40        # per-request 40-cycle hold probability
+//     retry timeout 512 max 4 backoff 2
+//                                 # arm ack timeout / bounded retry /
+//                                 # exponential backoff on config writes
+//   end
+//
 // Phased constraints: the scenario-level `duration` directive is replaced
 // by the per-phase durations; every traffic directive must live inside a
 // phase; and phased directives require data_threshold/credit_threshold 1
@@ -94,9 +111,11 @@
 #define AETHEREAL_SCENARIO_SPEC_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/spec.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -152,6 +171,9 @@ struct TrafficSpec {
   int phase = -1;
   bool persist = false;
 
+  /// Source line of the directive (diagnostics only; 0 when synthesized).
+  int line = 0;
+
   /// True when the directive's flows inject during phase `k`: its own
   /// phase, or any later one if persistent. The single source of the
   /// activity predicate shared by parse-time validation, the phased
@@ -168,6 +190,7 @@ struct PhaseSpec {
   std::string name;
   Cycle duration = 0;  // measured cycles of the phase window
   Cycle warmup = 0;    // settle cycles between reconfiguration and window
+  int line = 0;        // source line (diagnostics only)
 };
 
 enum class TopologyKind { kStar, kMesh, kRing };
@@ -202,6 +225,10 @@ struct ScenarioSpec {
   /// Per-transition cycle bound, applied separately to the outgoing-
   /// traffic drain and to the Fig. 9 configuration sequencing.
   Cycle drain_cycles = 20000;
+
+  /// Armed fault models (absent = fault subsystem not even instantiated;
+  /// see SocOptions::fault for the kill-switch semantics).
+  std::optional<fault::FaultSpec> fault;
 
   bool Phased() const { return !phases.empty(); }
 

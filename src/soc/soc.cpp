@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/registers.h"
+#include "fault/injector.h"
 #include "util/check.h"
 #include "verify/monitor.h"
 
@@ -23,6 +24,13 @@ Soc::Soc(topology::Topology topology,
   net_clock_ = sim_.AddClockMhz("net", options_.net_mhz);
   clock_by_period_[net_clock_->period_ps()] = net_clock_;
 
+  // Fault injection (DESIGN.md §12): built before the network so the taps
+  // and stall gates can be installed during construction. The spec is
+  // copied into the injector; options_.fault is not kept.
+  if (options_.fault != nullptr) {
+    fault_injector_ = std::make_unique<fault::FaultInjector>(*options_.fault);
+  }
+
   // The verification monitor must be the FIRST module on the network
   // clock: modules evaluate in registration order, so running before every
   // NI and router lets it observe a consistent end-of-previous-slot
@@ -40,6 +48,9 @@ Soc::Soc(topology::Topology topology,
     config.be_buffer_flits = options_.router_be_buffer_flits;
     routers_.push_back(std::make_unique<router::Router>(
         "router" + std::to_string(r), r, config));
+    if (fault_injector_ != nullptr) {
+      routers_.back()->SetFaultInjector(fault_injector_.get());
+    }
     net_clock_->Register(routers_.back().get());
   }
 
@@ -51,6 +62,9 @@ Soc::Soc(topology::Topology topology,
     nis_.push_back(std::make_unique<core::NiKernel>(
         "ni" + std::to_string(n), n, ni_params_[static_cast<std::size_t>(n)]));
     core::NiKernel* kernel = nis_.back().get();
+    if (fault_injector_ != nullptr) {
+      kernel->SetFaultInjector(fault_injector_.get());
+    }
     net_clock_->Register(kernel);
 
     links_.push_back(std::make_unique<link::DirectedLink>(
@@ -61,6 +75,16 @@ Soc::Soc(topology::Topology topology,
     link::DirectedLink* del = links_.back().get();
     net_clock_->Register(inj);
     net_clock_->Register(del);
+    // Fault taps go on delivery and router-to-router links only: injection
+    // links (ni -> router) are where the verification monitor observes the
+    // traffic it checks, so a fault there would be invisible by
+    // construction (DESIGN.md §12).
+    if (fault_injector_ != nullptr) {
+      del->wires().data.SetFaultTap(
+          fault_injector_.get(),
+          fault_injector_->RegisterLinkSite("router->ni" +
+                                            std::to_string(n)));
+    }
 
     injection_wires_.push_back(&inj->wires());
     delivery_wires_.push_back(&del->wires());
@@ -95,6 +119,11 @@ Soc::Soc(topology::Topology topology,
           "router" + std::to_string(peer.id)));
       link::DirectedLink* l = links_.back().get();
       net_clock_->Register(l);
+      if (fault_injector_ != nullptr) {
+        l->wires().data.SetFaultTap(
+            fault_injector_.get(),
+            fault_injector_->RegisterLinkSite(l->name()));
+      }
       routers_[static_cast<std::size_t>(r)]->ConnectOutput(
           p, &l->wires(), options_.router_be_buffer_flits);
       routers_[static_cast<std::size_t>(peer.id)]->ConnectInput(peer.port,
@@ -118,6 +147,17 @@ Soc::Soc(topology::Topology topology,
     hookup.channel_pairs = [this] { return OpenChannelPairs(); };
     hookup.pairs_version = [this] { return connections_version(); };
     monitor_->Attach(std::move(hookup));
+    if (fault_injector_ != nullptr) {
+      const fault::FaultSpec& spec = fault_injector_->spec();
+      verify::FaultContext context;
+      // Wire drops and router stalls lose whole packets; corruption flips
+      // payload bits. NI stalls only delay traffic, so they widen neither
+      // tolerance.
+      context.drops_possible =
+          spec.link_drop_rate > 0.0 || !spec.router_stalls.empty();
+      context.corruption_possible = spec.link_corrupt_rate > 0.0;
+      monitor_->SetFaultContext(context);
+    }
   }
 }
 
@@ -327,9 +367,12 @@ config::ConnectionManager* Soc::EnableConfig(const ConfigSetup& setup) {
     cnip_agents_.push_back(std::make_unique<config::CnipAgent>(
         "cnip_agent_ni" + std::to_string(target), ni(target),
         cnip_shells_.back().get()));
+    const ChannelId flat = p->GlobalChannelOf(cnip_connid);
+    if (fault_injector_ != nullptr) {
+      cnip_agents_.back()->SetFaultInjector(fault_injector_.get(), flat);
+    }
     RegisterOnPort(cnip_agents_.back().get(), target, cnip_port);
 
-    const ChannelId flat = p->GlobalChannelOf(cnip_connid);
     cnip_info[target] = config::ConnectionManager::CnipInfo{
         flat, DestQueueWordsOf(tdm::GlobalChannel{target, flat})};
     // The CNIP channel is enabled at hardware reset so the NoC can
@@ -351,6 +394,10 @@ config::ConnectionManager* Soc::EnableConfig(const ConfigSetup& setup) {
   // Every runtime open/close changes the open-pair set the verification
   // monitor pairs credits over; bump the version so it re-queries.
   manager_->SetOnConnectionsChanged([this] { ++connections_version_; });
+  if (fault_injector_ != nullptr &&
+      fault_injector_->spec().retry.enabled) {
+    manager_->SetRetryPolicy(fault_injector_->spec().retry);
+  }
   RegisterOnPort(manager_.get(), setup.cfg_ni, setup.cfg_port);
   return manager_.get();
 }

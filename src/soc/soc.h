@@ -18,6 +18,7 @@
 #include "config/cnip.h"
 #include "config/connection_manager.h"
 #include "core/ni_kernel.h"
+#include "fault/spec.h"
 #include "link/wire.h"
 #include "router/router.h"
 #include "shells/config_shell.h"
@@ -29,6 +30,10 @@
 
 namespace aethereal::verify {
 class Monitor;
+}
+
+namespace aethereal::fault {
+class FaultInjector;
 }
 
 namespace aethereal::soc {
@@ -51,6 +56,15 @@ struct SocOptions {
   /// credit conservation each slot. Observation only — simulation results
   /// are bit-identical with or without it.
   bool verify = false;
+  /// Kill switch for fault injection (DESIGN.md §12): null (the default)
+  /// builds the network without a single tap, pointer set builds the
+  /// FaultInjector and installs wire taps, router/NI stall gates, CNIP
+  /// judges and (when the spec's retry policy is enabled) the connection
+  /// manager's ack-timeout machinery. A spec whose every rate is zero and
+  /// window list empty is behaviorally inert: results are byte-identical
+  /// to a run with fault == nullptr. The spec is copied; the pointer only
+  /// needs to outlive the constructor.
+  const fault::FaultSpec* fault = nullptr;
 };
 
 /// Description of the configuration infrastructure (paper Fig. 8).
@@ -81,6 +95,9 @@ class Soc {
 
   /// The verification monitor (null unless SocOptions::verify).
   verify::Monitor* monitor() { return monitor_.get(); }
+
+  /// The fault injector (null unless SocOptions::fault was set).
+  fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
   /// Endpoints of every open direct connection, for the monitor's credit
   /// pairing; `connections_version()` bumps on every open/close so the
@@ -156,6 +173,7 @@ class Soc {
   std::vector<DirectConnection> direct_connections_;
   std::int64_t connections_version_ = 0;
   std::unique_ptr<verify::Monitor> monitor_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
 
   // Configuration infrastructure (EnableConfig).
   std::unique_ptr<shells::ConfigShell> config_shell_;

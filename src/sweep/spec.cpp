@@ -48,6 +48,10 @@ const char* KeyName(ParamRef::Key key) {
     case ParamRef::Key::kBurst: return "burst";
     case ParamRef::Key::kGtSlots: return "gtslots";
     case ParamRef::Key::kQos: return "qos";
+    case ParamRef::Key::kFaultSeed: return "fault.seed";
+    case ParamRef::Key::kFaultCorrupt: return "fault.corrupt";
+    case ParamRef::Key::kFaultDrop: return "fault.drop";
+    case ParamRef::Key::kFaultCfgDrop: return "fault.cfgdrop";
   }
   return "?";
 }
@@ -59,6 +63,8 @@ constexpr ParamRef::Key kAllKeys[] = {
     ParamRef::Key::kNoc,     ParamRef::Key::kRate,
     ParamRef::Key::kPeriod,  ParamRef::Key::kBurst,
     ParamRef::Key::kGtSlots, ParamRef::Key::kQos,
+    ParamRef::Key::kFaultSeed, ParamRef::Key::kFaultCorrupt,
+    ParamRef::Key::kFaultDrop, ParamRef::Key::kFaultCfgDrop,
 };
 
 /// Strict full-token integer parse (no silent prefix parse).
@@ -382,6 +388,40 @@ Status ApplyParam(const ParamRef& param, const std::string& value,
           },
           "a traffic directive");
     }
+    case ParamRef::Key::kFaultSeed: {
+      auto v = ParseIntIn(value, 0, std::numeric_limits<std::int64_t>::max());
+      if (!v.ok()) return v.status();
+      if (!spec->fault.has_value()) spec->fault.emplace();
+      spec->fault->seed = static_cast<std::uint64_t>(*v);
+      return OkStatus();
+    }
+    case ParamRef::Key::kFaultCorrupt:
+    case ParamRef::Key::kFaultDrop:
+    case ParamRef::Key::kFaultCfgDrop: {
+      auto v = ParseDouble(value);
+      if (!v.ok()) return v.status();
+      if (*v < 0.0 || *v > 1.0) {
+        return InvalidArgumentError(param.Name() + " must be in [0, 1], got '" +
+                                    value + "'");
+      }
+      // Mirrors the scenario parser's rule: config faults act on the
+      // runtime configuration protocol, which only phased workloads carry.
+      if (param.key == ParamRef::Key::kFaultCfgDrop && *v > 0.0 &&
+          !spec->Phased()) {
+        return InvalidArgumentError(
+            "fault.cfgdrop needs a phased base scenario (config faults act "
+            "on the runtime configuration protocol)");
+      }
+      if (!spec->fault.has_value()) spec->fault.emplace();
+      if (param.key == ParamRef::Key::kFaultCorrupt) {
+        spec->fault->link_corrupt_rate = *v;
+      } else if (param.key == ParamRef::Key::kFaultDrop) {
+        spec->fault->link_drop_rate = *v;
+      } else {
+        spec->fault->config_drop_rate = *v;
+      }
+      return OkStatus();
+    }
   }
   return InvalidArgumentError("unhandled sweep parameter");
 }
@@ -556,6 +596,7 @@ Result<SweepSpec> ParseSweep(
         Axis axis;
         axis.param = *param;
         axis.values.assign(line.tokens.begin() + 2, line.tokens.end());
+        axis.line = line.number;
         spec.axes.push_back(std::move(axis));
       }
     } else if (kind == "saturate") {
@@ -623,14 +664,15 @@ Result<SweepSpec> ParseSweep(
     for (const std::string& value : axis.values) {
       if (Status s = ValidateAxisValue(axis.param, value, spec.base);
           !s.ok()) {
-        return InvalidArgumentError("axis " + axis.param.Name() + " value '" +
-                                    value + "': " + s.message());
+        return ParseError(axis.line, "axis " + axis.param.Name() +
+                                         " value '" + value +
+                                         "': " + s.message());
       }
     }
     if (spec.saturation.enabled && axis.param == spec.saturation.param) {
-      return InvalidArgumentError("'" + axis.param.Name() +
-                                  "' is both an axis and the saturate "
-                                  "parameter");
+      return ParseError(axis.line, "'" + axis.param.Name() +
+                                       "' is both an axis and the saturate "
+                                       "parameter");
     }
   }
   if (spec.saturation.enabled) {

@@ -31,6 +31,13 @@
 //                    burst    (bursty directives; value WORDS/GAP)
 //                    gtslots  (GT directives; reserved slots >= 1)
 //                    qos      (any directive; value be or gtN)
+//   fault level:     fault.seed     (fault-stream seed, >= 0)
+//                    fault.corrupt  (link corrupt rate, [0, 1])
+//                    fault.drop     (link drop rate, [0, 1])
+//                    fault.cfgdrop  (CNIP drop rate, [0, 1]; needs a
+//                                    phased base when > 0)
+//       fault keys create the base's fault block on first use, so a
+//       fault-free .scn can be swept straight into a resilience study
 //   phase level:     pN.duration / pN.warmup (phased base scenarios; N =
 //       phase index). Directive indices gN are global across phases, so
 //       traffic knobs already scope to one phase's directives — e.g.
@@ -73,6 +80,11 @@ struct ParamRef {
     kBurst,
     kGtSlots,
     kQos,
+    // Fault level (creates the base's fault block on demand).
+    kFaultSeed,
+    kFaultCorrupt,
+    kFaultDrop,
+    kFaultCfgDrop,
   };
 
   Key key = Key::kSeed;
@@ -107,6 +119,7 @@ Status ValidateAxisValue(const ParamRef& param, const std::string& value,
 struct Axis {
   ParamRef param;
   std::vector<std::string> values;  // raw tokens, applied via ApplyParam
+  int line = 0;                     // source line (diagnostics only)
 };
 
 struct SaturationSpec {

@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kVerificationFailed: return "VERIFICATION_FAILED";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kRetriesExhausted: return "RETRIES_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -58,6 +60,12 @@ Status UnimplementedError(std::string message) {
 }
 Status VerificationFailedError(std::string message) {
   return Status(StatusCode::kVerificationFailed, std::move(message));
+}
+Status TimeoutError(std::string message) {
+  return Status(StatusCode::kTimeout, std::move(message));
+}
+Status RetriesExhaustedError(std::string message) {
+  return Status(StatusCode::kRetriesExhausted, std::move(message));
 }
 
 }  // namespace aethereal

@@ -25,6 +25,8 @@ enum class StatusCode {
   kOutOfRange,        // index outside table
   kUnimplemented,
   kVerificationFailed,// a runtime invariant or analytical GT bound broke
+  kTimeout,           // a bounded wait (drain, config ack) expired
+  kRetriesExhausted,  // retried up to the policy bound, every attempt lost
 };
 
 /// Human-readable name of a status code (stable, for logs and tests).
@@ -67,6 +69,8 @@ Status RejectedError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status VerificationFailedError(std::string message);
+Status TimeoutError(std::string message);
+Status RetriesExhaustedError(std::string message);
 
 /// Result<T>: either a value or an error status.
 template <typename T>

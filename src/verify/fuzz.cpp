@@ -180,7 +180,99 @@ ScenarioSpec Candidate(Rng& rng, std::uint64_t run_seed) {
   return spec;
 }
 
+/// Fault-soak candidate: stream-only (pairs / neighbor / uniform), light
+/// injection, GT on the first directive. The fault models prune delivered
+/// words, so the workload must tolerate loss without wedging: moderate
+/// queues, no closed loops, no transaction framing.
+ScenarioSpec FaultCandidate(Rng& rng, std::uint64_t run_seed) {
+  ScenarioSpec spec;
+  spec.verify = true;
+  spec.seed = run_seed;
+  switch (rng.NextBelow(3)) {
+    case 0:
+      spec.topology = TopologyKind::kStar;
+      spec.dim_a = 3 + static_cast<int>(rng.NextBelow(4));  // 3..6 NIs
+      break;
+    case 1:
+      spec.topology = TopologyKind::kMesh;
+      spec.dim_a = 2;
+      spec.dim_b = 2 + static_cast<int>(rng.NextBelow(2));  // 2x2, 2x3
+      spec.nis_per_router = 1;
+      break;
+    default:
+      spec.topology = TopologyKind::kRing;
+      spec.dim_a = 3 + static_cast<int>(rng.NextBelow(2));  // 3..4 routers
+      spec.nis_per_router = 1;
+      break;
+  }
+  spec.stu_slots = rng.NextBool(0.5) ? 8 : 16;
+  spec.queue_words = rng.NextBool(0.5) ? 16 : 32;
+  spec.warmup = 200 + static_cast<Cycle>(rng.NextBelow(200));
+  spec.duration = 2000 + static_cast<Cycle>(rng.NextBelow(1000));
+
+  const int num_nis = spec.NumNis();
+  const int directives = 1 + static_cast<int>(rng.NextBelow(2));
+  for (int d = 0; d < directives; ++d) {
+    TrafficSpec traffic;
+    switch (rng.NextBelow(3)) {
+      case 0:
+        traffic.pattern = PatternKind::kNeighbor;
+        break;
+      case 1:
+        traffic.pattern = PatternKind::kUniform;
+        break;
+      default:
+        traffic.pattern = PatternKind::kPairs;
+        traffic.nis = DistinctNis(rng, num_nis, 2);
+        break;
+    }
+    if (rng.NextBool(0.5)) {
+      traffic.inject = InjectKind::kPeriodic;
+      traffic.period = 8 + static_cast<std::int64_t>(rng.NextBelow(33));
+    } else {
+      traffic.inject = InjectKind::kBernoulli;
+      traffic.rate = 0.01 + 0.04 * rng.NextDouble();
+    }
+    if (d == 0 || rng.NextBool(0.5)) {
+      traffic.gt = true;
+      traffic.gt_slots = 1 + static_cast<int>(rng.NextBelow(2));
+    }
+    spec.traffic.push_back(traffic);
+  }
+  return spec;
+}
+
 }  // namespace
+
+ScenarioSpec RandomFaultWorkload(std::uint64_t seed, int index) {
+  AETHEREAL_CHECK(index >= 0);
+  // Same attempt-salted regeneration scheme as RandomConformanceSpec, on a
+  // disjoint salt plane so the two batches never correlate.
+  constexpr std::uint64_t kFaultPlane = 0x400000;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const std::uint64_t salt =
+        kFaultPlane + static_cast<std::uint64_t>(index) * 64 +
+        static_cast<std::uint64_t>(attempt);
+    Rng rng(Mix(seed, salt));
+    ScenarioSpec spec = FaultCandidate(rng, Mix(seed, salt + 0x100000));
+    spec.name = "faultfuzz" + std::to_string(index);
+    scenario::ScenarioRunner probe(spec);
+    if (probe.Build().ok()) return spec;
+  }
+  Rng rng(Mix(seed, kFaultPlane + static_cast<std::uint64_t>(index)));
+  ScenarioSpec spec = FaultCandidate(
+      rng, Mix(seed, kFaultPlane + static_cast<std::uint64_t>(index) +
+                         0x200000));
+  for (TrafficSpec& traffic : spec.traffic) {
+    traffic.gt = false;
+    traffic.gt_slots = 0;
+  }
+  spec.name = "faultfuzz" + std::to_string(index) + "_be";
+  scenario::ScenarioRunner probe(spec);
+  AETHEREAL_CHECK_MSG(probe.Build().ok(),
+                      "best-effort fault workload failed to wire");
+  return spec;
+}
 
 ScenarioSpec RandomConformanceSpec(std::uint64_t seed, int index) {
   AETHEREAL_CHECK(index >= 0);

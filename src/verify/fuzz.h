@@ -26,6 +26,15 @@ namespace aethereal::verify {
 /// spec.verify already set.
 scenario::ScenarioSpec RandomConformanceSpec(std::uint64_t seed, int index);
 
+/// The `index`-th random fault-soak workload for `seed` (noc_verify
+/// --fault-fuzz): stream-only traffic — no memory transactions, whose
+/// framing a fault-injected bit flip could break (DESIGN.md §12) — with at
+/// least one GT directive so drop faults have a target, at rates low
+/// enough to stay live under the RandomFaultSpec fault models. Same
+/// always-wires and reproducibility contract as RandomConformanceSpec; the
+/// caller attaches the fault block.
+scenario::ScenarioSpec RandomFaultWorkload(std::uint64_t seed, int index);
+
 }  // namespace aethereal::verify
 
 #endif  // AETHEREAL_VERIFY_FUZZ_H

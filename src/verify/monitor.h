@@ -68,6 +68,20 @@ struct Violation {
   Cycle cycle = 0;
   std::string check;    // e.g. "gt-timing"
   std::string message;
+  /// True when the violation is explained by the armed fault model (see
+  /// FaultContext): a corrupted payload with otherwise matching framing
+  /// under corruption faults, a lost packet under drop faults. The
+  /// scenario runner demotes fault-induced violations to degradation
+  /// records; unexplained ones still fail the run.
+  bool fault_induced = false;
+};
+
+/// What the armed fault model can legitimately do to observed traffic
+/// (soc.cpp derives this from the FaultSpec). With everything false — the
+/// default — every violation is genuine.
+struct FaultContext {
+  bool drops_possible = false;       // wire drops or router stall windows
+  bool corruption_possible = false;  // payload bit flips on links
 };
 
 /// Everything the monitor needs from the assembled SoC, passed as plain
@@ -120,10 +134,33 @@ class Monitor : public sim::Module {
   void NotePhaseBoundary();
   std::int64_t phase_boundaries() const { return phase_boundaries_; }
 
+  /// Declares which fault effects are armed. Must be set before traffic
+  /// flows; without it every violation is reported as genuine.
+  void SetFaultContext(const FaultContext& context) {
+    fault_context_ = context;
+  }
+
   /// Recorded violations (capped; total_violations() keeps counting).
   const std::vector<Violation>& violations() const { return violations_; }
   std::int64_t total_violations() const { return total_violations_; }
   std::int64_t flits_checked() const { return flits_checked_; }
+
+  /// Violations explained by the fault context vs not. A fault run is
+  /// healthy exactly when unexplained_violations() == 0.
+  std::int64_t fault_violations() const { return fault_violations_; }
+  std::int64_t unexplained_violations() const {
+    return total_violations_ - fault_violations_;
+  }
+  /// Graceful-degradation ledger: flits whose payload arrived flipped but
+  /// framed correctly, and flits/words attributed to drop faults (resync
+  /// plus end-of-run undelivered).
+  std::int64_t fault_corrupted_flits() const { return fault_corrupted_flits_; }
+  std::int64_t fault_lost_flits() const { return fault_lost_flits_; }
+  std::int64_t fault_lost_words() const { return fault_lost_words_; }
+  /// GT payload words observed entering / leaving the network (the
+  /// recovery-ratio denominators of the fault report).
+  std::int64_t gt_words_sent() const { return gt_words_sent_; }
+  std::int64_t gt_words_delivered() const { return gt_words_delivered_; }
 
   /// One-line human-readable status, e.g. for noc_verify.
   std::string Describe() const;
@@ -171,7 +208,8 @@ class Monitor : public sim::Module {
   bool IsSlotBoundary() const { return CycleCount() % kFlitWords == 0; }
   int LedgerIndex(NiId ni, int qid) const;
   ChannelLedger& Ledger(int index);
-  void Report(const char* check, std::string message);
+  void Report(const char* check, std::string message,
+              bool fault_induced = false);
   void RefreshPairs();
   void CheckStuConformance(SlotIndex slot);
   void ObserveInjection(NiId ni, const link::Flit& flit);
@@ -197,6 +235,14 @@ class Monitor : public sim::Module {
   std::int64_t total_violations_ = 0;
   std::int64_t flits_checked_ = 0;
   std::int64_t phase_boundaries_ = 0;
+
+  FaultContext fault_context_;
+  std::int64_t fault_violations_ = 0;
+  std::int64_t fault_corrupted_flits_ = 0;
+  std::int64_t fault_lost_flits_ = 0;
+  std::int64_t fault_lost_words_ = 0;
+  std::int64_t gt_words_sent_ = 0;
+  std::int64_t gt_words_delivered_ = 0;
 };
 
 }  // namespace aethereal::verify

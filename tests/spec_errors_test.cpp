@@ -147,6 +147,59 @@ TEST(SpecErrorsTest, PatternClauseMismatches) {
   ExpectError("noc star 4\ntraffic uniform burst 4\n", "memory-only", 2);
 }
 
+TEST(SpecErrorsTest, FaultBlockErrors) {
+  const std::string head = "noc star 4\ntraffic uniform\n";
+  // Unknown directives and malformed clauses inside the block carry the
+  // offending line's number, not the block's.
+  ExpectError(head + "fault\nzap 0.1\nend\n",
+              "unknown fault directive 'zap'", 4);
+  ExpectError(head + "fault\nlink corrupt 1.5\nend\n",
+              "link corrupt rate must be a number in [0, 1]", 4);
+  ExpectError(head + "fault\nlink melt 0.5\nend\n",
+              "expected 'link corrupt RATE' or 'link drop RATE'", 4);
+  ExpectError(head + "fault\nrouter 0 stall 10 0\nend\n",
+              "stall length must be a positive cycle", 4);
+  ExpectError(head + "fault\nretry timeout 0 max 4 backoff 2\nend\n",
+              "retry timeout must be a positive cycle", 4);
+  ExpectError(head + "fault\nconfig drop 0.1 extra\nend\n",
+              "expected 'config drop RATE' or 'config delay RATE CYCLES'",
+              4);
+  // Block-structure errors point at the structural line.
+  ExpectError(head + "fault now\n",
+              "'fault' opens a block", 3);
+  ExpectError(head + "fault\nseed 7\n",
+              "'fault' block is never closed with 'end'", 3);
+  ExpectError(head + "fault\nend\nfault\nend\n", "duplicate 'fault'", 5);
+  ExpectError(head + "fault\nend extra\n", "'end' takes no arguments", 4);
+  // Config faults and the retry policy need a phased scenario.
+  ExpectError(head + "fault\nconfig drop 0.1\nend\n",
+              "only phased scenarios", 3);
+  ExpectError(head + "fault\nretry timeout 512 max 4 backoff 2\nend\n",
+              "only phased scenarios", 3);
+}
+
+TEST(SpecErrorsTest, FaultBlockParses) {
+  auto spec = ParseScenario(
+      "noc star 4\ntraffic neighbor qos gt 1\n"
+      "fault\n"
+      "seed 7\n"
+      "link corrupt 0.001\n"
+      "link drop 0.0005\n"
+      "router 0 stall 1000 64\n"
+      "ni 2 stall 500 32\n"
+      "end\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_TRUE(spec->fault.has_value());
+  EXPECT_EQ(spec->fault->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->fault->link_corrupt_rate, 0.001);
+  EXPECT_DOUBLE_EQ(spec->fault->link_drop_rate, 0.0005);
+  ASSERT_EQ(spec->fault->router_stalls.size(), 1u);
+  EXPECT_EQ(spec->fault->router_stalls[0].id, 0);
+  ASSERT_EQ(spec->fault->ni_stalls.size(), 1u);
+  EXPECT_EQ(spec->fault->ni_stalls[0].start, 500);
+  EXPECT_TRUE(spec->fault->Enabled());
+}
+
 TEST(SpecErrorsTest, FileErrorsCarryPath) {
   auto spec = LoadScenarioFile("/nonexistent/missing.scn");
   ASSERT_FALSE(spec.ok());

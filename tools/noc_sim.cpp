@@ -16,13 +16,20 @@
 //     --verify            arm the guarantee-verification layer (runtime
 //                         invariant checkers + analytical GT bounds); any
 //                         violation fails the run
+//     --fault FILE        arm the fault models from a fault file (the
+//                         fault/spec.h grammar; replaces the spec's own
+//                         fault block). A zero-rate file keeps the result
+//                         byte-identical to the fault-free run — the CI
+//                         kill-switch check
 //     --validate          parse + fully wire each spec, report diagnostics
 //                         (with line numbers), and exit without running
 //     --print             like --validate, and dump the expanded SoC
 //                         (topology, per-NI channels, every flow + connid)
 //     --quiet             suppress the human-readable summary
 //
-// Exit status: 0 on success, 1 on parse/build/run failure.
+// Exit status: 0 on success, 1 on parse/build/run failure, 3 when a
+// bounded wait expired (drain window, config-ack timeout without retry),
+// 4 when the config retry policy exhausted its budget.
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -31,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/spec.h"
 #include "scenario/inspect.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
@@ -47,16 +55,31 @@ struct CliOptions {
   std::optional<bool> optimize_engine;
   std::optional<std::uint64_t> seed;
   std::optional<Cycle> duration;
+  std::string fault_path;  // empty: no fault-file override
   bool verify = false;
   bool validate = false;
   bool print = false;
   bool quiet = false;
 };
 
+/// CLI exit code of a failed run: bounded-wait expiries and exhausted
+/// retry budgets get their own codes so scripts can tell "the workload is
+/// wedged" from "the spec is wrong" without parsing stderr.
+int ExitCodeOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kTimeout:
+      return 3;
+    case StatusCode::kRetriesExhausted:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
 void PrintUsage(std::ostream& os) {
   os << "usage: noc_sim [-o FILE] [--engine optimized|naive] [--seed N]\n"
-        "               [--duration N] [--verify] [--validate] [--print]\n"
-        "               [--quiet] SPEC_FILE...\n";
+        "               [--duration N] [--verify] [--fault FILE]\n"
+        "               [--validate] [--print] [--quiet] SPEC_FILE...\n";
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -103,6 +126,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--verify") {
       options->verify = true;
+    } else if (arg == "--fault") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->fault_path = v;
     } else if (arg == "--validate") {
       options->validate = true;
     } else if (arg == "--print") {
@@ -180,7 +207,24 @@ void PrintSummary(const scenario::ScenarioResult& result, bool optimized) {
             << result.spec.TotalDuration() << " measured cycles ("
             << Table::Fmt(result.throughput_wpc, 3)
             << " w/cyc), slot utilization "
-            << Table::Fmt(100.0 * result.slot_utilization, 1) << "%\n\n";
+            << Table::Fmt(100.0 * result.slot_utilization, 1) << "%\n";
+  if (result.fault.has_value()) {
+    const auto& f = *result.fault;
+    std::cout << "faults (seed " << f.seed << "): " << f.flits_corrupted
+              << " corrupted, "
+              << f.link_packets_dropped + f.router_stall_packets_dropped
+              << " packets dropped, config " << f.config_requests_dropped
+              << " lost / " << f.config_requests_delayed << " delayed, "
+              << f.config_write_retries << " write retries";
+    if (result.spec.verify) {
+      std::cout << ", GT recovery "
+                << Table::Fmt(100.0 * f.gt_recovery_ratio, 2) << "%, "
+                << f.degradations.size() << " degradation(s), "
+                << f.monitor_unexplained_violations << " unexplained";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
 }
 
 /// --validate / --print: parse and fully wire each spec without running.
@@ -219,12 +263,36 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) return 1;
   if (options.validate || options.print) return ValidateSpecs(options);
 
+  std::optional<fault::FaultSpec> fault_override;
+  if (!options.fault_path.empty()) {
+    auto loaded = fault::LoadFaultFile(options.fault_path);
+    if (!loaded.ok()) {
+      std::cerr << "noc_sim: --fault " << options.fault_path << ": "
+                << loaded.status() << "\n";
+      return 1;
+    }
+    fault_override = std::move(*loaded);
+  }
+
   std::vector<std::string> jsons;
   for (const std::string& path : options.spec_paths) {
     auto spec = scenario::LoadScenarioFile(path);
     if (!spec.ok()) {
       std::cerr << "noc_sim: " << spec.status() << "\n";
       return 1;
+    }
+    if (fault_override.has_value()) {
+      // Same rule the scenario parser enforces for in-file fault blocks.
+      if ((fault_override->AnyConfigFaults() ||
+           fault_override->retry.enabled) &&
+          !spec->Phased()) {
+        std::cerr << "noc_sim: --fault " << options.fault_path << ": config "
+                  << "faults and the retry policy act on the runtime "
+                  << "configuration protocol, which only phased scenarios "
+                  << "exercise ('" << path << "' is not phased)\n";
+        return 1;
+      }
+      spec->fault = fault_override;
     }
     if (options.optimize_engine) {
       spec->optimize_engine = *options.optimize_engine;
@@ -244,7 +312,14 @@ int main(int argc, char** argv) {
     auto result = runner.Run();
     if (!result.ok()) {
       std::cerr << "noc_sim: " << path << ": " << result.status() << "\n";
-      return 1;
+      if (result.status().code() == StatusCode::kTimeout) {
+        std::cerr << "noc_sim: a bounded wait expired (drain window or "
+                     "config ack) — the workload is wedged, not misparsed\n";
+      } else if (result.status().code() == StatusCode::kRetriesExhausted) {
+        std::cerr << "noc_sim: the config retry policy spent its whole "
+                     "budget without an ack\n";
+      }
+      return ExitCodeOf(result.status());
     }
     if (!options.quiet) PrintSummary(*result, spec->optimize_engine);
     jsons.push_back(result->ToJson());

@@ -27,7 +27,9 @@
 //                         (parse + pattern + wiring) without running
 //     --quiet             suppress the human-readable summary
 //
-// Exit status: 0 on success, 1 on parse/validate/run failure.
+// Exit status: 0 on success, 1 on parse/validate/run failure, 3 when a
+// grid point timed out on a bounded wait, 4 when a grid point exhausted
+// its config retry budget.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -60,6 +62,19 @@ struct CliOptions {
   bool validate = false;
   bool quiet = false;
 };
+
+/// CLI exit code of a failed run (mirrors noc_sim): 3 = bounded wait
+/// expired, 4 = retry budget exhausted, 1 = everything else.
+int ExitCodeOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kTimeout:
+      return 3;
+    case StatusCode::kRetriesExhausted:
+      return 4;
+    default:
+      return 1;
+  }
+}
 
 void PrintUsage(std::ostream& os) {
   os << "usage: noc_sweep [--jobs N] [-o FILE] [--csv FILE] [--curve PARAM]\n"
@@ -330,7 +345,7 @@ int main(int argc, char** argv) {
     auto result = runner.Run(jobs);
     if (!result.ok()) {
       std::cerr << "noc_sweep: " << path << ": " << result.status() << "\n";
-      return 1;
+      return ExitCodeOf(result.status());
     }
     if (!options.quiet) PrintSummary(*result);
     jsons.push_back(result->ToJson());

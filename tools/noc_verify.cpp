@@ -11,17 +11,27 @@
 //   noc_verify [options] [SPEC_FILE...]
 //     --engine E          optimized | naive | both     (default both)
 //     --fuzz N            also run N seeded random conformance configs
-//     --seed S            fuzz batch seed              (default 1)
+//     --fault FILE        arm the fault models from a fault file in every
+//                         SPEC_FILE workload (replaces the spec's own
+//                         fault block); fault-induced guarantee shortfalls
+//                         degrade instead of failing, unexplained
+//                         violations still fail
+//     --fault-fuzz N      also run N seeded random fault configs over
+//                         stream-only random workloads (the resilience
+//                         soak; DESIGN.md §12)
+//     --seed S            fuzz / fault-fuzz batch seed (default 1)
 //     --bounds            print the analytical GT bound table per workload
 //     --quiet             only report failures
 //
 // Exit status: 0 when every run passed verified (and, with --engine both,
-// every pair of runs agreed bit-for-bit); 1 otherwise.
+// every pair of runs agreed bit-for-bit); 3 when the worst failure was a
+// bounded-wait expiry, 4 when a retry budget ran out, 1 otherwise.
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/spec.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
 #include "util/parse.h"
@@ -38,6 +48,8 @@ struct CliOptions {
   bool run_optimized = true;
   bool run_naive = true;
   int fuzz = 0;
+  int fault_fuzz = 0;
+  std::string fault_path;  // empty: no fault-file override
   std::uint64_t seed = 1;
   bool bounds = false;
   bool quiet = false;
@@ -45,7 +57,8 @@ struct CliOptions {
 
 void PrintUsage(std::ostream& os) {
   os << "usage: noc_verify [--engine optimized|naive|both] [--fuzz N]\n"
-        "                  [--seed S] [--bounds] [--quiet] [SPEC_FILE...]\n";
+        "                  [--fault FILE] [--fault-fuzz N] [--seed S]\n"
+        "                  [--bounds] [--quiet] [SPEC_FILE...]\n";
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -71,7 +84,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                      "both\n";
         return false;
       }
-    } else if (arg == "--fuzz" || arg == "--seed") {
+    } else if (arg == "--fuzz" || arg == "--fault-fuzz" || arg == "--seed") {
       const char* v = value();
       if (v == nullptr) return false;
       const auto parsed = ParseU64(v);
@@ -80,15 +93,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                   << " needs a non-negative integer, got '" << v << "'\n";
         return false;
       }
-      if (arg == "--fuzz") {
+      if (arg == "--seed") {
+        options->seed = *parsed;
+      } else {
         if (*parsed > 1'000'000) {
-          std::cerr << "noc_verify: --fuzz batch too large\n";
+          std::cerr << "noc_verify: " << arg << " batch too large\n";
           return false;
         }
-        options->fuzz = static_cast<int>(*parsed);
-      } else {
-        options->seed = *parsed;
+        (arg == "--fuzz" ? options->fuzz : options->fault_fuzz) =
+            static_cast<int>(*parsed);
       }
+    } else if (arg == "--fault") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->fault_path = v;
     } else if (arg == "--bounds") {
       options->bounds = true;
     } else if (arg == "--quiet") {
@@ -103,9 +121,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->spec_paths.push_back(arg);
     }
   }
-  if (options->spec_paths.empty() && options->fuzz == 0) {
-    std::cerr << "noc_verify: nothing to do (no specs, no --fuzz)\n";
+  if (options->spec_paths.empty() && options->fuzz == 0 &&
+      options->fault_fuzz == 0) {
+    std::cerr << "noc_verify: nothing to do (no specs, no --fuzz, no "
+                 "--fault-fuzz)\n";
     PrintUsage(std::cerr);
+    return false;
+  }
+  if (!options->fault_path.empty() && options->spec_paths.empty()) {
+    std::cerr << "noc_verify: --fault needs SPEC_FILE workloads to arm\n";
     return false;
   }
   return true;
@@ -133,17 +157,31 @@ void PrintBounds(const std::string& label,
   table.Print(std::cout);
 }
 
-/// Runs one workload verified on the selected engines; returns false on
-/// any verification failure or cross-engine divergence.
-bool RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
-                 const std::string& label) {
+/// CLI exit code of a failed run (mirrors noc_sim): 3 = bounded wait
+/// expired, 4 = retry budget exhausted, 1 = everything else.
+int ExitCodeOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kTimeout:
+      return 3;
+    case StatusCode::kRetriesExhausted:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
+/// Runs one workload verified on the selected engines; returns 0 on pass
+/// or the exit code of the first verification failure / cross-engine
+/// divergence.
+int RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
+                const std::string& label) {
   spec.verify = true;
   if (options.bounds) {
     scenario::ScenarioRunner prober(spec);
     auto bounds = prober.ComputeGtBounds();
     if (!bounds.ok()) {
       std::cerr << "noc_verify: " << label << ": " << bounds.status() << "\n";
-      return false;
+      return 1;
     }
     PrintBounds(label, *bounds);
   }
@@ -158,25 +196,38 @@ bool RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
     scenario::ScenarioRunner runner(spec);
     auto result = runner.Run();
     if (!result.ok()) {
+      const char* detail =
+          result.status().code() == StatusCode::kTimeout
+              ? " [bounded wait expired]"
+              : result.status().code() == StatusCode::kRetriesExhausted
+                    ? " [retry budget exhausted]"
+                    : "";
       std::cerr << "FAIL " << label << " (" << engine_name
-                << "): " << result.status() << "\n";
-      return false;
+                << "): " << result.status() << detail << "\n";
+      return ExitCodeOf(result.status());
     }
     jsons.push_back(result->ToJson());
     if (!options.quiet) {
       const verify::Monitor* monitor = runner.soc()->monitor();
       std::cout << "PASS " << label << " (" << engine_name << "): "
                 << (monitor != nullptr ? monitor->Describe()
-                                       : std::string("no monitor"))
-                << "\n";
+                                       : std::string("no monitor"));
+      if (result->fault.has_value()) {
+        const auto& f = *result->fault;
+        std::cout << "; faults: " << f.events_total << " event(s), "
+                  << f.degradations.size() << " degradation(s), GT "
+                  << f.gt_words_delivered << "/" << f.gt_words_offered
+                  << " words";
+      }
+      std::cout << "\n";
     }
   }
   if (jsons.size() == 2 && jsons[0] != jsons[1]) {
     std::cerr << "FAIL " << label
               << ": optimized and naive engines disagree bit-for-bit\n";
-    return false;
+    return 1;
   }
-  return true;
+  return 0;
 }
 
 }  // namespace
@@ -185,28 +236,72 @@ int main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return 1;
 
+  std::optional<fault::FaultSpec> fault_override;
+  if (!options.fault_path.empty()) {
+    auto loaded = fault::LoadFaultFile(options.fault_path);
+    if (!loaded.ok()) {
+      std::cerr << "noc_verify: --fault " << options.fault_path << ": "
+                << loaded.status() << "\n";
+      return 1;
+    }
+    fault_override = std::move(*loaded);
+  }
+
   int failures = 0;
+  int worst_code = 0;  // 4 (retries) outranks 3 (timeout) outranks 1
+  const auto rank = [](int code) { return code == 4 ? 3 : code == 3 ? 2 : 1; };
+  const auto tally = [&](int code) {
+    if (code == 0) return;
+    ++failures;
+    if (worst_code == 0 || rank(code) > rank(worst_code)) worst_code = code;
+  };
   for (const std::string& path : options.spec_paths) {
     auto spec = scenario::LoadScenarioFile(path);
     if (!spec.ok()) {
       std::cerr << "noc_verify: " << spec.status() << "\n";
-      ++failures;
+      tally(1);
       continue;
     }
-    if (!RunWorkload(options, *spec, path)) ++failures;
+    if (fault_override.has_value()) {
+      if ((fault_override->AnyConfigFaults() ||
+           fault_override->retry.enabled) &&
+          !spec->Phased()) {
+        std::cerr << "noc_verify: --fault " << options.fault_path
+                  << ": config faults and the retry policy act on the "
+                  << "runtime configuration protocol, which only phased "
+                  << "scenarios exercise ('" << path << "' is not phased)\n";
+        tally(1);
+        continue;
+      }
+      spec->fault = fault_override;
+    }
+    tally(RunWorkload(options, *spec, path));
   }
   for (int i = 0; i < options.fuzz; ++i) {
     scenario::ScenarioSpec spec =
         verify::RandomConformanceSpec(options.seed, i);
-    if (!RunWorkload(options, spec, spec.name)) ++failures;
+    tally(RunWorkload(options, spec, spec.name));
+  }
+  for (int i = 0; i < options.fault_fuzz; ++i) {
+    scenario::ScenarioSpec spec =
+        verify::RandomFaultWorkload(options.seed, i);
+    const int num_routers = spec.topology == scenario::TopologyKind::kStar
+                                ? 1
+                                : spec.topology == scenario::TopologyKind::kMesh
+                                      ? spec.dim_a * spec.dim_b
+                                      : spec.dim_a;
+    spec.fault = fault::RandomFaultSpec(options.seed, i, num_routers,
+                                        spec.NumNis(), spec.duration);
+    tally(RunWorkload(options, spec, spec.name));
   }
   if (failures > 0) {
     std::cerr << "noc_verify: " << failures << " workload(s) FAILED\n";
-    return 1;
+    return worst_code == 0 ? 1 : worst_code;
   }
   if (!options.quiet) {
     std::cout << "noc_verify: all "
-              << options.spec_paths.size() + options.fuzz
+              << options.spec_paths.size() + options.fuzz +
+                     options.fault_fuzz
               << " workload(s) passed verified\n";
   }
   return 0;
