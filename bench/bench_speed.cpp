@@ -1,10 +1,14 @@
 // Host-side performance of the cycle engine: simulated flits/sec and
-// kcycles/sec across mesh sizes and traffic classes, plus the speedup of
-// the optimized engine (edge schedule + dirty-list commits + idle-module
-// gating, DESIGN.md §7) over the naïve reference path on the 4x4 mixed
-// GT/BE workload. Writes BENCH_speed.json (path overridable via argv[1])
-// so the perf trajectory of every future change can be compared against
-// this baseline.
+// kcycles/sec across mesh sizes and traffic classes for the optimized and
+// soa engines (DESIGN.md §7), plus the speedup of the optimized engine
+// over the naïve reference path on the 4x4 mixed GT/BE workload. Writes
+// BENCH_speed.json (path overridable on the command line) so the perf
+// trajectory of every future change can be compared against this baseline.
+//
+//   bench_speed [--full] [json_path]
+//
+// --full adds the 32x32 tier (nightly CI); the default set tops out at
+// 16x16 so the pre-merge perf smoke stays fast.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -36,6 +40,8 @@ const char* TrafficName(Traffic t) {
   return "?";
 }
 
+using soc::EngineKind;
+
 struct RunResult {
   std::string mesh;
   std::string traffic;
@@ -63,14 +69,14 @@ constexpr int kBurstWords = 6;
 constexpr Cycle kBurstPeriod = 48;
 
 SpeedWorkload MakeWorkload(int rows, int cols, Traffic traffic,
-                           bool optimize) {
+                           EngineKind engine) {
   SpeedWorkload w;
   auto mesh = topology::BuildMesh(rows, cols, /*nis_per_router=*/1);
   std::vector<core::NiKernelParams> params(
       static_cast<std::size_t>(rows * cols),
       bench::NiWithChannels(/*channels=*/1, /*queue_words=*/32));
   soc::SocOptions options;
-  options.optimize_engine = optimize;
+  options.engine = engine;
   w.soc = std::make_unique<soc::Soc>(std::move(mesh.topology),
                                      std::move(params), options);
 
@@ -125,9 +131,9 @@ std::int64_t TotalFlits(SpeedWorkload& w) {
   return flits;
 }
 
-RunResult MeasureOnce(int rows, int cols, Traffic traffic, bool optimize,
+RunResult MeasureOnce(int rows, int cols, Traffic traffic, EngineKind engine,
                       Cycle cycles) {
-  SpeedWorkload w = MakeWorkload(rows, cols, traffic, optimize);
+  SpeedWorkload w = MakeWorkload(rows, cols, traffic, engine);
   w.soc->RunCycles(200);  // warm up: fill pipelines, settle credits
   const std::int64_t flits0 = TotalFlits(w);
   std::int64_t words0 = 0;
@@ -140,7 +146,7 @@ RunResult MeasureOnce(int rows, int cols, Traffic traffic, bool optimize,
   RunResult result;
   result.mesh = std::to_string(rows) + "x" + std::to_string(cols);
   result.traffic = TrafficName(traffic);
-  result.engine = optimize ? "optimized" : "naive";
+  result.engine = sim::EngineKindName(engine);
   result.cycles = cycles;
   result.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
@@ -158,11 +164,11 @@ RunResult MeasureOnce(int rows, int cols, Traffic traffic, bool optimize,
 
 /// Best-of-N wall clock (the simulation is deterministic, so the fastest
 /// repetition is the least noise-distorted estimate on a shared host).
-RunResult Measure(int rows, int cols, Traffic traffic, bool optimize,
-                  Cycle cycles, int reps = 2) {
-  RunResult best = MeasureOnce(rows, cols, traffic, optimize, cycles);
+RunResult Measure(int rows, int cols, Traffic traffic, EngineKind engine,
+                  Cycle cycles, int reps = 5) {
+  RunResult best = MeasureOnce(rows, cols, traffic, engine, cycles);
   for (int i = 1; i < reps; ++i) {
-    RunResult r = MeasureOnce(rows, cols, traffic, optimize, cycles);
+    RunResult r = MeasureOnce(rows, cols, traffic, engine, cycles);
     AETHEREAL_CHECK_MSG(r.flits == best.flits,
                         "non-deterministic flit count across repetitions");
     if (r.wall_ms < best.wall_ms) best = r;
@@ -222,17 +228,30 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_speed.json";
+  bool full = false;
+  std::string json_path = "BENCH_speed.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      full = true;
+    } else {
+      json_path = arg;
+    }
+  }
   bench::PrintHeader(
       "Engine speed (flits/sec, kcycles/sec)",
       "Host-side throughput of the zero-allocation cycle engine across mesh "
-      "sizes and traffic classes; optimized vs naive on 4x4 mixed.");
+      "sizes and traffic classes; optimized vs soa vs naive.");
 
   struct MeshSize {
     int rows, cols;
     Cycle cycles;
   };
-  const MeshSize sizes[] = {{2, 2, 60000}, {4, 4, 30000}, {8, 8, 10000}};
+  // Cycle counts shrink with mesh size so every tier stays a sub-second
+  // measurement; the 32x32 tier (--full) is the nightly large-mesh guard.
+  std::vector<MeshSize> sizes = {
+      {2, 2, 60000}, {4, 4, 30000}, {8, 8, 10000}, {16, 16, 4000}};
+  if (full) sizes.push_back({32, 32, 1500});
   const Traffic classes[] = {Traffic::kGtOnly, Traffic::kBeOnly,
                              Traffic::kMixed};
 
@@ -241,13 +260,16 @@ int main(int argc, char** argv) {
                "Mflits/s", "kcycles/s"});
   for (const MeshSize& size : sizes) {
     for (Traffic traffic : classes) {
-      RunResult r = Measure(size.rows, size.cols, traffic, /*optimize=*/true,
-                            size.cycles);
-      table.AddRow({r.mesh, r.traffic, r.engine, Table::Fmt(r.cycles),
-                    Table::Fmt(r.wall_ms), Table::Fmt(r.flits),
-                    Table::Fmt(r.flits_per_sec / 1e6, 3),
-                    Table::Fmt(r.kcycles_per_sec)});
-      results.push_back(r);
+      for (EngineKind engine :
+           {EngineKind::kOptimized, EngineKind::kSoa}) {
+        RunResult r =
+            Measure(size.rows, size.cols, traffic, engine, size.cycles);
+        table.AddRow({r.mesh, r.traffic, r.engine, Table::Fmt(r.cycles),
+                      Table::Fmt(r.wall_ms), Table::Fmt(r.flits),
+                      Table::Fmt(r.flits_per_sec / 1e6, 3),
+                      Table::Fmt(r.kcycles_per_sec)});
+        results.push_back(r);
+      }
     }
   }
 
@@ -255,12 +277,14 @@ int main(int argc, char** argv) {
   // Repetitions interleave the two engines so both sample the same host
   // conditions (frequency scaling, noisy neighbours); best-of wall clock is
   // the least distorted estimate of each.
-  RunResult opt = MeasureOnce(4, 4, Traffic::kMixed, /*optimize=*/true, 30000);
+  RunResult opt =
+      MeasureOnce(4, 4, Traffic::kMixed, EngineKind::kOptimized, 30000);
   RunResult naive =
-      MeasureOnce(4, 4, Traffic::kMixed, /*optimize=*/false, 30000);
+      MeasureOnce(4, 4, Traffic::kMixed, EngineKind::kNaive, 30000);
   for (int rep = 1; rep < 3; ++rep) {
-    RunResult o = MeasureOnce(4, 4, Traffic::kMixed, true, 30000);
-    RunResult n = MeasureOnce(4, 4, Traffic::kMixed, false, 30000);
+    RunResult o =
+        MeasureOnce(4, 4, Traffic::kMixed, EngineKind::kOptimized, 30000);
+    RunResult n = MeasureOnce(4, 4, Traffic::kMixed, EngineKind::kNaive, 30000);
     if (o.wall_ms < opt.wall_ms) opt = o;
     if (n.wall_ms < naive.wall_ms) naive = n;
   }

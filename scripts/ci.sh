@@ -12,6 +12,9 @@
 #                  gate (scripts/coverage_gate.py) against the baseline in
 #                  scripts/coverage_baseline.txt, plus gcovr HTML/XML
 #                  artifacts when gcovr is installed. Implies gcc.
+#   CI_BENCH_FULL  1 = bench_speed runs its --full tier set (adds the
+#                  32x32 mesh; the nightly bench job sets this — too slow
+#                  for the per-PR matrix)
 #   CI_NIGHTLY     1 = deep-soak extras after the verify section: the full
 #                  sweep curve set (every sweep x every axis), a
 #                  phased-scenario seed soak (fresh seeds, verified,
@@ -48,6 +51,7 @@ fuzz_n="${CI_FUZZ_N:-50}"
 verify_only="${CI_VERIFY_ONLY:-0}"
 coverage="${CI_COVERAGE:-0}"
 nightly="${CI_NIGHTLY:-0}"
+bench_full="${CI_BENCH_FULL:-0}"
 build_dir="build-ci"
 if [[ "$coverage" == "1" ]]; then
   compiler=gcc  # gcov data needs the gcc toolchain
@@ -254,14 +258,42 @@ fi
 # baseline; CI gates on a conservative floor for noisy shared runners.
 if [[ "$build_type" == "Release" && "$sanitize" == "OFF" ]]; then
   echo "=== bench_speed smoke ==="
-  ./"$build_dir"/bench_speed "$out_dir/BENCH_speed_ci.json"
-  python3 - "$out_dir/BENCH_speed_ci.json" <<'EOF'
+  bench_args=()
+  if [[ "$bench_full" == "1" ]]; then
+    bench_args+=(--full)  # adds the 32x32 tier (nightly bench job)
+  fi
+  ./"$build_dir"/bench_speed "${bench_args[@]}" "$out_dir/BENCH_speed_ci.json"
+  python3 - "$out_dir/BENCH_speed_ci.json" BENCH_speed.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
 ratio = data["speedup_4x4_mixed"]["ratio"]
 print(f"bench_speed smoke: 4x4 mixed speedup = {ratio:.2f}x")
 assert ratio >= 1.5, f"optimized engine speedup collapsed: {ratio:.2f}x"
+
+# Perf regression gate: the 8x8 mixed tier (the ISSUE-7 acceptance
+# workload) must stay within 20% of the committed BENCH_speed.json
+# baseline on every engine it records. bench_speed already takes the
+# best of five repetitions per cell, which absorbs most runner noise.
+def kcps(doc, engine):
+    for row in doc["results"]:
+        if (row["mesh"], row["traffic"], row["engine"]) ==            ("8x8", "mixed", engine):
+            return row["kcycles_per_sec"]
+    return None
+
+for engine in ("optimized", "soa"):
+    base = kcps(baseline, engine)
+    got = kcps(data, engine)
+    assert base is not None, f"baseline lacks 8x8 mixed {engine} row"
+    assert got is not None, f"CI run lacks 8x8 mixed {engine} row"
+    floor = 0.8 * base
+    print(f"bench_speed gate: 8x8 mixed {engine} = {got:.1f} kcyc/s "
+          f"(baseline {base:.1f}, floor {floor:.1f})")
+    assert got >= floor, (
+        f"8x8 mixed {engine} regressed >20%: {got:.1f} kcyc/s vs "
+        f"baseline {base:.1f}")
 EOF
 
   echo "=== bench_sweep smoke ==="

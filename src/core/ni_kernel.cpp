@@ -26,36 +26,36 @@ bool NiPort::CanWrite(int connid, int words) const {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   AETHEREAL_CHECK(words >= 0);
   const auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
-  return ch.source->WriterSpace() >= words;
+  return ch.source.WriterSpace() >= words;
 }
 
 void NiPort::Write(int connid, Word word) {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
-  AETHEREAL_CHECK_MSG(ch.source->CanPush(),
+  AETHEREAL_CHECK_MSG(ch.source.CanPush(),
                       name() << ": source queue overflow on connid " << connid);
-  ch.source->Push(word);
+  ch.source.Push(word);
 }
 
 int NiPort::ReadAvailable(int connid) const {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   const auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
-  return ch.dest->ReaderAvailable();
+  return ch.dest.ReaderAvailable();
 }
 
 Word NiPort::PeekRead(int connid, int offset) const {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   const auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
-  return ch.dest->Peek(offset);
+  return ch.dest.Peek(offset);
 }
 
 Word NiPort::Read(int connid) {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
-  AETHEREAL_CHECK_MSG(ch.dest->CanPop(),
+  AETHEREAL_CHECK_MSG(ch.dest.CanPop(),
                       name() << ": destination queue underflow on connid "
                              << connid);
-  return ch.dest->Pop();
+  return ch.dest.Pop();
 }
 
 void NiPort::FlushData(int connid) {
@@ -81,7 +81,7 @@ ChannelId NiPort::GlobalChannelOf(int connid) const {
 void NiPort::WakeOnDelivery(int connid, sim::Module* listener) {
   AETHEREAL_CHECK(connid >= 0 && connid < NumChannels());
   auto& ch = kernel_->ChannelAt(channels_[static_cast<std::size_t>(connid)]);
-  ch.dest->SetReadListener(listener);
+  ch.dest.SetReadListener(listener);
 }
 
 // ---------------------------------------------------------------------------
@@ -104,6 +104,7 @@ NiKernel::NiKernel(std::string name, NiId id, const NiKernelParams& params)
   // in steady state (it is empty outside configuration).
   pending_register_writes_.reserve(regs::kRegsPerChannel * 4);
 
+  channels_.Reset(static_cast<std::size_t>(params.TotalChannels()));
   for (std::size_t p = 0; p < params.ports.size(); ++p) {
     const auto& port_params = params.ports[p];
     auto port = std::unique_ptr<NiPort>(new NiPort(
@@ -113,29 +114,23 @@ NiKernel::NiKernel(std::string name, NiId id, const NiKernelParams& params)
         this));
     for (const auto& cp : port_params.channels) {
       AETHEREAL_CHECK(cp.source_queue_words > 0 && cp.dest_queue_words > 0);
-      auto ch = std::make_unique<Channel>();
+      const auto flat = static_cast<ChannelId>(channels_.size());
+      Channel* ch = channels_.Emplace(cp.source_queue_words,
+                                      cp.dest_queue_words);
       ch->port = static_cast<int>(p);
       ch->connid = static_cast<int>(port->channels_.size());
       ch->params = cp;
       ch->data_flush_reqs.kernel = this;
       ch->credit_flush_reqs.kernel = this;
-      ch->source = std::make_unique<sim::CdcFifo<Word>>(cp.source_queue_words);
-      ch->dest = std::make_unique<sim::CdcFifo<Word>>(cp.dest_queue_words);
-      ch->source_net_side = std::make_unique<sim::CdcReadSide<Word>>(ch->source.get());
-      ch->dest_net_side = std::make_unique<sim::CdcWriteSide<Word>>(ch->dest.get());
-      ch->source_port_side = std::make_unique<sim::CdcWriteSide<Word>>(ch->source.get());
-      ch->dest_port_side = std::make_unique<sim::CdcReadSide<Word>>(ch->dest.get());
       // Network-domain state commits with the kernel; port-domain state
       // (including the flush-request signals) with the port.
-      RegisterState(ch->source_net_side.get());
-      RegisterState(ch->dest_net_side.get());
-      port->RegisterState(ch->source_port_side.get());
-      port->RegisterState(ch->dest_port_side.get());
+      RegisterState(&ch->source_net_side);
+      RegisterState(&ch->dest_net_side);
+      port->RegisterState(&ch->source_port_side);
+      port->RegisterState(&ch->dest_port_side);
       port->RegisterState(&ch->data_flush_reqs);
       port->RegisterState(&ch->credit_flush_reqs);
-      const auto flat = static_cast<ChannelId>(channels_.size());
       port->channels_.push_back(flat);
-      channels_.push_back(std::move(ch));
     }
     ports_.push_back(std::move(port));
   }
@@ -169,12 +164,12 @@ NiPort* NiKernel::port(int index) {
 NiKernel::Channel& NiKernel::ChannelAt(ChannelId ch) {
   AETHEREAL_CHECK_MSG(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()),
                       name() << ": channel " << ch << " out of range");
-  return *channels_[static_cast<std::size_t>(ch)];
+  return channels_[static_cast<std::size_t>(ch)];
 }
 
 const NiKernel::Channel& NiKernel::ChannelAt(ChannelId ch) const {
   AETHEREAL_CHECK(ch >= 0 && ch < static_cast<ChannelId>(channels_.size()));
-  return *channels_[static_cast<std::size_t>(ch)];
+  return channels_[static_cast<std::size_t>(ch)];
 }
 
 // ---------------------------------------------------------------------------
@@ -381,8 +376,7 @@ void NiKernel::MaybeParkUntilGtSlot(Cycle slot_number) {
   if (rx_qid_gt_ != kInvalidId || rx_qid_be_ != kInvalidId) return;
   if (be_open_channel_ != kInvalidId) return;
   if (!pending_register_writes_.empty()) return;
-  for (const auto& chp : channels_) {
-    const Channel& ch = *chp;
+  for (const Channel& ch : channels_) {
     if (ch.open_words_left > 0) return;
     if (!ch.gt && Eligible(ch)) return;  // BE work is granted next free slot
   }
@@ -402,8 +396,7 @@ bool NiKernel::CanSleep() const {
   if (rx_qid_gt_ != kInvalidId || rx_qid_be_ != kInvalidId) return false;
   if (be_open_channel_ != kInvalidId) return false;
   if (!pending_register_writes_.empty()) return false;
-  for (const auto& chp : channels_) {
-    const Channel& ch = *chp;
+  for (const Channel& ch : channels_) {
     if (ch.open_words_left > 0) return false;
     if (Eligible(ch)) return false;
   }
@@ -505,11 +498,11 @@ bool NiKernel::ReceiveFlit() {
 
   Channel& ch = ChannelAt(rx_qid);
   for (; word_index < flit.valid_words; ++word_index) {
-    AETHEREAL_CHECK_MSG(ch.dest->CanPush(),
+    AETHEREAL_CHECK_MSG(ch.dest.CanPush(),
                         name() << ": destination queue overflow on channel "
                                << rx_qid << " — end-to-end flow control "
                                << "violated");
-    ch.dest->Push(flit.words[static_cast<std::size_t>(word_index)]);
+    ch.dest.Push(flit.words[static_cast<std::size_t>(word_index)]);
     ++ch.stats.words_received;
     ++stats_.payload_words_received;
   }
@@ -523,9 +516,8 @@ bool NiKernel::ReceiveFlit() {
 
 bool NiKernel::HarvestCreditsAndFlushes() {
   bool any = false;
-  for (auto& chp : channels_) {
-    Channel& ch = *chp;
-    const int freed = ch.dest->TakeFreedForWriter();
+  for (Channel& ch : channels_) {
+    const int freed = ch.dest.TakeFreedForWriter();
     if (freed > 0) {
       ch.credits_owed += freed;
       AETHEREAL_CHECK_MSG(ch.credits_owed <= ch.params.dest_queue_words,
@@ -535,7 +527,7 @@ bool NiKernel::HarvestCreditsAndFlushes() {
     if (ch.data_flush_reqs.Get() > ch.data_flush_seen) {
       ch.data_flush_seen = ch.data_flush_reqs.Get();
       // Snapshot of the source-queue filling at flush time (paper §4.1).
-      ch.flush_words_left = ch.source->ReaderSize();
+      ch.flush_words_left = ch.source.ReaderSize();
       any = true;
     }
     if (ch.credit_flush_reqs.Get() > ch.credit_flush_seen) {
@@ -549,7 +541,7 @@ bool NiKernel::HarvestCreditsAndFlushes() {
 }
 
 int NiKernel::SendableWords(const Channel& ch) const {
-  return std::min(ch.source->ReaderSize(), ch.space);
+  return std::min(ch.source.ReaderSize(), ch.space);
 }
 
 bool NiKernel::Eligible(const Channel& ch) const {
@@ -752,9 +744,9 @@ void NiKernel::EmitFlit(ChannelId chid) {
 
   // Fill the flit with payload words from the source queue.
   while (flit.valid_words < kFlitWords && ch.open_words_left > 0) {
-    AETHEREAL_CHECK_MSG(ch.source->CanPop(),
+    AETHEREAL_CHECK_MSG(ch.source.CanPop(),
                         name() << ": source queue underran an open packet");
-    flit.words[static_cast<std::size_t>(flit.valid_words)] = ch.source->Pop();
+    flit.words[static_cast<std::size_t>(flit.valid_words)] = ch.source.Pop();
     ++flit.valid_words;
     --ch.open_words_left;
     ++ch.stats.words_sent;

@@ -30,6 +30,7 @@
 #include "sim/cdc_fifo.h"
 #include "sim/fifo.h"
 #include "sim/kernel.h"
+#include "sim/soa_state.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -183,17 +184,27 @@ class NiKernel : public sim::Module {
   };
 
   struct Channel {
+    Channel(int source_queue_words, int dest_queue_words)
+        : source(source_queue_words),
+          dest(dest_queue_words),
+          source_net_side(&source),
+          dest_net_side(&dest),
+          source_port_side(&source),
+          dest_port_side(&dest) {}
+
     // Design-time.
     int port = 0;
     int connid = 0;
     ChannelParams params;
-    // Queues (the CDC boundary).
-    std::unique_ptr<sim::CdcFifo<Word>> source;
-    std::unique_ptr<sim::CdcFifo<Word>> dest;
-    std::unique_ptr<sim::CdcReadSide<Word>> source_net_side;
-    std::unique_ptr<sim::CdcWriteSide<Word>> dest_net_side;
-    std::unique_ptr<sim::CdcWriteSide<Word>> source_port_side;
-    std::unique_ptr<sim::CdcReadSide<Word>> dest_port_side;
+    // Queues (the CDC boundary), stored inline so the per-slot channel walk
+    // (harvest, schedule, eligibility) stays within the channel slab
+    // instead of chasing one heap allocation per queue and adapter.
+    sim::CdcFifo<Word> source;
+    sim::CdcFifo<Word> dest;
+    sim::CdcReadSide<Word> source_net_side;
+    sim::CdcWriteSide<Word> dest_net_side;
+    sim::CdcWriteSide<Word> source_port_side;
+    sim::CdcReadSide<Word> dest_port_side;
     // Run-time configuration registers.
     bool enabled = false;
     bool gt = false;
@@ -259,7 +270,10 @@ class NiKernel : public sim::Module {
 
   NiId id_;
   NiKernelParams params_;
-  std::vector<std::unique_ptr<Channel>> channels_;
+  // Channels live in a contiguous fixed-capacity slab: their queues and
+  // flush registers are registered as state by address, so they must never
+  // move (sim/soa_state.h).
+  sim::Slab<Channel> channels_;
   std::vector<std::unique_ptr<NiPort>> ports_;
   std::vector<ChannelId> stu_;  // slot -> owning channel (or kInvalidId)
 

@@ -22,10 +22,14 @@
 #ifndef AETHEREAL_LINK_WIRE_H
 #define AETHEREAL_LINK_WIRE_H
 
+#include <cstdint>
+#include <string>
 #include <type_traits>
+#include <utility>
 
 #include "link/flit.h"
 #include "sim/kernel.h"
+#include "sim/soa_state.h"
 #include "util/check.h"
 
 namespace aethereal::link {
@@ -49,6 +53,15 @@ class SlotWire : public sim::TwoPhase {
   /// Declares the module that samples this wire; every Drive() wakes it so
   /// a parked consumer never misses a slot transfer.
   void SetConsumer(sim::Module* consumer) { consumer_ = consumer; }
+
+  /// Optional pending mask: when the wire latches a driven (non-idle) value
+  /// at a slot boundary, `*mask |= 1 << bit`. Lets a consumer with many
+  /// input wires poll one word instead of sampling every port; the consumer
+  /// owns the mask and clears bits as it drains them.
+  void SetConsumerBit(std::uint32_t* mask, int bit) {
+    consumer_mask_ = mask;
+    consumer_mask_bit_ = std::uint32_t{1} << bit;
+  }
 
   /// Installs a fault tap (FlitWire only); `site` is the injector's stable
   /// id for this wire. Pass nullptr to remove.
@@ -94,6 +107,9 @@ class SlotWire : public sim::TwoPhase {
     if (boundary) {
       current_ = driven_ ? next_ : idle_;
       holding_ = driven_;
+      if (driven_ && consumer_mask_ != nullptr) {
+        *consumer_mask_ |= consumer_mask_bit_;
+      }
       driven_ = false;
     }
     // Stay armed until the boundary at which the wire reverts to idle: a
@@ -120,6 +136,8 @@ class SlotWire : public sim::TwoPhase {
   bool driven_ = false;
   bool holding_ = false;  // current_ carries a driven value to revert
   sim::Module* consumer_ = nullptr;
+  std::uint32_t* consumer_mask_ = nullptr;  // see SetConsumerBit
+  std::uint32_t consumer_mask_bit_ = 0;
   FlitTap* tap_ = nullptr;
   int tap_site_ = -1;
   Cycle phase_ = 0;
@@ -159,6 +177,48 @@ class DirectedLink : public sim::Module {
 
  private:
   LinkWires wires_;
+};
+
+/// Flattened link storage (DESIGN.md §7): ONE module owning the wire
+/// bundles of every link of a NoC in a contiguous slab, replacing the
+/// per-link DirectedLink modules. Behaviour per wire is identical — the
+/// wires are the same SlotWire objects, committed by the same dirty-list
+/// protocol — but the commit sweep now walks consecutive memory, the
+/// kernel dispatches ONE virtual Commit() per slot for all driven links
+/// instead of one per link, and the per-clock module count (which every
+/// evaluate/commit scan is proportional to) drops by the link count.
+///
+/// The slab has a fixed capacity so LinkWires addresses stay stable: the
+/// wires register themselves as TwoPhase state and producers/consumers keep
+/// raw pointers to them.
+class WirePool : public sim::Module {
+ public:
+  WirePool(std::string name, int capacity)
+      : sim::Module(std::move(name)),
+        links_(static_cast<std::size_t>(capacity)) {
+    SetEvaluateIsNoop();      // pure commit machinery, like DirectedLink
+    SetDefaultCommitOnly();
+    // Wires latch only at the end-of-slot edge; commits on the two other
+    // word-clock edges of a slot are no-ops and are skipped.
+    SetCommitStride(kFlitWords, kFlitWords - 1);
+  }
+
+  /// Constructs the next link's wire bundle in the slab and registers its
+  /// wires for commit. The returned address is stable for the pool's
+  /// lifetime.
+  LinkWires* AddLink() {
+    LinkWires* wires = links_.Emplace();
+    RegisterState(&wires->data);
+    RegisterState(&wires->credit_return);
+    return wires;
+  }
+
+  int NumLinks() const { return static_cast<int>(links_.size()); }
+
+  void Evaluate() override {}
+
+ private:
+  sim::Slab<LinkWires> links_;
 };
 
 }  // namespace aethereal::link

@@ -1,6 +1,7 @@
 #include "router/router.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "fault/injector.h"
 #include "link/header.h"
@@ -14,7 +15,7 @@ using link::PacketHeader;
 
 Router::Router(std::string name, RouterId id, const RouterConfig& config)
     : sim::Module(std::move(name)), id_(id), config_(config) {
-  AETHEREAL_CHECK(config.num_ports > 0);
+  AETHEREAL_CHECK(config.num_ports > 0 && config.num_ports <= 32);
   AETHEREAL_CHECK(config.be_buffer_flits > 0);
   SetEvaluateStride(kFlitWords);  // all work happens at slot boundaries
   SetDefaultCommitOnly();
@@ -32,8 +33,10 @@ void Router::ConnectInput(int port, link::LinkWires* wires) {
   AETHEREAL_CHECK(port >= 0 && port < config_.num_ports);
   AETHEREAL_CHECK(wires != nullptr);
   inputs_[static_cast<std::size_t>(port)].wires = wires;
-  // Flits arriving on this link must find us running.
+  // Flits arriving on this link must find us running, and flag their port
+  // so the slot sweep samples only ports that latched something.
   wires->data.SetConsumer(this);
+  wires->data.SetConsumerBit(&inputs_pending_, port);
 }
 
 void Router::ConnectOutput(int port, link::LinkWires* wires,
@@ -44,8 +47,10 @@ void Router::ConnectOutput(int port, link::LinkWires* wires,
   auto& out = outputs_[static_cast<std::size_t>(port)];
   out.wires = wires;
   out.be_credits = downstream_be_capacity;
-  // Credits returned by the downstream peer must find us running.
+  // Credits returned by the downstream peer must find us running, and flag
+  // their port so the slot sweep samples only ports with returns latched.
   wires->credit_return.SetConsumer(this);
+  wires->credit_return.SetConsumerBit(&credits_pending_, port);
 }
 
 int Router::OutputCredits(int port) const {
@@ -56,16 +61,14 @@ int Router::OutputCredits(int port) const {
 void Router::Evaluate() {
   if (!IsSlotBoundary()) return;
 
-  // Collect returned BE credits from downstream.
-  bool credits_arrived = false;
-  for (auto& out : outputs_) {
-    if (out.wires != nullptr) {
-      const int returned = out.wires->credit_return.Sample();
-      if (returned != 0) {
-        out.be_credits += returned;
-        credits_arrived = true;
-      }
-    }
+  // Collect returned BE credits from downstream (only the ports whose
+  // credit wire latched a return this slot are flagged).
+  const bool credits_arrived = credits_pending_ != 0;
+  while (credits_pending_ != 0) {
+    const int p = std::countr_zero(credits_pending_);
+    credits_pending_ &= credits_pending_ - 1;
+    auto& out = outputs_[static_cast<std::size_t>(p)];
+    out.be_credits += out.wires->credit_return.Sample();
   }
 
   // Phase A: accept arriving flits. GT flits are switched through
@@ -75,8 +78,19 @@ void Router::Evaluate() {
   // discarded BE flits; packets already in flight complete normally.
   const bool frozen =
       fault_ != nullptr && fault_->RouterStalled(id_, CycleCount());
-  std::fill(gt_out_scratch_.begin(), gt_out_scratch_.end(), Flit::Idle());
+  for (const int p : gt_out_ports_) {
+    gt_out_scratch_[static_cast<std::size_t>(p)] = Flit::Idle();
+  }
+  gt_out_ports_.clear();
   const bool flits_arrived = AcceptInputs(gt_out_scratch_, frozen);
+
+  // Slot fast path: nothing arrived and the BE pipeline is empty, so there
+  // is nothing to switch, arbitrate, drain or acknowledge — the remaining
+  // phases are no-ops by construction.
+  if (!flits_arrived && be_flits_buffered_ == 0 && open_wormholes_ == 0) {
+    if (!credits_arrived) Park();
+    return;
+  }
 
   // Phase B: BE wormhole arbitration on the outputs GT left free.
   ArbitrateBestEffort(gt_out_scratch_, frozen);
@@ -104,13 +118,13 @@ void Router::Evaluate() {
 }
 
 bool Router::AcceptInputs(std::vector<Flit>& gt_out, bool frozen) {
-  bool any = false;
-  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+  const bool any = inputs_pending_ != 0;
+  while (inputs_pending_ != 0) {
+    const auto i =
+        static_cast<std::size_t>(std::countr_zero(inputs_pending_));
+    inputs_pending_ &= inputs_pending_ - 1;
     auto& in = inputs_[i];
-    if (in.wires == nullptr) continue;
     const Flit& flit = in.wires->data.Sample();
-    if (flit.IsIdle()) continue;
-    any = true;
 
     // Continuations of a packet whose header was dropped during a stall
     // window are discarded until (and including) its EOP, so downstream
@@ -187,6 +201,7 @@ void Router::ForwardGt(int input, const Flit& flit, int target,
   AETHEREAL_CHECK_MSG(outputs_[static_cast<std::size_t>(target)].wires != nullptr,
                       name() << ": GT flit to unconnected output " << target);
   gt_out[static_cast<std::size_t>(target)] = flit;
+  gt_out_ports_.push_back(target);
   ++stats_.gt_flits;
 }
 
@@ -196,6 +211,7 @@ void Router::BufferBe(int input, const Flit& flit, int target) {
                       name() << ": BE buffer overflow at input " << input
                              << " — link credit protocol violated");
   in.be_queue.Push(BufferedBeFlit{flit, target});
+  ++be_flits_buffered_;
   stats_.be_max_occupancy =
       std::max(stats_.be_max_occupancy,
                static_cast<std::int64_t>(in.be_queue.SizeAfterCommit()));
@@ -203,6 +219,19 @@ void Router::BufferBe(int input, const Flit& flit, int target) {
 
 void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out,
                                  bool frozen) {
+  // GT-only fast path: with no BE flits buffered and no open wormholes,
+  // the only possible action per output is driving a switched GT flit —
+  // and those outputs are exactly the ones listed in gt_out_ports_.
+  // (be_blocked_gt cannot tick: it requires an owner, hence an open
+  // wormhole.)
+  if (be_flits_buffered_ == 0 && open_wormholes_ == 0) {
+    for (const int o : gt_out_ports_) {
+      outputs_[static_cast<std::size_t>(o)].wires->data.Drive(
+          gt_out[static_cast<std::size_t>(o)]);
+    }
+    return;
+  }
+
   for (int o = 0; o < config_.num_ports; ++o) {
     auto& out = outputs_[static_cast<std::size_t>(o)];
     if (out.wires == nullptr) continue;
@@ -227,6 +256,7 @@ void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out,
         continue;
       }
       const BufferedBeFlit entry = in.be_queue.Pop();
+      --be_flits_buffered_;
       in.credits_freed_this_slot += 1;
       out.be_credits -= 1;
       out.wires->data.Drive(entry.flit);
@@ -234,6 +264,7 @@ void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out,
       if (entry.flit.eop) {
         out.be_owner_input = kInvalidId;
         in.be_drain_target = kInvalidId;
+        --open_wormholes_;
       }
       continue;
     }
@@ -254,6 +285,7 @@ void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out,
         break;  // head-of-line blocked on credits; no other packet may jump
       }
       const BufferedBeFlit entry = in.be_queue.Pop();
+      --be_flits_buffered_;
       in.credits_freed_this_slot += 1;
       out.be_credits -= 1;
       out.wires->data.Drive(entry.flit);
@@ -262,6 +294,7 @@ void Router::ArbitrateBestEffort(const std::vector<Flit>& gt_out,
       if (!entry.flit.eop) {
         out.be_owner_input = i;
         in.be_drain_target = o;
+        ++open_wormholes_;
       }
       out.rr_pointer = (i + 1) % config_.num_ports;
       break;

@@ -126,7 +126,22 @@ class Router : public sim::Module {
   std::vector<OutputState> outputs_;
   // Per-slot GT crossbar scratch, preallocated so Evaluate() never touches
   // the heap (it used to build a fresh std::vector<Flit> every slot).
+  // gt_out_ports_ lists the scratch entries holding a flit this slot, so
+  // clearing and driving walk only the occupied ports (at most one per
+  // input) instead of all of them.
   std::vector<link::Flit> gt_out_scratch_;
+  std::vector<int> gt_out_ports_;
+  // Activity summaries for the slot fast path: total BE flits resident in
+  // the input buffers (staged or committed) and open BE wormholes. When
+  // both are zero and no flit arrived, the whole BE pipeline — arbitration,
+  // credit returns, buffered-work check — is provably a no-op this slot.
+  int be_flits_buffered_ = 0;
+  int open_wormholes_ = 0;
+  // Wire pending masks (bit = port), set by SlotWire when it latches a
+  // driven value (link/wire.h SetConsumerBit): the slot sweep polls two
+  // words instead of sampling every connected port's wires.
+  std::uint32_t inputs_pending_ = 0;   // data arrived on input port
+  std::uint32_t credits_pending_ = 0;  // credits returned on output port
   RouterStats stats_;
   fault::FaultInjector* fault_ = nullptr;
 };

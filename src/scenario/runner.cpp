@@ -230,7 +230,7 @@ Status ScenarioRunner::BuildTopologyAndSoc(
   soc::SocOptions options;
   options.net_mhz = spec_.net_mhz;
   options.stu_slots = spec_.stu_slots;
-  options.optimize_engine = spec_.optimize_engine;
+  options.engine = spec_.ResolvedEngine();
   options.verify = spec_.verify;
   options.fault = spec_.fault.has_value() ? &*spec_.fault : nullptr;
   soc_ = std::make_unique<soc::Soc>(std::move(topo), std::move(ni_params),

@@ -567,11 +567,17 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
       spec.drain_cycles = *v;
       have_drain = true;
     } else if (kind == "engine") {
-      if (line.tokens.size() != 2 ||
-          (line.tokens[1] != "optimized" && line.tokens[1] != "naive")) {
-        return ParseError(line.number, "engine <optimized|naive>");
+      const std::optional<sim::EngineKind> parsed =
+          line.tokens.size() == 2 ? sim::ParseEngineKind(line.tokens[1])
+                                  : std::nullopt;
+      if (!parsed.has_value()) {
+        return ParseError(line.number,
+                          std::string("engine <") + sim::kEngineKindChoices +
+                              ">");
       }
-      spec.optimize_engine = line.tokens[1] == "optimized";
+      spec.engine = *parsed;
+      // Keep the deprecated alias coherent for code still reading it.
+      spec.optimize_engine = *parsed != sim::EngineKind::kNaive;
     } else if (kind == "verify") {
       if (line.tokens.size() != 2 ||
           (line.tokens[1] != "on" && line.tokens[1] != "off")) {

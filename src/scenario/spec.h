@@ -17,7 +17,7 @@
 //   seed 1                        # RNG seed               (default 1)
 //   warmup 500                    # settle cycles          (default 500)
 //   duration 20000                # measured cycles        (default 20000)
-//   engine optimized              # optimized | naive      (default optimized)
+//   engine optimized              # naive | optimized | soa (default optimized)
 //   verify on                     # on | off               (default off)
 //                                 # arm the guarantee-verification layer:
 //                                 # runtime invariant checkers plus
@@ -116,6 +116,7 @@
 #include <vector>
 
 #include "fault/spec.h"
+#include "sim/engine.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -210,7 +211,21 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   Cycle warmup = 500;
   Cycle duration = 20000;
+  /// Engine selection (sim/engine.h); grammar `engine naive|optimized|soa`.
+  /// All three engines produce byte-identical result JSON.
+  sim::EngineKind engine = sim::EngineKind::kOptimized;
+  /// DEPRECATED alias for `engine`, kept one release (same precedence rule
+  /// as SocOptions::optimize_engine): false selects kNaive when `engine`
+  /// is still at its default. Use `engine` in new code.
   bool optimize_engine = true;
+
+  /// The engine after resolving the deprecated alias: an explicit `engine`
+  /// wins; otherwise optimize_engine == false selects kNaive.
+  sim::EngineKind ResolvedEngine() const {
+    if (engine != sim::EngineKind::kOptimized) return engine;
+    return optimize_engine ? sim::EngineKind::kOptimized
+                           : sim::EngineKind::kNaive;
+  }
   /// Arm the verification layer (verify/). Never affects the result JSON:
   /// a clean run is byte-identical, a violating run fails with an error.
   bool verify = false;

@@ -9,12 +9,23 @@
 // space becomes visible to the writer two of *its* edges after the pop).
 //
 // Dirty-list protocol (DESIGN.md §7): each side's adapter arms itself when
-// the fifo is staged on that side, re-arms while synchronizer entries are
-// still in flight toward it, and arms the *opposite* side when it hands
-// entries to the opposite synchronizer. The per-side edge counters advance
-// only while that side commits, which is every edge of the side's domain
-// for as long as anything is pending — so visibility delays measured in
-// those counters are identical to the naïve run-every-edge behaviour.
+// the fifo is staged on that side, and arms the side a synchronizer entry
+// is travelling toward *for the exact edge the entry matures* (MarkDirtyAt),
+// so neither side commits — and neither owner is kept awake — on the edges
+// in between.
+//
+// Maturity edges are computed in absolute clock cycles. The subtlety is
+// that the reference (naïve) engine commits every module every edge in
+// registration order, which makes the observed synchronizer delay depend
+// on whether the destination side's module commits before or after the
+// source side's module within one edge: an entry handed off at edge N is
+// picked up the same edge by a destination that commits later in the sweep
+// (delay kCdcSyncEdges - 1 strictly-future edges), but only next edge by
+// one that commits earlier (delay kCdcSyncEdges). Across different clocks
+// the per-clock cycle counters are incremented in firing order, which
+// encodes the same information automatically. Both cases reduce to a
+// per-fifo constant delta resolved once from the registration order, so
+// the absolute stamps reproduce the reference behaviour bit-exactly.
 #ifndef AETHEREAL_SIM_CDC_FIFO_H
 #define AETHEREAL_SIM_CDC_FIFO_H
 
@@ -43,6 +54,8 @@ class CdcWriteSide : public TwoPhase {
  private:
   friend class CdcFifo<T>;
   void Arm() { MarkDirty(); }
+  void ArmAt(Cycle due) { MarkDirtyAt(due); }
+  Module* Owner() const { return owner(); }
   CdcFifo<T>* fifo_;
 };
 
@@ -55,6 +68,8 @@ class CdcReadSide : public TwoPhase {
  private:
   friend class CdcFifo<T>;
   void Arm() { MarkDirty(); }
+  void ArmAt(Cycle due) { MarkDirtyAt(due); }
+  Module* Owner() const { return owner(); }
   CdcFifo<T>* fifo_;
 };
 
@@ -100,8 +115,42 @@ class CdcFifo {
   /// Writer-domain clock edge: commits staged pushes and advances the
   /// read-pointer synchronizer.
   void CommitWriteSide() {
-    // Pops become visible to the writer kCdcSyncEdges writer edges after
-    // they were reported by the reader commit.
+    if (mode_ == Mode::kUnresolved) Resolve();
+    if (mode_ == Mode::kAbsolute) {
+      const Cycle wnow = wclock_->cycles();
+      int freed = 0;
+      while (!pending_space_.empty() &&
+             pending_space_.front().visible_edge <= wnow) {
+        writer_occupancy_ -= pending_space_.front().count;
+        freed += pending_space_.front().count;
+        pending_space_.pop_front();
+      }
+      if (freed > 0) {
+        freed_for_writer_ += freed;
+        // Freed space (and harvestable credits) just became visible on the
+        // writer side: the owner may have parked through the synchronizer
+        // wait and must evaluate against the new state next edge.
+        write_side_->Owner()->Wake();
+      }
+      if (!staged_pushes_.empty()) {
+        const Cycle stamp = rclock_->cycles() + in_flight_delta_;
+        do {
+          writer_occupancy_ += 1;
+          in_flight_.push_back(Entry{staged_pushes_.pop_front(), stamp});
+        } while (!staged_pushes_.empty());
+        if (read_side_ != nullptr) {
+          read_side_->ArmAt(in_flight_.front().visible_edge);
+        }
+      }
+      if (!pending_space_.empty()) {
+        write_side_->ArmAt(pending_space_.front().visible_edge);
+      }
+      return;
+    }
+    // Unclocked fallback (manually driven fifos, e.g. unit tests): per-side
+    // edge counters that advance once per commit call. Pops become visible
+    // to the writer kCdcSyncEdges writer edges after they were reported by
+    // the reader commit.
     ++writer_edges_;
     while (!pending_space_.empty() &&
            pending_space_.front().visible_edge <= writer_edges_) {
@@ -155,6 +204,38 @@ class CdcFifo {
   /// Reader-domain clock edge: applies pops and advances the write-pointer
   /// synchronizer (newly synchronized words become visible).
   void CommitReadSide() {
+    if (mode_ == Mode::kUnresolved) Resolve();
+    if (mode_ == Mode::kAbsolute) {
+      const Cycle rnow = rclock_->cycles();
+      if (staged_pops_ > 0) {
+        for (int i = 0; i < staged_pops_; ++i) visible_.pop_front();
+        pending_space_.push_back(
+            SpaceReturn{staged_pops_, wclock_->cycles() + space_delta_});
+        staged_pops_ = 0;
+        // The writer synchronizer now has a space return to deliver.
+        if (write_side_ != nullptr) {
+          write_side_->ArmAt(pending_space_.front().visible_edge);
+        }
+      }
+      bool delivered = false;
+      while (!in_flight_.empty() &&
+             in_flight_.front().visible_edge <= rnow) {
+        visible_.push_back(std::move(in_flight_.front().value));
+        in_flight_.pop_front();
+        delivered = true;
+      }
+      if (!in_flight_.empty()) {
+        read_side_->ArmAt(in_flight_.front().visible_edge);
+      }
+      if (delivered) {
+        // Wake takes effect next edge — exactly the first edge at which the
+        // words committed here are readable. The owner wake covers modules
+        // that read their own fifo without a listener registration.
+        if (read_listener_ != nullptr) read_listener_->Wake();
+        read_side_->Owner()->Wake();
+      }
+      return;
+    }
     ++reader_edges_;
     if (staged_pops_ > 0) {
       for (int i = 0; i < staged_pops_; ++i) visible_.pop_front();
@@ -192,7 +273,39 @@ class CdcFifo {
     Cycle visible_edge = 0;  // writer edge count at which space is returned
   };
 
+  /// Resolves the stamping mode once both sides are (or are known never to
+  /// be) registered to clocked modules. Absolute mode stamps maturity in
+  /// clock cycles with the per-fifo delta encoding the commit-sweep order
+  /// (see the file comment); the fallback keeps per-call edge counters for
+  /// manually driven fifos.
+  void Resolve() {
+    Module* wm = write_side_ != nullptr ? write_side_->Owner() : nullptr;
+    Module* rm = read_side_ != nullptr ? read_side_->Owner() : nullptr;
+    if (wm != nullptr && rm != nullptr && wm->clock() != nullptr &&
+        rm->clock() != nullptr) {
+      wclock_ = wm->clock();
+      rclock_ = rm->clock();
+      const bool same = wclock_ == rclock_;
+      in_flight_delta_ =
+          kCdcSyncEdges - 1 +
+          ((same && rm->clock_index() < wm->clock_index()) ? 1 : 0);
+      space_delta_ =
+          kCdcSyncEdges - 1 +
+          ((same && wm->clock_index() < rm->clock_index()) ? 1 : 0);
+      mode_ = Mode::kAbsolute;
+    } else {
+      mode_ = Mode::kRelative;
+    }
+  }
+
+  enum class Mode : unsigned char { kUnresolved, kAbsolute, kRelative };
+
   int capacity_;
+  Mode mode_ = Mode::kUnresolved;
+  Clock* wclock_ = nullptr;
+  Clock* rclock_ = nullptr;
+  Cycle in_flight_delta_ = 0;
+  Cycle space_delta_ = 0;
   // Writer side.
   int writer_occupancy_ = 0;  // occupancy as the writer believes it
   int freed_for_writer_ = 0;  // synchronized frees not yet harvested

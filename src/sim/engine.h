@@ -1,0 +1,62 @@
+// Engine selection for the simulation kernel.
+//
+// The kernel ships three engines that produce bit-identical results (proven
+// by tests/engine_determinism_test.cpp) at different simulation speeds:
+//
+//  * kNaive     — the reference semantics: every module evaluates and every
+//                 state element commits on every edge. Slow, obviously
+//                 correct; the baseline the other engines are checked
+//                 against.
+//  * kOptimized — idle-module gating + dirty-list commits (DESIGN.md §7):
+//                 parked modules are skipped via run lists rebuilt whenever
+//                 a module parks or wakes.
+//  * kSoa       — the optimized engine's gating expressed over flat
+//                 structure-of-arrays scheduling state: per-clock activity
+//                 bitmaps scanned eight modules at a time replace the run
+//                 list rebuilds, so per-edge cost tracks *activity*, not
+//                 instantiated hardware (DESIGN.md §7).
+//
+// This enum is the single engine-selection currency across the stack:
+// SocOptions, scenario specs (`engine naive|optimized|soa`), sweep axes and
+// the CLI tools (--engine) all speak EngineKind.
+#ifndef AETHEREAL_SIM_ENGINE_H
+#define AETHEREAL_SIM_ENGINE_H
+
+#include <optional>
+#include <string_view>
+
+namespace aethereal::sim {
+
+enum class EngineKind {
+  kNaive,
+  kOptimized,
+  kSoa,
+};
+
+/// Stable lowercase name, matching the spec grammar and --engine values.
+constexpr const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNaive:
+      return "naive";
+    case EngineKind::kOptimized:
+      return "optimized";
+    case EngineKind::kSoa:
+      return "soa";
+  }
+  return "unknown";
+}
+
+/// Inverse of EngineKindName; nullopt for anything else.
+inline std::optional<EngineKind> ParseEngineKind(std::string_view text) {
+  if (text == "naive") return EngineKind::kNaive;
+  if (text == "optimized") return EngineKind::kOptimized;
+  if (text == "soa") return EngineKind::kSoa;
+  return std::nullopt;
+}
+
+/// The --engine / spec-grammar value set, for help text and error messages.
+inline constexpr const char* kEngineKindChoices = "naive|optimized|soa";
+
+}  // namespace aethereal::sim
+
+#endif  // AETHEREAL_SIM_ENGINE_H

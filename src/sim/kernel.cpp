@@ -35,16 +35,10 @@ void Module::RegisterState(TwoPhase* element) {
 void Module::CommitState() {
   if (clock_ == nullptr || clock_->kernel_ == nullptr ||
       clock_->kernel_->optimize()) {
-    // Dirty-list commit. Elements may re-arm (MarkDirty) from inside
-    // Commit(); they then land on the fresh dirty_ list for the next edge,
-    // so iterate a swapped-out snapshot.
-    if (dirty_.empty()) return;
-    dirty_scratch_.swap(dirty_);
-    for (TwoPhase* s : dirty_scratch_) {
-      s->dirty_ = false;
-      s->Commit();
-    }
-    dirty_scratch_.clear();
+    // Dirty-list commit. Elements may re-arm (MarkDirty / MarkDirtyAt)
+    // from inside Commit(); they then land on the fresh dirty_ list for a
+    // coming edge, so iterate a swapped-out snapshot.
+    CommitDirty();
   } else {
     // Naïve reference path: commit everything, every edge. Reset the dirty
     // bookkeeping first so re-arms inside Commit() cannot grow it without
@@ -61,15 +55,153 @@ void Module::Park() {
       !clock_->kernel_->optimize()) {
     return;
   }
-  if (!dirty_.empty()) return;             // staged state must commit first
+  // State staged for the coming edge must commit before the module sleeps
+  // (the imminent commit may expose work). Elements armed only for FUTURE
+  // edges (synchronizer traffic in flight) do not block parking: the commit
+  // sweep visits parked modules too, and the maturing element wakes every
+  // party that can act on the delivery.
+  if (commit_due_ <= clock_->cycles_) return;
   if (clock_->cycles_ <= wake_until_) return;  // recent wake holds us awake
   parked_ = true;
-  clock_->run_list_dirty_ = true;
+  clock_->NoteEvalStatus(this);
 }
 
 void Module::ParkUntil(Cycle cycle) {
   Park();
   if (parked_) clock_->AddTimer(cycle, this);
+}
+
+// ---------------------------------------------------------------------------
+// Clock phases
+// ---------------------------------------------------------------------------
+
+void Clock::RefreshRunList() {
+  if (!run_list_dirty_) return;
+  run_every_.clear();
+  run_strided_.clear();
+  uniform_stride_ = 0;
+  for (Module* m : modules_) {
+    if (m->parked_ || m->evaluate_noop_) continue;
+    if (m->evaluate_stride_ == 1) {
+      run_every_.push_back(m);
+    } else {
+      run_strided_.push_back(m);
+      if (uniform_stride_ == 0) {
+        uniform_stride_ = m->evaluate_stride_;
+      } else if (uniform_stride_ != m->evaluate_stride_) {
+        uniform_stride_ = -1;  // mixed strides: check per module
+      }
+    }
+  }
+  run_list_dirty_ = false;
+}
+
+void Clock::PopDueTimers() {
+  // Wake modules whose scheduled time has come, before the schedule is
+  // consulted, so they are evaluated at exactly the edge they asked for.
+  while (!timers_.empty() && timers_.front().due <= cycles_) {
+    Module* m = timers_.front().module;
+    std::pop_heap(timers_.begin(), timers_.end(), TimerAfter);
+    timers_.pop_back();
+    m->Wake();
+  }
+}
+
+void Clock::EvaluatePhase() {
+  PopDueTimers();
+  RefreshRunList();
+  for (Module* m : run_every_) m->Evaluate();
+  if (!run_strided_.empty()) {
+    if (uniform_stride_ > 0) {
+      // All strided modules share one stride (the common case: the slot
+      // length): one check covers the whole list.
+      if (cycles_ % uniform_stride_ == 0) {
+        for (Module* m : run_strided_) m->Evaluate();
+      }
+    } else {
+      for (Module* m : run_strided_) {
+        if (cycles_ % m->evaluate_stride_ == 0) m->Evaluate();
+      }
+    }
+  }
+}
+
+// The SoA evaluate sweep: instead of rebuilding run lists whenever a module
+// parks or wakes (an O(modules) walk that large meshes trigger every few
+// edges), scan the per-clock activity bytes maintained incrementally by
+// NoteEvalStatus. Fully parked 8-module blocks cost one 64-bit load, so the
+// per-edge cost tracks how much of the mesh is awake, not how much exists.
+//
+// A module woken by an earlier module's Evaluate in the same phase may be
+// picked up by the scan later in this same edge (the run-list engine would
+// first see it next edge). Both are correct and bit-identical: a freshly
+// woken module reads the same committed state the naïve engine — which
+// evaluates *everything* every edge — already proves yields a no-op until
+// its inputs' staged values commit.
+void Clock::RunFlagged(const std::vector<std::uint64_t>& bits,
+                       bool per_module_stride) {
+  const std::size_t words = bits.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    // Snapshot: a module woken mid-sweep by an earlier module in the same
+    // word runs next edge instead of this one — a no-op either way (see the
+    // note above), so the sweep never re-reads the live word.
+    std::uint64_t chunk = bits[w];
+    while (chunk != 0) {
+      const int b = std::countr_zero(chunk);
+      chunk &= chunk - 1;
+      Module* m = modules_[(w << 6) + static_cast<std::size_t>(b)];
+      if (per_module_stride && cycles_ % m->evaluate_stride_ != 0) continue;
+      m->Evaluate();
+    }
+  }
+}
+
+void Clock::EvaluatePhaseSoa() {
+  PopDueTimers();
+  RunFlagged(eval_every_bits_, /*per_module_stride=*/false);
+  if (strided_uniform_ > 0) {
+    // Every strided module ever registered shares one stride (the slot
+    // length): skip the whole strided scan off the boundary edge.
+    if (cycles_ % strided_uniform_ == 0) {
+      RunFlagged(eval_strided_bits_, /*per_module_stride=*/false);
+    }
+  } else if (strided_uniform_ < 0) {
+    RunFlagged(eval_strided_bits_, /*per_module_stride=*/true);
+  }
+}
+
+// Commit dispatch over the contiguous pending bitmap: the scan touches a
+// few cache lines instead of every module's dirty list (zero bytes are
+// skipped eight modules at a time), and the virtual Commit() call happens
+// only for modules with staged state (or a declared Commit override), on
+// their declared stride phase.
+void Clock::CommitPhase() {
+  const std::size_t words = commit_bits_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t chunk = commit_bits_[w];
+    while (chunk != 0) {
+      const int b = std::countr_zero(chunk);
+      const std::uint64_t bit = chunk & (~chunk + 1);
+      chunk &= chunk - 1;
+      Module* m = modules_[(w << 6) + static_cast<std::size_t>(b)];
+      if (m->always_commit_) {
+        m->Commit();  // overridden Commit(): must stay a virtual call
+        continue;     // bit stays set: commits every edge
+      }
+      if (m->commit_due_ > cycles_) {
+        continue;  // every dirty element matures at a known future edge
+      }
+      if (m->commit_stride_ != 1 &&
+          cycles_ % m->commit_stride_ != m->commit_phase_) {
+        continue;  // still pending; commits on its phase edge
+      }
+      // Clear before committing: any element re-armed from inside the
+      // commit (self re-arm or a cross-module ArmAt) goes through
+      // AddDirty/AddDirtyAt, which sets the live bit again.
+      commit_bits_[w] &= ~bit;
+      m->CommitDirty();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -93,10 +225,10 @@ Clock* Kernel::AddClockMhz(std::string name, double mhz) {
   return AddClock(std::move(name), period);
 }
 
-void Kernel::set_optimize(bool on) {
+void Kernel::set_engine(EngineKind engine) {
   AETHEREAL_CHECK_MSG(!stepped_,
-                      "set_optimize must be called before the first Step()");
-  optimize_ = on;
+                      "set_engine must be called before the first Step()");
+  engine_ = engine;
 }
 
 void Kernel::RebuildHeap() const {
@@ -121,7 +253,10 @@ Picoseconds Kernel::Step() {
   if (clocks_.size() == 1) {
     Clock* c = clocks_.front().get();
     const Picoseconds t = c->next_edge_ps_;
-    if (optimize_) {
+    if (engine_ == EngineKind::kSoa) {
+      c->EvaluatePhaseSoa();
+      c->CommitPhase();
+    } else if (engine_ == EngineKind::kOptimized) {
       // Parked / no-op / off-stride modules skip Evaluate only. Every
       // module still reaches the commit phase so state staged into it
       // (register writes, synchronizer traffic) lands at exactly the same
@@ -152,9 +287,11 @@ Picoseconds Kernel::Step() {
   }
 
   // Phase 1: evaluate everything before committing anything. On the
-  // optimized path, parked / no-op / off-stride modules are skipped (their
+  // gated paths, parked / no-op / off-stride modules are skipped (their
   // Evaluate is a proven no-op).
-  if (optimize_) {
+  if (engine_ == EngineKind::kSoa) {
+    for (Clock* c : firing_) c->EvaluatePhaseSoa();
+  } else if (engine_ == EngineKind::kOptimized) {
     for (Clock* c : firing_) c->EvaluatePhase();
   } else {
     for (Clock* c : firing_) {
@@ -163,9 +300,9 @@ Picoseconds Kernel::Step() {
   }
   // Phase 2: commit. Every module reaches the commit phase — parked ones
   // too — so staged state always lands at the same edge as on the naïve
-  // path; on the optimized path the virtual call is elided when clean.
+  // path; on the gated paths the virtual call is elided when clean.
   for (Clock* c : firing_) {
-    if (optimize_) {
+    if (optimize()) {
       c->CommitPhase();
     } else {
       for (Module* m : c->modules_) m->Commit();

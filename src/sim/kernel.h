@@ -30,20 +30,26 @@
 //    until a wire drive, queue push, credit return, or register write
 //    Wake()s them. Commit still runs for parked modules (constant time when
 //    clean) so staged state always lands at the exact naïve-path edge.
-//  * Kill switch: Kernel::set_optimize(false) disables gating and dirty
+//  * Engine selection (sim/engine.h): kNaive disables gating and dirty
 //    commits (every module runs every edge, every element commits every
-//    edge) so optimized and naïve runs can be cross-checked for identical
-//    results.
+//    edge) so the fast engines can be cross-checked for identical results;
+//    kOptimized gates with run lists rebuilt on park/wake; kSoa gates with
+//    flat per-clock activity bitmaps scanned eight modules at a time, so
+//    idle stretches of a large mesh cost a few cache lines per edge instead
+//    of a rebuild-and-walk over every module.
 #ifndef AETHEREAL_SIM_KERNEL_H
 #define AETHEREAL_SIM_KERNEL_H
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/engine.h"
 #include "util/check.h"
 #include "util/types.h"
 
@@ -58,16 +64,27 @@ class Module;
 /// Elements participating in dirty-list commits must call MarkDirty() every
 /// time state is staged. An element whose Commit() leaves work pending for
 /// future edges (e.g. a synchronizer with words still in flight) must
-/// re-arm by calling MarkDirty() from inside Commit().
+/// re-arm from inside Commit(): with MarkDirty() if the pending work needs
+/// the very next edge, or with MarkDirtyAt(due) if the edge at which the
+/// work matures is known in advance (the commit sweep then skips the module
+/// entirely until that edge).
 class TwoPhase {
  public:
   virtual ~TwoPhase() = default;
   virtual void Commit() = 0;
 
  protected:
-  /// Schedules this element for commit on its owner's next edges (and wakes
+  /// Schedules this element for commit on its owner's next edge (and wakes
   /// the owner if it is parked). No-op when not registered to a module.
   void MarkDirty();
+
+  /// Schedules this element for commit at edge `due` of the owner's clock.
+  /// Unlike MarkDirty() this does NOT wake the owner: a future-due element
+  /// is bookkeeping in flight, not work the owner could react to yet.
+  /// Commit() runs at the first edge >= the earliest due over the owner's
+  /// dirty elements, so an element re-armed this way must tolerate being
+  /// committed earlier than `due` (and simply find nothing mature).
+  void MarkDirtyAt(Cycle due);
 
   /// The module this element is registered to (null before RegisterState).
   Module* owner() const { return owner_; }
@@ -103,6 +120,12 @@ class Module {
 
   /// The clock this module is registered on (null until registered).
   Clock* clock() const { return clock_; }
+
+  /// This module's slot in its clock's registration order — which is also
+  /// the order of the commit sweep. Cross-module latches that are sensitive
+  /// to commit order (the CDC synchronizers) key their edge arithmetic off
+  /// this. -1 until registered.
+  int clock_index() const { return clock_index_; }
 
   /// Number of edges this module's clock has seen since simulation start.
   Cycle CycleCount() const;  // inline below (hot path)
@@ -140,15 +163,12 @@ class Module {
   /// Declares that Evaluate() is an unconditional no-op, so the optimized
   /// engine drops this module from the evaluate run list entirely (links
   /// and NI ports: pure commit machinery). The naïve path still calls it.
-  void SetEvaluateIsNoop() { evaluate_noop_ = true; }
+  void SetEvaluateIsNoop();  // inline below (needs the complete Clock type)
 
   /// Declares that Evaluate() does nothing except on cycles where
   /// CycleCount() % stride == 0 (slot-granular modules: routers, NI
   /// kernels). The optimized engine then calls it only on those cycles.
-  void SetEvaluateStride(int stride) {
-    AETHEREAL_CHECK(stride >= 1);
-    evaluate_stride_ = stride;
-  }
+  void SetEvaluateStride(int stride);  // inline below
 
   /// Declares that Commit() is exactly the default (commit registered
   /// state, nothing else), allowing the optimized engine to skip the call
@@ -171,7 +191,28 @@ class Module {
   friend class Clock;
   friend class Kernel;
   friend class TwoPhase;
-  void AddDirty(TwoPhase* element);  // inline below (hot path)
+  void AddDirty(TwoPhase* element);             // inline below (hot path)
+  void AddDirtyAt(TwoPhase* element, Cycle due);  // inline below
+
+  /// commit_due_ value meaning "no dirty element has a known due edge".
+  static constexpr Cycle kNeverDue = std::numeric_limits<Cycle>::max();
+
+  /// The commit sweep's fast path for SetDefaultCommitOnly() modules: by
+  /// declaration their Commit() is exactly CommitState(), and on the
+  /// optimized engines CommitState() is exactly this dirty walk — so the
+  /// sweep can call it directly, skipping two virtual hops per module per
+  /// edge. Resets commit_due_ first: elements that still have future work
+  /// re-arm with their next due during the walk.
+  void CommitDirty() {
+    commit_due_ = kNeverDue;
+    if (dirty_.empty()) return;
+    dirty_scratch_.swap(dirty_);
+    for (TwoPhase* s : dirty_scratch_) {
+      s->dirty_ = false;
+      s->Commit();
+    }
+    dirty_scratch_.clear();
+  }
 
   std::string name_;
   std::vector<TwoPhase*> state_;
@@ -185,6 +226,11 @@ class Module {
   int evaluate_stride_ = 1;
   int commit_stride_ = 1;
   int commit_phase_ = 0;
+  // Earliest edge at which a dirty element needs its Commit(). 0 ("due
+  // now") whenever anything was staged via MarkDirty(); a future edge when
+  // every dirty element re-armed via MarkDirtyAt(); kNeverDue when clean.
+  // The commit sweep skips default-commit modules until this edge.
+  Cycle commit_due_ = 0;
   Cycle wake_until_ = -1;  // Park() suppressed while cycles() <= this
 };
 
@@ -202,12 +248,18 @@ class Clock {
     module->clock_ = this;
     module->clock_index_ = static_cast<int>(modules_.size());
     modules_.push_back(module);
+    const std::size_t i = modules_.size() - 1;
+    if ((i >> 6) >= commit_bits_.size()) {
+      commit_bits_.push_back(0);
+      eval_every_bits_.push_back(0);
+      eval_strided_bits_.push_back(0);
+    }
     // Pending until first commit recomputes it (safe for pre-registration
     // staged state).
-    commit_pending_.push_back(1);
+    SetBit(commit_bits_, i, true);
     run_every_.reserve(modules_.size());
     run_strided_.reserve(modules_.size());
-    run_list_dirty_ = true;
+    NoteEvalStatus(module);
   }
 
   int id() const { return id_; }
@@ -229,85 +281,52 @@ class Clock {
   /// Rebuilds the evaluate run lists (unparked modules, registration order;
   /// stride-1 and strided modules separately) if any module parked or woke
   /// since the last edge. Modules whose Evaluate is a declared no-op are
-  /// never listed.
-  void RefreshRunList() {
-    if (!run_list_dirty_) return;
-    run_every_.clear();
-    run_strided_.clear();
-    uniform_stride_ = 0;
-    for (Module* m : modules_) {
-      if (m->parked_ || m->evaluate_noop_) continue;
-      if (m->evaluate_stride_ == 1) {
-        run_every_.push_back(m);
-      } else {
-        run_strided_.push_back(m);
-        if (uniform_stride_ == 0) {
-          uniform_stride_ = m->evaluate_stride_;
-        } else if (uniform_stride_ != m->evaluate_stride_) {
-          uniform_stride_ = -1;  // mixed strides: check per module
-        }
-      }
-    }
-    run_list_dirty_ = false;
-  }
+  /// never listed. Used by the kOptimized engine; kSoa scans the activity
+  /// bitmaps instead and never rebuilds anything.
+  void RefreshRunList();
 
-  void EvaluatePhase() {
-    // Wake modules whose scheduled time has come, before the run-list
-    // snapshot, so they are evaluated at exactly the edge they asked for.
-    while (!timers_.empty() && timers_.front().due <= cycles_) {
-      Module* m = timers_.front().module;
-      std::pop_heap(timers_.begin(), timers_.end(), TimerAfter);
-      timers_.pop_back();
-      m->Wake();
+  /// Keeps the SoA activity bytes (and the run-list dirty flag) in sync
+  /// with a module's parked / no-op / stride status. Called on every
+  /// park-wake transition: the per-clock arrays ARE the schedule, so there
+  /// is nothing to rebuild at the next edge.
+  void NoteEvalStatus(Module* m) {
+    run_list_dirty_ = true;
+    const auto i = static_cast<std::size_t>(m->clock_index_);
+    if (m->parked_ || m->evaluate_noop_) {
+      SetBit(eval_every_bits_, i, false);
+      SetBit(eval_strided_bits_, i, false);
+      return;
     }
-    RefreshRunList();
-    for (Module* m : run_every_) m->Evaluate();
-    if (!run_strided_.empty()) {
-      if (uniform_stride_ > 0) {
-        // All strided modules share one stride (the common case: the slot
-        // length): one check covers the whole list.
-        if (cycles_ % uniform_stride_ == 0) {
-          for (Module* m : run_strided_) m->Evaluate();
-        }
-      } else {
-        for (Module* m : run_strided_) {
-          if (cycles_ % m->evaluate_stride_ == 0) m->Evaluate();
-        }
+    if (m->evaluate_stride_ == 1) {
+      SetBit(eval_every_bits_, i, true);
+      SetBit(eval_strided_bits_, i, false);
+    } else {
+      SetBit(eval_every_bits_, i, false);
+      SetBit(eval_strided_bits_, i, true);
+      if (strided_uniform_ == 0) {
+        strided_uniform_ = m->evaluate_stride_;
+      } else if (strided_uniform_ != m->evaluate_stride_) {
+        strided_uniform_ = -1;  // mixed strides: check per module
       }
     }
   }
 
-  /// Commit dispatch over the contiguous pending bitmap: the scan touches
-  /// a few cache lines instead of every module's dirty list (zero bytes are
-  /// skipped eight modules at a time), and the virtual Commit() call
-  /// happens only for modules with staged state (or a declared Commit
-  /// override), on their declared stride phase.
-  void CommitPhase() {
-    const std::size_t n = modules_.size();
-    std::size_t i = 0;
-    while (i < n) {
-      if (i + 8 <= n) {
-        std::uint64_t chunk;
-        std::memcpy(&chunk, commit_pending_.data() + i, 8);
-        if (chunk == 0) {
-          i += 8;
-          continue;
-        }
-      }
-      const std::size_t end = std::min(i + 8, n);
-      for (; i < end; ++i) {
-        if (!commit_pending_[i]) continue;
-        Module* m = modules_[i];
-        if (m->commit_stride_ != 1 &&
-            cycles_ % m->commit_stride_ != m->commit_phase_) {
-          continue;  // still pending; commits on its phase edge
-        }
-        m->Commit();
-        commit_pending_[i] =
-            (m->always_commit_ || !m->dirty_.empty()) ? 1 : 0;
-      }
+  static void SetBit(std::vector<std::uint64_t>& bits, std::size_t i,
+                     bool on) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (on) {
+      bits[i >> 6] |= mask;
+    } else {
+      bits[i >> 6] &= ~mask;
     }
   }
+
+  void EvaluatePhase();      // kOptimized: run lists
+  void EvaluatePhaseSoa();   // kSoa: activity-bitmap sweep
+  void RunFlagged(const std::vector<std::uint64_t>& bits,
+                  bool per_module_stride);
+  void PopDueTimers();
+  void CommitPhase();
 
   struct Timer {
     Cycle due;
@@ -331,8 +350,17 @@ class Clock {
   std::vector<Module*> run_every_;    // unparked stride-1 modules
   std::vector<Module*> run_strided_;  // unparked modules with stride > 1
   std::vector<Timer> timers_;         // scheduled wakes (min-heap by due)
-  std::vector<unsigned char> commit_pending_;  // parallel to modules_
-  int uniform_stride_ = 0;  // shared stride of run_strided_ (-1 if mixed)
+  // SoA schedule (kSoa engine) and commit dispatch: one bit per module (bit
+  // i of word i/64 covers modules_[i]). The evaluate and commit sweeps walk
+  // set bits with countr_zero, so a whole mesh costs a handful of word
+  // loads per edge plus work proportional to the number of *active*
+  // modules. Maintained incrementally by NoteEvalStatus / AddDirty; bit
+  // order equals registration order, so sweep order is unchanged.
+  std::vector<std::uint64_t> commit_bits_;
+  std::vector<std::uint64_t> eval_every_bits_;   // unparked, stride 1
+  std::vector<std::uint64_t> eval_strided_bits_; // unparked, stride > 1
+  int uniform_stride_ = 0;   // shared stride of run_strided_ (-1 if mixed)
+  int strided_uniform_ = 0;  // shared stride over ALL strided modules ever
   bool run_list_dirty_ = true;
 };
 
@@ -363,11 +391,23 @@ class Kernel {
 
   Picoseconds now_ps() const { return now_ps_; }
 
-  /// Kill switch for idle-module gating and dirty-list commits. Must be set
-  /// before the first Step(); the edge schedule itself is always on (it is
-  /// exactly equivalent scheduling, not an approximation).
-  void set_optimize(bool on);
-  bool optimize() const { return optimize_; }
+  /// Selects the engine (sim/engine.h). Must be set before the first
+  /// Step(); the edge schedule itself is always on (it is exactly
+  /// equivalent scheduling, not an approximation). All three engines
+  /// produce bit-identical results.
+  void set_engine(EngineKind engine);
+  EngineKind engine() const { return engine_; }
+
+  /// Deprecated alias for set_engine: true selects kOptimized, false
+  /// kNaive. Kept for one release so existing callers don't churn.
+  void set_optimize(bool on) {
+    set_engine(on ? EngineKind::kOptimized : EngineKind::kNaive);
+  }
+
+  /// True when any gating engine (kOptimized or kSoa) is active — the
+  /// modules' Park()/dirty-commit machinery keys off this.
+  bool optimize() const { return engine_ != EngineKind::kNaive; }
+  bool soa() const { return engine_ == EngineKind::kSoa; }
 
  private:
   friend class Module;
@@ -380,7 +420,7 @@ class Kernel {
   mutable std::vector<Clock*> edge_heap_;
   mutable bool heap_dirty_ = false;
   std::vector<Clock*> firing_;
-  bool optimize_ = true;
+  EngineKind engine_ = EngineKind::kOptimized;
   bool stepped_ = false;
   Picoseconds now_ps_ = 0;
 };
@@ -401,24 +441,67 @@ inline void Module::Wake(Cycle hold_edges) {
   if (until > wake_until_) wake_until_ = until;
   if (parked_) {
     parked_ = false;
-    clock_->run_list_dirty_ = true;
+    clock_->NoteEvalStatus(this);
   }
+}
+
+inline void Module::SetEvaluateIsNoop() {
+  evaluate_noop_ = true;
+  if (clock_ != nullptr) clock_->NoteEvalStatus(this);
+}
+
+inline void Module::SetEvaluateStride(int stride) {
+  // The SoA schedule stores strides in one byte per module.
+  AETHEREAL_CHECK(stride >= 1 && stride <= 255);
+  evaluate_stride_ = stride;
+  if (clock_ != nullptr) clock_->NoteEvalStatus(this);
 }
 
 inline void Module::AddDirty(TwoPhase* element) {
   dirty_.push_back(element);
+  commit_due_ = 0;
   if (clock_ != nullptr) {
-    clock_->commit_pending_[static_cast<std::size_t>(clock_index_)] = 1;
+    Clock::SetBit(clock_->commit_bits_,
+                  static_cast<std::size_t>(clock_index_), true);
   }
   // Staged state must be committed even if this module was parked or is
   // about to park.
   Wake();
 }
 
+inline void Module::AddDirtyAt(TwoPhase* element, Cycle due) {
+  dirty_.push_back(element);
+  if (due < commit_due_) commit_due_ = due;
+  if (clock_ != nullptr) {
+    Clock::SetBit(clock_->commit_bits_,
+                  static_cast<std::size_t>(clock_index_), true);
+  }
+  // Deliberately no Wake(): a future-due element is synchronizer traffic in
+  // flight, not state the module could evaluate against yet. Whoever makes
+  // the traffic visible (the element's own Commit at the due edge) is
+  // responsible for waking the parties that can then act on it.
+}
+
 inline void TwoPhase::MarkDirty() {
-  if (dirty_ || owner_ == nullptr) return;
-  dirty_ = true;
-  owner_->AddDirty(this);
+  if (owner_ == nullptr) return;
+  if (!dirty_) {
+    dirty_ = true;
+    owner_->AddDirty(this);
+  } else if (owner_->commit_due_ != 0) {
+    // Already listed, but possibly only for a future edge: pull the
+    // owner's next commit forward to the coming edge.
+    owner_->commit_due_ = 0;
+  }
+}
+
+inline void TwoPhase::MarkDirtyAt(Cycle due) {
+  if (owner_ == nullptr) return;
+  if (!dirty_) {
+    dirty_ = true;
+    owner_->AddDirtyAt(this, due);
+  } else if (due < owner_->commit_due_) {
+    owner_->commit_due_ = due;
+  }
 }
 
 }  // namespace aethereal::sim

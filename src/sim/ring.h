@@ -47,7 +47,8 @@ class Ring {
   T pop_front() {
     AETHEREAL_CHECK_MSG(count_ > 0, "Ring underflow");
     T value = std::move(buffer_[Slot(0)]);
-    head_ = (head_ + 1) % capacity_;
+    ++head_;
+    if (head_ == capacity_) head_ = 0;
     --count_;
     return value;
   }
@@ -58,8 +59,13 @@ class Ring {
   }
 
  private:
+  // head_ < capacity_ and offset <= count_ <= capacity_, so one
+  // conditional subtraction replaces the integer division of `%` on the
+  // hot queue paths.
   std::size_t Slot(int offset) const {
-    return static_cast<std::size_t>((head_ + offset) % capacity_);
+    int slot = head_ + offset;
+    if (slot >= capacity_) slot -= capacity_;
+    return static_cast<std::size_t>(slot);
   }
 
   std::vector<T> buffer_;

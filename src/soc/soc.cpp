@@ -12,6 +12,36 @@ namespace aethereal::soc {
 namespace regs = core::regs;
 using topology::EndpointKind;
 
+Status SocOptions::Validate() const {
+  if (!(net_mhz > 0.0)) {
+    return InvalidArgumentError("net_mhz must be positive");
+  }
+  if (router_be_buffer_flits <= 0) {
+    return InvalidArgumentError("router_be_buffer_flits must be positive");
+  }
+  if (stu_slots <= 0 || stu_slots > regs::kMaxStuSlots) {
+    return InvalidArgumentError(
+        "stu_slots must be in [1, " + std::to_string(regs::kMaxStuSlots) +
+        "] (the SLOTS register is a 32-bit mask)");
+  }
+  switch (engine) {
+    case EngineKind::kNaive:
+    case EngineKind::kOptimized:
+    case EngineKind::kSoa:
+      break;
+    default:
+      return InvalidArgumentError("unknown engine kind");
+  }
+  for (const auto& [port, mhz] : port_mhz) {
+    if (!(mhz > 0.0)) {
+      return InvalidArgumentError(
+          "port clock for NI " + std::to_string(port.first) + " port " +
+          std::to_string(port.second) + " must be a positive frequency");
+    }
+  }
+  return OkStatus();
+}
+
 Soc::Soc(topology::Topology topology,
          std::vector<core::NiKernelParams> ni_params, SocOptions options)
     : topology_(std::move(topology)),
@@ -20,7 +50,10 @@ Soc::Soc(topology::Topology topology,
   AETHEREAL_CHECK_MSG(
       static_cast<int>(ni_params_.size()) == topology_.NumNis(),
       "one NiKernelParams per NI required");
-  sim_.set_optimize(options_.optimize_engine);
+  const Status options_status = options_.Validate();
+  AETHEREAL_CHECK_MSG(options_status.ok(),
+                      "invalid SocOptions: " << options_status.message());
+  sim_.set_engine(options_.ResolvedEngine());
   net_clock_ = sim_.AddClockMhz("net", options_.net_mhz);
   clock_by_period_[net_clock_->period_ps()] = net_clock_;
 
@@ -41,64 +74,71 @@ Soc::Soc(topology::Topology topology,
     net_clock_->Register(monitor_.get());
   }
 
+  // All link wires live in one contiguous pool (one module instead of one
+  // per link); size it exactly: two NI links per NI plus every directed
+  // router-to-router link.
+  int num_links = 2 * topology_.NumNis();
+  for (RouterId r = 0; r < topology_.NumRouters(); ++r) {
+    for (int p = 0; p < topology_.RouterPorts(r); ++p) {
+      if (topology_.PortPeer(r, p).kind == EndpointKind::kRouter) ++num_links;
+    }
+  }
+  links_ = std::make_unique<link::WirePool>("links", num_links);
+  net_clock_->Register(links_.get());
+
   // Routers.
+  routers_.Reset(static_cast<std::size_t>(topology_.NumRouters()));
   for (RouterId r = 0; r < topology_.NumRouters(); ++r) {
     router::RouterConfig config;
     config.num_ports = topology_.RouterPorts(r);
     config.be_buffer_flits = options_.router_be_buffer_flits;
-    routers_.push_back(std::make_unique<router::Router>(
-        "router" + std::to_string(r), r, config));
+    router::Router* router =
+        routers_.Emplace("router" + std::to_string(r), r, config);
     if (fault_injector_ != nullptr) {
-      routers_.back()->SetFaultInjector(fault_injector_.get());
+      router->SetFaultInjector(fault_injector_.get());
     }
-    net_clock_->Register(routers_.back().get());
+    net_clock_->Register(router);
   }
 
   // NIs and their links to the routers.
+  nis_.Reset(ni_params_.size());
   for (NiId n = 0; n < topology_.NumNis(); ++n) {
     AETHEREAL_CHECK_MSG(ni_params_[static_cast<std::size_t>(n)].stu_slots ==
                             options_.stu_slots,
                         "NI stu_slots must match SocOptions.stu_slots");
-    nis_.push_back(std::make_unique<core::NiKernel>(
-        "ni" + std::to_string(n), n, ni_params_[static_cast<std::size_t>(n)]));
-    core::NiKernel* kernel = nis_.back().get();
+    core::NiKernel* kernel =
+        nis_.Emplace("ni" + std::to_string(n), n,
+                     ni_params_[static_cast<std::size_t>(n)]);
     if (fault_injector_ != nullptr) {
       kernel->SetFaultInjector(fault_injector_.get());
     }
     net_clock_->Register(kernel);
 
-    links_.push_back(std::make_unique<link::DirectedLink>(
-        "ni" + std::to_string(n) + "->router"));
-    link::DirectedLink* inj = links_.back().get();
-    links_.push_back(std::make_unique<link::DirectedLink>(
-        "router->ni" + std::to_string(n)));
-    link::DirectedLink* del = links_.back().get();
-    net_clock_->Register(inj);
-    net_clock_->Register(del);
+    link::LinkWires* inj = links_->AddLink();
+    link::LinkWires* del = links_->AddLink();
     // Fault taps go on delivery and router-to-router links only: injection
     // links (ni -> router) are where the verification monitor observes the
     // traffic it checks, so a fault there would be invisible by
     // construction (DESIGN.md §12).
     if (fault_injector_ != nullptr) {
-      del->wires().data.SetFaultTap(
+      del->data.SetFaultTap(
           fault_injector_.get(),
           fault_injector_->RegisterLinkSite("router->ni" +
                                             std::to_string(n)));
     }
 
-    injection_wires_.push_back(&inj->wires());
-    delivery_wires_.push_back(&del->wires());
+    injection_wires_.push_back(inj);
+    delivery_wires_.push_back(del);
 
     const RouterId r = topology_.NiRouter(n);
     const int rp = topology_.NiRouterPort(n);
-    kernel->ConnectToRouter(&inj->wires(), &del->wires(),
-                            options_.router_be_buffer_flits);
-    routers_[static_cast<std::size_t>(r)]->ConnectInput(rp, &inj->wires());
+    kernel->ConnectToRouter(inj, del, options_.router_be_buffer_flits);
+    routers_[static_cast<std::size_t>(r)].ConnectInput(rp, inj);
     // The NI always sinks arriving BE flits (end-to-end flow control has
     // already guaranteed destination-queue space), so a small credit pool
     // only models the delivery pipelining.
-    routers_[static_cast<std::size_t>(r)]->ConnectOutput(
-        rp, &del->wires(), options_.router_be_buffer_flits);
+    routers_[static_cast<std::size_t>(r)].ConnectOutput(
+        rp, del, options_.router_be_buffer_flits);
 
     // Port clocks.
     for (int p = 0; p < kernel->NumPorts(); ++p) {
@@ -114,20 +154,17 @@ Soc::Soc(topology::Topology topology,
     for (int p = 0; p < topology_.RouterPorts(r); ++p) {
       const topology::Endpoint& peer = topology_.PortPeer(r, p);
       if (peer.kind != EndpointKind::kRouter) continue;
-      links_.push_back(std::make_unique<link::DirectedLink>(
-          "router" + std::to_string(r) + ".p" + std::to_string(p) + "->" +
-          "router" + std::to_string(peer.id)));
-      link::DirectedLink* l = links_.back().get();
-      net_clock_->Register(l);
+      link::LinkWires* l = links_->AddLink();
       if (fault_injector_ != nullptr) {
-        l->wires().data.SetFaultTap(
+        l->data.SetFaultTap(
             fault_injector_.get(),
-            fault_injector_->RegisterLinkSite(l->name()));
+            fault_injector_->RegisterLinkSite(
+                "router" + std::to_string(r) + ".p" + std::to_string(p) +
+                "->router" + std::to_string(peer.id)));
       }
-      routers_[static_cast<std::size_t>(r)]->ConnectOutput(
-          p, &l->wires(), options_.router_be_buffer_flits);
-      routers_[static_cast<std::size_t>(peer.id)]->ConnectInput(peer.port,
-                                                                &l->wires());
+      routers_[static_cast<std::size_t>(r)].ConnectOutput(
+          p, l, options_.router_be_buffer_flits);
+      routers_[static_cast<std::size_t>(peer.id)].ConnectInput(peer.port, l);
     }
   }
 
@@ -138,7 +175,7 @@ Soc::Soc(topology::Topology topology,
     verify::MonitorHookup hookup;
     hookup.topology = &topology_;
     hookup.allocator = allocator_.get();
-    for (auto& ni : nis_) hookup.nis.push_back(ni.get());
+    for (core::NiKernel& ni : nis_) hookup.nis.push_back(&ni);
     hookup.injection = injection_wires_;
     hookup.delivery = delivery_wires_;
     hookup.dest_queue_words = [this](const tdm::GlobalChannel& channel) {
@@ -189,12 +226,12 @@ sim::Clock* Soc::ClockForMhz(double mhz) {
 
 core::NiKernel* Soc::ni(NiId id) {
   AETHEREAL_CHECK(id >= 0 && id < static_cast<NiId>(nis_.size()));
-  return nis_[static_cast<std::size_t>(id)].get();
+  return &nis_[static_cast<std::size_t>(id)];
 }
 
 router::Router* Soc::router(RouterId id) {
   AETHEREAL_CHECK(id >= 0 && id < static_cast<RouterId>(routers_.size()));
-  return routers_[static_cast<std::size_t>(id)].get();
+  return &routers_[static_cast<std::size_t>(id)];
 }
 
 core::NiPort* Soc::port(NiId id, int port_index) {

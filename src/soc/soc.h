@@ -23,7 +23,9 @@
 #include "router/router.h"
 #include "shells/config_shell.h"
 #include "shells/slave_shell.h"
+#include "sim/engine.h"
 #include "sim/kernel.h"
+#include "sim/soa_state.h"
 #include "tdm/allocator.h"
 #include "topology/topology.h"
 #include "util/status.h"
@@ -38,14 +40,22 @@ class FaultInjector;
 
 namespace aethereal::soc {
 
+/// EngineKind is the soc-level currency too; see sim/engine.h.
+using sim::EngineKind;
+
 struct SocOptions {
   double net_mhz = 500.0;  // network clock (paper prototype: 500 MHz)
   int router_be_buffer_flits = 8;
   int stu_slots = 8;
-  /// Kill switch for the engine optimizations (idle-module gating +
-  /// dirty-list commits). Disable to run the naïve reference engine; the
-  /// simulation results are bit-identical either way (see
+  /// Selects the simulation engine (sim/engine.h): naive reference,
+  /// run-list gating, or the SoA activity-bitmap engine. The simulation
+  /// results are bit-identical for all three (see
   /// tests/engine_determinism_test.cpp).
+  EngineKind engine = EngineKind::kOptimized;
+  /// DEPRECATED alias for `engine`, kept one release so existing callers
+  /// and goldens don't churn: setting it false selects kNaive when
+  /// `engine` is still at its default. Use `engine` in new code; see
+  /// ResolvedEngine() for the precedence rule.
   bool optimize_engine = true;
   /// Per-(NI, port) clock override in MHz; unlisted ports run on the
   /// network clock. The channel queues implement the crossing.
@@ -65,6 +75,20 @@ struct SocOptions {
   /// to a run with fault == nullptr. The spec is copied; the pointer only
   /// needs to outlive the constructor.
   const fault::FaultSpec* fault = nullptr;
+
+  /// The engine after resolving the deprecated alias: an explicit `engine`
+  /// wins; otherwise optimize_engine == false selects kNaive.
+  EngineKind ResolvedEngine() const {
+    if (engine != EngineKind::kOptimized) return engine;
+    return optimize_engine ? EngineKind::kOptimized : EngineKind::kNaive;
+  }
+
+  /// Rejects incompatible or out-of-range combinations with a descriptive
+  /// InvalidArgument status instead of a deep assert inside construction.
+  /// The Soc constructor enforces this; callers that assemble options from
+  /// user input (CLIs, scenario specs) should call it first and surface
+  /// the message.
+  Status Validate() const;
 };
 
 /// Description of the configuration infrastructure (paper Fig. 8).
@@ -164,9 +188,12 @@ class Soc {
   sim::Clock* net_clock_ = nullptr;
   std::map<std::int64_t, sim::Clock*> clock_by_period_;
 
-  std::vector<std::unique_ptr<router::Router>> routers_;
-  std::vector<std::unique_ptr<core::NiKernel>> nis_;
-  std::vector<std::unique_ptr<link::DirectedLink>> links_;
+  // Hot hardware state lives in contiguous slabs (sim/soa_state.h): the
+  // kernel's evaluate/commit sweeps then walk consecutive memory instead of
+  // one heap allocation per router/NI/link.
+  sim::Slab<router::Router> routers_;
+  sim::Slab<core::NiKernel> nis_;
+  std::unique_ptr<link::WirePool> links_;
   std::vector<const link::LinkWires*> injection_wires_;  // per NI
   std::vector<const link::LinkWires*> delivery_wires_;   // per NI
   std::unique_ptr<tdm::CentralizedAllocator> allocator_;

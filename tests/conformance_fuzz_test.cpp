@@ -1,13 +1,14 @@
 // Randomized conformance fuzzing: seeded random topologies, slot
 // allocations and traffic mixes run with the full verification layer armed
-// (runtime invariant monitor + analytical GT bounds), on both the
-// optimized and the naive engine, with cross-engine byte-identity of the
-// result JSON. CI runs a larger batch through noc_verify --fuzz under
-// ASan; this test keeps a fixed-seed slice in every ctest run.
+// (runtime invariant monitor + analytical GT bounds), on every engine,
+// with cross-engine byte-identity of the result JSON. CI runs a larger
+// batch through noc_verify --fuzz under ASan; this test keeps a
+// fixed-seed slice in every ctest run.
 #include <gtest/gtest.h>
 
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "sim/engine.h"
 #include "verify/fuzz.h"
 
 namespace aethereal::verify {
@@ -32,25 +33,29 @@ std::string DescribeSpec(const scenario::ScenarioSpec& spec) {
   return out;
 }
 
-TEST(ConformanceFuzz, SeededBatchPassesVerifiedOnBothEngines) {
+TEST(ConformanceFuzz, SeededBatchPassesVerifiedOnAllEngines) {
   for (int i = 0; i < kConfigs; ++i) {
     scenario::ScenarioSpec spec = RandomConformanceSpec(kBatchSeed, i);
     ASSERT_TRUE(spec.verify);
     SCOPED_TRACE(DescribeSpec(spec));
 
-    spec.optimize_engine = true;
-    scenario::ScenarioRunner optimized(spec);
-    auto opt = optimized.Run();
-    ASSERT_TRUE(opt.ok()) << opt.status();
-
-    spec.optimize_engine = false;
+    spec.engine = sim::EngineKind::kNaive;
     scenario::ScenarioRunner naive(spec);
     auto ref = naive.Run();
     ASSERT_TRUE(ref.ok()) << ref.status();
 
-    // The engines must agree bit-for-bit even under checker load (the
-    // result JSON carries no engine identifier by design).
-    EXPECT_EQ(opt->ToJson(), ref->ToJson());
+    for (sim::EngineKind engine :
+         {sim::EngineKind::kOptimized, sim::EngineKind::kSoa}) {
+      SCOPED_TRACE(sim::EngineKindName(engine));
+      spec.engine = engine;
+      scenario::ScenarioRunner gated(spec);
+      auto run = gated.Run();
+      ASSERT_TRUE(run.ok()) << run.status();
+
+      // The engines must agree bit-for-bit even under checker load (the
+      // result JSON carries no engine identifier by design).
+      EXPECT_EQ(run->ToJson(), ref->ToJson());
+    }
   }
 }
 

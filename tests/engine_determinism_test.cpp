@@ -1,11 +1,12 @@
-// Determinism cross-check of the optimized cycle engine (DESIGN.md §7).
+// Determinism cross-check of the cycle engines (DESIGN.md §7).
 //
-// Runs the same seeded mixed GT/BE workload twice — once with idle-module
-// gating + dirty-list commits enabled, once on the naïve reference path
-// (kill switch: SocOptions::optimize_engine = false) — and asserts the two
-// simulations are bit-identical: full word-arrival traces at every
-// consumer, every NI / channel / router counter, credit state, and the
-// final configuration-register file.
+// Runs the same seeded mixed GT/BE workload on every engine — the naïve
+// reference path, the optimized gated engine, and the structure-of-arrays
+// engine — and asserts the simulations are bit-identical: full
+// word-arrival traces at every consumer, every NI / channel / router
+// counter, credit state, and the final configuration-register file. A
+// 16x16-mesh scenario repeats the cross-check at the scale the SoA engine
+// exists for.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -16,6 +17,9 @@
 
 #include "core/registers.h"
 #include "ip/stream.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "sim/engine.h"
 #include "soc/soc.h"
 #include "topology/builders.h"
 #include "util/rng.h"
@@ -123,13 +127,13 @@ constexpr int kChannelsPerNi = 2;
 /// Bernoulli producers at different rates. Two ports run on slower clocks
 /// to exercise the CDC machinery, the multi-clock edge heap, and
 /// cross-domain wakes with large clock ratios.
-Workload MakeWorkload(bool optimize) {
+Workload MakeWorkload(sim::EngineKind engine) {
   Workload w;
   auto mesh = topology::BuildMesh(2, 2, 1);
   std::vector<core::NiKernelParams> params(
       kNis, NiWithChannels(kChannelsPerNi));
   SocOptions options;
-  options.optimize_engine = optimize;
+  options.engine = engine;
   options.port_mhz[{1, 0}] = 200.0;  // NI1's port crosses clock domains
   options.port_mhz[{3, 0}] = 50.0;   // NI3's port is 10x slower than net
   w.soc = std::make_unique<Soc>(std::move(mesh.topology), std::move(params),
@@ -275,29 +279,76 @@ void ExpectChannelStatsEq(const core::ChannelStats& a,
 
 #undef EXPECT_FIELD_EQ
 
-TEST(EngineDeterminism, OptimizedMatchesNaiveBitExactly) {
-  Workload optimized = MakeWorkload(/*optimize=*/true);
-  Workload naive = MakeWorkload(/*optimize=*/false);
-  DriveWorkload(optimized);
+TEST(EngineDeterminism, AllThreeEnginesMatchBitExactly) {
+  Workload naive = MakeWorkload(sim::EngineKind::kNaive);
   DriveWorkload(naive);
+  const Snapshot b = Capture(naive);
 
-  Snapshot a = Capture(optimized);
-  Snapshot b = Capture(naive);
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kOptimized, sim::EngineKind::kSoa}) {
+    SCOPED_TRACE(sim::EngineKindName(engine));
+    Workload w = MakeWorkload(engine);
+    DriveWorkload(w);
+    const Snapshot a = Capture(w);
 
-  for (int i = 0; i < 3; ++i) {
-    EXPECT_FALSE(a.traces[i].empty()) << "stream " << i << " delivered nothing";
-    EXPECT_EQ(a.traces[i], b.traces[i]) << "delivery trace of stream " << i;
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(a.traces[i].empty())
+          << "stream " << i << " delivered nothing";
+      EXPECT_EQ(a.traces[i], b.traces[i]) << "delivery trace of stream " << i;
+    }
+    for (NiId n = 0; n < kNis; ++n) {
+      SCOPED_TRACE("ni" + std::to_string(n));
+      ExpectNiStatsEq(a.ni_stats[n], b.ni_stats[n]);
+      ExpectRouterStatsEq(a.router_stats[n], b.router_stats[n]);
+      EXPECT_EQ(a.registers[n], b.registers[n]);
+      for (ChannelId c = 0; c < kChannelsPerNi; ++c) {
+        SCOPED_TRACE("channel " + std::to_string(c));
+        ExpectChannelStatsEq(a.ch_stats[n][c], b.ch_stats[n][c]);
+        EXPECT_EQ(a.space[n][c], b.space[n][c]);
+        EXPECT_EQ(a.credits_owed[n][c], b.credits_owed[n][c]);
+      }
+    }
   }
-  for (NiId n = 0; n < kNis; ++n) {
-    SCOPED_TRACE("ni" + std::to_string(n));
-    ExpectNiStatsEq(a.ni_stats[n], b.ni_stats[n]);
-    ExpectRouterStatsEq(a.router_stats[n], b.router_stats[n]);
-    EXPECT_EQ(a.registers[n], b.registers[n]);
-    for (ChannelId c = 0; c < kChannelsPerNi; ++c) {
-      SCOPED_TRACE("channel " + std::to_string(c));
-      ExpectChannelStatsEq(a.ch_stats[n][c], b.ch_stats[n][c]);
-      EXPECT_EQ(a.space[n][c], b.space[n][c]);
-      EXPECT_EQ(a.credits_owed[n][c], b.credits_owed[n][c]);
+}
+
+// The SoA engine's reason to exist is large meshes, so the cross-check
+// must also run at a scale where its flattened scheduling state (activity
+// bitmaps spanning many words, the wire-pool slab, router pending masks)
+// is actually exercised: a 16x16 mesh, 256 NIs, mixed uniform BE traffic
+// plus a multi-hop GT flow, compared byte-for-byte across all three
+// engines via the scenario result JSON (which folds in every flow trace
+// summary, latency percentile, and SoC counter).
+TEST(EngineDeterminism, SixteenBySixteenMeshMatchesAcrossEngines) {
+  // Flows stay within the kMaxPathHops source-route budget (the header
+  // word encodes at most 7 ports), so they are scattered local pairs plus
+  // two maximal-length GT routes, not a global permutation.
+  const char* kSpec =
+      "scenario det16\n"
+      "noc mesh 16 16 1\n"
+      "warmup 300\n"
+      "duration 1200\n"
+      "traffic pairs 0 1 17 16 35 34 120 121 250 249 67 83 140 156"
+      " inject bernoulli 0.1\n"
+      "traffic pairs 0 51 qos gt 2 inject periodic 6\n"
+      "traffic pairs 255 204 qos gt 1 inject periodic 9\n";
+  auto spec = scenario::ParseScenario(kSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+
+  std::string reference;
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kNaive, sim::EngineKind::kOptimized,
+        sim::EngineKind::kSoa}) {
+    SCOPED_TRACE(sim::EngineKindName(engine));
+    spec->engine = engine;
+    scenario::ScenarioRunner runner(*spec);
+    auto result = runner.Run();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT(result->words_in_window, 0);
+    if (reference.empty()) {
+      reference = result->ToJson();
+    } else {
+      EXPECT_EQ(result->ToJson(), reference)
+          << "16x16 mesh diverged from the naive reference";
     }
   }
 }
@@ -306,18 +357,23 @@ TEST(EngineDeterminism, OptimizedMatchesNaiveBitExactly) {
 // above proves nothing about gating. After the producers stop and the
 // network drains, every NI kernel and router must be asleep.
 TEST(EngineDeterminism, GatingActuallyParksIdleModules) {
-  Workload w = MakeWorkload(/*optimize=*/true);
-  w.soc->RunCycles(3000);
-  for (auto& producer : w.producers) producer->Stop();
-  w.soc->RunCycles(1000);  // drain in-flight packets and credit returns
-  for (NiId n = 0; n < kNis; ++n) {
-    EXPECT_TRUE(w.soc->ni(n)->parked()) << "ni" << n << " still awake";
-    EXPECT_TRUE(w.soc->router(n)->parked()) << "router" << n << " still awake";
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kOptimized, sim::EngineKind::kSoa}) {
+    SCOPED_TRACE(sim::EngineKindName(engine));
+    Workload w = MakeWorkload(engine);
+    w.soc->RunCycles(3000);
+    for (auto& producer : w.producers) producer->Stop();
+    w.soc->RunCycles(1000);  // drain in-flight packets and credit returns
+    for (NiId n = 0; n < kNis; ++n) {
+      EXPECT_TRUE(w.soc->ni(n)->parked()) << "ni" << n << " still awake";
+      EXPECT_TRUE(w.soc->router(n)->parked())
+          << "router" << n << " still awake";
+    }
   }
 }
 
 TEST(EngineDeterminism, KillSwitchDisablesParking) {
-  Workload w = MakeWorkload(/*optimize=*/false);
+  Workload w = MakeWorkload(sim::EngineKind::kNaive);
   w.soc->RunCycles(3000);
   for (NiId n = 0; n < kNis; ++n) {
     EXPECT_FALSE(w.soc->ni(n)->parked());

@@ -7,14 +7,15 @@
 // the fault models are corrupting state they claim not to touch. With the
 // retry policy enabled, the same seed must recover: config writes are
 // re-issued until acknowledged and the run completes with nonzero retry
-// counters. Fixed seeds keep every assertion deterministic on both
-// engines.
+// counters. Fixed seeds keep every assertion deterministic on every
+// engine.
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "sim/engine.h"
 #include "util/status.h"
 
 namespace aethereal::scenario {
@@ -197,19 +198,22 @@ TEST(FaultTest, FixedSeedFaultsAreEngineInvariant) {
   auto spec = ParseScenario(text);
   ASSERT_TRUE(spec.ok()) << spec.status();
 
-  spec->optimize_engine = true;
-  ScenarioRunner optimized(*spec);
-  auto opt = optimized.Run();
-  ASSERT_TRUE(opt.ok()) << opt.status();
-
-  spec->optimize_engine = false;
+  spec->engine = sim::EngineKind::kNaive;
   ScenarioRunner naive(*spec);
-  auto nav = naive.Run();
-  ASSERT_TRUE(nav.ok()) << nav.status();
+  auto ref = naive.Run();
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  ASSERT_TRUE(ref->fault.has_value());
+  EXPECT_EQ(ref->fault->monitor_unexplained_violations, 0);
 
-  EXPECT_EQ(opt->ToJson(), nav->ToJson());
-  ASSERT_TRUE(opt->fault.has_value());
-  EXPECT_EQ(opt->fault->monitor_unexplained_violations, 0);
+  for (sim::EngineKind engine :
+       {sim::EngineKind::kOptimized, sim::EngineKind::kSoa}) {
+    SCOPED_TRACE(sim::EngineKindName(engine));
+    spec->engine = engine;
+    ScenarioRunner gated(*spec);
+    auto run = gated.Run();
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->ToJson(), ref->ToJson());
+  }
 }
 
 TEST(FaultTest, FaultSectionAppearsInJson) {

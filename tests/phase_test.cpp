@@ -11,6 +11,7 @@
 #include "core/registers.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "sim/engine.h"
 #include "sim/kernel.h"
 #include "util/status.h"
 
@@ -194,23 +195,25 @@ TEST(PhasedRunTest, VerifiedRunIsByteIdenticalAcrossEnginesAndVerify) {
   auto spec = ParseScenario(kSwitchSpec);
   ASSERT_TRUE(spec.ok()) << spec.status();
 
-  auto run = [&](bool optimized, bool verify) {
+  auto run = [&](sim::EngineKind engine, bool verify) {
     ScenarioSpec variant = *spec;
-    variant.optimize_engine = optimized;
+    variant.engine = engine;
     variant.verify = verify;
     ScenarioRunner runner(variant);
     auto result = runner.Run();
     EXPECT_TRUE(result.ok()) << result.status();
-    // Neutralize the spec-echo fields that differ by construction.
-    result->spec.optimize_engine = true;
-    result->spec.verify = false;
     return result.ok() ? result->ToJson() : std::string();
   };
-  const std::string baseline = run(true, false);
+  const std::string baseline = run(sim::EngineKind::kOptimized, false);
   ASSERT_FALSE(baseline.empty());
-  EXPECT_EQ(run(false, false), baseline) << "naive engine diverged";
-  EXPECT_EQ(run(true, true), baseline) << "verification perturbed the run";
-  EXPECT_EQ(run(false, true), baseline) << "verified naive run diverged";
+  for (sim::EngineKind engine : {sim::EngineKind::kNaive,
+                                 sim::EngineKind::kOptimized,
+                                 sim::EngineKind::kSoa}) {
+    SCOPED_TRACE(sim::EngineKindName(engine));
+    EXPECT_EQ(run(engine, false), baseline) << "engine diverged";
+    EXPECT_EQ(run(engine, true), baseline)
+        << "verification perturbed the run";
+  }
 }
 
 TEST(PhasedRunTest, GtBoundsAreRejectedForPhasedScenarios) {

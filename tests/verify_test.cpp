@@ -1,6 +1,6 @@
 // The guarantee-verification layer: analytical bound model unit tests,
 // non-invasiveness of the runtime monitor (verified runs are byte-identical
-// to unverified ones), a clean verified run on a canonical scenario on both
+// to unverified ones), a clean verified run on a canonical scenario on all
 // engines, the analytical latency/throughput checks on a GT flow, and the
 // negative test: a deliberately corrupted slot table is caught.
 #include <gtest/gtest.h>
@@ -10,6 +10,7 @@
 #include "core/registers.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
+#include "sim/engine.h"
 #include "soc/soc.h"
 #include "verify/bounds.h"
 #include "verify/monitor.h"
@@ -91,16 +92,19 @@ scenario::ScenarioSpec GtPairSpec() {
 
 TEST(VerifiedRun, MonitorIsNonInvasive) {
   // The verified run must produce the byte-identical result document on
-  // both engines — arming the monitor cannot perturb the simulation.
+  // every engine — arming the monitor cannot perturb the simulation.
   scenario::ScenarioSpec plain = GtPairSpec();
   scenario::ScenarioRunner baseline(plain);
   auto expected = baseline.Run();
   ASSERT_TRUE(expected.ok()) << expected.status();
 
-  for (bool optimized : {true, false}) {
+  for (sim::EngineKind engine : {sim::EngineKind::kNaive,
+                                 sim::EngineKind::kOptimized,
+                                 sim::EngineKind::kSoa}) {
+    SCOPED_TRACE(sim::EngineKindName(engine));
     scenario::ScenarioSpec spec = GtPairSpec();
     spec.verify = true;
-    spec.optimize_engine = optimized;
+    spec.engine = engine;
     scenario::ScenarioRunner runner(spec);
     auto verified = runner.Run();
     ASSERT_TRUE(verified.ok()) << verified.status();

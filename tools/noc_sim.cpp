@@ -3,14 +3,15 @@
 // Parses one or more declarative scenario specs (see src/scenario/spec.h
 // for the format), wires and runs each on the cycle engine, prints a
 // human-readable summary, and emits a machine-readable result JSON
-// (deterministic for a given spec + seed, on either engine).
+// (deterministic for a given spec + seed, on any engine).
 //
 // Usage:
 //   noc_sim [options] SPEC_FILE...
 //     -o FILE             write result JSON to FILE (single spec: the
 //                         scenario object; several specs: an array).
 //                         '-' writes JSON to stdout.
-//     --engine E          override the spec's engine (optimized | naive)
+//     --engine E          override the spec's engine (naive | optimized |
+//                         soa)
 //     --seed N            override the spec's RNG seed
 //     --duration N        override the spec's measured-cycle count
 //     --verify            arm the guarantee-verification layer (runtime
@@ -30,19 +31,17 @@
 // Exit status: 0 on success, 1 on parse/build/run failure, 3 when a
 // bounded wait expired (drain window, config-ack timeout without retry),
 // 4 when the config retry policy exhausted its budget.
-#include <fstream>
 #include <iostream>
 #include <limits>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "fault/spec.h"
 #include "scenario/inspect.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
-#include "util/parse.h"
 #include "util/table.h"
 
 using namespace aethereal;
@@ -50,86 +49,41 @@ using namespace aethereal;
 namespace {
 
 struct CliOptions {
+  cli::CommonOptions common;
   std::vector<std::string> spec_paths;
-  std::string json_path;  // empty: no JSON output
-  std::optional<bool> optimize_engine;
-  std::optional<std::uint64_t> seed;
   std::optional<Cycle> duration;
-  std::string fault_path;  // empty: no fault-file override
-  bool verify = false;
   bool validate = false;
   bool print = false;
   bool quiet = false;
 };
 
-/// CLI exit code of a failed run: bounded-wait expiries and exhausted
-/// retry budgets get their own codes so scripts can tell "the workload is
-/// wedged" from "the spec is wrong" without parsing stderr.
-int ExitCodeOf(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kTimeout:
-      return 3;
-    case StatusCode::kRetriesExhausted:
-      return 4;
-    default:
-      return 1;
-  }
-}
-
 void PrintUsage(std::ostream& os) {
-  os << "usage: noc_sim [-o FILE] [--engine optimized|naive] [--seed N]\n"
-        "               [--duration N] [--verify] [--fault FILE]\n"
-        "               [--validate] [--print] [--quiet] SPEC_FILE...\n";
+  cli::PrintUsage(os, "noc_sim",
+                  {"[-o FILE]",
+                   std::string("[--engine ") + sim::kEngineKindChoices + "]",
+                   "[--seed N]", "[--duration N]", "[--verify]",
+                   "[--fault FILE]", "[--validate]", "[--print]", "[--quiet]",
+                   "SPEC_FILE..."});
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "noc_sim: " << arg << " needs a value\n";
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "-o" || arg == "--output") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      options->json_path = v;
-    } else if (arg == "--engine") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      const std::string engine = v;
-      if (engine != "optimized" && engine != "naive") {
-        std::cerr << "noc_sim: --engine must be 'optimized' or 'naive'\n";
+  cli::ArgReader args("noc_sim", argc, argv);
+  while (args.Next()) {
+    switch (cli::MatchCommonArg(args, &options->common)) {
+      case cli::Match::kYes:
+        continue;
+      case cli::Match::kError:
         return false;
-      }
-      options->optimize_engine = engine == "optimized";
-    } else if (arg == "--seed" || arg == "--duration") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      const auto parsed = ParseU64(v);
-      if (!parsed || (arg == "--duration" &&
-                      (*parsed < 1 ||
-                       *parsed > static_cast<std::uint64_t>(
-                                     std::numeric_limits<Cycle>::max())))) {
-        std::cerr << "noc_sim: " << arg << " needs a "
-                  << (arg == "--seed" ? "non-negative integer"
-                                      : "cycle count >= 1")
-                  << ", got '" << v << "'\n";
-        return false;
-      }
-      if (arg == "--seed") {
-        options->seed = *parsed;
-      } else {
-        options->duration = static_cast<Cycle>(*parsed);
-      }
-    } else if (arg == "--verify") {
-      options->verify = true;
-    } else if (arg == "--fault") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      options->fault_path = v;
+      case cli::Match::kNo:
+        break;
+    }
+    const std::string& arg = args.Arg();
+    if (arg == "--duration") {
+      const auto parsed = args.U64Value(
+          "a cycle count >= 1", 1,
+          static_cast<std::uint64_t>(std::numeric_limits<Cycle>::max()));
+      if (!parsed.has_value()) return false;
+      options->duration = static_cast<Cycle>(*parsed);
     } else if (arg == "--validate") {
       options->validate = true;
     } else if (arg == "--print") {
@@ -139,7 +93,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "-h" || arg == "--help") {
       PrintUsage(std::cout);
       std::exit(0);
-    } else if (!arg.empty() && arg[0] == '-') {
+    } else if (args.IsOption()) {
       std::cerr << "noc_sim: unknown option '" << arg << "'\n";
       return false;
     } else {
@@ -153,15 +107,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   }
   // '-o -' streams the document to stdout, which must then be valid JSON:
   // suppress the human-readable summary.
-  if (options->json_path == "-") options->quiet = true;
+  if (options->common.output_path == "-") options->quiet = true;
   return true;
 }
 
-void PrintSummary(const scenario::ScenarioResult& result, bool optimized) {
+void PrintSummary(const scenario::ScenarioResult& result,
+                  sim::EngineKind engine) {
   std::cout << "=== scenario " << result.spec.name << " ("
             << scenario::TopologyKindName(result.spec.topology) << ", "
-            << result.spec.NumNis() << " NIs, "
-            << (optimized ? "optimized" : "naive") << " engine";
+            << result.spec.NumNis() << " NIs, " << sim::EngineKindName(engine)
+            << " engine";
   if (result.spec.Phased()) {
     std::cout << ", " << result.spec.phases.size() << " phases";
   }
@@ -264,14 +219,10 @@ int main(int argc, char** argv) {
   if (options.validate || options.print) return ValidateSpecs(options);
 
   std::optional<fault::FaultSpec> fault_override;
-  if (!options.fault_path.empty()) {
-    auto loaded = fault::LoadFaultFile(options.fault_path);
-    if (!loaded.ok()) {
-      std::cerr << "noc_sim: --fault " << options.fault_path << ": "
-                << loaded.status() << "\n";
-      return 1;
-    }
-    fault_override = std::move(*loaded);
+  if (!options.common.fault_path.empty()) {
+    fault_override =
+        cli::LoadFaultOverride("noc_sim", options.common.fault_path);
+    if (!fault_override.has_value()) return 1;
   }
 
   std::vector<std::string> jsons;
@@ -283,21 +234,16 @@ int main(int argc, char** argv) {
     }
     if (fault_override.has_value()) {
       // Same rule the scenario parser enforces for in-file fault blocks.
-      if ((fault_override->AnyConfigFaults() ||
-           fault_override->retry.enabled) &&
-          !spec->Phased()) {
-        std::cerr << "noc_sim: --fault " << options.fault_path << ": config "
-                  << "faults and the retry policy act on the runtime "
-                  << "configuration protocol, which only phased scenarios "
-                  << "exercise ('" << path << "' is not phased)\n";
+      if (!cli::FaultOverrideApplies("noc_sim", options.common.fault_path,
+                                     *fault_override, *spec, path)) {
         return 1;
       }
       spec->fault = fault_override;
     }
-    if (options.optimize_engine) {
-      spec->optimize_engine = *options.optimize_engine;
+    if (options.common.engine.has_value()) {
+      cli::SelectEngine(&*spec, *options.common.engine);
     }
-    if (options.seed) spec->seed = *options.seed;
+    if (options.common.seed) spec->seed = *options.common.seed;
     if (options.duration) {
       if (spec->Phased()) {
         std::cerr << "noc_sim: " << path << ": --duration cannot override a "
@@ -306,7 +252,7 @@ int main(int argc, char** argv) {
       }
       spec->duration = *options.duration;
     }
-    if (options.verify) spec->verify = true;
+    if (options.common.verify) spec->verify = true;
 
     scenario::ScenarioRunner runner(*spec);
     auto result = runner.Run();
@@ -319,41 +265,17 @@ int main(int argc, char** argv) {
         std::cerr << "noc_sim: the config retry policy spent its whole "
                      "budget without an ack\n";
       }
-      return ExitCodeOf(result.status());
+      return cli::ExitCodeOf(result.status());
     }
-    if (!options.quiet) PrintSummary(*result, spec->optimize_engine);
+    if (!options.quiet) PrintSummary(*result, spec->ResolvedEngine());
     jsons.push_back(result->ToJson());
   }
 
-  if (!options.json_path.empty()) {
+  if (!options.common.output_path.empty()) {
     // Single spec: the scenario object. Several: a JSON array of them.
-    std::string document;
-    if (jsons.size() == 1) {
-      document = jsons.front();
-    } else {
-      document = "[\n";
-      for (std::size_t i = 0; i < jsons.size(); ++i) {
-        std::string entry = jsons[i];
-        if (!entry.empty() && entry.back() == '\n') entry.pop_back();
-        document += entry;
-        document += i + 1 < jsons.size() ? ",\n" : "\n";
-      }
-      document += "]\n";
-    }
-    if (options.json_path == "-") {
-      std::cout << document;
-    } else {
-      std::ofstream out(options.json_path);
-      out << document;
-      out.flush();
-      if (!out.good()) {
-        std::cerr << "noc_sim: failed writing '" << options.json_path
-                  << "'\n";
-        return 1;
-      }
-      if (!options.quiet) {
-        std::cout << "wrote " << options.json_path << "\n";
-      }
+    if (!cli::WriteOutput("noc_sim", options.common.output_path,
+                          cli::JoinJsonDocuments(jsons), options.quiet)) {
+      return 1;
     }
   }
   return 0;

@@ -21,8 +21,11 @@
 //     --verify            arm the guarantee-verification layer in every
 //                         grid point and saturation probe; any violation
 //                         fails the sweep
-//     --engine E          override the base scenario's engine
-//                         (optimized | naive) for every point
+//     --engine E          override the base scenario's engine (naive |
+//                         optimized | soa) for every point
+//     --seed N            override the base scenario's RNG seed
+//     --fault FILE        arm the fault models from a fault file in every
+//                         grid point (replaces the base's fault block)
 //     --validate          expand and fully validate every grid point
 //                         (parse + pattern + wiring) without running
 //     --quiet             suppress the human-readable summary
@@ -31,16 +34,16 @@
 // grid point timed out on a bounded wait, 4 when a grid point exhausted
 // its config retry budget.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "cli_common.h"
+#include "fault/spec.h"
 #include "scenario/inspect.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
@@ -51,77 +54,52 @@ using namespace aethereal;
 namespace {
 
 struct CliOptions {
+  cli::CommonOptions common;
   std::vector<std::string> sweep_paths;
-  std::string json_path;   // empty: no JSON output
   std::string csv_path;    // empty: no CSV output
   std::string curve_param; // empty: point CSV
   std::vector<std::pair<std::string, std::string>> axis_overrides;
   int jobs = 0;            // 0: hardware concurrency
-  bool verify = false;
-  std::optional<bool> optimize_engine;
   bool validate = false;
   bool quiet = false;
 };
 
-/// CLI exit code of a failed run (mirrors noc_sim): 3 = bounded wait
-/// expired, 4 = retry budget exhausted, 1 = everything else.
-int ExitCodeOf(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kTimeout:
-      return 3;
-    case StatusCode::kRetriesExhausted:
-      return 4;
-    default:
-      return 1;
-  }
-}
-
 void PrintUsage(std::ostream& os) {
-  os << "usage: noc_sweep [--jobs N] [-o FILE] [--csv FILE] [--curve PARAM]\n"
-        "                 [--axis PARAM=V1,V2,...] [--verify]\n"
-        "                 [--engine optimized|naive] [--validate] [--quiet]\n"
-        "                 SWEEP_FILE...\n";
+  cli::PrintUsage(os, "noc_sweep",
+                  {"[--jobs N]", "[-o FILE]", "[--csv FILE]",
+                   "[--curve PARAM]", "[--axis PARAM=V1,V2,...]",
+                   "[--verify]",
+                   std::string("[--engine ") + sim::kEngineKindChoices + "]",
+                   "[--seed N]", "[--fault FILE]", "[--validate]",
+                   "[--quiet]", "SWEEP_FILE..."});
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "noc_sweep: " << arg << " needs a value\n";
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "-o" || arg == "--output") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      options->json_path = v;
-    } else if (arg == "--csv") {
-      const char* v = value();
+  cli::ArgReader args("noc_sweep", argc, argv);
+  while (args.Next()) {
+    switch (cli::MatchCommonArg(args, &options->common)) {
+      case cli::Match::kYes:
+        continue;
+      case cli::Match::kError:
+        return false;
+      case cli::Match::kNo:
+        break;
+    }
+    const std::string& arg = args.Arg();
+    if (arg == "--csv") {
+      const char* v = args.Value();
       if (v == nullptr) return false;
       options->csv_path = v;
     } else if (arg == "--curve") {
-      const char* v = value();
+      const char* v = args.Value();
       if (v == nullptr) return false;
       options->curve_param = v;
     } else if (arg == "--jobs") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      try {
-        std::size_t pos = 0;
-        const int jobs = std::stoi(v, &pos);
-        if (pos != std::string(v).size() || jobs < 1 || jobs > 1024) {
-          throw std::invalid_argument(v);
-        }
-        options->jobs = jobs;
-      } catch (const std::exception&) {
-        std::cerr << "noc_sweep: --jobs needs an integer in [1, 1024], got '"
-                  << v << "'\n";
-        return false;
-      }
+      const auto parsed = args.U64Value("an integer in [1, 1024]", 1, 1024);
+      if (!parsed.has_value()) return false;
+      options->jobs = static_cast<int>(*parsed);
     } else if (arg == "--axis") {
-      const char* v = value();
+      const char* v = args.Value();
       if (v == nullptr) return false;
       const std::string spec = v;
       const auto eq = spec.find('=');
@@ -132,17 +110,6 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
       options->axis_overrides.emplace_back(spec.substr(0, eq),
                                            spec.substr(eq + 1));
-    } else if (arg == "--verify") {
-      options->verify = true;
-    } else if (arg == "--engine") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      const std::string engine = v;
-      if (engine != "optimized" && engine != "naive") {
-        std::cerr << "noc_sweep: --engine must be 'optimized' or 'naive'\n";
-        return false;
-      }
-      options->optimize_engine = engine == "optimized";
     } else if (arg == "--validate") {
       options->validate = true;
     } else if (arg == "--quiet") {
@@ -150,7 +117,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "-h" || arg == "--help") {
       PrintUsage(std::cout);
       std::exit(0);
-    } else if (!arg.empty() && arg[0] == '-') {
+    } else if (args.IsOption()) {
       std::cerr << "noc_sweep: unknown option '" << arg << "'\n";
       return false;
     } else {
@@ -170,7 +137,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::cerr << "noc_sweep: --curve needs --csv FILE\n";
     return false;
   }
-  if (options->json_path == "-") options->quiet = true;
+  if (options->common.output_path == "-") options->quiet = true;
   return true;
 }
 
@@ -288,19 +255,6 @@ void PrintSummary(const sweep::SweepResult& result) {
   std::cout << "\n";
 }
 
-bool WriteFile(const std::string& path, const std::string& content,
-               bool quiet) {
-  std::ofstream out(path);
-  out << content;
-  out.flush();
-  if (!out.good()) {
-    std::cerr << "noc_sweep: failed writing '" << path << "'\n";
-    return false;
-  }
-  if (!quiet) std::cout << "wrote " << path << "\n";
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -310,6 +264,13 @@ int main(int argc, char** argv) {
       options.jobs > 0
           ? options.jobs
           : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  std::optional<fault::FaultSpec> fault_override;
+  if (!options.common.fault_path.empty()) {
+    fault_override =
+        cli::LoadFaultOverride("noc_sweep", options.common.fault_path);
+    if (!fault_override.has_value()) return 1;
+  }
 
   int validate_failures = 0;
   std::vector<std::string> jsons;
@@ -329,11 +290,21 @@ int main(int argc, char** argv) {
       ++validate_failures;
       continue;
     }
-    // Materialized points copy the base spec, so these flags reach every
-    // grid point and saturation probe.
-    if (options.verify) spec->base.verify = true;
-    if (options.optimize_engine) {
-      spec->base.optimize_engine = *options.optimize_engine;
+    // Materialized points copy the base spec, so these overrides reach
+    // every grid point and saturation probe.
+    if (options.common.verify) spec->base.verify = true;
+    if (options.common.engine.has_value()) {
+      cli::SelectEngine(&spec->base, *options.common.engine);
+    }
+    if (options.common.seed) spec->base.seed = *options.common.seed;
+    if (fault_override.has_value()) {
+      if (!cli::FaultOverrideApplies("noc_sweep", options.common.fault_path,
+                                     *fault_override, spec->base, path)) {
+        if (!options.validate) return 1;
+        ++validate_failures;
+        continue;
+      }
+      spec->base.fault = fault_override;
     }
 
     if (options.validate) {
@@ -345,7 +316,7 @@ int main(int argc, char** argv) {
     auto result = runner.Run(jobs);
     if (!result.ok()) {
       std::cerr << "noc_sweep: " << path << ": " << result.status() << "\n";
-      return ExitCodeOf(result.status());
+      return cli::ExitCodeOf(result.status());
     }
     if (!options.quiet) PrintSummary(*result);
     jsons.push_back(result->ToJson());
@@ -363,28 +334,17 @@ int main(int argc, char** argv) {
         }
         csv = *curve;
       }
-      if (!WriteFile(options.csv_path, csv, options.quiet)) return 1;
+      if (!cli::WriteOutput("noc_sweep", options.csv_path, csv,
+                            options.quiet)) {
+        return 1;
+      }
     }
   }
   if (options.validate) return validate_failures == 0 ? 0 : 1;
 
-  if (!options.json_path.empty()) {
-    std::string document;
-    if (jsons.size() == 1) {
-      document = jsons.front();
-    } else {
-      document = "[\n";
-      for (std::size_t i = 0; i < jsons.size(); ++i) {
-        std::string entry = jsons[i];
-        if (!entry.empty() && entry.back() == '\n') entry.pop_back();
-        document += entry;
-        document += i + 1 < jsons.size() ? ",\n" : "\n";
-      }
-      document += "]\n";
-    }
-    if (options.json_path == "-") {
-      std::cout << document;
-    } else if (!WriteFile(options.json_path, document, options.quiet)) {
+  if (!options.common.output_path.empty()) {
+    if (!cli::WriteOutput("noc_sweep", options.common.output_path,
+                          cli::JoinJsonDocuments(jsons), options.quiet)) {
       return 1;
     }
   }

@@ -4,12 +4,16 @@
 // verification layer armed: the runtime invariant monitor (slot-table
 // conformance, GT timing, flit integrity/ordering, credit conservation)
 // plus the analytical GT throughput/latency bound checks. By default every
-// workload runs on BOTH engines and the result JSON is compared
-// byte-for-byte across them.
+// workload runs on ALL THREE engines (naive, optimized, soa) and the
+// result JSON is compared byte-for-byte across them.
 //
 // Usage:
 //   noc_verify [options] [SPEC_FILE...]
-//     --engine E          optimized | naive | both     (default both)
+//     --engine E          naive | optimized | soa | all  (default all;
+//                         'both' is a deprecated alias for all)
+//     -o FILE             write the verified result JSON to FILE (single
+//                         workload: the scenario object; several: an
+//                         array). '-' writes JSON to stdout.
 //     --fuzz N            also run N seeded random conformance configs
 //     --fault FILE        arm the fault models from a fault file in every
 //                         SPEC_FILE workload (replaces the spec's own
@@ -23,18 +27,18 @@
 //     --bounds            print the analytical GT bound table per workload
 //     --quiet             only report failures
 //
-// Exit status: 0 when every run passed verified (and, with --engine both,
-// every pair of runs agreed bit-for-bit); 3 when the worst failure was a
+// Exit status: 0 when every run passed verified (and every pair of
+// same-workload runs agreed bit-for-bit); 3 when the worst failure was a
 // bounded-wait expiry, 4 when a retry budget ran out, 1 otherwise.
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "fault/spec.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
-#include "util/parse.h"
 #include "util/table.h"
 #include "verify/fuzz.h"
 #include "verify/monitor.h"
@@ -44,69 +48,50 @@ using namespace aethereal;
 namespace {
 
 struct CliOptions {
+  cli::CommonOptions common;
   std::vector<std::string> spec_paths;
-  bool run_optimized = true;
-  bool run_naive = true;
   int fuzz = 0;
   int fault_fuzz = 0;
-  std::string fault_path;  // empty: no fault-file override
-  std::uint64_t seed = 1;
   bool bounds = false;
   bool quiet = false;
+
+  /// The engines every workload runs on: one with --engine E, all three
+  /// (cross-checked byte-for-byte) by default or with --engine all.
+  std::vector<sim::EngineKind> Engines() const {
+    if (common.engine.has_value()) return {*common.engine};
+    return {sim::EngineKind::kNaive, sim::EngineKind::kOptimized,
+            sim::EngineKind::kSoa};
+  }
 };
 
 void PrintUsage(std::ostream& os) {
-  os << "usage: noc_verify [--engine optimized|naive|both] [--fuzz N]\n"
-        "                  [--fault FILE] [--fault-fuzz N] [--seed S]\n"
-        "                  [--bounds] [--quiet] [SPEC_FILE...]\n";
+  cli::PrintUsage(os, "noc_verify",
+                  {std::string("[--engine ") + sim::kEngineKindChoices +
+                       "|all]",
+                   "[-o FILE]", "[--fuzz N]", "[--fault FILE]",
+                   "[--fault-fuzz N]", "[--seed S]", "[--bounds]",
+                   "[--quiet]", "[SPEC_FILE...]"});
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "noc_verify: " << arg << " needs a value\n";
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--engine") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      const std::string engine = v;
-      if (engine == "optimized") {
-        options->run_naive = false;
-      } else if (engine == "naive") {
-        options->run_optimized = false;
-      } else if (engine != "both") {
-        std::cerr << "noc_verify: --engine must be optimized, naive or "
-                     "both\n";
+  cli::ArgReader args("noc_verify", argc, argv);
+  while (args.Next()) {
+    switch (cli::MatchCommonArg(args, &options->common,
+                                /*allow_engine_all=*/true)) {
+      case cli::Match::kYes:
+        continue;
+      case cli::Match::kError:
         return false;
-      }
-    } else if (arg == "--fuzz" || arg == "--fault-fuzz" || arg == "--seed") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      const auto parsed = ParseU64(v);
-      if (!parsed) {
-        std::cerr << "noc_verify: " << arg
-                  << " needs a non-negative integer, got '" << v << "'\n";
-        return false;
-      }
-      if (arg == "--seed") {
-        options->seed = *parsed;
-      } else {
-        if (*parsed > 1'000'000) {
-          std::cerr << "noc_verify: " << arg << " batch too large\n";
-          return false;
-        }
-        (arg == "--fuzz" ? options->fuzz : options->fault_fuzz) =
-            static_cast<int>(*parsed);
-      }
-    } else if (arg == "--fault") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      options->fault_path = v;
+      case cli::Match::kNo:
+        break;
+    }
+    const std::string& arg = args.Arg();
+    if (arg == "--fuzz" || arg == "--fault-fuzz") {
+      const auto parsed =
+          args.U64Value("a batch size in [0, 1000000]", 0, 1'000'000);
+      if (!parsed.has_value()) return false;
+      (arg == "--fuzz" ? options->fuzz : options->fault_fuzz) =
+          static_cast<int>(*parsed);
     } else if (arg == "--bounds") {
       options->bounds = true;
     } else if (arg == "--quiet") {
@@ -114,7 +99,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "-h" || arg == "--help") {
       PrintUsage(std::cout);
       std::exit(0);
-    } else if (!arg.empty() && arg[0] == '-') {
+    } else if (args.IsOption()) {
       std::cerr << "noc_verify: unknown option '" << arg << "'\n";
       return false;
     } else {
@@ -128,10 +113,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     PrintUsage(std::cerr);
     return false;
   }
-  if (!options->fault_path.empty() && options->spec_paths.empty()) {
+  if (!options->common.fault_path.empty() && options->spec_paths.empty()) {
     std::cerr << "noc_verify: --fault needs SPEC_FILE workloads to arm\n";
     return false;
   }
+  if (options->common.output_path == "-") options->quiet = true;
   return true;
 }
 
@@ -157,24 +143,12 @@ void PrintBounds(const std::string& label,
   table.Print(std::cout);
 }
 
-/// CLI exit code of a failed run (mirrors noc_sim): 3 = bounded wait
-/// expired, 4 = retry budget exhausted, 1 = everything else.
-int ExitCodeOf(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kTimeout:
-      return 3;
-    case StatusCode::kRetriesExhausted:
-      return 4;
-    default:
-      return 1;
-  }
-}
-
-/// Runs one workload verified on the selected engines; returns 0 on pass
-/// or the exit code of the first verification failure / cross-engine
+/// Runs one workload verified on the selected engines; appends the
+/// (cross-checked) result JSON to `jsons` on pass. Returns 0 on pass or
+/// the exit code of the first verification failure / cross-engine
 /// divergence.
 int RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
-                const std::string& label) {
+                const std::string& label, std::vector<std::string>* jsons) {
   spec.verify = true;
   if (options.bounds) {
     scenario::ScenarioRunner prober(spec);
@@ -186,13 +160,9 @@ int RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
     PrintBounds(label, *bounds);
   }
 
-  std::vector<std::pair<const char*, bool>> engines;
-  if (options.run_optimized) engines.emplace_back("optimized", true);
-  if (options.run_naive) engines.emplace_back("naive", false);
-
-  std::vector<std::string> jsons;
-  for (const auto& [engine_name, optimized] : engines) {
-    spec.optimize_engine = optimized;
+  std::vector<std::string> engine_jsons;
+  for (const sim::EngineKind engine : options.Engines()) {
+    cli::SelectEngine(&spec, engine);
     scenario::ScenarioRunner runner(spec);
     auto result = runner.Run();
     if (!result.ok()) {
@@ -202,14 +172,15 @@ int RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
               : result.status().code() == StatusCode::kRetriesExhausted
                     ? " [retry budget exhausted]"
                     : "";
-      std::cerr << "FAIL " << label << " (" << engine_name
+      std::cerr << "FAIL " << label << " (" << sim::EngineKindName(engine)
                 << "): " << result.status() << detail << "\n";
-      return ExitCodeOf(result.status());
+      return cli::ExitCodeOf(result.status());
     }
-    jsons.push_back(result->ToJson());
+    engine_jsons.push_back(result->ToJson());
     if (!options.quiet) {
       const verify::Monitor* monitor = runner.soc()->monitor();
-      std::cout << "PASS " << label << " (" << engine_name << "): "
+      std::cout << "PASS " << label << " (" << sim::EngineKindName(engine)
+                << "): "
                 << (monitor != nullptr ? monitor->Describe()
                                        : std::string("no monitor"));
       if (result->fault.has_value()) {
@@ -222,11 +193,16 @@ int RunWorkload(const CliOptions& options, scenario::ScenarioSpec spec,
       std::cout << "\n";
     }
   }
-  if (jsons.size() == 2 && jsons[0] != jsons[1]) {
-    std::cerr << "FAIL " << label
-              << ": optimized and naive engines disagree bit-for-bit\n";
-    return 1;
+  for (std::size_t i = 1; i < engine_jsons.size(); ++i) {
+    if (engine_jsons[i] != engine_jsons[0]) {
+      std::cerr << "FAIL " << label << ": "
+                << sim::EngineKindName(options.Engines()[0]) << " and "
+                << sim::EngineKindName(options.Engines()[i])
+                << " engines disagree bit-for-bit\n";
+      return 1;
+    }
   }
+  jsons->push_back(engine_jsons.front());
   return 0;
 }
 
@@ -237,14 +213,10 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) return 1;
 
   std::optional<fault::FaultSpec> fault_override;
-  if (!options.fault_path.empty()) {
-    auto loaded = fault::LoadFaultFile(options.fault_path);
-    if (!loaded.ok()) {
-      std::cerr << "noc_verify: --fault " << options.fault_path << ": "
-                << loaded.status() << "\n";
-      return 1;
-    }
-    fault_override = std::move(*loaded);
+  if (!options.common.fault_path.empty()) {
+    fault_override =
+        cli::LoadFaultOverride("noc_verify", options.common.fault_path);
+    if (!fault_override.has_value()) return 1;
   }
 
   int failures = 0;
@@ -255,6 +227,7 @@ int main(int argc, char** argv) {
     ++failures;
     if (worst_code == 0 || rank(code) > rank(worst_code)) worst_code = code;
   };
+  std::vector<std::string> jsons;
   for (const std::string& path : options.spec_paths) {
     auto spec = scenario::LoadScenarioFile(path);
     if (!spec.ok()) {
@@ -263,40 +236,40 @@ int main(int argc, char** argv) {
       continue;
     }
     if (fault_override.has_value()) {
-      if ((fault_override->AnyConfigFaults() ||
-           fault_override->retry.enabled) &&
-          !spec->Phased()) {
-        std::cerr << "noc_verify: --fault " << options.fault_path
-                  << ": config faults and the retry policy act on the "
-                  << "runtime configuration protocol, which only phased "
-                  << "scenarios exercise ('" << path << "' is not phased)\n";
+      if (!cli::FaultOverrideApplies("noc_verify", options.common.fault_path,
+                                     *fault_override, *spec, path)) {
         tally(1);
         continue;
       }
       spec->fault = fault_override;
     }
-    tally(RunWorkload(options, *spec, path));
+    tally(RunWorkload(options, *spec, path, &jsons));
   }
   for (int i = 0; i < options.fuzz; ++i) {
     scenario::ScenarioSpec spec =
-        verify::RandomConformanceSpec(options.seed, i);
-    tally(RunWorkload(options, spec, spec.name));
+        verify::RandomConformanceSpec(options.common.seed.value_or(1), i);
+    tally(RunWorkload(options, spec, spec.name, &jsons));
   }
   for (int i = 0; i < options.fault_fuzz; ++i) {
-    scenario::ScenarioSpec spec =
-        verify::RandomFaultWorkload(options.seed, i);
+    const std::uint64_t seed = options.common.seed.value_or(1);
+    scenario::ScenarioSpec spec = verify::RandomFaultWorkload(seed, i);
     const int num_routers = spec.topology == scenario::TopologyKind::kStar
                                 ? 1
                                 : spec.topology == scenario::TopologyKind::kMesh
                                       ? spec.dim_a * spec.dim_b
                                       : spec.dim_a;
-    spec.fault = fault::RandomFaultSpec(options.seed, i, num_routers,
-                                        spec.NumNis(), spec.duration);
-    tally(RunWorkload(options, spec, spec.name));
+    spec.fault = fault::RandomFaultSpec(seed, i, num_routers, spec.NumNis(),
+                                        spec.duration);
+    tally(RunWorkload(options, spec, spec.name, &jsons));
   }
   if (failures > 0) {
     std::cerr << "noc_verify: " << failures << " workload(s) FAILED\n";
     return worst_code == 0 ? 1 : worst_code;
+  }
+  if (!options.common.output_path.empty() &&
+      !cli::WriteOutput("noc_verify", options.common.output_path,
+                        cli::JoinJsonDocuments(jsons), options.quiet)) {
+    return 1;
   }
   if (!options.quiet) {
     std::cout << "noc_verify: all "
