@@ -5,10 +5,16 @@
 // BENCH_speed.json (path overridable on the command line) so the perf
 // trajectory of every future change can be compared against this baseline.
 //
-//   bench_speed [--full] [json_path]
+//   bench_speed [--full] [--profile] [json_path]
 //
 // --full adds the 32x32 tier (nightly CI); the default set tops out at
-// 16x16 so the pre-merge perf smoke stays fast.
+// 16x16 so the pre-merge perf smoke stays fast. --profile additionally
+// attributes host wall time to the engine stages (evaluate / commit /
+// park-wake) per engine on the 8x8 mixed workload.
+//
+// The JSON also carries an `obs_overhead` block: a paired 8x8 mixed
+// measurement with the observability taps armed vs off (the taps must not
+// perturb the simulation, and CI gates their cost).
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -20,6 +26,7 @@
 
 #include "bench/common.h"
 #include "ip/stream.h"
+#include "obs/spec.h"
 #include "soc/soc.h"
 #include "topology/builders.h"
 #include "util/check.h"
@@ -69,7 +76,8 @@ constexpr int kBurstWords = 6;
 constexpr Cycle kBurstPeriod = 48;
 
 SpeedWorkload MakeWorkload(int rows, int cols, Traffic traffic,
-                           EngineKind engine) {
+                           EngineKind engine,
+                           const obs::ObsSpec* obs = nullptr) {
   SpeedWorkload w;
   auto mesh = topology::BuildMesh(rows, cols, /*nis_per_router=*/1);
   std::vector<core::NiKernelParams> params(
@@ -77,6 +85,7 @@ SpeedWorkload MakeWorkload(int rows, int cols, Traffic traffic,
       bench::NiWithChannels(/*channels=*/1, /*queue_words=*/32));
   soc::SocOptions options;
   options.engine = engine;
+  options.obs = obs;
   w.soc = std::make_unique<soc::Soc>(std::move(mesh.topology),
                                      std::move(params), options);
 
@@ -132,8 +141,8 @@ std::int64_t TotalFlits(SpeedWorkload& w) {
 }
 
 RunResult MeasureOnce(int rows, int cols, Traffic traffic, EngineKind engine,
-                      Cycle cycles) {
-  SpeedWorkload w = MakeWorkload(rows, cols, traffic, engine);
+                      Cycle cycles, const obs::ObsSpec* obs = nullptr) {
+  SpeedWorkload w = MakeWorkload(rows, cols, traffic, engine, obs);
   w.soc->RunCycles(200);  // warm up: fill pipelines, settle credits
   const std::int64_t flits0 = TotalFlits(w);
   std::int64_t words0 = 0;
@@ -182,9 +191,48 @@ std::string FmtNum(double v) {
   return oss.str();
 }
 
+/// Paired obs-armed vs obs-off measurement on the same workload. `ratio`
+/// is armed/off throughput (1.0 = free; CI gates it from below).
+struct ObsOverhead {
+  RunResult off;
+  RunResult armed;
+  double ratio = 0;
+};
+
+/// Host wall time per engine stage: `--profile` runs each engine once on
+/// the 8x8 mixed workload with kernel profiling armed and prints where
+/// the host cycles go. "other" is wall time outside the instrumented
+/// stages (run-list bookkeeping, clock advance, the loop itself).
+void ProfileEngines(Cycle cycles) {
+  std::cout << "\nengine profile (8x8 mixed, " << cycles << " cycles):\n";
+  Table table({"engine", "steps", "wall ms", "evaluate ms", "commit ms",
+               "park/wake ms", "other ms"});
+  for (EngineKind engine :
+       {EngineKind::kOptimized, EngineKind::kSoa, EngineKind::kNaive}) {
+    SpeedWorkload w = MakeWorkload(8, 8, Traffic::kMixed, engine);
+    w.soc->RunCycles(200);  // same warm-up as the throughput runs
+    w.soc->sim().EnableProfiling();
+    const auto start = std::chrono::steady_clock::now();
+    w.soc->RunCycles(cycles);
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    const sim::EngineProfile& p = w.soc->sim().profile();
+    const double evaluate_ms = p.evaluate_sec * 1e3;
+    const double commit_ms = p.commit_sec * 1e3;
+    const double park_wake_ms = p.park_wake_sec * 1e3;
+    table.AddRow({sim::EngineKindName(engine), Table::Fmt(p.steps),
+                  Table::Fmt(wall_ms), Table::Fmt(evaluate_ms),
+                  Table::Fmt(commit_ms), Table::Fmt(park_wake_ms),
+                  Table::Fmt(wall_ms - evaluate_ms - commit_ms -
+                             park_wake_ms)});
+  }
+  table.Print(std::cout);
+}
+
 void WriteJson(const std::string& path, const std::vector<RunResult>& results,
                const RunResult& opt4x4, const RunResult& naive4x4,
-               double speedup) {
+               double speedup, const ObsOverhead& obs) {
   std::ofstream out(path);
   AETHEREAL_CHECK_MSG(out.good(), "cannot open " << path);
   out << "{\n"
@@ -210,6 +258,15 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"obs_overhead_8x8_mixed\": {\n"
+      << "    \"off_flits_per_sec\": " << FmtNum(obs.off.flits_per_sec)
+      << ",\n"
+      << "    \"armed_flits_per_sec\": " << FmtNum(obs.armed.flits_per_sec)
+      << ",\n"
+      << "    \"ratio\": " << FmtNum(obs.ratio) << ",\n"
+      << "    \"note\": \"armed = counters + windowed sampling; the taps "
+         "must not change the simulated workload\"\n"
+      << "  },\n"
       << "  \"speedup_4x4_mixed\": {\n"
       << "    \"optimized_flits_per_sec\": " << FmtNum(opt4x4.flits_per_sec)
       << ",\n"
@@ -229,11 +286,14 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
 
 int main(int argc, char** argv) {
   bool full = false;
+  bool profile = false;
   std::string json_path = "BENCH_speed.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--full") {
       full = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else {
       json_path = arg;
     }
@@ -305,7 +365,38 @@ int main(int argc, char** argv) {
   std::cout << "\n4x4 mixed speedup (optimized vs naive): "
             << Table::Fmt(speedup, 2) << "x (target >= 3x)\n";
 
-  WriteJson(json_path, results, opt, naive, speedup);
+  // Observability overhead: the same 8x8 mixed workload with the taps
+  // armed (counters + windowed sampling) vs off, interleaved like the
+  // speedup pairing. The taps observe committed state only, so the
+  // simulated workload must be bit-identical either way.
+  obs::ObsSpec obs_spec;
+  obs_spec.sample_every = 300;
+  ObsOverhead obs;
+  obs.off = MeasureOnce(8, 8, Traffic::kMixed, EngineKind::kOptimized, 10000);
+  obs.armed = MeasureOnce(8, 8, Traffic::kMixed, EngineKind::kOptimized,
+                          10000, &obs_spec);
+  for (int rep = 1; rep < 3; ++rep) {
+    RunResult off =
+        MeasureOnce(8, 8, Traffic::kMixed, EngineKind::kOptimized, 10000);
+    RunResult armed = MeasureOnce(8, 8, Traffic::kMixed,
+                                  EngineKind::kOptimized, 10000, &obs_spec);
+    if (off.wall_ms < obs.off.wall_ms) obs.off = off;
+    if (armed.wall_ms < obs.armed.wall_ms) obs.armed = armed;
+  }
+  AETHEREAL_CHECK_MSG(obs.armed.flits == obs.off.flits,
+                      "observability taps perturbed the workload: "
+                          << obs.armed.flits << " vs " << obs.off.flits
+                          << " flits");
+  obs.ratio = obs.off.flits_per_sec > 0
+                  ? obs.armed.flits_per_sec / obs.off.flits_per_sec
+                  : 0;
+  std::cout << "8x8 mixed obs overhead (armed vs off): "
+            << Table::Fmt(100.0 * (1.0 - obs.ratio), 1) << "% ("
+            << Table::Fmt(obs.ratio, 3) << "x)\n";
+
+  if (profile) ProfileEngines(10000);
+
+  WriteJson(json_path, results, opt, naive, speedup, obs);
   std::cout << "wrote " << json_path << "\n";
   return 0;
 }

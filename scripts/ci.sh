@@ -156,6 +156,31 @@ done
 cmp "$out_dir/killswitch_plain.json" "$out_dir/killswitch_zero.json"
 echo "  zero-rate fault file is byte-inert"
 
+echo "=== observability smoke: counters + trace + noc_trace ==="
+# A canonical scenario with sampling and tracing armed: the stats section
+# and histograms must be present and sane, and the trace must hold every
+# recorded event at the default cap (noc_trace proves it from the trace's
+# own drop accounting).
+./"$build_dir"/noc_sim --quiet --sample-every 300 \
+  --trace "$out_dir/obs_trace.json" --stats-csv "$out_dir/obs_series.csv" \
+  -o "$out_dir/obs_mixed_star.json" scenarios/mixed_star.scn
+./"$build_dir"/noc_trace --assert-no-drops "$out_dir/obs_trace.json"
+python3 - "$out_dir/obs_mixed_star.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema_version"] == 2, f"schema_version {r.get('schema_version')}"
+stats = r["stats"]
+assert stats["windows"], "no sample windows"
+assert any(l["gt_flits"] + l["be_flits"] > 0 for l in stats["links"]), \
+    "no link saw traffic"
+hist = r["histograms"]["flit_latency"]["all"]
+assert hist["count"] > 0, "empty flit-latency histogram"
+assert hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]
+print(f"  obs smoke: {len(stats['windows'])} windows, flit latency "
+      f"p50/p95/p99 = {hist['p50']}/{hist['p95']}/{hist['p99']}")
+EOF
+
 fi  # verify_only
 
 echo "=== verify: guarantee checkers over canonical scenarios + sweeps ==="
@@ -245,6 +270,19 @@ if [[ "$nightly" == "1" ]]; then
     echo "  ${name}: 5 seeds verified, engines byte-identical"
   done
 
+  echo "=== nightly: observability artifacts (phased fault scenario) ==="
+  # Full-fidelity stats CSV + Chrome trace for the phased fault scenario,
+  # uploaded as nightly artifacts so a regression in fault behaviour can
+  # be inspected without rerunning anything locally.
+  ./"$build_dir"/noc_sim --quiet --sample-every 300 \
+    --trace "$out_dir/fault_retry_churn_trace.json" \
+    --stats-csv "$out_dir/fault_retry_churn_series.csv" \
+    -o "$out_dir/fault_retry_churn_obs.json" scenarios/fault_retry_churn.scn
+  ./"$build_dir"/noc_trace "$out_dir/fault_retry_churn_trace.json"
+  # Fault events must actually appear in the trace for it to be useful.
+  grep -q '"cat":"fault"' "$out_dir/fault_retry_churn_trace.json"
+  echo "  fault_retry_churn: stats CSV + trace emitted, fault events present"
+
   echo "=== nightly: fault-fuzz soak (N=200, seeded random fault configs) ==="
   # Random stream workloads each under a random seeded fault mix, checkers
   # armed, both engines: every violation must be classified fault-induced
@@ -294,6 +332,29 @@ for engine in ("optimized", "soa"):
     assert got >= floor, (
         f"8x8 mixed {engine} regressed >20%: {got:.1f} kcyc/s vs "
         f"baseline {base:.1f}")
+
+# Observability gate (ISSUE-8): with taps off the subsystem must cost
+# nothing — the obs-off 8x8 mixed rate must stay within 2% of the
+# committed baseline. Unlike the 20% catch-all above, this one targets
+# death-by-a-thousand-branches on the hot path specifically; override
+# CI_BENCH_OBS_MIN (e.g. 0.90) on runners too noisy for a 2% bar.
+import os
+obs_min = float(os.environ.get("CI_BENCH_OBS_MIN", "0.98"))
+base = kcps(baseline, "optimized")
+got = kcps(data, "optimized")
+print(f"bench_speed obs gate: 8x8 mixed optimized = {got:.1f} kcyc/s "
+      f"(baseline {base:.1f}, floor {obs_min:.2f}x)")
+assert got >= obs_min * base, (
+    f"obs-off overhead exceeds {(1 - obs_min) * 100:.0f}%: {got:.1f} "
+    f"kcyc/s vs baseline {base:.1f}")
+
+# And when taps ARE armed, the in-process interleaved pairing (same
+# binary, same cells, alternating reps) bounds the armed slowdown.
+obs = data["obs_overhead_8x8_mixed"]
+print(f"bench_speed obs gate: armed/off flit rate ratio = "
+      f"{obs['ratio']:.3f}")
+assert obs["ratio"] >= 0.50, (
+    f"armed observability taps halved the cycle rate: {obs['ratio']:.3f}")
 EOF
 
   echo "=== bench_sweep smoke ==="

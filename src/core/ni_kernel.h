@@ -151,6 +151,15 @@ class NiKernel : public sim::Module {
   /// trailing parked window so the values match the naïve engine exactly.
   const NiKernelStats& stats();
   const ChannelStats& channel_stats(ChannelId ch) const;
+  int NumChannels() const { return static_cast<int>(channels_.size()); }
+  /// Committed queue fills (the CDC reader-side sizes) — what a read-only
+  /// observer may sample without perturbing anything (obs/tap.h).
+  int SourceQueueWords(ChannelId ch) const {
+    return ChannelAt(ch).source.ReaderSize();
+  }
+  int DestQueueWords(ChannelId ch) const {
+    return ChannelAt(ch).dest.ReaderSize();
+  }
   int SpaceOf(ChannelId ch) const;
   int CreditsOwedOf(ChannelId ch) const;
   ChannelId SlotOwner(SlotIndex slot) const;

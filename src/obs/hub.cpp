@@ -1,0 +1,174 @@
+#include "obs/hub.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.h"
+#include "util/json.h"
+
+namespace aethereal::obs {
+
+const char* LinkKindName(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kInjection: return "injection";
+    case LinkKind::kRouterRouter: return "router";
+    case LinkKind::kDelivery: return "delivery";
+  }
+  return "?";
+}
+
+ObsHub::ObsHub(const ObsSpec& spec) : spec_(spec) {
+  if (spec_.TracingEnabled()) {
+    tracer_ = std::make_unique<Tracer>(spec_.trace_cap);
+  }
+}
+
+void ObsHub::RegisterLink(LinkKind kind, std::string site) {
+  link_kinds_.push_back(kind);
+  link_sites_.push_back(std::move(site));
+  link_counters_.emplace_back();
+}
+
+void ObsHub::SetCounts(int num_nis, int num_routers) {
+  ni_obs_.assign(static_cast<std::size_t>(num_nis), NiObservation{});
+  router_obs_.assign(static_cast<std::size_t>(num_routers),
+                     RouterObservation{});
+}
+
+ObsStatsSnapshot ObsHub::StatsSnapshot() const {
+  ObsStatsSnapshot s;
+  s.sample_every = spec_.sample_every;
+  s.link_sites = link_sites_;
+  s.link_kinds = link_kinds_;
+  s.links = link_counters_;
+  s.nis = ni_obs_;
+  s.routers = router_obs_;
+  s.windows = windows_;
+  return s;
+}
+
+void WriteStatsJson(JsonWriter& w, const ObsStatsSnapshot& stats) {
+  w.BeginObject();
+  w.Key("sample_every").Int(stats.sample_every);
+  w.Key("windows").BeginArray();
+  for (const SampleWindow& win : stats.windows) {
+    w.BeginObject();
+    w.Key("start").Int(win.start);
+    w.Key("length").Int(win.length);
+    w.Key("gt_injected").Int(win.gt_injected);
+    w.Key("be_injected").Int(win.be_injected);
+    w.Key("gt_delivered").Int(win.gt_delivered);
+    w.Key("be_delivered").Int(win.be_delivered);
+    w.Key("link_utilization")
+        .Double(win.link_slots > 0 ? static_cast<double>(win.busy_link_slots) /
+                                         static_cast<double>(win.link_slots)
+                                   : 0.0);
+    std::int32_t busiest = 0;
+    for (std::int32_t busy : win.link_busy) busiest = std::max(busiest, busy);
+    const std::int64_t slots_per_link =
+        win.link_busy.empty() ? 0
+                              : win.link_slots /
+                                    static_cast<std::int64_t>(
+                                        win.link_busy.size());
+    w.Key("busiest_link_utilization")
+        .Double(slots_per_link > 0 ? static_cast<double>(busiest) /
+                                         static_cast<double>(slots_per_link)
+                                   : 0.0);
+    w.Key("max_queue_words").Int(win.max_queue_words);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("links").BeginArray();
+  for (std::size_t i = 0; i < stats.links.size(); ++i) {
+    const LinkCounters& c = stats.links[i];
+    w.BeginObject();
+    w.Key("site").String(stats.link_sites[i]);
+    w.Key("kind").String(LinkKindName(stats.link_kinds[i]));
+    w.Key("gt_flits").Int(c.gt_flits);
+    w.Key("be_flits").Int(c.be_flits);
+    w.Key("header_flits").Int(c.header_flits);
+    w.Key("idle_slots").Int(c.idle_slots);
+    w.Key("credit_slots").Int(c.credit_slots);
+    w.Key("credits_returned").Int(c.credits_returned);
+    const std::int64_t slots = c.gt_flits + c.be_flits + c.idle_slots;
+    w.Key("utilization")
+        .Double(slots > 0 ? static_cast<double>(c.gt_flits + c.be_flits) /
+                                static_cast<double>(slots)
+                          : 0.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("nis").BeginArray();
+  for (std::size_t n = 0; n < stats.nis.size(); ++n) {
+    const NiObservation& o = stats.nis[n];
+    w.BeginObject();
+    w.Key("ni").Int(static_cast<std::int64_t>(n));
+    w.Key("source_queue_hwm").Int(o.source_queue_hwm);
+    w.Key("dest_queue_hwm").Int(o.dest_queue_hwm);
+    w.Key("idle_slots").Int(o.idle_slots);
+    w.Key("gt_slots_unused").Int(o.gt_slots_unused);
+    w.Key("slot_utilization").Double(o.slot_utilization);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("routers").BeginArray();
+  for (std::size_t r = 0; r < stats.routers.size(); ++r) {
+    const RouterObservation& o = stats.routers[r];
+    w.BeginObject();
+    w.Key("router").Int(static_cast<std::int64_t>(r));
+    w.Key("gt_flits").Int(o.gt_flits);
+    w.Key("be_flits").Int(o.be_flits);
+    w.Key("be_packets").Int(o.be_packets);
+    w.Key("be_blocked_credit").Int(o.be_blocked_credit);
+    w.Key("be_blocked_gt").Int(o.be_blocked_gt);
+    w.Key("be_max_occupancy").Int(o.be_max_occupancy);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string SeriesCsv(const ObsStatsSnapshot& stats) {
+  CsvWriter csv({"window_start", "site", "kind", "busy_slots", "window_slots",
+                 "utilization"});
+  for (const SampleWindow& win : stats.windows) {
+    const std::int64_t slots_per_link =
+        win.link_busy.empty() ? 0
+                              : win.link_slots /
+                                    static_cast<std::int64_t>(
+                                        win.link_busy.size());
+    for (std::size_t i = 0; i < win.link_busy.size(); ++i) {
+      csv.Cell(win.start)
+          .Cell(stats.link_sites[i])
+          .Cell(LinkKindName(stats.link_kinds[i]))
+          .Cell(static_cast<std::int64_t>(win.link_busy[i]))
+          .Cell(slots_per_link)
+          .Double(slots_per_link > 0
+                      ? static_cast<double>(win.link_busy[i]) /
+                            static_cast<double>(slots_per_link)
+                      : 0.0)
+          .EndRow();
+    }
+  }
+  return csv.Take();
+}
+
+bool ObsHub::WriteTraceFile() const {
+  if (!spec_.TracingEnabled()) return true;
+  std::ofstream out(spec_.trace_path);
+  if (!out.good()) {
+    std::cerr << "obs: cannot open trace file '" << spec_.trace_path << "'\n";
+    return false;
+  }
+  tracer_->WriteChromeTrace(out, link_sites_);
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "obs: failed writing trace file '" << spec_.trace_path
+              << "'\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace aethereal::obs

@@ -1,0 +1,48 @@
+// Observability configuration (DESIGN.md §13).
+//
+// An ObsSpec describes what a run should observe: time-series sampling
+// (the `stats sample_every N` scenario directive), event tracing (the
+// `trace FILE [cap N]` directive or the noc_sim --trace override), or
+// both. The spec is plain data with no behaviour; SocOptions carries a
+// pointer to one (null = observability off, the default), and the Soc
+// constructs an obs::ObsHub + obs::ObsTap only when the pointer is set
+// and enabled — the zero-cost-when-off contract is "no tap module is ever
+// registered", not "a disabled tap returns early".
+#ifndef AETHEREAL_OBS_SPEC_H
+#define AETHEREAL_OBS_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace aethereal::obs {
+
+/// Default per-category trace ring capacity: large enough that every
+/// canonical scenario traces with zero drops (the per-PR CI smoke asserts
+/// this), small enough that a runaway trace is bounded (~32 MB of events
+/// per category at 32 B each).
+inline constexpr std::int64_t kDefaultTraceCap = std::int64_t{1} << 20;
+
+struct ObsSpec {
+  /// Time-series window length in cycles; 0 disables sampling. Windows
+  /// close at slot boundaries (the wire-transfer granularity), so values
+  /// below kFlitWords are rejected by the scenario parser.
+  Cycle sample_every = 0;
+
+  /// Event-trace destination ("" disables tracing). The runner writes a
+  /// Chrome trace_event JSON here after the run.
+  std::string trace_path;
+
+  /// Per-category trace ring capacity (events); oldest events are
+  /// overwritten and accounted as drops once a ring is full.
+  std::int64_t trace_cap = kDefaultTraceCap;
+
+  bool SamplingEnabled() const { return sample_every > 0; }
+  bool TracingEnabled() const { return !trace_path.empty(); }
+  bool Enabled() const { return SamplingEnabled() || TracingEnabled(); }
+};
+
+}  // namespace aethereal::obs
+
+#endif  // AETHEREAL_OBS_SPEC_H

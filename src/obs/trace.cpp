@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace aethereal::obs {
+
+const char* TraceCatName(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kFlit: return "flit";
+    case TraceCat::kSlot: return "slot";
+    case TraceCat::kConfig: return "config";
+    case TraceCat::kPhase: return "phase";
+    case TraceCat::kFault: return "fault";
+  }
+  return "?";
+}
+
+const char* TraceEventName(TraceCat cat, std::uint16_t code) {
+  switch (cat) {
+    case TraceCat::kFlit:
+      switch (code) {
+        case kFlitInject: return "inject";
+        case kFlitRoute: return "route";
+        case kFlitEject: return "eject";
+      }
+      break;
+    case TraceCat::kSlot:
+      if (code == kSlotGtFire) return "gt_fire";
+      break;
+    case TraceCat::kConfig:
+      switch (code) {
+        case kConfigDrainBegin: return "drain_begin";
+        case kConfigDrainEnd: return "drain_end";
+        case kConfigClose: return "close";
+        case kConfigOpen: return "open";
+      }
+      break;
+    case TraceCat::kPhase:
+      switch (code) {
+        case kPhaseBegin: return "begin";
+        case kPhaseEnd: return "end";
+      }
+      break;
+    case TraceCat::kFault:
+      switch (code) {
+        case kFaultCorrupt: return "corrupt";
+        case kFaultDrop: return "drop";
+        case kFaultRouterFreeze: return "router_freeze";
+        case kFaultNiStall: return "ni_stall";
+        case kFaultConfigDrop: return "config_drop";
+        case kFaultConfigDelay: return "config_delay";
+      }
+      break;
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::int64_t cap_per_category) : cap_(cap_per_category) {
+  AETHEREAL_CHECK(cap_ > 0);
+}
+
+void Tracer::Record(TraceCat cat, std::uint16_t code, Cycle ts,
+                    std::int32_t site, std::int64_t arg0, std::int64_t arg1) {
+  Ring& ring = rings_[static_cast<std::size_t>(cat)];
+  TraceEvent event;
+  event.ts = ts;
+  event.cat = cat;
+  event.code = code;
+  event.site = site;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  ++ring.recorded;
+  if (ring.events.size() < static_cast<std::size_t>(cap_)) {
+    ring.events.push_back(event);
+    return;
+  }
+  // Ring full: overwrite the oldest event and account the loss.
+  ring.events[ring.next] = event;
+  ring.next = (ring.next + 1) % ring.events.size();
+  ++ring.dropped;
+}
+
+std::int64_t Tracer::held(TraceCat cat) const {
+  return static_cast<std::int64_t>(
+      rings_[static_cast<std::size_t>(cat)].events.size());
+}
+
+std::int64_t Tracer::recorded(TraceCat cat) const {
+  return rings_[static_cast<std::size_t>(cat)].recorded;
+}
+
+std::int64_t Tracer::dropped(TraceCat cat) const {
+  return rings_[static_cast<std::size_t>(cat)].dropped;
+}
+
+std::int64_t Tracer::TotalDropped() const {
+  std::int64_t total = 0;
+  for (const Ring& ring : rings_) total += ring.dropped;
+  return total;
+}
+
+void Tracer::WriteChromeTrace(
+    std::ostream& os, const std::vector<std::string>& site_names) const {
+  // Flatten every ring in chronological order (a wrapped ring's oldest
+  // event sits at `next`), then merge across categories by (ts, cat,
+  // within-category order) — fully deterministic.
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const Ring& ring : rings_) total += ring.events.size();
+  merged.reserve(total);
+  for (const Ring& ring : rings_) {
+    const std::size_t n = ring.events.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      merged.push_back(ring.events[(ring.next + i) % n]);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.cat < b.cat;
+                   });
+
+  // Chrome trace_event JSON, one event per line: chrome://tracing and
+  // Perfetto open it directly, and noc_trace scans it line by line. `ts`
+  // is the net-clock cycle (the viewer's microsecond unit reads as
+  // cycles); flit/slot events use their link index as the thread id so
+  // each link renders as its own lane.
+  os << "{\"traceEvents\":[\n";
+  Cycle last_ts = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const TraceEvent& e = merged[i];
+    last_ts = e.ts;
+    const int tid =
+        (e.cat == TraceCat::kFlit || e.cat == TraceCat::kSlot) && e.site >= 0
+            ? e.site
+            : 0;
+    os << "{\"name\":\"" << TraceEventName(e.cat, e.code) << "\",\"cat\":\""
+       << TraceCatName(e.cat) << "\",\"ph\":\"i\",\"ts\":" << e.ts
+       << ",\"pid\":0,\"tid\":" << tid << ",\"s\":\"t\",\"args\":{";
+    bool first = true;
+    auto arg = [&](const char* key, std::int64_t value) {
+      if (!first) os << ",";
+      os << "\"" << key << "\":" << value;
+      first = false;
+    };
+    if (e.site >= 0 &&
+        static_cast<std::size_t>(e.site) < site_names.size()) {
+      os << "\"site\":\""
+         << JsonWriter::Escape(site_names[static_cast<std::size_t>(e.site)])
+         << "\"";
+      first = false;
+    }
+    switch (e.cat) {
+      case TraceCat::kFlit:
+        arg("gt", e.arg0);
+        arg("eop", e.arg1);
+        break;
+      case TraceCat::kSlot:
+        break;
+      case TraceCat::kConfig:
+        if (e.code == kConfigDrainBegin || e.code == kConfigDrainEnd) {
+          arg("into_phase", e.arg0);
+        } else {
+          arg("group", e.arg0);
+        }
+        break;
+      case TraceCat::kPhase:
+        arg("phase", e.arg0);
+        break;
+      case TraceCat::kFault:
+        arg("a", e.arg0);
+        arg("b", e.arg1);
+        break;
+    }
+    os << "}},\n";
+  }
+  // Trailing accounting event: recorded/dropped per category, so a trace
+  // consumer can prove completeness without trusting the producer.
+  os << "{\"name\":\"drop_accounting\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":"
+     << last_ts << ",\"pid\":0,\"tid\":0,\"s\":\"t\",\"args\":{";
+  for (int c = 0; c < kNumTraceCats; ++c) {
+    const auto cat = static_cast<TraceCat>(c);
+    if (c > 0) os << ",";
+    os << "\"" << TraceCatName(cat) << "_recorded\":" << recorded(cat)
+       << ",\"" << TraceCatName(cat) << "_dropped\":" << dropped(cat);
+  }
+  os << "}}\n]}\n";
+}
+
+}  // namespace aethereal::obs

@@ -1,6 +1,7 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "fault/injector.h"
@@ -9,6 +10,7 @@
 #include "topology/builders.h"
 #include "util/check.h"
 #include "util/json.h"
+#include "util/stats.h"
 #include "verify/monitor.h"
 
 namespace aethereal::scenario {
@@ -21,6 +23,8 @@ LatencySummary Summarize(const Stats& stats) {
   if (!stats.empty()) {
     s.min = stats.Min();
     s.mean = stats.Mean();
+    s.p50 = stats.Percentile(50);
+    s.p95 = stats.Percentile(95);
     s.p99 = stats.Percentile(99);
     s.max = stats.Max();
   }
@@ -33,8 +37,54 @@ void WriteLatency(JsonWriter& w, const LatencySummary& latency) {
   if (latency.count > 0) {
     w.Key("min").Double(latency.min);
     w.Key("mean").Double(latency.mean);
+    w.Key("p50").Double(latency.p50);
+    w.Key("p95").Double(latency.p95);
     w.Key("p99").Double(latency.p99);
     w.Key("max").Double(latency.max);
+  }
+  w.EndObject();
+}
+
+/// One histogram summary of the `histograms` result section: exact
+/// nearest-rank percentiles over the merged sample population plus
+/// power-of-two latency buckets ([2^k, 2^(k+1)) cycles; samples below one
+/// cycle land in a [0, 1) bucket). Only non-empty buckets are emitted.
+void WriteHistogram(JsonWriter& w, std::vector<double> samples) {
+  w.BeginObject();
+  w.Key("count").Int(static_cast<std::int64_t>(samples.size()));
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    double sum = 0;
+    for (double v : samples) sum += v;
+    w.Key("min").Double(samples.front());
+    w.Key("mean").Double(sum / static_cast<double>(samples.size()));
+    w.Key("p50").Double(SortedPercentile(samples, 50));
+    w.Key("p95").Double(SortedPercentile(samples, 95));
+    w.Key("p99").Double(SortedPercentile(samples, 99));
+    w.Key("max").Double(samples.back());
+    // The samples are sorted, so one pass groups them into buckets in
+    // increasing-k order (k = -1 is the sub-cycle bucket).
+    w.Key("buckets").BeginArray();
+    std::size_t i = 0;
+    while (i < samples.size()) {
+      const double v = samples[i];
+      const int k =
+          v < 1.0 ? -1
+                  : std::bit_width(static_cast<std::uint64_t>(v)) - 1;
+      const double lo = k < 0 ? 0.0 : static_cast<double>(std::int64_t{1} << k);
+      const double hi = static_cast<double>(std::int64_t{1} << (k + 1));
+      std::int64_t count = 0;
+      while (i < samples.size() && samples[i] < hi) {
+        ++count;
+        ++i;
+      }
+      w.BeginObject();
+      w.Key("lo").Double(lo);
+      w.Key("hi").Double(hi);
+      w.Key("count").Int(count);
+      w.EndObject();
+    }
+    w.EndArray();
   }
   w.EndObject();
 }
@@ -233,6 +283,9 @@ Status ScenarioRunner::BuildTopologyAndSoc(
   options.engine = spec_.ResolvedEngine();
   options.verify = spec_.verify;
   options.fault = spec_.fault.has_value() ? &*spec_.fault : nullptr;
+  // The obs kill switch: a spec without `stats`/`trace` directives passes
+  // null and the Soc builds no hub and registers no tap (DESIGN.md §13).
+  options.obs = spec_.obs.Enabled() ? &spec_.obs : nullptr;
   soc_ = std::make_unique<soc::Soc>(std::move(topo), std::move(ni_params),
                                     options);
   return OkStatus();
@@ -447,7 +500,13 @@ Result<ScenarioResult> ScenarioRunner::Run() {
     mem0.push_back(m.master->completed());
   }
 
+  if (obs::ObsHub* hub = soc_->obs_hub()) {
+    hub->NotePhase(obs::kPhaseBegin, soc_->net_clock()->cycles(), 0);
+  }
   soc_->RunCycles(spec_.duration);
+  if (obs::ObsHub* hub = soc_->obs_hub()) {
+    hub->NotePhase(obs::kPhaseEnd, soc_->net_clock()->cycles(), 0);
+  }
 
   ScenarioResult result;
   result.spec = spec_;
@@ -473,6 +532,7 @@ Result<ScenarioResult> ScenarioRunner::Run() {
       r.words_total = c.consumer->words_read();
       r.words_in_window = r.words_total - video0[vi];
       r.latency = Summarize(c.consumer->latency());
+      r.latency_samples = c.consumer->latency().samples();
       result.flows.push_back(std::move(r));
       ++vi;
     } else if (traffic.pattern == PatternKind::kMemory) {
@@ -486,6 +546,7 @@ Result<ScenarioResult> ScenarioRunner::Run() {
       r.words_in_window =
           (r.transactions_completed - mem0[mi]) * traffic.mem_burst_words;
       r.latency = Summarize(m.master->latency());
+      r.latency_samples = m.master->latency().samples();
       result.flows.push_back(std::move(r));
       ++mi;
     } else {
@@ -497,6 +558,7 @@ Result<ScenarioResult> ScenarioRunner::Run() {
         r.words_total = f.consumer->words_read();
         r.words_in_window = r.words_total - stream0[si];
         r.latency = Summarize(f.consumer->latency());
+        r.latency_samples = f.consumer->latency().samples();
         result.flows.push_back(std::move(r));
         ++si;
       }
@@ -522,6 +584,7 @@ Result<ScenarioResult> ScenarioRunner::Run() {
     if (!problems.empty()) return VerificationError(spec_.name, problems);
   }
   FillFaultResult(std::move(degradations), &result);
+  if (Status s = FinalizeObsIntoResult(&result); !s.ok()) return s;
   return result;
 }
 
@@ -659,6 +722,7 @@ bool ScenarioRunner::GroupDrained(std::size_t group) const {
 
 Result<ScenarioResult> ScenarioRunner::RunPhased() {
   verify::Monitor* monitor = soc_->monitor();
+  obs::ObsHub* obs_hub = soc_->obs_hub();
   shells::ConfigShell* shell = soc_->config_shell();
   AETHEREAL_CHECK(shell != nullptr && driver_ != nullptr);
   auto now = [&] { return soc_->net_clock()->cycles(); };
@@ -708,6 +772,10 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
     if (!closing.empty()) {
       for (std::size_t g : closing) SetGroupActive(g, false, now());
       const Cycle drain_start = now();
+      if (obs_hub != nullptr) {
+        obs_hub->NoteConfig(obs::kConfigDrainBegin, drain_start,
+                            static_cast<std::int64_t>(k));
+      }
       const Cycle deadline = drain_start + spec_.drain_cycles;
       auto drained = [&] {
         for (std::size_t g : closing) {
@@ -724,6 +792,10 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
             " cycles (raise 'drain' or lower the offered load)");
       }
       tr.drain_cycles = now() - drain_start;
+      if (obs_hub != nullptr) {
+        obs_hub->NoteConfig(obs::kConfigDrainEnd, now(),
+                            static_cast<std::int64_t>(k));
+      }
     }
 
     // 2. Reconfigure over the NoC itself: the outgoing phase's closes
@@ -739,6 +811,10 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       for (int ref : open_refs_by_group_[g]) {
         batch.push_back(static_cast<std::size_t>(driver_->PushClose(ref)));
         ++tr.closes;
+        if (obs_hub != nullptr) {
+          obs_hub->NoteConfig(obs::kConfigClose, now(),
+                              static_cast<std::int64_t>(g));
+        }
       }
     }
     for (std::size_t g = 0; g < spec_.traffic.size(); ++g) {
@@ -748,6 +824,10 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
         open_refs_by_group_[g].push_back(ref);
         batch.push_back(static_cast<std::size_t>(ref));
         ++tr.opens;
+        if (obs_hub != nullptr) {
+          obs_hub->NoteConfig(obs::kConfigOpen, now(),
+                              static_cast<std::int64_t>(g));
+        }
       }
     }
     const Cycle config_deadline = now() + spec_.drain_cycles;
@@ -865,22 +945,42 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       }
     }
 
+    if (obs_hub != nullptr) {
+      obs_hub->NotePhase(obs::kPhaseBegin, now(), static_cast<int>(k));
+    }
     soc_->RunCycles(phase.duration);
+    if (obs_hub != nullptr) {
+      obs_hub->NotePhase(obs::kPhaseEnd, now(), static_cast<int>(k));
+    }
 
+    // Samples of every flow active in this window, merged, for the
+    // phase-level latency summary (exact: the Stats objects keep their
+    // samples in insertion order, so [snap.lat_count, count) is exactly
+    // this window's population).
+    std::vector<double> phase_samples;
+    double phase_lat_sum = 0;
     auto push_stats = [&](std::vector<PhaseFlowStats>* stats,
                           std::int64_t words, const Snap& snap,
-                          std::int64_t lat_count, double lat_sum) {
+                          const Stats& lat) {
       PhaseFlowStats ps;
       ps.phase = static_cast<int>(k);
       ps.words = words;
       ps.throughput_wpc =
           static_cast<double>(words) / static_cast<double>(phase.duration);
-      ps.latency_count = lat_count - snap.lat_count;
-      ps.latency_mean =
-          ps.latency_count > 0
-              ? (lat_sum - snap.lat_sum) /
-                    static_cast<double>(ps.latency_count)
-              : 0.0;
+      ps.latency_count = lat.count() - snap.lat_count;
+      if (ps.latency_count > 0) {
+        const auto first = static_cast<std::size_t>(snap.lat_count);
+        const auto last = static_cast<std::size_t>(lat.count());
+        ps.latency_mean = (lat.Sum() - snap.lat_sum) /
+                          static_cast<double>(ps.latency_count);
+        ps.latency_p50 = lat.RangePercentile(first, last, 50);
+        ps.latency_p95 = lat.RangePercentile(first, last, 95);
+        ps.latency_p99 = lat.RangePercentile(first, last, 99);
+        phase_samples.insert(phase_samples.end(),
+                             lat.samples().begin() + first,
+                             lat.samples().begin() + last);
+        phase_lat_sum += lat.Sum() - snap.lat_sum;
+      }
       stats->push_back(ps);
       pr.words_in_window += words;
     };
@@ -888,8 +988,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       const StreamFlow& f = stream_flows_[i];
       if (!active_in(f.group, k)) continue;
       const std::int64_t words = f.consumer->words_read() - s0[i].delivered;
-      push_stats(&stream_ps[i], words, s0[i],
-                 f.consumer->latency().count(), f.consumer->latency().Sum());
+      push_stats(&stream_ps[i], words, s0[i], f.consumer->latency());
       stream_window[i] += words;
       if (spec_.verify && spec_.traffic[f.group].gt) {
         window_checks.push_back(WindowCheck{
@@ -902,8 +1001,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       const VideoChain& c = video_chains_[i];
       if (!active_in(c.group, k)) continue;
       const std::int64_t words = c.consumer->words_read() - v0[i].delivered;
-      push_stats(&video_ps[i], words, v0[i],
-                 c.consumer->latency().count(), c.consumer->latency().Sum());
+      push_stats(&video_ps[i], words, v0[i], c.consumer->latency());
       video_window[i] += words;
       if (spec_.verify && spec_.traffic[c.group].gt) {
         window_checks.push_back(WindowCheck{
@@ -918,12 +1016,20 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       const std::int64_t transactions = m.master->completed() - m0[i].delivered;
       const std::int64_t words =
           transactions * spec_.traffic[m.group].mem_burst_words;
-      push_stats(&mem_ps[i], words, m0[i], m.master->latency().count(),
-                 m.master->latency().Sum());
+      push_stats(&mem_ps[i], words, m0[i], m.master->latency());
       mem_window[i] += words;
     }
     pr.throughput_wpc = static_cast<double>(pr.words_in_window) /
                         static_cast<double>(pr.duration);
+    pr.latency_count = static_cast<std::int64_t>(phase_samples.size());
+    if (!phase_samples.empty()) {
+      std::sort(phase_samples.begin(), phase_samples.end());
+      pr.latency_mean =
+          phase_lat_sum / static_cast<double>(phase_samples.size());
+      pr.latency_p50 = SortedPercentile(phase_samples, 50);
+      pr.latency_p95 = SortedPercentile(phase_samples, 95);
+      pr.latency_p99 = SortedPercentile(phase_samples, 99);
+    }
     result.phases.push_back(std::move(pr));
   }
 
@@ -951,6 +1057,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       r.words_total = c.consumer->words_read();
       r.words_in_window = video_window[vi];
       r.latency = Summarize(c.consumer->latency());
+      r.latency_samples = c.consumer->latency().samples();
       r.phase_stats = std::move(video_ps[vi]);
       result.flows.push_back(std::move(r));
       ++vi;
@@ -964,6 +1071,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       r.words_total = r.transactions_completed * traffic.mem_burst_words;
       r.words_in_window = mem_window[mi];
       r.latency = Summarize(m.master->latency());
+      r.latency_samples = m.master->latency().samples();
       r.phase_stats = std::move(mem_ps[mi]);
       result.flows.push_back(std::move(r));
       ++mi;
@@ -976,6 +1084,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
         r.words_total = f.consumer->words_read();
         r.words_in_window = stream_window[si];
         r.latency = Summarize(f.consumer->latency());
+        r.latency_samples = f.consumer->latency().samples();
         r.phase_stats = std::move(stream_ps[si]);
         result.flows.push_back(std::move(r));
         ++si;
@@ -1034,6 +1143,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
     if (!problems.empty()) return VerificationError(spec_.name, problems);
   }
   FillFaultResult(std::move(degradations), &result);
+  if (Status s = FinalizeObsIntoResult(&result); !s.ok()) return s;
   return result;
 }
 
@@ -1203,9 +1313,47 @@ void ScenarioRunner::FillFaultResult(std::vector<std::string> degradations,
   result->fault = std::move(fr);
 }
 
+namespace {
+
+/// Maps the fault injector's event-kind strings onto trace event codes.
+std::uint16_t FaultTraceCode(const std::string& kind) {
+  if (kind == "link-corrupt") return obs::kFaultCorrupt;
+  if (kind == "link-drop") return obs::kFaultDrop;
+  if (kind == "router-stall-drop") return obs::kFaultRouterFreeze;
+  if (kind == "config-drop") return obs::kFaultConfigDrop;
+  if (kind == "config-delay") return obs::kFaultConfigDelay;
+  return obs::kFaultNiStall;
+}
+
+}  // namespace
+
+Status ScenarioRunner::FinalizeObsIntoResult(ScenarioResult* result) {
+  obs::ObsHub* hub = soc_->obs_hub();
+  if (hub == nullptr) return OkStatus();
+  // Mirror the recorded fault events into the trace (their site strings
+  // stay in the result's fault.events; the trace carries cycle + kind).
+  if (result->fault.has_value()) {
+    for (std::size_t i = 0; i < result->fault->events.size(); ++i) {
+      const FaultEventRecord& event = result->fault->events[i];
+      hub->NoteFault(FaultTraceCode(event.kind), event.cycle,
+                     static_cast<std::int64_t>(i), 0);
+    }
+  }
+  soc_->FinalizeObs();
+  if (spec_.obs.SamplingEnabled()) {
+    result->obs_stats = hub->StatsSnapshot();
+  }
+  if (!hub->WriteTraceFile()) {
+    return FailedPreconditionError("cannot write trace file '" +
+                                   spec_.obs.trace_path + "'");
+  }
+  return OkStatus();
+}
+
 std::string ScenarioResult::ToJson() const {
   JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version").Int(2);
   w.Key("scenario").String(spec.name);
   w.Key("topology").BeginObject();
   w.Key("kind").String(TopologyKindName(spec.topology));
@@ -1235,6 +1383,13 @@ std::string ScenarioResult::ToJson() const {
       w.Key("duration").Int(phase.duration);
       w.Key("words_in_window").Int(phase.words_in_window);
       w.Key("throughput_wpc").Double(phase.throughput_wpc);
+      w.Key("latency_count").Int(phase.latency_count);
+      if (phase.latency_count > 0) {
+        w.Key("latency_mean").Double(phase.latency_mean);
+        w.Key("latency_p50").Double(phase.latency_p50);
+        w.Key("latency_p95").Double(phase.latency_p95);
+        w.Key("latency_p99").Double(phase.latency_p99);
+      }
       w.EndObject();
     }
     w.EndArray();
@@ -1287,6 +1442,9 @@ std::string ScenarioResult::ToJson() const {
         w.Key("latency_count").Int(ps.latency_count);
         if (ps.latency_count > 0) {
           w.Key("latency_mean").Double(ps.latency_mean);
+          w.Key("latency_p50").Double(ps.latency_p50);
+          w.Key("latency_p95").Double(ps.latency_p95);
+          w.Key("latency_p99").Double(ps.latency_p99);
         }
         w.EndObject();
       }
@@ -1309,6 +1467,40 @@ std::string ScenarioResult::ToJson() const {
   w.Key("gt_slots_unused").Int(gt_slots_unused);
   w.Key("slot_utilization").Double(slot_utilization);
   w.EndObject();
+  // Latency histograms (DESIGN.md §13): flit latency per traffic class
+  // (stream + video flows) and transaction round-trip latency (memory
+  // flows), merged over the whole run from the flows' exact samples.
+  {
+    std::vector<double> all, gt, be, txn;
+    for (const FlowResult& flow : flows) {
+      if (flow.pattern == PatternKindName(PatternKind::kMemory)) {
+        txn.insert(txn.end(), flow.latency_samples.begin(),
+                   flow.latency_samples.end());
+        continue;
+      }
+      all.insert(all.end(), flow.latency_samples.begin(),
+                 flow.latency_samples.end());
+      std::vector<double>& cls = flow.gt ? gt : be;
+      cls.insert(cls.end(), flow.latency_samples.begin(),
+                 flow.latency_samples.end());
+    }
+    w.Key("histograms").BeginObject();
+    w.Key("flit_latency").BeginObject();
+    w.Key("all");
+    WriteHistogram(w, std::move(all));
+    w.Key("gt");
+    WriteHistogram(w, std::move(gt));
+    w.Key("be");
+    WriteHistogram(w, std::move(be));
+    w.EndObject();
+    w.Key("transaction_latency");
+    WriteHistogram(w, std::move(txn));
+    w.EndObject();
+  }
+  if (obs_stats.has_value()) {
+    w.Key("stats");
+    obs::WriteStatsJson(w, *obs_stats);
+  }
   if (fault.has_value()) {
     const FaultResult& f = *fault;
     w.Key("fault").BeginObject();

@@ -18,6 +18,7 @@
 
 #include "config/script.h"
 #include "ip/memory_slave.h"
+#include "obs/hub.h"
 #include "ip/stream.h"
 #include "ip/traffic_gen.h"
 #include "scenario/patterns.h"
@@ -38,20 +39,26 @@ struct LatencySummary {
   std::int64_t count = 0;
   double min = 0;
   double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
   double p99 = 0;
   double max = 0;
 };
 
 /// One phase window's slice of a flow's statistics (phased scenarios).
-/// Percentiles need the whole sample population, so per-phase latency is
-/// count + mean (exact, from streaming count/sum snapshots); the full
-/// summary stays on the owning FlowResult.
+/// The Stats objects keep their samples in insertion order, so per-phase
+/// percentiles are exact — computed over the [window-start, window-end)
+/// sample range (Stats::RangePercentile); the whole-run summary stays on
+/// the owning FlowResult.
 struct PhaseFlowStats {
   int phase = 0;
   std::int64_t words = 0;         // delivered inside the phase window
   double throughput_wpc = 0;      // words / phase duration
   std::int64_t latency_count = 0;
   double latency_mean = 0;
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
 };
 
 /// Result of one flow (a stream, a whole video chain, or a memory
@@ -71,6 +78,11 @@ struct FlowResult {
   /// Stream flows: per-word source->sink latency. Memory flows: per-
   /// transaction round-trip latency. Cumulative over the whole run.
   LatencySummary latency;
+
+  /// The raw samples behind `latency`, in insertion order — the exact
+  /// population the result's histograms and the sweep's merged class
+  /// percentiles derive from (integer cycle counts stored as doubles).
+  std::vector<double> latency_samples;
 
   // Memory flows only.
   std::int64_t transactions_issued = 0;
@@ -99,13 +111,20 @@ struct TransitionResult {
   int slots_allocated = 0;       // TDM slots reserved by the opens
 };
 
-/// One phase window of a phased run.
+/// One phase window of a phased run. The latency fields summarize the
+/// samples of every flow active in the window, merged — exact, from the
+/// flows' insertion-order sample ranges.
 struct PhaseResult {
   std::string name;
   Cycle window_start = 0;        // first measured cycle of the window
   Cycle duration = 0;
   std::int64_t words_in_window = 0;  // all flows, this window
   double throughput_wpc = 0;
+  std::int64_t latency_count = 0;
+  double latency_mean = 0;
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
 };
 
 /// One recorded fault event (the injector caps the list; events_total
@@ -186,7 +205,16 @@ struct ScenarioResult {
   /// byte-identity property of the kill switch holds).
   std::optional<FaultResult> fault;
 
-  /// Deterministic JSON encoding (the golden-test format).
+  /// Time-series counters (DESIGN.md §13); present exactly when the spec
+  /// enables sampling (`stats sample_every N`). Deterministic: derived
+  /// entirely from committed simulation state, byte-identical across
+  /// engines.
+  std::optional<obs::ObsStatsSnapshot> obs_stats;
+
+  /// Deterministic JSON encoding (the golden-test format). The document
+  /// leads with `schema_version` (currently 2: per-flow p50/p95, the
+  /// always-present `histograms` section, per-phase percentiles, and the
+  /// optional `stats` section).
   std::string ToJson() const;
 };
 
@@ -284,6 +312,11 @@ class ScenarioRunner {
   /// (no-op unless the spec's fault block is Enabled()).
   void FillFaultResult(std::vector<std::string> degradations,
                        ScenarioResult* result);
+  /// Observability epilogue (no-op without a hub): mirrors the recorded
+  /// fault events into the trace, finalizes the tap, snapshots the stats
+  /// section into the result, and writes the trace file. Call after
+  /// FillFaultResult.
+  Status FinalizeObsIntoResult(ScenarioResult* result);
 
   ScenarioSpec spec_;
   bool built_ = false;

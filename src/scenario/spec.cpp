@@ -584,6 +584,29 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
         return ParseError(line.number, "verify <on|off>");
       }
       spec.verify = line.tokens[1] == "on";
+    } else if (kind == "stats") {
+      if (line.tokens.size() != 3 || line.tokens[1] != "sample_every") {
+        return ParseError(line.number, "stats sample_every <cycles>");
+      }
+      // Windows close at slot boundaries (the wire-transfer granularity),
+      // so a window shorter than one slot could never hold a sample.
+      auto v = ParseIntIn(line, line.tokens[2], kFlitWords,
+                          std::int64_t{1} << 40);
+      if (!v.ok()) return v.status();
+      spec.obs.sample_every = *v;
+    } else if (kind == "trace") {
+      if (line.tokens.size() != 2 && line.tokens.size() != 4) {
+        return ParseError(line.number, "trace <file> [cap <events>]");
+      }
+      spec.obs.trace_path = line.tokens[1];
+      if (line.tokens.size() == 4) {
+        if (line.tokens[2] != "cap") {
+          return ParseError(line.number, "expected 'cap <events>'");
+        }
+        auto v = ParseIntIn(line, line.tokens[3], 1, std::int64_t{1} << 30);
+        if (!v.ok()) return v.status();
+        spec.obs.trace_cap = *v;
+      }
     } else if (kind == "fault") {
       if (line.tokens.size() != 1) {
         return ParseError(line.number,

@@ -23,6 +23,19 @@
 //                                 # runtime invariant checkers plus
 //                                 # analytical GT bound checks; any
 //                                 # violation fails the run
+//   stats sample_every N          # windowed time-series sampling
+//                                 # (DESIGN.md §13): close an observation
+//                                 # window every N cycles (N >= the slot
+//                                 # length) and emit per-window link
+//                                 # utilisation / injected / delivered /
+//                                 # queue-depth series into the result
+//                                 # JSON. Off by default; enabling it
+//                                 # never changes simulation results.
+//   trace FILE [cap N]            # structured event trace (Chrome
+//                                 # trace_event JSON) written to FILE
+//                                 # after the run; per-category ring
+//                                 # capacity N events (drops accounted).
+//                                 # Off by default; observation only.
 //
 // followed by one or more traffic directives. Each directive names a
 // pattern (which NIs talk to which), then optional clauses:
@@ -116,6 +129,7 @@
 #include <vector>
 
 #include "fault/spec.h"
+#include "obs/spec.h"
 #include "sim/engine.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -244,6 +258,12 @@ struct ScenarioSpec {
   /// Armed fault models (absent = fault subsystem not even instantiated;
   /// see SocOptions::fault for the kill-switch semantics).
   std::optional<fault::FaultSpec> fault;
+
+  /// Observability configuration (`stats` / `trace` directives; the
+  /// noc_sim --trace / --sample-every flags override it). Disabled by
+  /// default — the runner passes SocOptions::obs = nullptr and not a
+  /// single tap module exists (DESIGN.md §13).
+  obs::ObsSpec obs;
 
   bool Phased() const { return !phases.empty(); }
 

@@ -1,11 +1,18 @@
 #include "sim/kernel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace aethereal::sim {
 
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 // Min-heap comparator: std::*_heap build max-heaps, so "greater" yields a
 // min-heap. Ties break on clock id so coincident edges pop in id order
@@ -108,8 +115,23 @@ void Clock::PopDueTimers() {
 }
 
 void Clock::EvaluatePhase() {
+  if (profile_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    PopDueTimers();
+    RefreshRunList();
+    const auto t1 = std::chrono::steady_clock::now();
+    profile_->park_wake_sec +=
+        std::chrono::duration<double>(t1 - t0).count();
+    RunEvalLists();
+    profile_->evaluate_sec += SecondsSince(t1);
+    return;
+  }
   PopDueTimers();
   RefreshRunList();
+  RunEvalLists();
+}
+
+void Clock::RunEvalLists() {
   for (Module* m : run_every_) m->Evaluate();
   if (!run_strided_.empty()) {
     if (uniform_stride_ > 0) {
@@ -157,7 +179,15 @@ void Clock::RunFlagged(const std::vector<std::uint64_t>& bits,
 }
 
 void Clock::EvaluatePhaseSoa() {
+  std::chrono::steady_clock::time_point t0;
+  std::chrono::steady_clock::time_point t1;
+  if (profile_ != nullptr) t0 = std::chrono::steady_clock::now();
   PopDueTimers();
+  if (profile_ != nullptr) {
+    t1 = std::chrono::steady_clock::now();
+    profile_->park_wake_sec +=
+        std::chrono::duration<double>(t1 - t0).count();
+  }
   RunFlagged(eval_every_bits_, /*per_module_stride=*/false);
   if (strided_uniform_ > 0) {
     // Every strided module ever registered shares one stride (the slot
@@ -168,6 +198,7 @@ void Clock::EvaluatePhaseSoa() {
   } else if (strided_uniform_ < 0) {
     RunFlagged(eval_strided_bits_, /*per_module_stride=*/true);
   }
+  if (profile_ != nullptr) profile_->evaluate_sec += SecondsSince(t1);
 }
 
 // Commit dispatch over the contiguous pending bitmap: the scan touches a
@@ -176,6 +207,16 @@ void Clock::EvaluatePhaseSoa() {
 // only for modules with staged state (or a declared Commit override), on
 // their declared stride phase.
 void Clock::CommitPhase() {
+  if (profile_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    CommitSweep();
+    profile_->commit_sec += SecondsSince(t0);
+    return;
+  }
+  CommitSweep();
+}
+
+void Clock::CommitSweep() {
   const std::size_t words = commit_bits_.size();
   for (std::size_t w = 0; w < words; ++w) {
     std::uint64_t chunk = commit_bits_[w];
@@ -213,6 +254,7 @@ Clock* Kernel::AddClock(std::string name, Picoseconds period_ps) {
       static_cast<int>(clocks_.size()), std::move(name), period_ps));
   Clock* clock = clocks_.back().get();
   clock->kernel_ = this;
+  if (profiling_) clock->profile_ = &profile_data_;
   edge_heap_.reserve(clocks_.size());
   firing_.reserve(clocks_.size());
   heap_dirty_ = true;
@@ -223,6 +265,12 @@ Clock* Kernel::AddClockMhz(std::string name, double mhz) {
   AETHEREAL_CHECK(mhz > 0.0);
   const auto period = static_cast<Picoseconds>(std::llround(1e6 / mhz));
   return AddClock(std::move(name), period);
+}
+
+void Kernel::EnableProfiling() {
+  profiling_ = true;
+  profile_data_ = EngineProfile{};
+  for (const auto& c : clocks_) c->profile_ = &profile_data_;
 }
 
 void Kernel::set_engine(EngineKind engine) {
@@ -248,6 +296,7 @@ Picoseconds Kernel::NextEdgeTime() const {
 Picoseconds Kernel::Step() {
   AETHEREAL_CHECK_MSG(!clocks_.empty(), "no clocks in kernel");
   stepped_ = true;
+  if (profiling_) profile_data_.steps += 1;
 
   // Single-clock fast path: no scan, no heap, no scratch.
   if (clocks_.size() == 1) {
@@ -264,6 +313,14 @@ Picoseconds Kernel::Step() {
       // modules with nothing staged.
       c->EvaluatePhase();
       c->CommitPhase();
+    } else if (profiling_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (Module* m : c->modules_) m->Evaluate();
+      const auto t1 = std::chrono::steady_clock::now();
+      profile_data_.evaluate_sec +=
+          std::chrono::duration<double>(t1 - t0).count();
+      for (Module* m : c->modules_) m->Commit();
+      profile_data_.commit_sec += SecondsSince(t1);
     } else {
       for (Module* m : c->modules_) m->Evaluate();
       for (Module* m : c->modules_) m->Commit();
@@ -293,6 +350,12 @@ Picoseconds Kernel::Step() {
     for (Clock* c : firing_) c->EvaluatePhaseSoa();
   } else if (engine_ == EngineKind::kOptimized) {
     for (Clock* c : firing_) c->EvaluatePhase();
+  } else if (profiling_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Clock* c : firing_) {
+      for (Module* m : c->modules_) m->Evaluate();
+    }
+    profile_data_.evaluate_sec += SecondsSince(t0);
   } else {
     for (Clock* c : firing_) {
       for (Module* m : c->modules_) m->Evaluate();
@@ -301,6 +364,9 @@ Picoseconds Kernel::Step() {
   // Phase 2: commit. Every module reaches the commit phase — parked ones
   // too — so staged state always lands at the same edge as on the naïve
   // path; on the gated paths the virtual call is elided when clean.
+  const bool time_naive_commit = profiling_ && !optimize();
+  std::chrono::steady_clock::time_point commit_t0;
+  if (time_naive_commit) commit_t0 = std::chrono::steady_clock::now();
   for (Clock* c : firing_) {
     if (optimize()) {
       c->CommitPhase();
@@ -310,6 +376,7 @@ Picoseconds Kernel::Step() {
     c->cycles_ += 1;
     c->next_edge_ps_ += c->period_ps_;
   }
+  if (time_naive_commit) profile_data_.commit_sec += SecondsSince(commit_t0);
   for (Clock* c : firing_) {
     edge_heap_.push_back(c);
     std::push_heap(edge_heap_.begin(), edge_heap_.end(), EdgeAfter);

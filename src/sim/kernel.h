@@ -59,6 +59,18 @@ class Clock;
 class Kernel;
 class Module;
 
+/// Host-side wall-time attribution per engine stage, filled while
+/// Kernel::EnableProfiling() is armed (bench_speed --profile). Off by
+/// default: the hot path pays one pointer check per phase; armed, it pays
+/// a few steady_clock reads per edge, so profiled runs measure
+/// attribution, not peak speed.
+struct EngineProfile {
+  std::int64_t steps = 0;      // kernel Step() calls
+  double evaluate_sec = 0.0;   // module Evaluate() sweeps
+  double commit_sec = 0.0;     // commit dispatch sweeps
+  double park_wake_sec = 0.0;  // timer pops + run-list/bitmap upkeep
+};
+
 /// A state element with staged updates applied at the clock edge.
 ///
 /// Elements participating in dirty-list commits must call MarkDirty() every
@@ -323,10 +335,12 @@ class Clock {
 
   void EvaluatePhase();      // kOptimized: run lists
   void EvaluatePhaseSoa();   // kSoa: activity-bitmap sweep
+  void RunEvalLists();       // the run-list module sweep of EvaluatePhase
   void RunFlagged(const std::vector<std::uint64_t>& bits,
                   bool per_module_stride);
   void PopDueTimers();
   void CommitPhase();
+  void CommitSweep();        // the bitmap dispatch of CommitPhase
 
   struct Timer {
     Cycle due;
@@ -362,6 +376,7 @@ class Clock {
   int uniform_stride_ = 0;   // shared stride of run_strided_ (-1 if mixed)
   int strided_uniform_ = 0;  // shared stride over ALL strided modules ever
   bool run_list_dirty_ = true;
+  EngineProfile* profile_ = nullptr;  // set while the kernel profiles
 };
 
 /// Owns the clocks and advances simulated time.
@@ -409,6 +424,12 @@ class Kernel {
   bool optimize() const { return engine_ != EngineKind::kNaive; }
   bool soa() const { return engine_ == EngineKind::kSoa; }
 
+  /// Arms per-stage wall-time attribution (resets any prior counts).
+  /// Callable at any point; existing and future clocks both report.
+  void EnableProfiling();
+  bool profiling() const { return profiling_; }
+  const EngineProfile& profile() const { return profile_data_; }
+
  private:
   friend class Module;
   void RebuildHeap() const;
@@ -423,6 +444,8 @@ class Kernel {
   EngineKind engine_ = EngineKind::kOptimized;
   bool stepped_ = false;
   Picoseconds now_ps_ = 0;
+  bool profiling_ = false;
+  EngineProfile profile_data_;
 };
 
 // --- hot-path inline definitions (need the complete Clock type) -----------

@@ -4,6 +4,9 @@
 
 #include "core/registers.h"
 #include "fault/injector.h"
+#include "obs/hub.h"
+#include "obs/spec.h"
+#include "obs/tap.h"
 #include "util/check.h"
 #include "verify/monitor.h"
 
@@ -74,6 +77,17 @@ Soc::Soc(topology::Topology topology,
     net_clock_->Register(monitor_.get());
   }
 
+  // The observability tap follows the monitor's contract (read-only,
+  // registered before the NoC hardware, observation at slot boundaries).
+  // When options_.obs is null or disabled NOTHING is built — that absent
+  // module is the subsystem's entire cost when off (DESIGN.md §13).
+  if (options_.obs != nullptr && options_.obs->Enabled()) {
+    obs_hub_ = std::make_unique<obs::ObsHub>(*options_.obs);
+    obs_tap_ = std::make_unique<obs::ObsTap>(obs_hub_.get());
+    net_clock_->Register(obs_tap_.get());
+  }
+  std::vector<const link::LinkWires*> obs_links;
+
   // All link wires live in one contiguous pool (one module instead of one
   // per link); size it exactly: two NI links per NI plus every directed
   // router-to-router link.
@@ -132,6 +146,16 @@ Soc::Soc(topology::Topology topology,
 
     const RouterId r = topology_.NiRouter(n);
     const int rp = topology_.NiRouterPort(n);
+    if (obs_hub_ != nullptr) {
+      obs_hub_->RegisterLink(obs::LinkKind::kInjection,
+                             "ni" + std::to_string(n) + "->router" +
+                                 std::to_string(r));
+      obs_links.push_back(inj);
+      obs_hub_->RegisterLink(obs::LinkKind::kDelivery,
+                             "router" + std::to_string(r) + "->ni" +
+                                 std::to_string(n));
+      obs_links.push_back(del);
+    }
     kernel->ConnectToRouter(inj, del, options_.router_be_buffer_flits);
     routers_[static_cast<std::size_t>(r)].ConnectInput(rp, inj);
     // The NI always sinks arriving BE flits (end-to-end flow control has
@@ -165,11 +189,26 @@ Soc::Soc(topology::Topology topology,
       routers_[static_cast<std::size_t>(r)].ConnectOutput(
           p, l, options_.router_be_buffer_flits);
       routers_[static_cast<std::size_t>(peer.id)].ConnectInput(peer.port, l);
+      if (obs_hub_ != nullptr) {
+        obs_hub_->RegisterLink(obs::LinkKind::kRouterRouter,
+                               "router" + std::to_string(r) + ".p" +
+                                   std::to_string(p) + "->router" +
+                                   std::to_string(peer.id));
+        obs_links.push_back(l);
+      }
     }
   }
 
   allocator_ = std::make_unique<tdm::CentralizedAllocator>(
       &topology_, options_.stu_slots);
+
+  if (obs_tap_ != nullptr) {
+    obs::ObsHookup hookup;
+    hookup.links = std::move(obs_links);
+    for (core::NiKernel& ni : nis_) hookup.nis.push_back(&ni);
+    for (router::Router& router : routers_) hookup.routers.push_back(&router);
+    obs_tap_->Attach(std::move(hookup));
+  }
 
   if (monitor_ != nullptr) {
     verify::MonitorHookup hookup;
@@ -199,6 +238,10 @@ Soc::Soc(topology::Topology topology,
 }
 
 Soc::~Soc() = default;
+
+void Soc::FinalizeObs() {
+  if (obs_tap_ != nullptr) obs_tap_->Finalize();
+}
 
 std::vector<std::pair<tdm::GlobalChannel, tdm::GlobalChannel>>
 Soc::OpenChannelPairs() const {

@@ -38,6 +38,12 @@ namespace aethereal::fault {
 class FaultInjector;
 }
 
+namespace aethereal::obs {
+struct ObsSpec;
+class ObsHub;
+class ObsTap;
+}
+
 namespace aethereal::soc {
 
 /// EngineKind is the soc-level currency too; see sim/engine.h.
@@ -75,6 +81,15 @@ struct SocOptions {
   /// to a run with fault == nullptr. The spec is copied; the pointer only
   /// needs to outlive the constructor.
   const fault::FaultSpec* fault = nullptr;
+  /// Kill switch for the observability subsystem (DESIGN.md §13): null
+  /// (the default) builds the network without an ObsHub or tap — zero
+  /// per-cycle cost, results byte-identical to a build without the
+  /// subsystem. Pointer set (and spec enabled) constructs the hub and
+  /// registers the read-only ObsTap on the network clock: per-link /
+  /// per-NI / per-router counters, time-series windows and event tracing,
+  /// all observation-only like the verify monitor. The spec is copied;
+  /// the pointer only needs to outlive the constructor.
+  const obs::ObsSpec* obs = nullptr;
 
   /// The engine after resolving the deprecated alias: an explicit `engine`
   /// wins; otherwise optimize_engine == false selects kNaive.
@@ -122,6 +137,15 @@ class Soc {
 
   /// The fault injector (null unless SocOptions::fault was set).
   fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
+
+  /// The observability hub (null unless SocOptions::obs was set and
+  /// enabled) — THE pointer check the zero-cost-when-off contract hangs
+  /// on (DESIGN.md §13).
+  obs::ObsHub* obs_hub() { return obs_hub_.get(); }
+
+  /// Closes the trailing sampling window and snapshots end-of-run
+  /// counters into the hub. Idempotent; no-op without a hub.
+  void FinalizeObs();
 
   /// Endpoints of every open direct connection, for the monitor's credit
   /// pairing; `connections_version()` bumps on every open/close so the
@@ -201,6 +225,8 @@ class Soc {
   std::int64_t connections_version_ = 0;
   std::unique_ptr<verify::Monitor> monitor_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
+  std::unique_ptr<obs::ObsHub> obs_hub_;
+  std::unique_ptr<obs::ObsTap> obs_tap_;
 
   // Configuration infrastructure (EnableConfig).
   std::unique_ptr<shells::ConfigShell> config_shell_;

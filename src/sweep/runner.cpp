@@ -7,6 +7,7 @@
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/json.h"
+#include "util/stats.h"
 
 namespace aethereal::sweep {
 
@@ -55,8 +56,8 @@ double OfferedWpc(const TrafficSpec& traffic) {
 
 namespace {
 
-void AddFlow(ClassSummary* summary, const scenario::FlowResult& flow,
-             double offered) {
+void AddFlow(ClassSummary* summary, std::vector<double>* samples,
+             const scenario::FlowResult& flow, double offered) {
   ++summary->flows;
   summary->offered_wpc += offered;
   summary->words_in_window += flow.words_in_window;
@@ -64,22 +65,28 @@ void AddFlow(ClassSummary* summary, const scenario::FlowResult& flow,
     if (summary->latency_count == 0 || flow.latency.min < summary->latency_min) {
       summary->latency_min = flow.latency.min;
     }
-    summary->latency_p99 = std::max(summary->latency_p99, flow.latency.p99);
     summary->latency_max = std::max(summary->latency_max, flow.latency.max);
     // Weighted-mean accumulation: stash the sample sum in `latency_mean`
     // until Finish() divides by the total count.
     summary->latency_mean +=
         static_cast<double>(flow.latency.count) * flow.latency.mean;
     summary->latency_count += flow.latency.count;
+    samples->insert(samples->end(), flow.latency_samples.begin(),
+                    flow.latency_samples.end());
   }
 }
 
-void FinishClass(ClassSummary* summary, Cycle duration) {
+void FinishClass(ClassSummary* summary, std::vector<double>* samples,
+                 Cycle duration) {
   summary->throughput_wpc =
       static_cast<double>(summary->words_in_window) /
       static_cast<double>(duration);
   if (summary->latency_count > 0) {
     summary->latency_mean /= static_cast<double>(summary->latency_count);
+    std::sort(samples->begin(), samples->end());
+    summary->latency_p50 = SortedPercentile(*samples, 50.0);
+    summary->latency_p95 = SortedPercentile(*samples, 95.0);
+    summary->latency_p99 = SortedPercentile(*samples, 99.0);
   }
 }
 
@@ -100,6 +107,8 @@ void WriteClass(JsonWriter& w, const ClassSummary& s) {
   if (s.latency_count > 0) {
     w.Key("min").Double(s.latency_min);
     w.Key("mean").Double(s.latency_mean);
+    w.Key("p50").Double(s.latency_p50);
+    w.Key("p95").Double(s.latency_p95);
     w.Key("p99").Double(s.latency_p99);
     w.Key("max").Double(s.latency_max);
   }
@@ -118,18 +127,22 @@ void SummarizePoint(const ScenarioResult& result, PointResult* point) {
   point->slot_utilization = result.slot_utilization;
   point->gt_flits = result.gt_flits;
   point->be_flits = result.be_flits;
+  std::vector<double> all_samples;
+  std::vector<double> gt_samples;
+  std::vector<double> be_samples;
   for (const scenario::FlowResult& flow : result.flows) {
     const auto group = static_cast<std::size_t>(flow.group);
     AETHEREAL_CHECK(group < result.spec.traffic.size());
     const double offered =
         OfferedWpc(result.spec.traffic[group]) *
         ActiveFraction(result.spec, result.spec.traffic[group]);
-    AddFlow(&point->all, flow, offered);
-    AddFlow(flow.gt ? &point->gt : &point->be, flow, offered);
+    AddFlow(&point->all, &all_samples, flow, offered);
+    AddFlow(flow.gt ? &point->gt : &point->be,
+            flow.gt ? &gt_samples : &be_samples, flow, offered);
   }
-  FinishClass(&point->all, result.spec.TotalDuration());
-  FinishClass(&point->gt, result.spec.TotalDuration());
-  FinishClass(&point->be, result.spec.TotalDuration());
+  FinishClass(&point->all, &all_samples, result.spec.TotalDuration());
+  FinishClass(&point->gt, &gt_samples, result.spec.TotalDuration());
+  FinishClass(&point->be, &be_samples, result.spec.TotalDuration());
 }
 
 SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {}
@@ -248,6 +261,7 @@ Result<SweepResult> SweepRunner::Run(int jobs) {
 std::string SweepResult::ToJson() const {
   JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version").Int(2);
   w.Key("sweep").String(spec.name);
   w.Key("base").BeginObject();
   w.Key("scenario").String(spec.base.name);
@@ -340,8 +354,8 @@ std::vector<std::string> CsvHeader(const SweepSpec& spec) {
   } else {
     for (const char* col :
          {"class", "flows", "offered_wpc", "words_in_window",
-          "throughput_wpc", "lat_count", "lat_min", "lat_mean", "lat_p99",
-          "lat_max", "slot_utilization"}) {
+          "throughput_wpc", "lat_count", "lat_min", "lat_mean", "lat_p50",
+          "lat_p95", "lat_p99", "lat_max", "slot_utilization"}) {
       header.push_back(col);
     }
   }
@@ -360,6 +374,8 @@ void ClassRow(CsvWriter& w, const PointResult& point, const char* name,
   w.Cell(s.latency_count);
   w.Double(s.latency_min);
   w.Double(s.latency_mean);
+  w.Double(s.latency_p50);
+  w.Double(s.latency_p95);
   w.Double(s.latency_p99);
   w.Double(s.latency_max);
   w.Double(point.slot_utilization);
@@ -415,7 +431,8 @@ Result<std::string> SweepResult::ToCurveCsv(
                                 "' is not an axis of this sweep");
   }
   CsvWriter w({"series", axis_param, "class", "offered_wpc",
-               "throughput_wpc", "lat_mean", "lat_p99", "lat_max"});
+               "throughput_wpc", "lat_mean", "lat_p50", "lat_p95", "lat_p99",
+               "lat_max"});
   for (const PointResult& point : points) {
     // The non-curve axes label the series this point belongs to.
     std::string series;
@@ -432,6 +449,8 @@ Result<std::string> SweepResult::ToCurveCsv(
       w.Double(s.offered_wpc);
       w.Double(s.throughput_wpc);
       w.Double(s.latency_mean);
+      w.Double(s.latency_p50);
+      w.Double(s.latency_p95);
       w.Double(s.latency_p99);
       w.Double(s.latency_max);
       w.EndRow();

@@ -22,10 +22,10 @@
 namespace aethereal::sweep {
 
 /// Latency/throughput summary of one service class (all / GT / BE) at one
-/// grid point. Latency merges the per-flow summaries: `mean` is the
-/// sample-count-weighted mean (exact), `p99` is the worst per-flow p99 (a
-/// conservative class bound — exact class percentiles would need raw
-/// samples), min/max are exact.
+/// grid point. Latency merges the flows' raw sample populations
+/// (FlowResult::latency_samples), so mean, min/max AND the percentiles
+/// are all exact class-level values (nearest-rank, the same formula as
+/// every other percentile in the result JSON).
 struct ClassSummary {
   std::int64_t flows = 0;
   double offered_wpc = 0;  // sum of per-flow injected words/cycle
@@ -34,6 +34,8 @@ struct ClassSummary {
   std::int64_t latency_count = 0;
   double latency_min = 0;
   double latency_mean = 0;
+  double latency_p50 = 0;
+  double latency_p95 = 0;
   double latency_p99 = 0;
   double latency_max = 0;
 };

@@ -10,7 +10,7 @@ namespace aethereal {
 void Stats::Add(double sample) {
   samples_.push_back(sample);
   sum_ += sample;
-  sorted_ = false;
+  sorted_valid_ = false;
 }
 
 double Stats::Min() const {
@@ -36,17 +36,32 @@ double Stats::StdDev() const {
   return std::sqrt(acc / static_cast<double>(samples_.size()));
 }
 
-double Stats::Percentile(double p) const {
-  AETHEREAL_CHECK(!samples_.empty());
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  AETHEREAL_CHECK(!sorted.empty());
   AETHEREAL_CHECK(p >= 0.0 && p <= 100.0);
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  const auto n = static_cast<double>(samples_.size());
+  const auto n = static_cast<double>(sorted.size());
   auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
   if (rank > 0) --rank;
-  return samples_[std::min(rank, samples_.size() - 1)];
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double Stats::Percentile(double p) const {
+  AETHEREAL_CHECK(!samples_.empty());
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return SortedPercentile(sorted_, p);
+}
+
+double Stats::RangePercentile(std::size_t first, std::size_t last,
+                              double p) const {
+  AETHEREAL_CHECK(first < last && last <= samples_.size());
+  std::vector<double> window(samples_.begin() + static_cast<std::ptrdiff_t>(first),
+                             samples_.begin() + static_cast<std::ptrdiff_t>(last));
+  std::sort(window.begin(), window.end());
+  return SortedPercentile(window, p);
 }
 
 }  // namespace aethereal

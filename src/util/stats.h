@@ -2,6 +2,7 @@
 #ifndef AETHEREAL_UTIL_STATS_H
 #define AETHEREAL_UTIL_STATS_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -9,6 +10,11 @@ namespace aethereal {
 
 /// Accumulates samples and answers summary queries. Keeps all samples so
 /// exact percentiles are available (bench runs are bounded in size).
+///
+/// Samples stay in insertion order forever: phased scenarios snapshot the
+/// sample count at window boundaries and later ask for exact percentiles
+/// over the insertion-order range [first, last) of one phase's window, so
+/// Percentile() works on a sorted *copy* (cached until the next Add).
 class Stats {
  public:
   void Add(double sample);
@@ -24,11 +30,25 @@ class Stats {
   double Percentile(double p) const;
   double Sum() const { return sum_; }
 
+  /// Exact nearest-rank percentile over the insertion-order sample range
+  /// [first, last) — the samples recorded between two count() snapshots.
+  double RangePercentile(std::size_t first, std::size_t last, double p) const;
+
+  /// Samples in insertion order (for histogram bucketing / merging).
+  const std::vector<double>& samples() const { return samples_; }
+
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;  // insertion order; never reordered
   double sum_ = 0.0;
+  mutable std::vector<double> sorted_;  // cached sorted copy for Percentile
+  mutable bool sorted_valid_ = false;
 };
+
+/// Nearest-rank percentile of an externally sorted sample vector
+/// (p in [0, 100]); the shared formula of Stats and the class-level
+/// histogram merges, so every percentile in the result JSON is computed
+/// identically.
+double SortedPercentile(const std::vector<double>& sorted, double p);
 
 }  // namespace aethereal
 

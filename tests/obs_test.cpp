@@ -1,0 +1,386 @@
+// Observability subsystem tests (DESIGN.md §13).
+//
+// The contract under test has two halves. Off: a run with no `stats` /
+// `trace` directive constructs no hub and no tap, so every canonical
+// golden stays byte-identical on all three engines. On: the taps observe
+// committed state only, so enabling them changes NOTHING about the
+// simulation (same flit counts, same latencies, same result fields) while
+// the stats section itself is deterministic and engine-invariant, the
+// trace file accounts for every recorded event, and percentiles follow
+// the one nearest-rank formula everywhere.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/hub.h"
+#include "obs/spec.h"
+#include "obs/trace.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "util/stats.h"
+
+namespace aethereal::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::set<fs::path> CanonicalSpecs() {
+  std::set<fs::path> specs;  // sorted for stable test order
+  for (const auto& entry : fs::directory_iterator(AETHEREAL_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".scn") specs.insert(entry.path());
+  }
+  return specs;
+}
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+ScenarioResult MustRun(ScenarioSpec spec) {
+  ScenarioRunner runner(std::move(spec));
+  auto result = runner.Run();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(*result) : ScenarioResult{};
+}
+
+// --- the kill switch ------------------------------------------------------
+
+// With observability off (the default), every canonical scenario must
+// reproduce its committed golden byte for byte on all three engines — the
+// obs subsystem's cost when disabled is one null-pointer check, and its
+// behavioural footprint is zero.
+TEST(ObsOffTest, EveryEngineMatchesEveryGolden) {
+  for (const fs::path& path : CanonicalSpecs()) {
+    SCOPED_TRACE(path.filename().string());
+    const fs::path golden_path = fs::path(AETHEREAL_GOLDEN_DIR) /
+                                 path.stem().replace_extension(".json");
+    ASSERT_TRUE(fs::exists(golden_path)) << "missing golden " << golden_path;
+    const std::string golden = ReadFile(golden_path);
+    for (sim::EngineKind engine :
+         {sim::EngineKind::kNaive, sim::EngineKind::kOptimized,
+          sim::EngineKind::kSoa}) {
+      SCOPED_TRACE(sim::EngineKindName(engine));
+      auto spec = LoadScenarioFile(path.string());
+      ASSERT_TRUE(spec.ok()) << spec.status();
+      ASSERT_FALSE(spec->obs.Enabled())
+          << "canonical specs must keep observability off";
+      spec->engine = engine;
+      spec->optimize_engine = engine != sim::EngineKind::kNaive;
+      EXPECT_EQ(MustRun(*spec).ToJson(), golden);
+    }
+  }
+}
+
+// --- non-perturbation and engine invariance when on ------------------------
+
+// Arming sampling + tracing must not change the simulation: every
+// simulation-semantic result field matches the obs-off run exactly.
+TEST(ObsOnTest, ArmedRunDoesNotPerturbTheSimulation) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/mixed_star.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  const ScenarioResult off = MustRun(*spec);
+
+  ScenarioSpec armed = *spec;
+  armed.obs.sample_every = 300;
+  armed.obs.trace_path = TempPath("obs_perturb_trace.json");
+  const ScenarioResult on = MustRun(armed);
+
+  EXPECT_EQ(on.words_in_window, off.words_in_window);
+  EXPECT_EQ(on.gt_flits, off.gt_flits);
+  EXPECT_EQ(on.be_flits, off.be_flits);
+  EXPECT_EQ(on.idle_slots, off.idle_slots);
+  EXPECT_EQ(on.slot_utilization, off.slot_utilization);
+  ASSERT_EQ(on.flows.size(), off.flows.size());
+  for (std::size_t i = 0; i < on.flows.size(); ++i) {
+    EXPECT_EQ(on.flows[i].words_in_window, off.flows[i].words_in_window);
+    EXPECT_EQ(on.flows[i].latency.count, off.flows[i].latency.count);
+    EXPECT_EQ(on.flows[i].latency.mean, off.flows[i].latency.mean);
+    EXPECT_EQ(on.flows[i].latency.p99, off.flows[i].latency.p99);
+  }
+  ASSERT_TRUE(on.obs_stats.has_value());
+  EXPECT_FALSE(off.obs_stats.has_value());
+}
+
+// The stats section derives from committed state only, so the armed
+// result JSON — stats included — is byte-identical across all three
+// engines, and across repeated runs of the same engine.
+TEST(ObsOnTest, StatsJsonIsEngineInvariantAndDeterministic) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/mixed_star.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  spec->obs.sample_every = 300;
+
+  std::vector<std::string> jsons;
+  for (sim::EngineKind engine :
+       {sim::EngineKind::kNaive, sim::EngineKind::kOptimized,
+        sim::EngineKind::kSoa}) {
+    ScenarioSpec armed = *spec;
+    armed.engine = engine;
+    armed.optimize_engine = engine != sim::EngineKind::kNaive;
+    jsons.push_back(MustRun(armed).ToJson());
+  }
+  EXPECT_EQ(jsons[0], jsons[1]) << "naive vs optimized stats diverged";
+  EXPECT_EQ(jsons[1], jsons[2]) << "optimized vs soa stats diverged";
+  EXPECT_NE(jsons[0].find("\"stats\""), std::string::npos);
+  EXPECT_EQ(MustRun(*spec).ToJson(), jsons[1]) << "rerun not deterministic";
+}
+
+// --- the stats content ----------------------------------------------------
+
+TEST(ObsOnTest, WindowsAndCountersAreConsistent) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/uniform_star.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  spec->obs.sample_every = 600;
+  const ScenarioResult result = MustRun(*spec);
+
+  ASSERT_TRUE(result.obs_stats.has_value());
+  const obs::ObsStatsSnapshot& stats = *result.obs_stats;
+  EXPECT_EQ(stats.sample_every, 600);
+  ASSERT_FALSE(stats.windows.empty());
+  ASSERT_FALSE(stats.links.empty());
+  ASSERT_EQ(stats.link_sites.size(), stats.links.size());
+  ASSERT_EQ(stats.link_kinds.size(), stats.links.size());
+
+  // Windows tile the run: increasing starts, positive lengths, and the
+  // per-link busy vectors always span the full link set.
+  Cycle prev_start = -1;
+  std::int64_t windowed_busy = 0;
+  for (const obs::SampleWindow& win : stats.windows) {
+    EXPECT_GT(win.start, prev_start);
+    EXPECT_GT(win.length, 0);
+    prev_start = win.start;
+    ASSERT_EQ(win.link_busy.size(), stats.links.size());
+    std::int64_t busy = 0;
+    for (std::int32_t b : win.link_busy) busy += b;
+    EXPECT_EQ(busy, win.busy_link_slots);
+    EXPECT_LE(win.busy_link_slots, win.link_slots);
+    windowed_busy += win.busy_link_slots;
+  }
+
+  // The whole-run link counters account every slot as exactly one of
+  // GT / BE / idle, and the windowed series covers the same traffic.
+  std::int64_t counter_busy = 0;
+  std::int64_t injected = 0;
+  std::int64_t delivered = 0;
+  for (std::size_t i = 0; i < stats.links.size(); ++i) {
+    const obs::LinkCounters& c = stats.links[i];
+    EXPECT_GE(c.gt_flits, 0);
+    EXPECT_GE(c.be_flits, 0);
+    EXPECT_GE(c.idle_slots, 0);
+    EXPECT_LE(c.header_flits, c.gt_flits + c.be_flits);
+    counter_busy += c.gt_flits + c.be_flits;
+    if (stats.link_kinds[i] == obs::LinkKind::kInjection) {
+      injected += c.gt_flits + c.be_flits;
+    }
+    if (stats.link_kinds[i] == obs::LinkKind::kDelivery) {
+      delivered += c.gt_flits + c.be_flits;
+    }
+    EXPECT_FALSE(stats.link_sites[i].empty());
+  }
+  EXPECT_EQ(counter_busy, windowed_busy)
+      << "windowed series disagrees with the whole-run counters";
+  EXPECT_GT(injected, 0);
+  EXPECT_GT(delivered, 0);
+
+  // NI observations: one entry per NI, queue HWMs and utilization sane.
+  ASSERT_EQ(stats.nis.size(), static_cast<std::size_t>(spec->NumNis()));
+  bool any_queue_seen = false;
+  for (const obs::NiObservation& o : stats.nis) {
+    EXPECT_GE(o.source_queue_hwm, 0);
+    EXPECT_GE(o.dest_queue_hwm, 0);
+    if (o.source_queue_hwm > 0 || o.dest_queue_hwm > 0) any_queue_seen = true;
+    EXPECT_GE(o.slot_utilization, 0.0);
+    EXPECT_LE(o.slot_utilization, 1.0);
+  }
+  EXPECT_TRUE(any_queue_seen);
+
+  bool any_router_traffic = false;
+  for (const obs::RouterObservation& o : stats.routers) {
+    if (o.gt_flits + o.be_flits > 0) any_router_traffic = true;
+  }
+  EXPECT_TRUE(any_router_traffic);
+
+  // The heatmap CSV derives from the same windows: one row per (window,
+  // link) with the documented header.
+  const std::string csv = obs::SeriesCsv(stats);
+  EXPECT_EQ(csv.find("window_start,site,kind,busy_slots,window_slots,"
+                     "utilization"),
+            0u);
+  const std::size_t rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(rows, 1 + stats.windows.size() * stats.links.size());
+}
+
+// --- histograms & percentiles ---------------------------------------------
+
+TEST(ObsOnTest, HistogramsAlwaysPresentWithExactPercentiles) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/mixed_star.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  const ScenarioResult result = MustRun(*spec);
+
+  const std::string json = result.ToJson();
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"flit_latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+
+  for (const FlowResult& flow : result.flows) {
+    if (flow.latency.count == 0) continue;
+    // The summary percentiles are nearest-rank over the raw samples.
+    ASSERT_EQ(static_cast<std::int64_t>(flow.latency_samples.size()),
+              flow.latency.count);
+    std::vector<double> sorted = flow.latency_samples;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(flow.latency.p50, SortedPercentile(sorted, 50.0));
+    EXPECT_EQ(flow.latency.p95, SortedPercentile(sorted, 95.0));
+    EXPECT_EQ(flow.latency.p99, SortedPercentile(sorted, 99.0));
+    EXPECT_LE(flow.latency.min, flow.latency.p50);
+    EXPECT_LE(flow.latency.p50, flow.latency.p95);
+    EXPECT_LE(flow.latency.p95, flow.latency.p99);
+    EXPECT_LE(flow.latency.p99, flow.latency.max);
+  }
+}
+
+TEST(ObsOnTest, PhasedRunsCarryExactPerPhasePercentiles) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/video_to_memory_switch.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  const ScenarioResult result = MustRun(*spec);
+
+  ASSERT_FALSE(result.phases.empty());
+  bool any_phase_latency = false;
+  for (const PhaseResult& phase : result.phases) {
+    if (phase.latency_count == 0) continue;
+    any_phase_latency = true;
+    EXPECT_LE(phase.latency_p50, phase.latency_p95);
+    EXPECT_LE(phase.latency_p95, phase.latency_p99);
+    EXPECT_GT(phase.latency_mean, 0.0);
+  }
+  EXPECT_TRUE(any_phase_latency);
+
+  for (const FlowResult& flow : result.flows) {
+    for (const PhaseFlowStats& ps : flow.phase_stats) {
+      if (ps.latency_count == 0) continue;
+      EXPECT_LE(ps.latency_p50, ps.latency_p95);
+      EXPECT_LE(ps.latency_p95, ps.latency_p99);
+      EXPECT_GE(ps.latency_p50, flow.latency.min);
+      EXPECT_LE(ps.latency_p99, flow.latency.max);
+    }
+  }
+}
+
+// --- tracing --------------------------------------------------------------
+
+TEST(ObsOnTest, TraceFileAtDefaultCapHasZeroDrops) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/mixed_star.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  spec->obs.trace_path = TempPath("obs_trace_default_cap.json");
+  MustRun(*spec);
+
+  const std::string trace = ReadFile(spec->obs.trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"drop_accounting\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"inject\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"eject\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"gt_fire\""), std::string::npos);
+  for (int c = 0; c < obs::kNumTraceCats; ++c) {
+    const std::string key =
+        std::string("\"") +
+        obs::TraceCatName(static_cast<obs::TraceCat>(c)) + "_dropped\":0";
+    EXPECT_NE(trace.find(key), std::string::npos)
+        << "nonzero drops for " << key << " at the default cap";
+  }
+}
+
+TEST(ObsOnTest, TinyCapAccountsItsDrops) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/mixed_star.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  spec->obs.trace_path = TempPath("obs_trace_tiny_cap.json");
+  spec->obs.trace_cap = 8;
+  MustRun(*spec);
+
+  const std::string trace = ReadFile(spec->obs.trace_path);
+  // The flit ring overflows by orders of magnitude at cap 8; the
+  // accounting event must say so (flit_dropped > 0).
+  const std::string key = "\"flit_dropped\":";
+  const std::size_t at = trace.find(key);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(trace[at + key.size()], '0');
+  // And the held events per category stay within the cap: count the
+  // flit-category event lines.
+  std::int64_t flit_lines = 0;
+  for (std::size_t pos = trace.find("\"cat\":\"flit\"");
+       pos != std::string::npos;
+       pos = trace.find("\"cat\":\"flit\"", pos + 1)) {
+    ++flit_lines;
+  }
+  EXPECT_LE(flit_lines, 8);
+  EXPECT_GT(flit_lines, 0);
+}
+
+TEST(ObsOnTest, PhasedTraceRecordsConfigAndPhaseEvents) {
+  auto spec = LoadScenarioFile(std::string(AETHEREAL_SCENARIO_DIR) +
+                               "/video_to_memory_switch.scn");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  spec->obs.trace_path = TempPath("obs_trace_phased.json");
+  MustRun(*spec);
+
+  const std::string trace = ReadFile(spec->obs.trace_path);
+  for (const char* needle :
+       {"\"name\":\"begin\"", "\"name\":\"end\"", "\"name\":\"drain_begin\"",
+        "\"name\":\"drain_end\"", "\"name\":\"open\"",
+        "\"name\":\"close\""}) {
+    EXPECT_NE(trace.find(needle), std::string::npos)
+        << "phased trace misses " << needle;
+  }
+}
+
+// --- the shared percentile formula ----------------------------------------
+
+TEST(StatsPercentileTest, RangePercentileMatchesSortedSubrange) {
+  Stats stats;
+  // Two "phases": 50 samples descending, then 30 ascending — insertion
+  // order deliberately unsorted.
+  for (int i = 50; i >= 1; --i) stats.Add(i);
+  for (int i = 101; i <= 130; ++i) stats.Add(i);
+
+  // Whole-population percentile agrees with the free-function formula.
+  std::vector<double> all = stats.samples();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(stats.Percentile(95.0), SortedPercentile(all, 95.0));
+
+  // Range percentiles see ONLY their window's samples.
+  EXPECT_EQ(stats.RangePercentile(0, 50, 100.0), 50.0);
+  EXPECT_EQ(stats.RangePercentile(50, 80, 0.0), 101.0);
+  std::vector<double> second(stats.samples().begin() + 50,
+                             stats.samples().end());
+  std::sort(second.begin(), second.end());
+  EXPECT_EQ(stats.RangePercentile(50, 80, 99.0),
+            SortedPercentile(second, 99.0));
+
+  // Percentile() must not disturb insertion order (the cached sorted copy
+  // is separate storage).
+  EXPECT_EQ(stats.samples().front(), 50.0);
+  EXPECT_EQ(stats.samples().back(), 130.0);
+}
+
+}  // namespace
+}  // namespace aethereal::scenario

@@ -207,5 +207,53 @@ TEST(SpecErrorsTest, FileErrorsCarryPath) {
   EXPECT_NE(spec.status().message().find("missing.scn"), std::string::npos);
 }
 
+TEST(SpecErrorsTest, MalformedStatsDirective) {
+  ExpectError("noc star 4\nstats\ntraffic uniform\n",
+              "stats sample_every <cycles>", 2);
+  ExpectError("noc star 4\nstats every 10\ntraffic uniform\n",
+              "stats sample_every <cycles>", 2);
+  // Windows shorter than one slot (kFlitWords cycles) cannot close on a
+  // slot boundary.
+  ExpectError("noc star 4\nstats sample_every 1\ntraffic uniform\n",
+              "out of range", 2);
+  ExpectError("noc star 4\nstats sample_every ten\ntraffic uniform\n",
+              "expected a number", 2);
+  ExpectError(
+      "noc star 4\nstats sample_every 30\nstats sample_every 60\n"
+      "traffic uniform\n",
+      "duplicate 'stats' directive", 3);
+}
+
+TEST(SpecErrorsTest, MalformedTraceDirective) {
+  ExpectError("noc star 4\ntrace\ntraffic uniform\n",
+              "trace <file> [cap <events>]", 2);
+  ExpectError("noc star 4\ntrace t.json cap\ntraffic uniform\n",
+              "trace <file> [cap <events>]", 2);
+  ExpectError("noc star 4\ntrace t.json limit 10\ntraffic uniform\n",
+              "expected 'cap <events>'", 2);
+  ExpectError("noc star 4\ntrace t.json cap 0\ntraffic uniform\n",
+              "out of range", 2);
+  ExpectError(
+      "noc star 4\ntrace a.json\ntrace b.json\ntraffic uniform\n",
+      "duplicate 'trace' directive", 3);
+}
+
+TEST(SpecErrorsTest, StatsAndTraceParse) {
+  auto spec = ParseScenario(
+      "noc star 4\nstats sample_every 30\ntrace t.json cap 512\n"
+      "traffic uniform\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->obs.sample_every, 30);
+  EXPECT_EQ(spec->obs.trace_path, "t.json");
+  EXPECT_EQ(spec->obs.trace_cap, 512);
+  EXPECT_TRUE(spec->obs.SamplingEnabled());
+  EXPECT_TRUE(spec->obs.TracingEnabled());
+  EXPECT_TRUE(spec->obs.Enabled());
+  // The kill switch: no stats/trace lines -> fully disabled.
+  auto off = ParseScenario("noc star 4\ntraffic uniform\n");
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_FALSE(off->obs.Enabled());
+}
+
 }  // namespace
 }  // namespace aethereal::scenario

@@ -22,6 +22,13 @@
 //                         fault block). A zero-rate file keeps the result
 //                         byte-identical to the fault-free run — the CI
 //                         kill-switch check
+//     --trace FILE        record a Chrome trace_event JSON of the run to
+//                         FILE (overrides the spec's own `trace` line)
+//     --sample-every N    sample windowed time-series stats every N cycles
+//                         (overrides the spec's `stats sample_every` line)
+//     --stats-csv FILE    write the per-window per-link utilization CSV to
+//                         FILE (needs sampling: a `stats` line in the spec
+//                         or --sample-every)
 //     --validate          parse + fully wire each spec, report diagnostics
 //                         (with line numbers), and exit without running
 //     --print             like --validate, and dump the expanded SoC
@@ -39,6 +46,7 @@
 
 #include "cli_common.h"
 #include "fault/spec.h"
+#include "obs/hub.h"
 #include "scenario/inspect.h"
 #include "scenario/runner.h"
 #include "scenario/spec.h"
@@ -52,6 +60,9 @@ struct CliOptions {
   cli::CommonOptions common;
   std::vector<std::string> spec_paths;
   std::optional<Cycle> duration;
+  std::string trace_path;
+  std::optional<Cycle> sample_every;
+  std::string stats_csv_path;
   bool validate = false;
   bool print = false;
   bool quiet = false;
@@ -62,8 +73,9 @@ void PrintUsage(std::ostream& os) {
                   {"[-o FILE]",
                    std::string("[--engine ") + sim::kEngineKindChoices + "]",
                    "[--seed N]", "[--duration N]", "[--verify]",
-                   "[--fault FILE]", "[--validate]", "[--print]", "[--quiet]",
-                   "SPEC_FILE..."});
+                   "[--fault FILE]", "[--trace FILE]", "[--sample-every N]",
+                   "[--stats-csv FILE]", "[--validate]", "[--print]",
+                   "[--quiet]", "SPEC_FILE..."});
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -84,6 +96,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
           static_cast<std::uint64_t>(std::numeric_limits<Cycle>::max()));
       if (!parsed.has_value()) return false;
       options->duration = static_cast<Cycle>(*parsed);
+    } else if (arg == "--trace") {
+      const char* v = args.Value();
+      if (v == nullptr) return false;
+      options->trace_path = v;
+    } else if (arg == "--sample-every") {
+      const auto parsed = args.U64Value(
+          "a cycle count >= one slot (3 cycles)",
+          static_cast<std::uint64_t>(kFlitWords),
+          static_cast<std::uint64_t>(std::int64_t{1} << 40));
+      if (!parsed.has_value()) return false;
+      options->sample_every = static_cast<Cycle>(*parsed);
+    } else if (arg == "--stats-csv") {
+      const char* v = args.Value();
+      if (v == nullptr) return false;
+      options->stats_csv_path = v;
     } else if (arg == "--validate") {
       options->validate = true;
     } else if (arg == "--print") {
@@ -105,6 +132,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     PrintUsage(std::cerr);
     return false;
   }
+  // One trace / stats-CSV file cannot hold several runs: the second spec
+  // would silently overwrite the first one's artifact.
+  if (options->spec_paths.size() > 1 &&
+      (!options->trace_path.empty() || !options->stats_csv_path.empty())) {
+    std::cerr << "noc_sim: --trace / --stats-csv take exactly one "
+                 "SPEC_FILE\n";
+    return false;
+  }
   // '-o -' streams the document to stdout, which must then be valid JSON:
   // suppress the human-readable summary.
   if (options->common.output_path == "-") options->quiet = true;
@@ -122,17 +157,23 @@ void PrintSummary(const scenario::ScenarioResult& result,
   }
   std::cout << ") ===\n";
   if (result.spec.Phased()) {
-    Table phases({"phase", "window", "words", "w/cyc", "opens", "closes",
-                  "setup", "teardown", "cfg msgs", "slots +/-"});
+    Table phases({"phase", "window", "words", "w/cyc", "lat mean", "lat p50",
+                  "lat p95", "lat p99", "opens", "closes", "setup",
+                  "teardown", "cfg msgs", "slots +/-"});
     for (std::size_t k = 0; k < result.phases.size(); ++k) {
       const auto& phase = result.phases[k];
       const auto& tr = result.transitions[k];
+      const bool lat = phase.latency_count > 0;
       phases.AddRow(
           {phase.name,
            Table::Fmt(phase.window_start) + "+" + Table::Fmt(phase.duration),
            Table::Fmt(phase.words_in_window),
-           Table::Fmt(phase.throughput_wpc, 4), std::to_string(tr.opens),
-           std::to_string(tr.closes),
+           Table::Fmt(phase.throughput_wpc, 4),
+           lat ? Table::Fmt(phase.latency_mean, 1) : "-",
+           lat ? Table::Fmt(phase.latency_p50, 0) : "-",
+           lat ? Table::Fmt(phase.latency_p95, 0) : "-",
+           lat ? Table::Fmt(phase.latency_p99, 0) : "-",
+           std::to_string(tr.opens), std::to_string(tr.closes),
            tr.opens > 0 ? Table::Fmt(tr.setup_latency_max) : "-",
            tr.closes > 0 ? Table::Fmt(tr.teardown_latency_max) : "-",
            Table::Fmt(tr.config_messages),
@@ -142,20 +183,20 @@ void PrintSummary(const scenario::ScenarioResult& result,
     phases.Print(std::cout);
   }
   Table table({"pattern", "flow", "qos", "words", "w/cyc", "lat mean",
-               "lat p99", "lat max"});
+               "lat p50", "lat p95", "lat p99", "lat max"});
   for (const auto& flow : result.flows) {
     const std::string qos =
         flow.gt ? "gt/" + std::to_string(flow.gt_slots) : "be";
+    const bool lat = flow.latency.count > 0;
     table.AddRow({flow.pattern,
                   std::to_string(flow.src) + "->" + std::to_string(flow.dst),
                   qos, Table::Fmt(flow.words_in_window),
                   Table::Fmt(flow.throughput_wpc, 4),
-                  flow.latency.count > 0 ? Table::Fmt(flow.latency.mean, 1)
-                                         : "-",
-                  flow.latency.count > 0 ? Table::Fmt(flow.latency.p99, 0)
-                                         : "-",
-                  flow.latency.count > 0 ? Table::Fmt(flow.latency.max, 0)
-                                         : "-"});
+                  lat ? Table::Fmt(flow.latency.mean, 1) : "-",
+                  lat ? Table::Fmt(flow.latency.p50, 0) : "-",
+                  lat ? Table::Fmt(flow.latency.p95, 0) : "-",
+                  lat ? Table::Fmt(flow.latency.p99, 0) : "-",
+                  lat ? Table::Fmt(flow.latency.max, 0) : "-"});
   }
   table.Print(std::cout);
   std::cout << "aggregate: " << result.words_in_window << " words in "
@@ -253,6 +294,14 @@ int main(int argc, char** argv) {
       spec->duration = *options.duration;
     }
     if (options.common.verify) spec->verify = true;
+    if (!options.trace_path.empty()) spec->obs.trace_path = options.trace_path;
+    if (options.sample_every) spec->obs.sample_every = *options.sample_every;
+    if (!options.stats_csv_path.empty() && !spec->obs.SamplingEnabled()) {
+      std::cerr << "noc_sim: " << path << ": --stats-csv needs sampling — "
+                << "add 'stats sample_every N' to the spec or pass "
+                << "--sample-every N\n";
+      return 1;
+    }
 
     scenario::ScenarioRunner runner(*spec);
     auto result = runner.Run();
@@ -268,6 +317,13 @@ int main(int argc, char** argv) {
       return cli::ExitCodeOf(result.status());
     }
     if (!options.quiet) PrintSummary(*result, spec->ResolvedEngine());
+    if (!options.stats_csv_path.empty()) {
+      if (!cli::WriteOutput("noc_sim", options.stats_csv_path,
+                            obs::SeriesCsv(*result->obs_stats),
+                            options.quiet)) {
+        return 1;
+      }
+    }
     jsons.push_back(result->ToJson());
   }
 
