@@ -199,17 +199,19 @@ struct ObsOverhead {
   double ratio = 0;
 };
 
-/// Host wall time per engine stage: `--profile` runs each engine once on
-/// the 8x8 mixed workload with kernel profiling armed and prints where
-/// the host cycles go. "other" is wall time outside the instrumented
-/// stages (run-list bookkeeping, clock advance, the loop itself).
-void ProfileEngines(Cycle cycles) {
-  std::cout << "\nengine profile (8x8 mixed, " << cycles << " cycles):\n";
+/// Host wall time per engine stage: `--profile` runs each engine once per
+/// traffic class on the 8x8 workload with kernel profiling armed and
+/// prints where the host cycles go. "other" is wall time outside the
+/// instrumented stages (run-list bookkeeping, clock advance, the loop
+/// itself).
+void ProfileEngines(Traffic traffic, Cycle cycles) {
+  std::cout << "\nengine profile (8x8 " << TrafficName(traffic) << ", "
+            << cycles << " cycles):\n";
   Table table({"engine", "steps", "wall ms", "evaluate ms", "commit ms",
                "park/wake ms", "other ms"});
   for (EngineKind engine :
        {EngineKind::kOptimized, EngineKind::kSoa, EngineKind::kNaive}) {
-    SpeedWorkload w = MakeWorkload(8, 8, Traffic::kMixed, engine);
+    SpeedWorkload w = MakeWorkload(8, 8, traffic, engine);
     w.soc->RunCycles(200);  // same warm-up as the throughput runs
     w.soc->sim().EnableProfiling();
     const auto start = std::chrono::steady_clock::now();
@@ -394,7 +396,9 @@ int main(int argc, char** argv) {
             << Table::Fmt(100.0 * (1.0 - obs.ratio), 1) << "% ("
             << Table::Fmt(obs.ratio, 3) << "x)\n";
 
-  if (profile) ProfileEngines(10000);
+  if (profile) {
+    for (Traffic traffic : classes) ProfileEngines(traffic, 10000);
+  }
 
   WriteJson(json_path, results, opt, naive, speedup, obs);
   std::cout << "wrote " << json_path << "\n";

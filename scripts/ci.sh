@@ -181,6 +181,33 @@ print(f"  obs smoke: {len(stats['windows'])} windows, flit latency "
       f"p50/p95/p99 = {hist['p50']}/{hist['p95']}/{hist['p99']}")
 EOF
 
+echo "=== convergence smoke: stop-on-convergence mode (DESIGN.md §14) ==="
+# A canonical scenario in --converge mode must actually converge, report a
+# CI consistent with its own mean, and stop at the same cycle on both
+# engines (the convergence decision is part of the determinism contract).
+# The fixed-duration runs above plus the goldens-clean step already prove
+# the default mode is byte-unchanged (schema_version 2, no convergence
+# sections).
+./"$build_dir"/noc_sim --quiet --converge 0.05 \
+  -o "$out_dir/converge_uniform_star.json" scenarios/uniform_star.scn
+./"$build_dir"/noc_sim --quiet --converge 0.05 --engine naive \
+  -o "$out_dir/converge_uniform_star_naive.json" scenarios/uniform_star.scn
+cmp "$out_dir/converge_uniform_star.json" \
+    "$out_dir/converge_uniform_star_naive.json"
+python3 - "$out_dir/converge_uniform_star.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema_version"] == 3, f"schema_version {r.get('schema_version')}"
+c = r["convergence"]
+assert c["converged"], "canonical scenario failed to converge at 5%"
+assert c["rel_err"] <= 0.05, f"reported rel_err {c['rel_err']} above target"
+assert c["ci_low"] <= c["mean"] <= c["ci_high"], "CI does not bracket mean"
+print(f"  converge smoke: stopped at {c['measured_cycles']} cycles, "
+      f"mean {c['mean']:.2f} in [{c['ci_low']:.2f}, {c['ci_high']:.2f}], "
+      f"engines byte-identical")
+EOF
+
 fi  # verify_only
 
 echo "=== verify: guarantee checkers over canonical scenarios + sweeps ==="
@@ -282,6 +309,32 @@ if [[ "$nightly" == "1" ]]; then
   # Fault events must actually appear in the trace for it to be useful.
   grep -q '"cat":"fault"' "$out_dir/fault_retry_churn_trace.json"
   echo "  fault_retry_churn: stats CSV + trace emitted, fault events present"
+
+  echo "=== nightly: sweep with convergence CIs (artifact) ==="
+  # The canonical rate sweep rerun in stop-on-convergence mode: every
+  # point carries batch-means error bars in the JSON and the CSV grows
+  # the ci_low/ci_high/rel_err columns. Uploaded as a nightly artifact so
+  # latency curves can be plotted with confidence intervals directly.
+  ./"$build_dir"/noc_sweep --quiet --jobs "$(nproc)" --converge 0.05 \
+    -o "$out_dir/converge_rate_uniform_star.json" \
+    --csv "$out_dir/converge_rate_uniform_star.csv" \
+    scenarios/sweeps/rate_uniform_star.swp
+  python3 - "$out_dir/converge_rate_uniform_star.json" \
+      "$out_dir/converge_rate_uniform_star.csv" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    sweep = json.load(f)
+assert sweep["schema_version"] == 3, \
+    f"schema_version {sweep.get('schema_version')}"
+n_conv = sum(1 for p in sweep["points"] if p["convergence"]["converged"])
+with open(sys.argv[2]) as f:
+    header = f.readline().strip().split(",")
+for col in ("converged", "ci_low", "ci_high", "rel_err"):
+    assert col in header, f"CSV lacks {col} column: {header}"
+print(f"  converge sweep: {n_conv}/{len(sweep['points'])} points "
+      f"converged, CSV carries CI columns")
+EOF
+  echo "  sweep-with-CIs artifact emitted"
 
   echo "=== nightly: fault-fuzz soak (N=200, seeded random fault configs) ==="
   # Random stream workloads each under a random seeded fault mix, checkers

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
+#include <tuple>
 
 #include "fault/injector.h"
 #include "link/header.h"
@@ -484,6 +486,70 @@ Result<ScenarioResult> ScenarioRunner::Run() {
 
   soc_->RunCycles(spec_.warmup);
 
+  // Every latency stream the run owns, in directive order (streams, then
+  // chains, then memory masters) — the single iteration order shared by
+  // the convergence sampling below so the CI population is deterministic.
+  auto each_latency = [&](auto&& fn) {
+    for (const StreamFlow& f : stream_flows_) fn(f.consumer->latency());
+    for (const VideoChain& c : video_chains_) fn(c.consumer->latency());
+    for (const MemoryFlow& m : memory_flows_) fn(m.master->latency());
+  };
+
+  const stats_ctl::ConvergeSpec& cv = spec_.converge;
+  stats_ctl::ConvergenceOutcome conv;
+  conv.warmup_cycles = spec_.warmup;
+  if (cv.enabled && cv.auto_warmup) {
+    // Welch-style warmup extension: keep settling in short steps until
+    // the trailing per-step latency means AND delivered-word counts stop
+    // drifting (WarmupDetector's half-vs-half test), or the extension
+    // budget (the measured-cycle cap) is spent. The settle step is a
+    // quarter of the measurement interval: the detector needs
+    // 2 * warmup_windows observations before it can fire at all, and at
+    // full-interval steps that alone would exceed the declared duration.
+    // All inputs are committed simulation state, so the extension stops
+    // at the same cycle on every engine.
+    const Cycle interval =
+        std::max<Cycle>(cv.IntervalFor(spec_.duration) / 4, 1);
+    const Cycle extend_cap = cv.MaxDurationFor(spec_.duration);
+    stats_ctl::WarmupDetector det(cv.warmup_windows, cv.warmup_tol);
+    auto totals = [&]() {
+      std::int64_t count = 0;
+      double sum = 0;
+      each_latency([&](const Stats& s) {
+        count += s.count();
+        sum += s.Sum();
+      });
+      std::int64_t words = 0;
+      for (const StreamFlow& f : stream_flows_) {
+        words += f.consumer->words_read();
+      }
+      for (const VideoChain& c : video_chains_) {
+        words += c.consumer->words_read();
+      }
+      for (const MemoryFlow& m : memory_flows_) {
+        words += m.master->completed() *
+                 spec_.traffic[m.group].mem_burst_words;
+      }
+      return std::tuple<std::int64_t, double, std::int64_t>(count, sum,
+                                                            words);
+    };
+    auto [pc, ps, pw] = totals();
+    Cycle extended = 0;
+    while (!det.warm() && extended < extend_cap) {
+      soc_->RunCycles(interval);
+      extended += interval;
+      auto [cc, cs, w] = totals();
+      const std::int64_t dn = cc - pc;
+      det.Observe(dn > 0 ? (cs - ps) / static_cast<double>(dn) : 0.0,
+                  static_cast<double>(w - pw));
+      pc = cc;
+      ps = cs;
+      pw = w;
+    }
+    conv.warmup_detected = det.warm();
+    conv.warmup_cycles += extended;
+  }
+
   // Measurement-window baselines (latency stats stay cumulative — they
   // are summaries of exact integer samples either way). The admitted-word
   // baselines feed the verify-mode guarantee checks.
@@ -499,11 +565,51 @@ Result<ScenarioResult> ScenarioRunner::Run() {
   for (const MemoryFlow& m : memory_flows_) {
     mem0.push_back(m.master->completed());
   }
+  std::vector<std::size_t> lat0;
+  each_latency(
+      [&](const Stats& s) { lat0.push_back(static_cast<std::size_t>(s.count())); });
 
   if (obs::ObsHub* hub = soc_->obs_hub()) {
     hub->NotePhase(obs::kPhaseBegin, soc_->net_clock()->cycles(), 0);
   }
-  soc_->RunCycles(spec_.duration);
+  Cycle measured = spec_.duration;
+  if (!cv.enabled) {
+    soc_->RunCycles(spec_.duration);
+  } else {
+    // Stop-on-convergence window: run in check-interval steps; after each,
+    // form the batch-means CI over every latency sample recorded since the
+    // measurement baseline (flows concatenated in directive order). Stop
+    // once the interval is trustworthy (valid batches, batch means not
+    // strongly lag-1 correlated) AND tight enough, or at the cycle cap.
+    const Cycle interval = cv.IntervalFor(spec_.duration);
+    const Cycle cap = cv.MaxDurationFor(spec_.duration);
+    Cycle run = 0;
+    std::vector<double> window;
+    while (true) {
+      const Cycle step = std::min(interval, cap - run);
+      soc_->RunCycles(step);
+      run += step;
+      window.clear();
+      std::size_t at = 0;
+      each_latency([&](const Stats& s) {
+        window.insert(window.end(),
+                      s.samples().begin() +
+                          static_cast<std::ptrdiff_t>(lat0[at]),
+                      s.samples().end());
+        ++at;
+      });
+      conv.ci = stats_ctl::BatchMeansCi(window, 0, window.size(),
+                                        cv.batches, cv.conf);
+      if (conv.ci.valid && conv.ci.rel_err <= cv.rel_err &&
+          std::fabs(conv.ci.lag1) <= cv.lag1_limit) {
+        conv.converged = true;
+        break;
+      }
+      if (run >= cap) break;
+    }
+    measured = run;
+    conv.measured_cycles = run;
+  }
   if (obs::ObsHub* hub = soc_->obs_hub()) {
     hub->NotePhase(obs::kPhaseEnd, soc_->net_clock()->cycles(), 0);
   }
@@ -566,11 +672,12 @@ Result<ScenarioResult> ScenarioRunner::Run() {
   }
   for (FlowResult& r : result.flows) {
     r.throughput_wpc =
-        static_cast<double>(r.words_in_window) / spec_.duration;
+        static_cast<double>(r.words_in_window) / static_cast<double>(measured);
     result.words_in_window += r.words_in_window;
   }
-  result.throughput_wpc =
-      static_cast<double>(result.words_in_window) / spec_.duration;
+  result.throughput_wpc = static_cast<double>(result.words_in_window) /
+                          static_cast<double>(measured);
+  if (cv.enabled) result.convergence = conv;
 
   AggregateNiStats(soc_.get(), spec_.NumNis(), &result);
 
@@ -579,8 +686,8 @@ Result<ScenarioResult> ScenarioRunner::Run() {
     const bool fault_aware =
         spec_.fault.has_value() && spec_.fault->AnyNetworkFaults();
     std::vector<std::string> problems;
-    CheckGuarantees(stream_adm0, video_adm0, stream0, video0, &problems,
-                    fault_aware ? &degradations : nullptr);
+    CheckGuarantees(stream_adm0, video_adm0, stream0, video0, measured,
+                    &problems, fault_aware ? &degradations : nullptr);
     if (!problems.empty()) return VerificationError(spec_.name, problems);
   }
   FillFaultResult(std::move(degradations), &result);
@@ -948,7 +1055,63 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
     if (obs_hub != nullptr) {
       obs_hub->NotePhase(obs::kPhaseBegin, now(), static_cast<int>(k));
     }
-    soc_->RunCycles(phase.duration);
+    if (!spec_.converge.enabled) {
+      soc_->RunCycles(phase.duration);
+    } else {
+      // Stop-on-convergence window, per phase: extend in check-interval
+      // steps until the batch-means CI over the window's merged samples
+      // (every active flow, since its snapshot) is trustworthy and tight,
+      // or the per-window cycle cap is reached. Phases keep their declared
+      // warmups — reconfiguration transients are what the declared warmup
+      // is for — and converge independently: their traffic mixes differ,
+      // so pooling samples across windows would be meaningless.
+      const stats_ctl::ConvergeSpec& cv = spec_.converge;
+      const Cycle interval = cv.IntervalFor(phase.duration);
+      const Cycle cap = cv.MaxDurationFor(phase.duration);
+      stats_ctl::ConvergenceOutcome conv;
+      conv.warmup_cycles =
+          (k == 0 ? spec_.warmup : Cycle{0}) + phase.warmup;
+      Cycle run = 0;
+      std::vector<double> window;
+      while (true) {
+        const Cycle step = std::min(interval, cap - run);
+        soc_->RunCycles(step);
+        run += step;
+        window.clear();
+        auto append_since = [&](const Stats& s, std::int64_t count0) {
+          window.insert(window.end(),
+                        s.samples().begin() +
+                            static_cast<std::ptrdiff_t>(count0),
+                        s.samples().end());
+        };
+        for (std::size_t i = 0; i < stream_flows_.size(); ++i) {
+          if (!active_in(stream_flows_[i].group, k)) continue;
+          append_since(stream_flows_[i].consumer->latency(),
+                       s0[i].lat_count);
+        }
+        for (std::size_t i = 0; i < video_chains_.size(); ++i) {
+          if (!active_in(video_chains_[i].group, k)) continue;
+          append_since(video_chains_[i].consumer->latency(),
+                       v0[i].lat_count);
+        }
+        for (std::size_t i = 0; i < memory_flows_.size(); ++i) {
+          if (!active_in(memory_flows_[i].group, k)) continue;
+          append_since(memory_flows_[i].master->latency(),
+                       m0[i].lat_count);
+        }
+        conv.ci = stats_ctl::BatchMeansCi(window, 0, window.size(),
+                                          cv.batches, cv.conf);
+        if (conv.ci.valid && conv.ci.rel_err <= cv.rel_err &&
+            std::fabs(conv.ci.lag1) <= cv.lag1_limit) {
+          conv.converged = true;
+          break;
+        }
+        if (run >= cap) break;
+      }
+      conv.measured_cycles = run;
+      pr.duration = run;
+      pr.convergence = conv;
+    }
     if (obs_hub != nullptr) {
       obs_hub->NotePhase(obs::kPhaseEnd, now(), static_cast<int>(k));
     }
@@ -965,17 +1128,22 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
       PhaseFlowStats ps;
       ps.phase = static_cast<int>(k);
       ps.words = words;
+      // pr.duration = cycles actually measured (the declared duration, or
+      // the convergence-mode window).
       ps.throughput_wpc =
-          static_cast<double>(words) / static_cast<double>(phase.duration);
+          static_cast<double>(words) / static_cast<double>(pr.duration);
       ps.latency_count = lat.count() - snap.lat_count;
       if (ps.latency_count > 0) {
         const auto first = static_cast<std::size_t>(snap.lat_count);
         const auto last = static_cast<std::size_t>(lat.count());
         ps.latency_mean = (lat.Sum() - snap.lat_sum) /
                           static_cast<double>(ps.latency_count);
-        ps.latency_p50 = lat.RangePercentile(first, last, 50);
-        ps.latency_p95 = lat.RangePercentile(first, last, 95);
-        ps.latency_p99 = lat.RangePercentile(first, last, 99);
+        // One sort serves all three percentiles of this window (many
+        // flows x phases each used to pay a fresh O(n log n) per query).
+        const std::vector<double> sorted = lat.SortedRange(first, last);
+        ps.latency_p50 = SortedPercentile(sorted, 50);
+        ps.latency_p95 = SortedPercentile(sorted, 95);
+        ps.latency_p99 = SortedPercentile(sorted, 99);
         phase_samples.insert(phase_samples.end(),
                              lat.samples().begin() + first,
                              lat.samples().begin() + last);
@@ -994,7 +1162,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
         window_checks.push_back(WindowCheck{
             "stream", f.group, k, f.flow.src, f.flow.dst,
             f.source->words_written() - s0[i].admitted, words,
-            s_bound[i].guaranteed_wpc, s_bound[i].slack, phase.duration});
+            s_bound[i].guaranteed_wpc, s_bound[i].slack, pr.duration});
       }
     }
     for (std::size_t i = 0; i < video_chains_.size(); ++i) {
@@ -1007,7 +1175,7 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
         window_checks.push_back(WindowCheck{
             "video", c.group, k, c.chain.front(), c.chain.back(),
             c.source->words_written() - v0[i].admitted, words,
-            v_bound[i].guaranteed_wpc, v_bound[i].slack, phase.duration});
+            v_bound[i].guaranteed_wpc, v_bound[i].slack, pr.duration});
       }
     }
     for (std::size_t i = 0; i < memory_flows_.size(); ++i) {
@@ -1035,7 +1203,23 @@ Result<ScenarioResult> ScenarioRunner::RunPhased() {
 
   // --- whole-run assembly (mirrors the static path) -------------------------
   result.cycles_run = soc_->net_clock()->cycles();
-  const Cycle measured = spec_.TotalDuration();
+  // Cycles actually measured: the sum of the windows run, which is the
+  // spec's TotalDuration() exactly in fixed-duration mode.
+  Cycle measured = 0;
+  for (const PhaseResult& p : result.phases) measured += p.duration;
+  if (spec_.converge.enabled) {
+    // Roll-up: the run converged iff every window did; the per-window CIs
+    // stay on their PhaseResults (phase 0's warmup_cycles already carries
+    // the scenario-level warmup, so the sum is the total settle time).
+    stats_ctl::ConvergenceOutcome conv;
+    conv.converged = true;
+    conv.measured_cycles = measured;
+    for (const PhaseResult& p : result.phases) {
+      conv.converged = conv.converged && p.convergence->converged;
+      conv.warmup_cycles += p.convergence->warmup_cycles;
+    }
+    result.convergence = conv;
+  }
   std::size_t si = 0, vi = 0, mi = 0;
   for (std::size_t g = 0; g < spec_.traffic.size(); ++g) {
     const TrafficSpec& traffic = spec_.traffic[g];
@@ -1151,7 +1335,7 @@ void ScenarioRunner::CheckGuarantees(
     const std::vector<std::int64_t>& stream_admitted0,
     const std::vector<std::int64_t>& video_admitted0,
     const std::vector<std::int64_t>& stream_delivered0,
-    const std::vector<std::int64_t>& video_delivered0,
+    const std::vector<std::int64_t>& video_delivered0, Cycle duration,
     std::vector<std::string>* problems,
     std::vector<std::string>* degradations) {
   verify::Monitor* monitor = soc_->monitor();
@@ -1159,12 +1343,12 @@ void ScenarioRunner::CheckGuarantees(
   AppendMonitorProblems(monitor, problems, degradations);
 
   // Analytical GT guarantees: the throughput floor, per measurement
-  // window. Armed network faults legitimately eat into the floor (and NI
-  // stalls stretch word latency), so with `degradations` set those
-  // shortfalls degrade instead of fail.
+  // window (`duration` = measured cycles actually run — the fixed spec
+  // duration, or the stop-on-convergence window). Armed network faults
+  // legitimately eat into the floor (and NI stalls stretch word latency),
+  // so with `degradations` set those shortfalls degrade instead of fail.
   std::vector<std::string>* gt_sink =
       degradations != nullptr ? degradations : problems;
-  const Cycle duration = spec_.duration;
   auto check_throughput = [&](const char* what, std::size_t group, NiId src,
                               NiId dst, std::int64_t admitted,
                               std::int64_t delivered, double guaranteed_wpc,
@@ -1353,7 +1537,10 @@ Status ScenarioRunner::FinalizeObsIntoResult(ScenarioResult* result) {
 std::string ScenarioResult::ToJson() const {
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(2);
+  // Fixed-duration documents keep schema_version 2 byte-for-byte; the
+  // version moves to 3 exactly when the optional `convergence` sections
+  // are present (opt-in `converge` runs).
+  w.Key("schema_version").Int(convergence.has_value() ? 3 : 2);
   w.Key("scenario").String(spec.name);
   w.Key("topology").BeginObject();
   w.Key("kind").String(TopologyKindName(spec.topology));
@@ -1389,6 +1576,10 @@ std::string ScenarioResult::ToJson() const {
         w.Key("latency_p50").Double(phase.latency_p50);
         w.Key("latency_p95").Double(phase.latency_p95);
         w.Key("latency_p99").Double(phase.latency_p99);
+      }
+      if (phase.convergence.has_value()) {
+        w.Key("convergence");
+        stats_ctl::WriteConvergenceJson(w, *phase.convergence);
       }
       w.EndObject();
     }
@@ -1500,6 +1691,10 @@ std::string ScenarioResult::ToJson() const {
   if (obs_stats.has_value()) {
     w.Key("stats");
     obs::WriteStatsJson(w, *obs_stats);
+  }
+  if (convergence.has_value()) {
+    w.Key("convergence");
+    stats_ctl::WriteConvergenceJson(w, *convergence);
   }
   if (fault.has_value()) {
     const FaultResult& f = *fault;

@@ -27,6 +27,7 @@
 #include "shells/master_shell.h"
 #include "shells/slave_shell.h"
 #include "soc/soc.h"
+#include "stats_ctl/convergence.h"
 #include "util/status.h"
 #include "verify/bounds.h"
 
@@ -117,7 +118,8 @@ struct TransitionResult {
 struct PhaseResult {
   std::string name;
   Cycle window_start = 0;        // first measured cycle of the window
-  Cycle duration = 0;
+  Cycle duration = 0;            // cycles actually measured (may exceed the
+                                 // declared duration in convergence mode)
   std::int64_t words_in_window = 0;  // all flows, this window
   double throughput_wpc = 0;
   std::int64_t latency_count = 0;
@@ -125,6 +127,11 @@ struct PhaseResult {
   double latency_p50 = 0;
   double latency_p95 = 0;
   double latency_p99 = 0;
+
+  /// Per-window stop-on-convergence outcome; present exactly when the spec
+  /// enables convergence mode (phases converge independently — their
+  /// traffic mixes differ, so their sample streams are never pooled).
+  std::optional<stats_ctl::ConvergenceOutcome> convergence;
 };
 
 /// One recorded fault event (the injector caps the list; events_total
@@ -211,10 +218,18 @@ struct ScenarioResult {
   /// engines.
   std::optional<obs::ObsStatsSnapshot> obs_stats;
 
+  /// Stop-on-convergence outcome (DESIGN.md §14); present exactly when the
+  /// spec enables convergence mode. Static runs carry the run's CI here;
+  /// phased runs carry the roll-up (converged = every window converged)
+  /// with the per-window CIs on their PhaseResults.
+  std::optional<stats_ctl::ConvergenceOutcome> convergence;
+
   /// Deterministic JSON encoding (the golden-test format). The document
-  /// leads with `schema_version` (currently 2: per-flow p50/p95, the
-  /// always-present `histograms` section, per-phase percentiles, and the
-  /// optional `stats` section).
+  /// leads with `schema_version` (2 for fixed-duration runs: per-flow
+  /// p50/p95, the always-present `histograms` section, per-phase
+  /// percentiles, and the optional `stats` section; 3 when the optional
+  /// `convergence` sections are present — fixed-duration documents never
+  /// change shape, so every committed golden stays byte-identical).
   std::string ToJson() const;
 };
 
@@ -306,7 +321,7 @@ class ScenarioRunner {
                        const std::vector<std::int64_t>& video_admitted0,
                        const std::vector<std::int64_t>& stream_delivered0,
                        const std::vector<std::int64_t>& video_delivered0,
-                       std::vector<std::string>* problems,
+                       Cycle duration, std::vector<std::string>* problems,
                        std::vector<std::string>* degradations);
   /// Fills result->fault from the injector / manager / monitor ledgers
   /// (no-op unless the spec's fault block is Enabled()).

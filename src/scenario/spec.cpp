@@ -584,6 +584,58 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
         return ParseError(line.number, "verify <on|off>");
       }
       spec.verify = line.tokens[1] == "on";
+    } else if (kind == "converge") {
+      // converge rel_err E [conf C] [max_duration D] [interval I]
+      //          [batches B] — key-value clauses in any order; rel_err is
+      // mandatory (a stopping rule without a target is meaningless).
+      if (line.tokens.size() < 3 || line.tokens.size() % 2 == 0) {
+        return ParseError(line.number,
+                          "converge rel_err <frac> [conf <frac>] "
+                          "[max_duration <cycles>] [interval <cycles>] "
+                          "[batches <n>]");
+      }
+      bool have_rel_err = false;
+      for (std::size_t at = 1; at + 1 < line.tokens.size(); at += 2) {
+        const std::string& key = line.tokens[at];
+        const std::string& val = line.tokens[at + 1];
+        if (key == "rel_err") {
+          auto v = ParseDouble(line, val);
+          if (!v.ok()) return v.status();
+          if (*v <= 0.0 || *v >= 1.0) {
+            return ParseError(line.number, "rel_err must be in (0, 1)");
+          }
+          spec.converge.rel_err = *v;
+          have_rel_err = true;
+        } else if (key == "conf") {
+          auto v = ParseDouble(line, val);
+          if (!v.ok()) return v.status();
+          if (*v <= 0.5 || *v >= 1.0) {
+            return ParseError(line.number, "conf must be in (0.5, 1)");
+          }
+          spec.converge.conf = *v;
+        } else if (key == "max_duration") {
+          auto v = ParseIntIn(line, val, 1, std::int64_t{1} << 40);
+          if (!v.ok()) return v.status();
+          spec.converge.max_duration = *v;
+        } else if (key == "interval") {
+          // A check interval shorter than one slot could never close a
+          // new sample window.
+          auto v = ParseIntIn(line, val, kFlitWords, std::int64_t{1} << 40);
+          if (!v.ok()) return v.status();
+          spec.converge.interval = *v;
+        } else if (key == "batches") {
+          auto v = ParseIntIn(line, val, 2, 4096);
+          if (!v.ok()) return v.status();
+          spec.converge.batches = static_cast<int>(*v);
+        } else {
+          return ParseError(line.number,
+                            "unknown converge clause '" + key + "'");
+        }
+      }
+      if (!have_rel_err) {
+        return ParseError(line.number, "converge requires 'rel_err <frac>'");
+      }
+      spec.converge.enabled = true;
     } else if (kind == "stats") {
       if (line.tokens.size() != 3 || line.tokens[1] != "sample_every") {
         return ParseError(line.number, "stats sample_every <cycles>");

@@ -131,6 +131,7 @@
 #include "fault/spec.h"
 #include "obs/spec.h"
 #include "sim/engine.h"
+#include "stats_ctl/convergence.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -264,6 +265,11 @@ struct ScenarioSpec {
   /// default — the runner passes SocOptions::obs = nullptr and not a
   /// single tap module exists (DESIGN.md §13).
   obs::ObsSpec obs;
+
+  /// Stop-on-convergence policy (`converge` directive / --converge CLI
+  /// flags; DESIGN.md §14). Disabled by default: fixed-duration runs are
+  /// the determinism-golden contract, convergence mode is opt-in.
+  stats_ctl::ConvergeSpec converge;
 
   bool Phased() const { return !phases.empty(); }
 

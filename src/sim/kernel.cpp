@@ -154,19 +154,19 @@ void Clock::RunEvalLists() {
 // NoteEvalStatus. Fully parked 8-module blocks cost one 64-bit load, so the
 // per-edge cost tracks how much of the mesh is awake, not how much exists.
 //
-// A module woken by an earlier module's Evaluate in the same phase may be
-// picked up by the scan later in this same edge (the run-list engine would
-// first see it next edge). Both are correct and bit-identical: a freshly
-// woken module reads the same committed state the naïve engine — which
-// evaluates *everything* every edge — already proves yields a no-op until
-// its inputs' staged values commit.
+// The sweep walks a phase-start snapshot of the live bitmap, never the live
+// words themselves. A module woken mid-sweep by an earlier module's
+// Evaluate (a wire drive, a queue push) therefore runs at the NEXT edge,
+// exactly like the run-list engine — its Evaluate this edge would be a
+// proven no-op anyway (the inputs that woke it are staged, not committed),
+// but under contention those no-op arbitration scans are real host work:
+// on a saturated best-effort mesh every router wake-chains its downstream
+// neighbours, and sweeping the live words re-evaluated about half of them
+// a second time per slot edge.
 void Clock::RunFlagged(const std::vector<std::uint64_t>& bits,
                        bool per_module_stride) {
   const std::size_t words = bits.size();
   for (std::size_t w = 0; w < words; ++w) {
-    // Snapshot: a module woken mid-sweep by an earlier module in the same
-    // word runs next edge instead of this one — a no-op either way (see the
-    // note above), so the sweep never re-reads the live word.
     std::uint64_t chunk = bits[w];
     while (chunk != 0) {
       const int b = std::countr_zero(chunk);
@@ -188,15 +188,22 @@ void Clock::EvaluatePhaseSoa() {
     profile_->park_wake_sec +=
         std::chrono::duration<double>(t1 - t0).count();
   }
-  RunFlagged(eval_every_bits_, /*per_module_stride=*/false);
-  if (strided_uniform_ > 0) {
-    // Every strided module ever registered shares one stride (the slot
-    // length): skip the whole strided scan off the boundary edge.
-    if (cycles_ % strided_uniform_ == 0) {
-      RunFlagged(eval_strided_bits_, /*per_module_stride=*/false);
-    }
-  } else if (strided_uniform_ < 0) {
-    RunFlagged(eval_strided_bits_, /*per_module_stride=*/true);
+  // Snapshot the activity words before running anything: wakes issued by
+  // modules evaluated this phase land in the live bitmap for the next
+  // edge (see RunFlagged). assign() reuses capacity — no steady-state
+  // allocation. The strided words are only copied on a boundary edge.
+  eval_scratch_.assign(eval_every_bits_.begin(), eval_every_bits_.end());
+  const bool strided_fire =
+      strided_uniform_ < 0 ||
+      (strided_uniform_ > 0 && cycles_ % strided_uniform_ == 0);
+  if (strided_fire) {
+    eval_scratch_strided_.assign(eval_strided_bits_.begin(),
+                                 eval_strided_bits_.end());
+  }
+  RunFlagged(eval_scratch_, /*per_module_stride=*/false);
+  if (strided_fire) {
+    RunFlagged(eval_scratch_strided_,
+               /*per_module_stride=*/strided_uniform_ < 0);
   }
   if (profile_ != nullptr) profile_->evaluate_sec += SecondsSince(t1);
 }

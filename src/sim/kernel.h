@@ -373,6 +373,10 @@ class Clock {
   std::vector<std::uint64_t> commit_bits_;
   std::vector<std::uint64_t> eval_every_bits_;   // unparked, stride 1
   std::vector<std::uint64_t> eval_strided_bits_; // unparked, stride > 1
+  // Phase-start snapshots the SoA sweep iterates (EvaluatePhaseSoa):
+  // mid-sweep wakes mutate the live words above, not the working set.
+  std::vector<std::uint64_t> eval_scratch_;
+  std::vector<std::uint64_t> eval_scratch_strided_;
   int uniform_stride_ = 0;   // shared stride of run_strided_ (-1 if mixed)
   int strided_uniform_ = 0;  // shared stride over ALL strided modules ever
   bool run_list_dirty_ = true;

@@ -1,0 +1,233 @@
+#include "stats_ctl/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace aethereal::stats_ctl {
+
+Cycle ConvergeSpec::IntervalFor(Cycle d) const {
+  if (interval > 0) return interval;
+  return std::max<Cycle>(d / 10, 300);
+}
+
+Cycle ConvergeSpec::MaxDurationFor(Cycle d) const {
+  if (max_duration > 0) return max_duration;
+  return 10 * d;
+}
+
+// Acklam's rational approximation to the inverse standard normal CDF.
+// Coefficients from the canonical publication; relative error < 1.2e-9
+// over the whole open interval.
+double NormalQuantile(double p) {
+  AETHEREAL_CHECK(p > 0.0 && p < 1.0);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double StudentTQuantile(double conf, int dof) {
+  AETHEREAL_CHECK(conf > 0.0 && conf < 1.0);
+  AETHEREAL_CHECK(dof >= 1);
+  // Two-sided: P(|T| <= t) = conf means the upper tail point at
+  // p = (1 + conf) / 2.
+  const double p = 0.5 * (1.0 + conf);
+  if (dof == 1) {
+    // Cauchy: F^-1(p) = tan(pi (p - 1/2)).
+    constexpr double kPi = 3.14159265358979323846;
+    return std::tan(kPi * (p - 0.5));
+  }
+  if (dof == 2) {
+    // Closed form: t = (2p - 1) sqrt(2 / (4 p (1 - p))).
+    const double u = 2.0 * p - 1.0;
+    return u * std::sqrt(2.0 / (4.0 * p * (1.0 - p)));
+  }
+  // Cornish–Fisher (Hill) expansion around the normal quantile.
+  const double z = NormalQuantile(p);
+  const double v = static_cast<double>(dof);
+  const double z2 = z * z;
+  const double g1 = (z2 + 1.0) * z / 4.0;
+  const double g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+  const double g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+  const double g4 =
+      ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) * z /
+      92160.0;
+  return z + g1 / v + g2 / (v * v) + g3 / (v * v * v) + g4 / (v * v * v * v);
+}
+
+BatchMeansResult BatchMeansCi(const std::vector<double>& samples,
+                              std::size_t first, std::size_t last,
+                              int batches, double conf) {
+  AETHEREAL_CHECK(batches >= 2);
+  AETHEREAL_CHECK(first <= last && last <= samples.size());
+  BatchMeansResult r;
+  r.batches = batches;
+  const std::size_t n = last - first;
+  const std::size_t batch_size = n / static_cast<std::size_t>(batches);
+  r.batch_size = static_cast<std::int64_t>(batch_size);
+  if (batch_size < 2) return r;  // too little data for a trustworthy CI
+
+  std::vector<double> means(static_cast<std::size_t>(batches), 0.0);
+  double grand = 0.0;
+  for (int b = 0; b < batches; ++b) {
+    double acc = 0.0;
+    const std::size_t base = first + static_cast<std::size_t>(b) * batch_size;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      acc += samples[base + i];
+    }
+    means[static_cast<std::size_t>(b)] = acc / static_cast<double>(batch_size);
+    grand += acc;
+  }
+  r.samples = static_cast<std::int64_t>(batch_size) * batches;
+  r.mean = grand / static_cast<double>(r.samples);
+
+  // Unbiased (n-1) variance of the batch means.
+  const double bm = static_cast<double>(batches);
+  double mean_of_means = 0.0;
+  for (double m : means) mean_of_means += m;
+  mean_of_means /= bm;
+  double var = 0.0;
+  for (double m : means) var += (m - mean_of_means) * (m - mean_of_means);
+  var /= bm - 1.0;
+
+  const double t = StudentTQuantile(conf, batches - 1);
+  r.half_width = t * std::sqrt(var / bm);
+  r.ci_low = r.mean - r.half_width;
+  r.ci_high = r.mean + r.half_width;
+  r.rel_err = r.mean != 0.0 ? r.half_width / std::fabs(r.mean)
+                            : std::numeric_limits<double>::infinity();
+
+  // Lag-1 autocorrelation of the batch means (0 when the denominator
+  // degenerates — constant batch means have nothing to correlate).
+  double num = 0.0;
+  for (int b = 0; b + 1 < batches; ++b) {
+    num += (means[static_cast<std::size_t>(b)] - mean_of_means) *
+           (means[static_cast<std::size_t>(b) + 1] - mean_of_means);
+  }
+  const double den = var * (bm - 1.0);
+  r.lag1 = den != 0.0 ? num / den : 0.0;
+  r.valid = true;
+  return r;
+}
+
+std::size_t Mser5Truncation(const std::vector<double>& series) {
+  const std::size_t n5 = series.size() / 5;
+  if (n5 < 2) return 0;
+  // Batch the series into means of 5 (the "5" of MSER-5 — it smooths the
+  // raw noise before the truncation scan).
+  std::vector<double> batch(n5, 0.0);
+  for (std::size_t b = 0; b < n5; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) acc += series[b * 5 + i];
+    batch[b] = acc / 5.0;
+  }
+  // Suffix sums so each candidate truncation is O(1).
+  std::vector<double> suf_sum(n5 + 1, 0.0), suf_sq(n5 + 1, 0.0);
+  for (std::size_t b = n5; b-- > 0;) {
+    suf_sum[b] = suf_sum[b + 1] + batch[b];
+    suf_sq[b] = suf_sq[b + 1] + batch[b] * batch[b];
+  }
+  const std::size_t d_max = n5 / 2;  // never truncate more than half
+  std::size_t best_d = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= d_max; ++d) {
+    const double m = static_cast<double>(n5 - d);
+    const double mean = suf_sum[d] / m;
+    const double sse = suf_sq[d] - m * mean * mean;
+    const double stat = sse / (m * m);
+    if (stat < best) {
+      best = stat;
+      best_d = d;
+    }
+  }
+  return best_d * 5;
+}
+
+WarmupDetector::WarmupDetector(int windows, double tol)
+    : windows_(windows), tol_(tol) {
+  AETHEREAL_CHECK(windows >= 2);
+  AETHEREAL_CHECK(tol > 0.0);
+}
+
+bool WarmupDetector::Stable(const std::vector<double>& ring, double tol) {
+  // Drift test: mean of the newer half vs mean of the older half. Each
+  // half averages `windows` intervals, so stationary per-interval noise
+  // shrinks by sqrt(windows) and cannot keep a settled series
+  // "unstable"; a genuine warmup trend keeps the halves apart.
+  const std::size_t half = ring.size() / 2;
+  double older = 0.0;
+  double newer = 0.0;
+  for (std::size_t i = 0; i < half; ++i) older += ring[i];
+  for (std::size_t i = half; i < ring.size(); ++i) newer += ring[i];
+  older /= static_cast<double>(half);
+  newer /= static_cast<double>(half);
+  const double center = 0.5 * (older + newer);
+  if (center == 0.0) return false;  // dead series: not "stable", just empty
+  return std::fabs(newer - older) <= tol * std::fabs(center);
+}
+
+void WarmupDetector::Observe(double latency_mean, double throughput) {
+  if (warm_) return;
+  ++observed_;
+  lat_ring_.push_back(latency_mean);
+  thr_ring_.push_back(throughput);
+  if (static_cast<int>(lat_ring_.size()) > 2 * windows_) {
+    lat_ring_.erase(lat_ring_.begin());
+    thr_ring_.erase(thr_ring_.begin());
+  }
+  if (static_cast<int>(lat_ring_.size()) < 2 * windows_) return;
+  warm_ = Stable(lat_ring_, tol_) && Stable(thr_ring_, tol_);
+}
+
+void WriteConvergenceJson(JsonWriter& w, const ConvergenceOutcome& c) {
+  w.BeginObject();
+  w.Key("converged").Bool(c.converged);
+  w.Key("warmup_detected").Bool(c.warmup_detected);
+  w.Key("warmup_cycles").Int(c.warmup_cycles);
+  w.Key("measured_cycles").Int(c.measured_cycles);
+  if (c.ci.valid) {
+    w.Key("batches").Int(c.ci.batches);
+    w.Key("batch_size").Int(c.ci.batch_size);
+    w.Key("samples").Int(c.ci.samples);
+    w.Key("mean").Double(c.ci.mean);
+    w.Key("ci_low").Double(c.ci.ci_low);
+    w.Key("ci_high").Double(c.ci.ci_high);
+    if (std::isfinite(c.ci.rel_err)) w.Key("rel_err").Double(c.ci.rel_err);
+    w.Key("lag1").Double(c.ci.lag1);
+  }
+  w.EndObject();
+}
+
+}  // namespace aethereal::stats_ctl

@@ -1,6 +1,7 @@
 #include "sweep/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sweep/pool.h"
@@ -119,9 +120,15 @@ void WriteClass(JsonWriter& w, const ClassSummary& s) {
 }  // namespace
 
 void SummarizePoint(const ScenarioResult& result, PointResult* point) {
-  // TotalDuration: phased scenarios measure the sum of their phase
-  // windows; spec.duration is not meaningful there.
-  point->duration = result.spec.TotalDuration();
+  // Cycles actually measured: the stop-on-convergence window when the run
+  // converged early (or hit its cap), otherwise the spec's TotalDuration()
+  // (phased scenarios measure the sum of their phase windows; spec.duration
+  // is not meaningful there).
+  const Cycle measured = result.convergence.has_value()
+                             ? result.convergence->measured_cycles
+                             : result.spec.TotalDuration();
+  point->duration = measured;
+  point->convergence = result.convergence;
   point->words_in_window = result.words_in_window;
   point->throughput_wpc = result.throughput_wpc;
   point->slot_utilization = result.slot_utilization;
@@ -140,9 +147,9 @@ void SummarizePoint(const ScenarioResult& result, PointResult* point) {
     AddFlow(flow.gt ? &point->gt : &point->be,
             flow.gt ? &gt_samples : &be_samples, flow, offered);
   }
-  FinishClass(&point->all, &all_samples, result.spec.TotalDuration());
-  FinishClass(&point->gt, &gt_samples, result.spec.TotalDuration());
-  FinishClass(&point->be, &be_samples, result.spec.TotalDuration());
+  FinishClass(&point->all, &all_samples, measured);
+  FinishClass(&point->gt, &gt_samples, measured);
+  FinishClass(&point->be, &be_samples, measured);
 }
 
 SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {}
@@ -261,7 +268,10 @@ Result<SweepResult> SweepRunner::Run(int jobs) {
 std::string SweepResult::ToJson() const {
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(2);
+  // Fixed-duration sweeps keep schema_version 2 byte-for-byte; the version
+  // moves to 3 exactly when the per-point `convergence` sections are
+  // present (base spec / --converge opt-in).
+  w.Key("schema_version").Int(spec.base.converge.enabled ? 3 : 2);
   w.Key("sweep").String(spec.name);
   w.Key("base").BeginObject();
   w.Key("scenario").String(spec.base.name);
@@ -333,6 +343,10 @@ std::string SweepResult::ToJson() const {
         WriteClass(w, point.be);
       }
       w.EndObject();
+      if (point.convergence.has_value()) {
+        w.Key("convergence");
+        stats_ctl::WriteConvergenceJson(w, *point.convergence);
+      }
     }
     w.EndObject();
   }
@@ -358,8 +372,41 @@ std::vector<std::string> CsvHeader(const SweepSpec& spec) {
           "lat_p95", "lat_p99", "lat_max", "slot_utilization"}) {
       header.push_back(col);
     }
+    if (spec.base.converge.enabled) {
+      // Point-level CI of the run's merged latency (identical on every
+      // class row of the point). Only converged runs grow these columns,
+      // so fixed-duration CSVs stay byte-identical.
+      for (const char* col : {"converged", "warmup_detected",
+                              "measured_cycles", "batches", "ci_low",
+                              "ci_high", "rel_err"}) {
+        header.push_back(col);
+      }
+    }
   }
   return header;
+}
+
+void ConvergenceCells(CsvWriter& w, const PointResult& point) {
+  if (!point.convergence.has_value()) {
+    for (int i = 0; i < 7; ++i) w.Cell("");
+    return;
+  }
+  const stats_ctl::ConvergenceOutcome& c = *point.convergence;
+  w.Cell(c.converged ? "true" : "false");
+  w.Cell(c.warmup_detected ? "true" : "false");
+  w.Cell(c.measured_cycles);
+  if (c.ci.valid) {
+    w.Cell(static_cast<std::int64_t>(c.ci.batches));
+    w.Double(c.ci.ci_low);
+    w.Double(c.ci.ci_high);
+    if (std::isfinite(c.ci.rel_err)) {
+      w.Double(c.ci.rel_err);
+    } else {
+      w.Cell("");
+    }
+  } else {
+    for (int i = 0; i < 4; ++i) w.Cell("");
+  }
 }
 
 void ClassRow(CsvWriter& w, const PointResult& point, const char* name,
@@ -379,6 +426,7 @@ void ClassRow(CsvWriter& w, const PointResult& point, const char* name,
   w.Double(s.latency_p99);
   w.Double(s.latency_max);
   w.Double(point.slot_utilization);
+  if (point.convergence.has_value()) ConvergenceCells(w, point);
   w.EndRow();
 }
 
@@ -430,9 +478,19 @@ Result<std::string> SweepResult::ToCurveCsv(
     return InvalidArgumentError("'" + axis_param +
                                 "' is not an axis of this sweep");
   }
-  CsvWriter w({"series", axis_param, "class", "offered_wpc",
-               "throughput_wpc", "lat_mean", "lat_p50", "lat_p95", "lat_p99",
-               "lat_max"});
+  std::vector<std::string> header{"series",   axis_param, "class",
+                                  "offered_wpc", "throughput_wpc", "lat_mean",
+                                  "lat_p50",  "lat_p95",  "lat_p99",
+                                  "lat_max"};
+  if (spec.base.converge.enabled) {
+    // Error bars for the curve: the point-level CI of the merged latency
+    // (identical on every class row of the point).
+    for (const char* col : {"converged", "warmup_detected", "measured_cycles",
+                            "batches", "ci_low", "ci_high", "rel_err"}) {
+      header.push_back(col);
+    }
+  }
+  CsvWriter w(header);
   for (const PointResult& point : points) {
     // The non-curve axes label the series this point belongs to.
     std::string series;
@@ -453,6 +511,7 @@ Result<std::string> SweepResult::ToCurveCsv(
       w.Double(s.latency_p95);
       w.Double(s.latency_p99);
       w.Double(s.latency_max);
+      if (point.convergence.has_value()) ConvergenceCells(w, point);
       w.EndRow();
     };
     if (point.gt.flows > 0) row("gt", point.gt);

@@ -12,10 +12,12 @@
 #define AETHEREAL_SWEEP_RUNNER_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scenario/runner.h"
+#include "stats_ctl/convergence.h"
 #include "sweep/spec.h"
 #include "util/status.h"
 
@@ -62,7 +64,9 @@ struct PointResult {
   std::size_t index = 0;
   std::vector<std::string> values;  // chosen raw axis values, axis order
 
-  // Plain grid points: one scenario run.
+  // Plain grid points: one scenario run. `duration` is the cycles the
+  // point actually measured — the spec's TotalDuration(), or the
+  // stop-on-convergence window when the base spec enables `converge`.
   Cycle duration = 0;
   std::int64_t words_in_window = 0;
   double throughput_wpc = 0;
@@ -72,6 +76,11 @@ struct PointResult {
   ClassSummary all;
   ClassSummary gt;
   ClassSummary be;
+
+  /// Stop-on-convergence outcome of the point's run (the merged-latency
+  /// CI); present exactly when the base spec enables `converge`. The
+  /// JSON/CSV emitters add ci_low/ci_high/rel_err/... columns from it.
+  std::optional<stats_ctl::ConvergenceOutcome> convergence;
 
   // Saturation sweeps: the bisection result instead.
   SaturationResult saturation;

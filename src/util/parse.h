@@ -24,6 +24,19 @@ inline std::optional<std::uint64_t> ParseU64(const std::string& token) {
   }
 }
 
+/// Strict double parse under the same whole-token discipline.
+inline std::optional<double> ParseF64(const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    if (token.empty()) return std::nullopt;
+    const double value = std::stod(token, &pos);
+    if (pos != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace aethereal
 
 #endif  // AETHEREAL_UTIL_PARSE_H

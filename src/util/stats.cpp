@@ -30,10 +30,11 @@ double Stats::Mean() const {
 
 double Stats::StdDev() const {
   AETHEREAL_CHECK(!samples_.empty());
+  if (samples_.size() < 2) return 0.0;
   const double mean = Mean();
   double acc = 0.0;
   for (double s : samples_) acc += (s - mean) * (s - mean);
-  return std::sqrt(acc / static_cast<double>(samples_.size()));
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
 }
 
 double SortedPercentile(const std::vector<double>& sorted, double p) {
@@ -55,13 +56,19 @@ double Stats::Percentile(double p) const {
   return SortedPercentile(sorted_, p);
 }
 
+std::vector<double> Stats::SortedRange(std::size_t first,
+                                       std::size_t last) const {
+  AETHEREAL_CHECK(first < last && last <= samples_.size());
+  std::vector<double> window(
+      samples_.begin() + static_cast<std::ptrdiff_t>(first),
+      samples_.begin() + static_cast<std::ptrdiff_t>(last));
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
 double Stats::RangePercentile(std::size_t first, std::size_t last,
                               double p) const {
-  AETHEREAL_CHECK(first < last && last <= samples_.size());
-  std::vector<double> window(samples_.begin() + static_cast<std::ptrdiff_t>(first),
-                             samples_.begin() + static_cast<std::ptrdiff_t>(last));
-  std::sort(window.begin(), window.end());
-  return SortedPercentile(window, p);
+  return SortedPercentile(SortedRange(first, last), p);
 }
 
 }  // namespace aethereal

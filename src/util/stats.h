@@ -25,6 +25,9 @@ class Stats {
   double Min() const;
   double Max() const;
   double Mean() const;
+  /// Unbiased sample standard deviation (n-1 denominator; 0 for a single
+  /// sample). The batch-means confidence intervals are built on this, so
+  /// the population (n) estimator would bias every half-width low.
   double StdDev() const;
   /// Exact percentile by nearest-rank, p in [0, 100].
   double Percentile(double p) const;
@@ -32,7 +35,14 @@ class Stats {
 
   /// Exact nearest-rank percentile over the insertion-order sample range
   /// [first, last) — the samples recorded between two count() snapshots.
+  /// Sorts a fresh copy of the window on every call: when several
+  /// percentiles of ONE window are needed, take SortedRange() once and
+  /// query SortedPercentile on it instead.
   double RangePercentile(std::size_t first, std::size_t last, double p) const;
+
+  /// Sorted copy of the insertion-order sample range [first, last) — one
+  /// O(n log n) sort serving any number of SortedPercentile queries.
+  std::vector<double> SortedRange(std::size_t first, std::size_t last) const;
 
   /// Samples in insertion order (for histogram bucketing / merging).
   const std::vector<double>& samples() const { return samples_; }

@@ -1,6 +1,8 @@
 // Unit tests for util: status, bits, rng, stats, table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/bits.h"
@@ -132,7 +134,31 @@ TEST(Stats, Summary) {
   EXPECT_DOUBLE_EQ(s.Min(), 1.0);
   EXPECT_DOUBLE_EQ(s.Max(), 4.0);
   EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
-  EXPECT_NEAR(s.StdDev(), 1.118, 1e-3);
+  // Unbiased sample stddev: sqrt(((1.5^2+0.5^2)*2) / (4-1)) = sqrt(5/3).
+  EXPECT_NEAR(s.StdDev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, StdDevUsesSampleVariance) {
+  // Regression: StdDev once divided by n (population variance), biasing
+  // every confidence half-width low. The unbiased estimator divides by
+  // n-1; a single sample has no spread estimate at all.
+  Stats s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  s.Add(9.0);
+  // Two samples at distance 2: variance (1+1)/(2-1) = 2.
+  EXPECT_DOUBLE_EQ(s.StdDev(), std::sqrt(2.0));
+}
+
+TEST(Stats, SortedRangeMatchesRangePercentile) {
+  Stats s;
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0}) s.Add(v);
+  const auto sorted = s.SortedRange(2, 7);  // {9,3,7,2,8} sorted
+  ASSERT_EQ(sorted.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(SortedPercentile(sorted, p), s.RangePercentile(2, 7, p));
+  }
 }
 
 TEST(Stats, Percentile) {

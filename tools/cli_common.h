@@ -87,6 +87,20 @@ class ArgReader {
     return parsed;
   }
 
+  /// Value() parsed as a double in the OPEN interval (lo, hi); nullopt
+  /// (with a diagnostic naming `what`) on anything else.
+  std::optional<double> F64Value(const char* what, double lo, double hi) {
+    const char* v = Value();
+    if (v == nullptr) return std::nullopt;
+    const auto parsed = ParseF64(v);
+    if (!parsed || *parsed <= lo || *parsed >= hi) {
+      std::cerr << prog_ << ": " << arg_ << " needs " << what << ", got '"
+                << v << "'\n";
+      return std::nullopt;
+    }
+    return parsed;
+  }
+
  private:
   const char* prog_;
   int argc_;
@@ -106,6 +120,15 @@ struct CommonOptions {
   std::string fault_path;                 // --fault FILE ("" = none)
   std::optional<std::uint64_t> seed;      // --seed N
   std::string output_path;                // -o/--output FILE ("" = none)
+
+  /// Stop-on-convergence overrides (--converge REL_ERR arms the mode; the
+  /// --converge-* flags tune it and require it). Applied on top of any
+  /// in-file `converge` directive by ApplyConvergeOverrides().
+  std::optional<double> converge_rel_err;        // --converge
+  std::optional<double> converge_conf;           // --converge-conf
+  std::optional<Cycle> converge_max_duration;    // --converge-max-duration
+  std::optional<Cycle> converge_interval;        // --converge-interval
+  std::optional<int> converge_batches;           // --converge-batches
 };
 
 enum class Match {
@@ -171,7 +194,77 @@ inline Match MatchCommonArg(ArgReader& args, CommonOptions* out,
     out->seed = *parsed;
     return Match::kYes;
   }
+  if (arg == "--converge") {
+    const auto parsed = args.F64Value("a relative error in (0, 1)", 0.0, 1.0);
+    if (!parsed.has_value()) return Match::kError;
+    out->converge_rel_err = *parsed;
+    return Match::kYes;
+  }
+  if (arg == "--converge-conf") {
+    const auto parsed =
+        args.F64Value("a confidence level in (0.5, 1)", 0.5, 1.0);
+    if (!parsed.has_value()) return Match::kError;
+    out->converge_conf = *parsed;
+    return Match::kYes;
+  }
+  if (arg == "--converge-max-duration") {
+    const auto parsed =
+        args.U64Value("a positive cycle count", 1, std::uint64_t{1} << 40);
+    if (!parsed.has_value()) return Match::kError;
+    out->converge_max_duration = static_cast<Cycle>(*parsed);
+    return Match::kYes;
+  }
+  if (arg == "--converge-interval") {
+    const auto parsed =
+        args.U64Value("a positive cycle count", 1, std::uint64_t{1} << 40);
+    if (!parsed.has_value()) return Match::kError;
+    out->converge_interval = static_cast<Cycle>(*parsed);
+    return Match::kYes;
+  }
+  if (arg == "--converge-batches") {
+    const auto parsed = args.U64Value("a batch count in [2, 4096]", 2, 4096);
+    if (!parsed.has_value()) return Match::kError;
+    out->converge_batches = static_cast<int>(*parsed);
+    return Match::kYes;
+  }
   return Match::kNo;
+}
+
+/// Applies the CLI convergence overrides to a spec. --converge arms the
+/// mode (or tightens an in-file `converge` directive); the tuning flags
+/// require the mode to be armed — by either surface — because silently
+/// ignoring them would misreport error bars. Returns false with
+/// diagnostics on that misuse.
+inline bool ApplyConvergeOverrides(const char* prog,
+                                   const CommonOptions& options,
+                                   scenario::ScenarioSpec* spec) {
+  if (options.converge_rel_err.has_value()) {
+    spec->converge.enabled = true;
+    spec->converge.rel_err = *options.converge_rel_err;
+  }
+  const bool tuning = options.converge_conf.has_value() ||
+                      options.converge_max_duration.has_value() ||
+                      options.converge_interval.has_value() ||
+                      options.converge_batches.has_value();
+  if (tuning && !spec->converge.enabled) {
+    std::cerr << prog << ": --converge-* flags need convergence mode armed "
+              << "(pass --converge REL_ERR or add a `converge` directive "
+              << "to the spec)\n";
+    return false;
+  }
+  if (options.converge_conf.has_value()) {
+    spec->converge.conf = *options.converge_conf;
+  }
+  if (options.converge_max_duration.has_value()) {
+    spec->converge.max_duration = *options.converge_max_duration;
+  }
+  if (options.converge_interval.has_value()) {
+    spec->converge.interval = *options.converge_interval;
+  }
+  if (options.converge_batches.has_value()) {
+    spec->converge.batches = *options.converge_batches;
+  }
+  return true;
 }
 
 /// The one usage formatter: "usage: PROG PIECE PIECE ...", wrapped at 78

@@ -26,6 +26,12 @@
 //                         FILE (overrides the spec's own `trace` line)
 //     --sample-every N    sample windowed time-series stats every N cycles
 //                         (overrides the spec's `stats sample_every` line)
+//     --converge E        stop-on-convergence mode (DESIGN.md §14): run
+//                         until the batch-means CI of the measured latency
+//                         tightens to relative error E, instead of the
+//                         fixed duration. Tunables: --converge-conf C,
+//                         --converge-max-duration D, --converge-interval I,
+//                         --converge-batches B
 //     --stats-csv FILE    write the per-window per-link utilization CSV to
 //                         FILE (needs sampling: a `stats` line in the spec
 //                         or --sample-every)
@@ -74,8 +80,10 @@ void PrintUsage(std::ostream& os) {
                    std::string("[--engine ") + sim::kEngineKindChoices + "]",
                    "[--seed N]", "[--duration N]", "[--verify]",
                    "[--fault FILE]", "[--trace FILE]", "[--sample-every N]",
-                   "[--stats-csv FILE]", "[--validate]", "[--print]",
-                   "[--quiet]", "SPEC_FILE..."});
+                   "[--stats-csv FILE]", "[--converge E]",
+                   "[--converge-conf C]", "[--converge-max-duration D]",
+                   "[--converge-interval I]", "[--converge-batches B]",
+                   "[--validate]", "[--print]", "[--quiet]", "SPEC_FILE..."});
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -294,6 +302,9 @@ int main(int argc, char** argv) {
       spec->duration = *options.duration;
     }
     if (options.common.verify) spec->verify = true;
+    if (!cli::ApplyConvergeOverrides("noc_sim", options.common, &*spec)) {
+      return 1;
+    }
     if (!options.trace_path.empty()) spec->obs.trace_path = options.trace_path;
     if (options.sample_every) spec->obs.sample_every = *options.sample_every;
     if (!options.stats_csv_path.empty() && !spec->obs.SamplingEnabled()) {

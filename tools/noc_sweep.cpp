@@ -26,6 +26,12 @@
 //     --seed N            override the base scenario's RNG seed
 //     --fault FILE        arm the fault models from a fault file in every
 //                         grid point (replaces the base's fault block)
+//     --converge E        arm stop-on-convergence mode (DESIGN.md §14) in
+//                         every grid point: each point runs until its
+//                         batch-means latency CI reaches relative error E.
+//                         Tunables: --converge-conf C,
+//                         --converge-max-duration D, --converge-interval I,
+//                         --converge-batches B
 //     --validate          expand and fully validate every grid point
 //                         (parse + pattern + wiring) without running
 //     --quiet             suppress the human-readable summary
@@ -70,8 +76,10 @@ void PrintUsage(std::ostream& os) {
                    "[--curve PARAM]", "[--axis PARAM=V1,V2,...]",
                    "[--verify]",
                    std::string("[--engine ") + sim::kEngineKindChoices + "]",
-                   "[--seed N]", "[--fault FILE]", "[--validate]",
-                   "[--quiet]", "SWEEP_FILE..."});
+                   "[--seed N]", "[--fault FILE]", "[--converge E]",
+                   "[--converge-conf C]", "[--converge-max-duration D]",
+                   "[--converge-interval I]", "[--converge-batches B]",
+                   "[--validate]", "[--quiet]", "SWEEP_FILE..."});
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -297,6 +305,12 @@ int main(int argc, char** argv) {
       cli::SelectEngine(&spec->base, *options.common.engine);
     }
     if (options.common.seed) spec->base.seed = *options.common.seed;
+    if (!cli::ApplyConvergeOverrides("noc_sweep", options.common,
+                                     &spec->base)) {
+      if (!options.validate) return 1;
+      ++validate_failures;
+      continue;
+    }
     if (fault_override.has_value()) {
       if (!cli::FaultOverrideApplies("noc_sweep", options.common.fault_path,
                                      *fault_override, spec->base, path)) {
