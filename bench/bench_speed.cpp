@@ -1,7 +1,12 @@
 // Host-side performance of the cycle engine: simulated flits/sec and
 // kcycles/sec across mesh sizes and traffic classes for the optimized and
 // soa engines (DESIGN.md §7), plus the speedup of the optimized engine
-// over the naïve reference path on the 4x4 mixed GT/BE workload. Writes
+// over the naïve reference path on the 4x4 mixed GT/BE workload. The
+// 16x16 tier (and 32x32 under --full) additionally runs the threaded soa
+// engine (threads=4), and a paired 8x8 mixed measurement records the
+// threads=4 vs threads=1 speedup together with the host core count — on
+// a 1-core container the honest ~1x lands in the JSON and CI's >= 2x
+// gate skips itself (scripts/ci.sh gates only when >= 4 cores). Writes
 // BENCH_speed.json (path overridable on the command line) so the perf
 // trajectory of every future change can be compared against this baseline.
 //
@@ -15,12 +20,14 @@
 // The JSON also carries an `obs_overhead` block: a paired 8x8 mixed
 // measurement with the observability taps armed vs off (the taps must not
 // perturb the simulation, and CI gates their cost).
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -47,6 +54,7 @@ const char* TrafficName(Traffic t) {
   return "?";
 }
 
+using sim::EngineConfig;
 using soc::EngineKind;
 
 struct RunResult {
@@ -76,7 +84,7 @@ constexpr int kBurstWords = 6;
 constexpr Cycle kBurstPeriod = 48;
 
 SpeedWorkload MakeWorkload(int rows, int cols, Traffic traffic,
-                           EngineKind engine,
+                           EngineConfig engine,
                            const obs::ObsSpec* obs = nullptr) {
   SpeedWorkload w;
   auto mesh = topology::BuildMesh(rows, cols, /*nis_per_router=*/1);
@@ -140,7 +148,7 @@ std::int64_t TotalFlits(SpeedWorkload& w) {
   return flits;
 }
 
-RunResult MeasureOnce(int rows, int cols, Traffic traffic, EngineKind engine,
+RunResult MeasureOnce(int rows, int cols, Traffic traffic, EngineConfig engine,
                       Cycle cycles, const obs::ObsSpec* obs = nullptr) {
   SpeedWorkload w = MakeWorkload(rows, cols, traffic, engine, obs);
   w.soc->RunCycles(200);  // warm up: fill pipelines, settle credits
@@ -155,7 +163,7 @@ RunResult MeasureOnce(int rows, int cols, Traffic traffic, EngineKind engine,
   RunResult result;
   result.mesh = std::to_string(rows) + "x" + std::to_string(cols);
   result.traffic = TrafficName(traffic);
-  result.engine = sim::EngineKindName(engine);
+  result.engine = sim::EngineConfigName(engine);
   result.cycles = cycles;
   result.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
@@ -173,7 +181,7 @@ RunResult MeasureOnce(int rows, int cols, Traffic traffic, EngineKind engine,
 
 /// Best-of-N wall clock (the simulation is deterministic, so the fastest
 /// repetition is the least noise-distorted estimate on a shared host).
-RunResult Measure(int rows, int cols, Traffic traffic, EngineKind engine,
+RunResult Measure(int rows, int cols, Traffic traffic, EngineConfig engine,
                   Cycle cycles, int reps = 5) {
   RunResult best = MeasureOnce(rows, cols, traffic, engine, cycles);
   for (int i = 1; i < reps; ++i) {
@@ -232,9 +240,19 @@ void ProfileEngines(Traffic traffic, Cycle cycles) {
   table.Print(std::cout);
 }
 
+/// The soa threads=4 vs threads=1 pairing on 8x8 mixed, plus the host
+/// core count CI uses to decide whether the >= 2x bar applies.
+struct ThreadedSpeedup {
+  RunResult soa1;
+  RunResult soa4;
+  double ratio = 0;
+  int cores = 0;
+};
+
 void WriteJson(const std::string& path, const std::vector<RunResult>& results,
                const RunResult& opt4x4, const RunResult& naive4x4,
-               double speedup, const ObsOverhead& obs) {
+               double speedup, const ObsOverhead& obs,
+               const ThreadedSpeedup& threaded) {
   std::ofstream out(path);
   AETHEREAL_CHECK_MSG(out.good(), "cannot open " << path);
   out << "{\n"
@@ -268,6 +286,17 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
       << "    \"ratio\": " << FmtNum(obs.ratio) << ",\n"
       << "    \"note\": \"armed = counters + windowed sampling; the taps "
          "must not change the simulated workload\"\n"
+      << "  },\n"
+      << "  \"threaded_speedup_8x8_mixed\": {\n"
+      << "    \"soa_threads1_kcycles_per_sec\": "
+      << FmtNum(threaded.soa1.kcycles_per_sec) << ",\n"
+      << "    \"soa_threads4_kcycles_per_sec\": "
+      << FmtNum(threaded.soa4.kcycles_per_sec) << ",\n"
+      << "    \"ratio\": " << FmtNum(threaded.ratio) << ",\n"
+      << "    \"cores\": " << threaded.cores << ",\n"
+      << "    \"target\": 2.0,\n"
+      << "    \"note\": \"target applies on hosts with >= 4 cores; smaller "
+         "containers record their honest ratio and CI skips the gate\"\n"
       << "  },\n"
       << "  \"speedup_4x4_mixed\": {\n"
       << "    \"optimized_flits_per_sec\": " << FmtNum(opt4x4.flits_per_sec)
@@ -322,8 +351,15 @@ int main(int argc, char** argv) {
                "Mflits/s", "kcycles/s"});
   for (const MeshSize& size : sizes) {
     for (Traffic traffic : classes) {
-      for (EngineKind engine :
-           {EngineKind::kOptimized, EngineKind::kSoa}) {
+      std::vector<EngineConfig> engines = {EngineKind::kOptimized,
+                                           EngineKind::kSoa};
+      // The threaded tier: large meshes are what the region-parallel
+      // engine exists for. Recorded on every host (a 1-core container
+      // reports an honest ~1x); CI core-gates the speedup assertion.
+      if (size.rows >= 16) {
+        engines.push_back(EngineConfig(EngineKind::kSoa, 4));
+      }
+      for (const EngineConfig& engine : engines) {
         RunResult r =
             Measure(size.rows, size.cols, traffic, engine, size.cycles);
         table.AddRow({r.mesh, r.traffic, r.engine, Table::Fmt(r.cycles),
@@ -367,6 +403,35 @@ int main(int argc, char** argv) {
   std::cout << "\n4x4 mixed speedup (optimized vs naive): "
             << Table::Fmt(speedup, 2) << "x (target >= 3x)\n";
 
+  // Threaded speedup on the acceptance workload: soa threads=4 vs
+  // threads=1 on 8x8 mixed, interleaved like the optimized/naive pairing.
+  // The simulated workloads are bit-identical (the determinism tests and
+  // noc_verify prove it), so the flit counts must agree exactly.
+  const int cores = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  RunResult soa1 =
+      MeasureOnce(8, 8, Traffic::kMixed, EngineKind::kSoa, 10000);
+  RunResult soa4 = MeasureOnce(8, 8, Traffic::kMixed,
+                               EngineConfig(EngineKind::kSoa, 4), 10000);
+  for (int rep = 1; rep < 3; ++rep) {
+    RunResult s1 =
+        MeasureOnce(8, 8, Traffic::kMixed, EngineKind::kSoa, 10000);
+    RunResult s4 = MeasureOnce(8, 8, Traffic::kMixed,
+                               EngineConfig(EngineKind::kSoa, 4), 10000);
+    if (s1.wall_ms < soa1.wall_ms) soa1 = s1;
+    if (s4.wall_ms < soa4.wall_ms) soa4 = s4;
+  }
+  AETHEREAL_CHECK_MSG(soa4.flits == soa1.flits,
+                      "threaded engine disagrees on flit count: "
+                          << soa4.flits << " vs " << soa1.flits);
+  const double threaded_speedup = soa1.kcycles_per_sec > 0
+                                      ? soa4.kcycles_per_sec /
+                                            soa1.kcycles_per_sec
+                                      : 0;
+  std::cout << "8x8 mixed threaded speedup (soa threads=4 vs 1): "
+            << Table::Fmt(threaded_speedup, 2) << "x on " << cores
+            << " core(s) (target >= 2x when >= 4 cores)\n";
+
   // Observability overhead: the same 8x8 mixed workload with the taps
   // armed (counters + windowed sampling) vs off, interleaved like the
   // speedup pairing. The taps observe committed state only, so the
@@ -400,7 +465,9 @@ int main(int argc, char** argv) {
     for (Traffic traffic : classes) ProfileEngines(traffic, 10000);
   }
 
-  WriteJson(json_path, results, opt, naive, speedup, obs);
+  ThreadedSpeedup threaded{soa1, soa4, threaded_speedup, cores};
+  results.push_back(soa4);
+  WriteJson(json_path, results, opt, naive, speedup, obs, threaded);
   std::cout << "wrote " << json_path << "\n";
   return 0;
 }

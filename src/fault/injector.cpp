@@ -1,5 +1,7 @@
 #include "fault/injector.h"
 
+#include <algorithm>
+
 namespace aethereal::fault {
 
 namespace {
@@ -22,9 +24,9 @@ int FaultInjector::RegisterLinkSite(std::string name) {
 
 std::uint64_t FaultInjector::Draw(Stream stream, std::uint64_t site,
                                   std::uint64_t ordinal) const {
-  return Mix64(spec_.seed ^ Mix64(stream * 0x632be59bd9b4e019ULL +
-                                  (site + 1) * 0xd6e8feb86659fd93ULL) +
-               ordinal);
+  return Mix64(spec_.seed ^ (Mix64(stream * 0x632be59bd9b4e019ULL +
+                                   (site + 1) * 0xd6e8feb86659fd93ULL) +
+                             ordinal));
 }
 
 bool FaultInjector::Decide(Stream stream, std::uint64_t site,
@@ -34,12 +36,40 @@ bool FaultInjector::Decide(Stream stream, std::uint64_t site,
   return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
 }
 
-void FaultInjector::Record(Cycle cycle, const char* kind,
-                           const std::string& site) {
-  ++events_total_;
-  if (static_cast<int>(events_.size()) < kMaxRecordedEvents) {
-    events_.push_back(Event{cycle, kind, site});
+void FaultInjector::FlushStagedLocked() const {
+  // Canonical order within a cycle: (kind, site). Worker arrival order is
+  // thread-schedule noise; what happened in a cycle is not. Identical
+  // (kind, site) duplicates are interchangeable, so stable vs unstable
+  // makes no observable difference — stable_sort keeps the intent obvious.
+  std::stable_sort(staged_.begin(), staged_.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.site < b.site;
+                   });
+  for (Event& event : staged_) {
+    if (static_cast<int>(events_.size()) >= kMaxRecordedEvents) break;
+    events_.push_back(std::move(event));
   }
+  staged_.clear();
+}
+
+void FaultInjector::Record(Cycle cycle, const char* kind,
+                           std::string site) const {
+  events_total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  if (cycle != staged_cycle_) {
+    FlushStagedLocked();
+    staged_cycle_ = cycle;
+  }
+  if (static_cast<int>(events_.size() + staged_.size()) < kMaxRecordedEvents) {
+    staged_.push_back(Event{cycle, kind, std::move(site)});
+  }
+}
+
+const std::vector<FaultInjector::Event>& FaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  FlushStagedLocked();
+  return events_;
 }
 
 bool FaultInjector::OnDrive(int site_id, Cycle now, link::Flit* flit) {
@@ -57,14 +87,16 @@ bool FaultInjector::OnDrive(int site_id, Cycle now, link::Flit* flit) {
       if (Decide(kStreamDrop, static_cast<std::uint64_t>(site_id), ordinal,
                  spec_.link_drop_rate)) {
         site.dropping_gt = !flit->eop;
-        ++link_packets_dropped_;
+        link_packets_dropped_.fetch_add(1, std::memory_order_relaxed);
         // words[0] of a header flit is the packet header, not payload.
-        link_words_dropped_ += flit->valid_words - 1;
+        link_words_dropped_.fetch_add(flit->valid_words - 1,
+                                      std::memory_order_relaxed);
         Record(now, "link-drop", site.name);
         return false;
       }
     } else if (site.dropping_gt) {
-      link_words_dropped_ += flit->valid_words;
+      link_words_dropped_.fetch_add(flit->valid_words,
+                                    std::memory_order_relaxed);
       if (flit->eop) site.dropping_gt = false;
       return false;
     }
@@ -89,7 +121,7 @@ bool FaultInjector::OnDrive(int site_id, Cycle now, link::Flit* flit) {
                                                    payload_words));
       flit->words[static_cast<std::size_t>(index)] ^=
           Word{1} << ((h >> 8) % 8);
-      ++flits_corrupted_;
+      flits_corrupted_.fetch_add(1, std::memory_order_relaxed);
       Record(now, "link-corrupt", site.name);
     }
   }
@@ -98,26 +130,39 @@ bool FaultInjector::OnDrive(int site_id, Cycle now, link::Flit* flit) {
 
 void FaultInjector::NoteRouterStallDrop(RouterId router, Cycle now, bool gt,
                                         bool is_header, int payload_words) {
-  router_stall_words_dropped_ += payload_words;
+  router_stall_words_dropped_.fetch_add(payload_words,
+                                        std::memory_order_relaxed);
   if (is_header) {
-    ++router_stall_packets_dropped_;
+    router_stall_packets_dropped_.fetch_add(1, std::memory_order_relaxed);
     Record(now, "router-stall-drop",
            "router" + std::to_string(router) + (gt ? " (gt)" : " (be)"));
   }
 }
 
+void FaultInjector::SetConfigNiCount(int num_nis) {
+  if (num_nis > static_cast<int>(config_ordinals_.size())) {
+    config_ordinals_.resize(static_cast<std::size_t>(num_nis), 0);
+  }
+}
+
 FaultInjector::ConfigVerdict FaultInjector::JudgeConfigRequest(
     NiId ni, Cycle now, Cycle* delay_cycles) {
-  const std::uint64_t ordinal = config_ordinal_++;
+  // Lazy growth only happens in sequential hand-built testbenches; the Soc
+  // presizes via SetConfigNiCount so threaded judges never touch the
+  // table's shape.
+  if (static_cast<std::size_t>(ni) >= config_ordinals_.size()) {
+    config_ordinals_.resize(static_cast<std::size_t>(ni) + 1, 0);
+  }
+  const std::uint64_t ordinal = config_ordinals_[static_cast<std::size_t>(ni)]++;
   if (Decide(kStreamConfig, static_cast<std::uint64_t>(ni), ordinal,
              spec_.config_drop_rate)) {
-    ++config_requests_dropped_;
+    config_requests_dropped_.fetch_add(1, std::memory_order_relaxed);
     Record(now, "config-drop", "ni" + std::to_string(ni));
     return ConfigVerdict::kDrop;
   }
   if (Decide(kStreamDelay, static_cast<std::uint64_t>(ni), ordinal,
              spec_.config_delay_rate)) {
-    ++config_requests_delayed_;
+    config_requests_delayed_.fetch_add(1, std::memory_order_relaxed);
     Record(now, "config-delay", "ni" + std::to_string(ni));
     *delay_cycles = spec_.config_delay_cycles;
     return ConfigVerdict::kDelay;

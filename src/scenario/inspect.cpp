@@ -62,7 +62,7 @@ std::string Inspection::Describe() const {
   os << ") — " << num_nis << " NIs, stu " << spec.stu_slots << ", queues "
      << spec.queue_words << ", seed " << spec.seed << ", warmup "
      << spec.warmup << ", duration " << spec.TotalDuration() << ", engine "
-     << sim::EngineKindName(spec.ResolvedEngine()) << "\n";
+     << sim::EngineConfigName(spec.engine) << "\n";
   if (spec.Phased()) {
     os << "  phased: " << spec.phases.size() << " phases, cfg ni "
        << spec.cfg_ni << " (config channels occupy the lowest connids), "

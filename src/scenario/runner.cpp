@@ -282,7 +282,7 @@ Status ScenarioRunner::BuildTopologyAndSoc(
   soc::SocOptions options;
   options.net_mhz = spec_.net_mhz;
   options.stu_slots = spec_.stu_slots;
-  options.engine = spec_.ResolvedEngine();
+  options.engine = spec_.engine;
   options.verify = spec_.verify;
   options.fault = spec_.fault.has_value() ? &*spec_.fault : nullptr;
   // The obs kill switch: a spec without `stats`/`trace` directives passes

@@ -226,21 +226,11 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   Cycle warmup = 500;
   Cycle duration = 20000;
-  /// Engine selection (sim/engine.h); grammar `engine naive|optimized|soa`.
-  /// All three engines produce byte-identical result JSON.
-  sim::EngineKind engine = sim::EngineKind::kOptimized;
-  /// DEPRECATED alias for `engine`, kept one release (same precedence rule
-  /// as SocOptions::optimize_engine): false selects kNaive when `engine`
-  /// is still at its default. Use `engine` in new code.
-  bool optimize_engine = true;
-
-  /// The engine after resolving the deprecated alias: an explicit `engine`
-  /// wins; otherwise optimize_engine == false selects kNaive.
-  sim::EngineKind ResolvedEngine() const {
-    if (engine != sim::EngineKind::kOptimized) return engine;
-    return optimize_engine ? sim::EngineKind::kOptimized
-                           : sim::EngineKind::kNaive;
-  }
+  /// Engine selection (sim/engine.h): kind and thread count; grammar
+  /// `engine naive|optimized|soa [threads N]` (threads > 1 requires soa).
+  /// Every engine and every thread count produces byte-identical result
+  /// JSON, so the directive is a speed knob that never forks goldens.
+  sim::EngineConfig engine;
   /// Arm the verification layer (verify/). Never affects the result JSON:
   /// a clean run is byte-identical, a violating run fails with an error.
   bool verify = false;

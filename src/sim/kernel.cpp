@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cmath>
 
+#include "sim/parallel.h"
+
 namespace aethereal::sim {
+
+thread_local constinit ParallelSink* tls_parallel_sink = nullptr;
 
 namespace {
 
@@ -41,7 +45,7 @@ void Module::RegisterState(TwoPhase* element) {
 
 void Module::CommitState() {
   if (clock_ == nullptr || clock_->kernel_ == nullptr ||
-      clock_->kernel_->optimize()) {
+      clock_->kernel_->gating()) {
     // Dirty-list commit. Elements may re-arm (MarkDirty / MarkDirtyAt)
     // from inside Commit(); they then land on the fresh dirty_ list for a
     // coming edge, so iterate a swapped-out snapshot.
@@ -59,7 +63,7 @@ void Module::CommitState() {
 void Module::Park() {
   if (parked_) return;
   if (clock_ == nullptr || clock_->kernel_ == nullptr ||
-      !clock_->kernel_->optimize()) {
+      !clock_->kernel_->gating()) {
     return;
   }
   // State staged for the coming edge must commit before the module sleeps
@@ -70,12 +74,25 @@ void Module::Park() {
   if (commit_due_ <= clock_->cycles_) return;
   if (clock_->cycles_ <= wake_until_) return;  // recent wake holds us awake
   parked_ = true;
-  clock_->NoteEvalStatus(this);
+  // A module only parks itself (Park is protected), so under threaded
+  // stepping the caller is exactly this module's region worker; only the
+  // shared bitmap words need atomic updates.
+  clock_->NoteEvalStatus(this, tls_parallel_sink != nullptr);
 }
 
 void Module::ParkUntil(Cycle cycle) {
   Park();
-  if (parked_) clock_->AddTimer(cycle, this);
+  if (!parked_) return;
+  // The timer heap is clock-global: always buffer it during the parallel
+  // sweep. A park granted here that the sequential interleaving would have
+  // denied (a cross-region wake still sitting in another worker's sink)
+  // leaves a spurious timer behind; that timer only re-issues an idempotent
+  // Wake at `cycle`, so results are unaffected.
+  if (ParallelSink* sink = tls_parallel_sink; sink != nullptr) {
+    sink->timers.push_back(ParallelSink::TimerOp{this, cycle});
+    return;
+  }
+  clock_->AddTimer(cycle, this);
 }
 
 // ---------------------------------------------------------------------------
@@ -83,7 +100,7 @@ void Module::ParkUntil(Cycle cycle) {
 // ---------------------------------------------------------------------------
 
 void Clock::RefreshRunList() {
-  if (!run_list_dirty_) return;
+  if (!run_list_dirty_.load(std::memory_order_relaxed)) return;
   run_every_.clear();
   run_strided_.clear();
   uniform_stride_ = 0;
@@ -100,7 +117,7 @@ void Clock::RefreshRunList() {
       }
     }
   }
-  run_list_dirty_ = false;
+  run_list_dirty_.store(false, std::memory_order_relaxed);
 }
 
 void Clock::PopDueTimers() {
@@ -256,6 +273,9 @@ void Clock::CommitSweep() {
 // Kernel
 // ---------------------------------------------------------------------------
 
+Kernel::Kernel() = default;
+Kernel::~Kernel() = default;
+
 Clock* Kernel::AddClock(std::string name, Picoseconds period_ps) {
   clocks_.push_back(std::make_unique<Clock>(
       static_cast<int>(clocks_.size()), std::move(name), period_ps));
@@ -280,10 +300,12 @@ void Kernel::EnableProfiling() {
   for (const auto& c : clocks_) c->profile_ = &profile_data_;
 }
 
-void Kernel::set_engine(EngineKind engine) {
+void Kernel::set_engine(EngineConfig config) {
   AETHEREAL_CHECK_MSG(!stepped_,
                       "set_engine must be called before the first Step()");
-  engine_ = engine;
+  const std::string error = ValidateEngineConfig(config);
+  AETHEREAL_CHECK_MSG(error.empty(), "invalid engine config: " << error);
+  engine_ = config;
 }
 
 void Kernel::RebuildHeap() const {
@@ -302,17 +324,28 @@ Picoseconds Kernel::NextEdgeTime() const {
 
 Picoseconds Kernel::Step() {
   AETHEREAL_CHECK_MSG(!clocks_.empty(), "no clocks in kernel");
-  stepped_ = true;
+  if (!stepped_) {
+    stepped_ = true;
+    // Spawn the worker pool on the first step, not at set_engine: a config
+    // that never runs never starts a thread.
+    if (engine_.kind == EngineKind::kSoa && engine_.threads > 1) {
+      parallel_ = std::make_unique<ParallelEngine>(engine_.threads);
+    }
+  }
   if (profiling_) profile_data_.steps += 1;
 
   // Single-clock fast path: no scan, no heap, no scratch.
   if (clocks_.size() == 1) {
     Clock* c = clocks_.front().get();
     const Picoseconds t = c->next_edge_ps_;
-    if (engine_ == EngineKind::kSoa) {
-      c->EvaluatePhaseSoa();
+    if (engine_.kind == EngineKind::kSoa) {
+      if (parallel_ != nullptr) {
+        parallel_->EvaluateClock(c);
+      } else {
+        c->EvaluatePhaseSoa();
+      }
       c->CommitPhase();
-    } else if (engine_ == EngineKind::kOptimized) {
+    } else if (engine_.kind == EngineKind::kOptimized) {
       // Parked / no-op / off-stride modules skip Evaluate only. Every
       // module still reaches the commit phase so state staged into it
       // (register writes, synchronizer traffic) lands at exactly the same
@@ -353,9 +386,15 @@ Picoseconds Kernel::Step() {
   // Phase 1: evaluate everything before committing anything. On the
   // gated paths, parked / no-op / off-stride modules are skipped (their
   // Evaluate is a proven no-op).
-  if (engine_ == EngineKind::kSoa) {
-    for (Clock* c : firing_) c->EvaluatePhaseSoa();
-  } else if (engine_ == EngineKind::kOptimized) {
+  if (engine_.kind == EngineKind::kSoa) {
+    for (Clock* c : firing_) {
+      if (parallel_ != nullptr) {
+        parallel_->EvaluateClock(c);
+      } else {
+        c->EvaluatePhaseSoa();
+      }
+    }
+  } else if (engine_.kind == EngineKind::kOptimized) {
     for (Clock* c : firing_) c->EvaluatePhase();
   } else if (profiling_) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -371,11 +410,11 @@ Picoseconds Kernel::Step() {
   // Phase 2: commit. Every module reaches the commit phase — parked ones
   // too — so staged state always lands at the same edge as on the naïve
   // path; on the gated paths the virtual call is elided when clean.
-  const bool time_naive_commit = profiling_ && !optimize();
+  const bool time_naive_commit = profiling_ && !gating();
   std::chrono::steady_clock::time_point commit_t0;
   if (time_naive_commit) commit_t0 = std::chrono::steady_clock::now();
   for (Clock* c : firing_) {
-    if (optimize()) {
+    if (gating()) {
       c->CommitPhase();
     } else {
       for (Module* m : c->modules_) m->Commit();

@@ -1,0 +1,278 @@
+#include "sim/parallel.h"
+
+#include <bit>
+#include <chrono>
+
+#include "util/check.h"
+
+namespace aethereal::sim {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+std::size_t PopCountWords(const std::vector<std::uint64_t>& bits) {
+  std::size_t n = 0;
+  for (std::uint64_t w : bits) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+// Park ladder tuning. The fork spin window covers the typical gap between
+// edges on a multi-core host (a few microseconds of commit phase); the
+// yield window lets an oversubscribed host schedule the main thread; past
+// both, the worker sleeps on the condition variable. The join side never
+// sleeps: a worker's remaining sweep is short by construction.
+constexpr int kForkSpins = 4096;
+constexpr int kForkYields = 256;
+constexpr int kJoinSpins = 4096;
+
+// Fan-out pays a fork/join barrier (~1-2 us); below this many active
+// modules per region an edge is cheaper swept sequentially. Purely a speed
+// threshold — both paths produce identical results.
+constexpr std::size_t kMinActivePerRegion = 8;
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(unsigned threads) : threads_(threads) {
+  AETHEREAL_CHECK(threads_ >= 2 && threads_ <= kMaxEngineThreads);
+  sinks_.resize(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    sinks_[i].region = static_cast<int>(i);
+  }
+  done_ = std::make_unique<DoneSlot[]>(threads_);
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Clock::RegionSchedule& ParallelEngine::EnsureSchedule(Clock* clock) {
+  if (clock->region_sched_ == nullptr) {
+    clock->region_sched_ = std::make_unique<Clock::RegionSchedule>();
+  }
+  Clock::RegionSchedule& sched = *clock->region_sched_;
+  if (sched.built_modules == clock->modules_.size()) return sched;
+
+  int num_regions = 0;
+  for (const Module* m : clock->modules_) {
+    num_regions = std::max(num_regions, m->region_ + 1);
+  }
+  // More regions than workers would leave regions unswept; the Soc clamps
+  // its partition to the thread count, so this min only catches hand-built
+  // testbenches that label regions themselves.
+  num_regions = std::min(num_regions, static_cast<int>(threads_));
+
+  const std::size_t words = clock->eval_every_bits_.size();
+  sched.num_regions = num_regions;
+  sched.region_masks.assign(static_cast<std::size_t>(std::max(num_regions, 1)),
+                            {});
+  for (auto& mask : sched.region_masks) mask.assign(words, 0);
+  sched.shared_mask.assign(words, 0);
+  for (std::size_t i = 0; i < clock->modules_.size(); ++i) {
+    const int r = clock->modules_[i]->region_;
+    std::vector<std::uint64_t>& mask =
+        (r >= 0 && r < num_regions)
+            ? sched.region_masks[static_cast<std::size_t>(r)]
+            : sched.shared_mask;
+    mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  sched.built_modules = clock->modules_.size();
+  return sched;
+}
+
+void ParallelEngine::SweepMasked(Clock* clock,
+                                 const std::vector<std::uint64_t>& mask,
+                                 bool strided_fire) {
+  // Same walk as Clock::RunFlagged, restricted to the mask — which has the
+  // same word layout and, via EnsureSchedule's rebuild check, the same
+  // length as the phase-start snapshots.
+  const std::size_t words = clock->eval_scratch_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t chunk = clock->eval_scratch_[w] & mask[w];
+    while (chunk != 0) {
+      const int b = std::countr_zero(chunk);
+      chunk &= chunk - 1;
+      clock->modules_[(w << 6) + static_cast<std::size_t>(b)]->Evaluate();
+    }
+  }
+  if (!strided_fire) return;
+  const bool per_module_stride = clock->strided_uniform_ < 0;
+  const std::size_t swords = clock->eval_scratch_strided_.size();
+  for (std::size_t w = 0; w < swords; ++w) {
+    std::uint64_t chunk = clock->eval_scratch_strided_[w] & mask[w];
+    while (chunk != 0) {
+      const int b = std::countr_zero(chunk);
+      chunk &= chunk - 1;
+      Module* m = clock->modules_[(w << 6) + static_cast<std::size_t>(b)];
+      if (per_module_stride && clock->cycles_ % m->evaluate_stride_ != 0) {
+        continue;
+      }
+      m->Evaluate();
+    }
+  }
+}
+
+void ParallelEngine::RunRegion(unsigned index) {
+  if (static_cast<int>(index) >= task_.num_regions) return;
+  tls_parallel_sink = &sinks_[index];
+  SweepMasked(task_.clock,
+              task_.clock->region_sched_->region_masks[index],
+              task_.strided_fire);
+  tls_parallel_sink = nullptr;
+}
+
+void ParallelEngine::WorkerMain(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t epoch;
+    int spins = 0;
+    for (;;) {
+      epoch = go_epoch_.load(std::memory_order_acquire);
+      if (epoch != seen) break;
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      ++spins;
+      if (spins < kForkSpins) {
+        CpuRelax();
+      } else if (spins < kForkSpins + kForkYields) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return go_epoch_.load(std::memory_order_relaxed) != seen ||
+                 shutdown_.load(std::memory_order_relaxed);
+        });
+        // Loop back to reload with acquire before acting on either signal.
+        spins = 0;
+      }
+    }
+    RunRegion(index);
+    seen = epoch;
+    done_[index].epoch.store(epoch, std::memory_order_release);
+  }
+}
+
+void ParallelEngine::Drain(ParallelSink& sink) {
+  // Replayed on the main thread (no sink armed), so every deferred call
+  // takes the plain sequential path now. Order within a sink is the
+  // worker's deterministic sweep order; sinks drain in worker order.
+  for (TwoPhase* element : sink.dirty_now) element->MarkDirty();
+  for (const ParallelSink::DirtyAtOp& op : sink.dirty_at) {
+    op.element->MarkDirtyAt(op.due);
+  }
+  for (const ParallelSink::WakeOp& op : sink.wakes) {
+    op.module->Wake(op.hold_edges);
+  }
+  for (const ParallelSink::TimerOp& op : sink.timers) {
+    op.module->clock_->AddTimer(op.due, op.module);
+  }
+  sink.Clear();
+}
+
+void ParallelEngine::EvaluateClock(Clock* clock) {
+  std::chrono::steady_clock::time_point t0;
+  std::chrono::steady_clock::time_point t1;
+  EngineProfile* prof = clock->profile_;
+  if (prof != nullptr) t0 = std::chrono::steady_clock::now();
+  clock->PopDueTimers();
+  if (prof != nullptr) {
+    t1 = std::chrono::steady_clock::now();
+    prof->park_wake_sec += std::chrono::duration<double>(t1 - t0).count();
+  }
+
+  // Phase-start snapshot, exactly as in Clock::EvaluatePhaseSoa: workers
+  // sweep the snapshot while wakes mutate the live words (atomically, see
+  // Clock::SetBit) for the next edge.
+  clock->eval_scratch_.assign(clock->eval_every_bits_.begin(),
+                              clock->eval_every_bits_.end());
+  const bool strided_fire =
+      clock->strided_uniform_ < 0 ||
+      (clock->strided_uniform_ > 0 &&
+       clock->cycles_ % clock->strided_uniform_ == 0);
+  if (strided_fire) {
+    clock->eval_scratch_strided_.assign(clock->eval_strided_bits_.begin(),
+                                        clock->eval_strided_bits_.end());
+  }
+
+  const Clock::RegionSchedule& sched = EnsureSchedule(clock);
+  bool fan_out = sched.num_regions > 1;
+  if (fan_out) {
+    std::size_t active = PopCountWords(clock->eval_scratch_);
+    if (strided_fire) {
+      active += PopCountWords(clock->eval_scratch_strided_);
+    }
+    fan_out = active >= kMinActivePerRegion *
+                            static_cast<std::size_t>(sched.num_regions);
+  }
+  if (!fan_out) {
+    // Unpartitioned clock (no region labels) or an edge too idle to repay
+    // the barrier: sweep sequentially. Identical results either way.
+    clock->RunFlagged(clock->eval_scratch_, /*per_module_stride=*/false);
+    if (strided_fire) {
+      clock->RunFlagged(clock->eval_scratch_strided_,
+                        /*per_module_stride=*/clock->strided_uniform_ < 0);
+    }
+    if (prof != nullptr) prof->evaluate_sec += SecondsSince(t1);
+    return;
+  }
+
+  // Shared prologue: monitors, taps and pools evaluate on the main thread
+  // before any worker runs (see the protocol note in parallel.h).
+  SweepMasked(clock, sched.shared_mask, strided_fire);
+
+  // Fork. task_ and the snapshots are published by the release store of the
+  // new epoch; the mutex makes the store visible to workers already inside
+  // the cv wait (no missed wakeup).
+  task_.clock = clock;
+  task_.strided_fire = strided_fire;
+  task_.num_regions = sched.num_regions;
+  const std::uint64_t epoch = go_epoch_.load(std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    go_epoch_.store(epoch, std::memory_order_release);
+  }
+  cv_.notify_all();
+
+  RunRegion(0);
+
+  // Join barrier: every region's evaluates complete (and are published by
+  // each worker's release store) before anything merges or commits.
+  for (unsigned w = 1; w < threads_; ++w) {
+    std::atomic<std::uint64_t>& done = done_[w].epoch;
+    int spins = 0;
+    while (done.load(std::memory_order_acquire) != epoch) {
+      if (++spins < kJoinSpins) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  // Deterministic merge: worker order, then each sink's buffered order.
+  for (unsigned w = 0; w < threads_; ++w) Drain(sinks_[w]);
+
+  if (prof != nullptr) prof->evaluate_sec += SecondsSince(t1);
+}
+
+}  // namespace aethereal::sim

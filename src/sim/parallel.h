@@ -1,0 +1,127 @@
+// Deterministic region-parallel stepping for the SoA engine.
+//
+// EngineConfig{kSoa, threads > 1} splits each clock's evaluate phase across
+// a persistent pool of worker threads. The partition is spatial: the Soc
+// labels every module with a mesh region (contiguous router blocks, each
+// router bundled with its attached NIs, ports and application modules —
+// see Soc's region assignment), and each worker sweeps exactly one
+// region's slice of the per-clock activity bitmaps. The commit phase stays
+// sequential and in registration order, exactly as on every other engine.
+//
+// Why this is bit-exact at any thread count (DESIGN.md §7):
+//
+//  * Evaluate() reads only committed state and stages updates (the §6
+//    two-phase contract), so evaluation order within an edge cannot affect
+//    results — concurrency is just another order.
+//  * Everything a module stages during Evaluate lands in its own region
+//    (its queues, registers, its NI's CDC write sides) with one exception:
+//    shared infrastructure like the wire pool, plus wakes and timers
+//    aimed across a region boundary. Those are buffered in a per-worker
+//    ParallelSink (see kernel.h) and replayed on the main thread after the
+//    join barrier, in worker order — a pure function of the partition.
+//  * The per-clock scheduling bitmaps pack 64 modules per word, so words
+//    straddle region boundaries; bit updates issued during the parallel
+//    phase use atomic OR/AND (they are commutative, so order-free).
+//  * Within-module dirty-element order can differ from the sequential
+//    sweep only for the shared wire pool, and wire commits are commutative
+//    (each wire owns its latch; consumer-mask bits are ORed; wakes
+//    max-merge). Every other module's dirty list is filled by exactly one
+//    worker in registration order.
+//
+// The per-edge protocol (EvaluateClock):
+//   1. main: pop due timers, snapshot the activity bitmaps — identical to
+//      the sequential SoA phase;
+//   2. main: evaluate shared-region modules (monitors, taps, pools) in
+//      registration order. They may read other modules' non-two-phase
+//      state (stats counters), which is only safe — and only
+//      order-identical to the sequential engines, where they are
+//      registered first — while no worker runs;
+//   3. fork: worker r sweeps snapshot ∩ region_mask[r] (worker 0 is the
+//      calling thread, so threads=N uses exactly N threads);
+//   4. join barrier — all evaluates complete before anything merges;
+//   5. main: drain the per-worker sinks in worker order.
+// The caller then runs the ordinary sequential commit phase: the second
+// half of the two-phase barrier, applying every staged update in fixed
+// module order.
+//
+// Workers park between edges with a spin → yield → condition-variable
+// ladder: on a multi-core host the next fork arrives within the spin
+// window, while an oversubscribed host (CI containers with one core)
+// degrades to sleeping workers instead of a livelocked spin.
+//
+// Edges with too little active work to amortize a fork/join (idle or
+// drained stretches of a run) fall back to the sequential sweep — a pure
+// speed heuristic, invisible in results by the order-independence argument
+// above.
+#ifndef AETHEREAL_SIM_PARALLEL_H
+#define AETHEREAL_SIM_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace aethereal::sim {
+
+class ParallelEngine {
+ public:
+  /// Spawns threads - 1 persistent workers (the calling thread is worker
+  /// 0). Requires threads >= 2; the kernel only constructs one then.
+  explicit ParallelEngine(unsigned threads);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  /// The threaded counterpart of Clock::EvaluatePhaseSoa(): timers,
+  /// snapshot, shared prologue, region fan-out, join, deterministic sink
+  /// merge. Must be called from the kernel's stepping thread only.
+  void EvaluateClock(Clock* clock);
+
+ private:
+  /// Parameters of the in-flight fan-out, published to workers by the
+  /// fork's release/acquire epoch handshake.
+  struct Task {
+    Clock* clock = nullptr;
+    bool strided_fire = false;
+    int num_regions = 0;
+  };
+  /// One cache line per worker so the join spin never bounces a line
+  /// between finishing workers.
+  struct alignas(64) DoneSlot {
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  /// Lazily (re)derives the clock's region masks from the modules' region
+  /// labels. Cheap to check (one size compare); rebuilt only when modules
+  /// were registered since the last edge.
+  Clock::RegionSchedule& EnsureSchedule(Clock* clock);
+  /// Evaluates snapshot ∩ mask in registration order — the unit of work of
+  /// both the shared prologue and each region worker.
+  void SweepMasked(Clock* clock, const std::vector<std::uint64_t>& mask,
+                   bool strided_fire);
+  void RunRegion(unsigned index);
+  void WorkerMain(unsigned index);
+  void Drain(ParallelSink& sink);
+
+  unsigned threads_;
+  std::vector<ParallelSink> sinks_;  // one per worker; index == region
+  Task task_;
+  std::atomic<std::uint64_t> go_epoch_{0};
+  std::unique_ptr<DoneSlot[]> done_;
+  std::atomic<bool> shutdown_{false};
+  std::mutex mu_;                // guards the go-epoch publish for sleepers
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;  // threads_ - 1 entries
+};
+
+}  // namespace aethereal::sim
+
+#endif  // AETHEREAL_SIM_PARALLEL_H

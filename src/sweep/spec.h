@@ -24,8 +24,11 @@
 // index in the base file; unscoped traffic knobs apply to every directive
 // of the matching injection/QoS kind and fail if none matches):
 //
-//   scenario level:  stu queues seed warmup duration netmhz noc
+//   scenario level:  stu queues seed warmup duration netmhz noc engine
+//                    threads
 //       noc values name the topology inline: star7, mesh4x4x1, ring6x1
+//       engine values are naive|optimized|soa; threads values are thread
+//       counts >= 1 (> 1 requires the soa engine, checked per grid point)
 //   traffic level:   rate     (bernoulli directives; value in (0, 1])
 //                    period   (periodic directives; cycles >= 1)
 //                    burst    (bursty directives; value WORDS/GAP)
@@ -74,6 +77,8 @@ struct ParamRef {
     kDuration,
     kNetMhz,
     kNoc,
+    kEngine,
+    kThreads,
     // Traffic level (scoped by `group`, or all matching directives).
     kRate,
     kPeriod,

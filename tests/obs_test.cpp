@@ -79,7 +79,6 @@ TEST(ObsOffTest, EveryEngineMatchesEveryGolden) {
       ASSERT_FALSE(spec->obs.Enabled())
           << "canonical specs must keep observability off";
       spec->engine = engine;
-      spec->optimize_engine = engine != sim::EngineKind::kNaive;
       EXPECT_EQ(MustRun(*spec).ToJson(), golden);
     }
   }
@@ -131,7 +130,6 @@ TEST(ObsOnTest, StatsJsonIsEngineInvariantAndDeterministic) {
         sim::EngineKind::kSoa}) {
     ScenarioSpec armed = *spec;
     armed.engine = engine;
-    armed.optimize_engine = engine != sim::EngineKind::kNaive;
     jsons.push_back(MustRun(armed).ToJson());
   }
   EXPECT_EQ(jsons[0], jsons[1]) << "naive vs optimized stats diverged";

@@ -52,7 +52,7 @@ TEST(ScenarioSpecTest, ParsesDefaultsAndDirectives) {
   EXPECT_EQ(spec.seed, 42u);
   EXPECT_EQ(spec.warmup, 100);
   EXPECT_EQ(spec.duration, 5000);
-  EXPECT_FALSE(spec.optimize_engine);
+  EXPECT_EQ(spec.engine, sim::EngineConfig(sim::EngineKind::kNaive));
   ASSERT_EQ(spec.traffic.size(), 4u);
 
   EXPECT_EQ(spec.traffic[0].pattern, PatternKind::kUniform);
@@ -319,8 +319,8 @@ TEST(ScenarioRunnerTest, BuildFailsOnChannelOversubscription) {
 // Determinism
 // ---------------------------------------------------------------------------
 
-std::string RunToJson(ScenarioSpec spec, bool optimize) {
-  spec.optimize_engine = optimize;
+std::string RunToJson(ScenarioSpec spec, sim::EngineConfig engine) {
+  spec.engine = engine;
   ScenarioRunner runner(std::move(spec));
   auto result = runner.Run();
   EXPECT_TRUE(result.ok()) << result.status();
@@ -337,7 +337,8 @@ TEST(ScenarioDeterminismTest, SameSpecAndSeedGiveIdenticalJson) {
     traffic uniform inject bernoulli 0.05 qos be
     traffic pairs 0 3 inject bursty 5 30 qos gt 2
   )");
-  EXPECT_EQ(RunToJson(spec, true), RunToJson(spec, true));
+  EXPECT_EQ(RunToJson(spec, sim::EngineKind::kOptimized),
+            RunToJson(spec, sim::EngineKind::kOptimized));
 }
 
 TEST(ScenarioDeterminismTest, SeedChangesTheResult) {
@@ -348,9 +349,9 @@ TEST(ScenarioDeterminismTest, SeedChangesTheResult) {
     traffic uniform inject bernoulli 0.05 qos be
   )");
   spec.seed = 1;
-  const std::string a = RunToJson(spec, true);
+  const std::string a = RunToJson(spec, sim::EngineKind::kOptimized);
   spec.seed = 2;
-  const std::string b = RunToJson(spec, true);
+  const std::string b = RunToJson(spec, sim::EngineKind::kOptimized);
   EXPECT_NE(a, b);
 }
 
@@ -367,7 +368,9 @@ TEST(ScenarioDeterminismTest, OptimizedAndNaiveEnginesAgreeOnCanonicalSpecs) {
     ASSERT_TRUE(spec.ok()) << spec.status();
     // Shorten: the full duration is the golden test's job.
     spec->duration = 2000;
-    EXPECT_EQ(RunToJson(*spec, true), RunToJson(*spec, false)) << name;
+    EXPECT_EQ(RunToJson(*spec, sim::EngineKind::kOptimized),
+              RunToJson(*spec, sim::EngineKind::kNaive))
+        << name;
   }
 }
 

@@ -255,5 +255,38 @@ TEST(SpecErrorsTest, StatsAndTraceParse) {
   EXPECT_FALSE(off->obs.Enabled());
 }
 
+TEST(SpecErrorsTest, EngineDirectiveParses) {
+  // The bare pre-EngineConfig form still parses (back-compat).
+  auto bare = ParseScenario("noc star 4\nengine optimized\ntraffic uniform\n");
+  ASSERT_TRUE(bare.ok()) << bare.status();
+  EXPECT_EQ(bare->engine, sim::EngineConfig(sim::EngineKind::kOptimized));
+
+  auto threaded =
+      ParseScenario("noc star 4\nengine soa threads 4\ntraffic uniform\n");
+  ASSERT_TRUE(threaded.ok()) << threaded.status();
+  EXPECT_EQ(threaded->engine, sim::EngineConfig(sim::EngineKind::kSoa, 4));
+
+  // threads 1 is the sequential engine, any kind.
+  auto one = ParseScenario(
+      "noc star 4\nengine naive threads 1\ntraffic uniform\n");
+  ASSERT_TRUE(one.ok()) << one.status();
+  EXPECT_EQ(one->engine, sim::EngineConfig(sim::EngineKind::kNaive));
+}
+
+TEST(SpecErrorsTest, EngineDirectiveErrors) {
+  ExpectError("noc star 4\nengine warp\ntraffic uniform\n",
+              "engine <naive|optimized|soa> [threads N]", 2);
+  ExpectError("noc star 4\nengine soa 4\ntraffic uniform\n",
+              "engine <naive|optimized|soa> [threads N]", 2);
+  ExpectError("noc star 4\nengine soa threads 0\ntraffic uniform\n",
+              "out of range", 2);
+  ExpectError("noc star 4\nengine soa threads 65\ntraffic uniform\n",
+              "out of range", 2);
+  // The migration error: threads > 1 on a single-threaded engine points
+  // at the new form.
+  ExpectError("noc star 4\nengine optimized threads 4\ntraffic uniform\n",
+              "use `engine soa threads N`", 2);
+}
+
 }  // namespace
 }  // namespace aethereal::scenario

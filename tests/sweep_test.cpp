@@ -82,6 +82,35 @@ TEST(ApplyParamTest, ScenarioLevelKeys) {
   EXPECT_FALSE(ApplyParam(*ParseParamRef("noc"), "ring2x1", &spec).ok());
 }
 
+TEST(ApplyParamTest, EngineAndThreadsKeys) {
+  auto spec = BaseSpec();
+  ASSERT_TRUE(ApplyParam(*ParseParamRef("engine"), "soa", &spec).ok());
+  EXPECT_EQ(spec.engine.kind, sim::EngineKind::kSoa);
+  ASSERT_TRUE(ApplyParam(*ParseParamRef("threads"), "4", &spec).ok());
+  EXPECT_EQ(spec.engine, sim::EngineConfig(sim::EngineKind::kSoa, 4));
+  // Order-independent: threads may land before the engine axis; the
+  // combined config is validated per grid point, not per value.
+  auto other = BaseSpec();
+  ASSERT_TRUE(ApplyParam(*ParseParamRef("threads"), "2", &other).ok());
+  ASSERT_TRUE(ApplyParam(*ParseParamRef("engine"), "soa", &other).ok());
+  EXPECT_EQ(other.engine, sim::EngineConfig(sim::EngineKind::kSoa, 2));
+
+  EXPECT_FALSE(ApplyParam(*ParseParamRef("engine"), "warp", &spec).ok());
+  EXPECT_FALSE(ApplyParam(*ParseParamRef("threads"), "0", &spec).ok());
+  EXPECT_FALSE(ApplyParam(*ParseParamRef("threads"), "65", &spec).ok());
+  // Scenario-level keys reject a traffic scope.
+  EXPECT_FALSE(ParseParamRef("g0.engine").ok());
+  EXPECT_FALSE(ParseParamRef("g0.threads").ok());
+
+  // ValidateAxisValue enforces the combined rule against the base: a
+  // threads value > 1 on a single-threaded base engine fails up front.
+  auto base = BaseSpec();
+  base.engine = sim::EngineKind::kOptimized;
+  EXPECT_FALSE(ValidateAxisValue(*ParseParamRef("threads"), "4", base).ok());
+  base.engine = sim::EngineKind::kSoa;
+  EXPECT_TRUE(ValidateAxisValue(*ParseParamRef("threads"), "4", base).ok());
+}
+
 TEST(ApplyParamTest, TrafficKeysTargetMatchingDirectives) {
   auto spec = BaseSpec();
   // Unscoped rate hits the bernoulli directive (g1) only.

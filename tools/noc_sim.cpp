@@ -12,6 +12,9 @@
 //                         '-' writes JSON to stdout.
 //     --engine E          override the spec's engine (naive | optimized |
 //                         soa)
+//     --threads N         override the spec's engine thread count (N > 1
+//                         needs the soa engine; results are bit-identical
+//                         at any thread count)
 //     --seed N            override the spec's RNG seed
 //     --duration N        override the spec's measured-cycle count
 //     --verify            arm the guarantee-verification layer (runtime
@@ -78,7 +81,8 @@ void PrintUsage(std::ostream& os) {
   cli::PrintUsage(os, "noc_sim",
                   {"[-o FILE]",
                    std::string("[--engine ") + sim::kEngineKindChoices + "]",
-                   "[--seed N]", "[--duration N]", "[--verify]",
+                   "[--threads N]", "[--seed N]", "[--duration N]",
+                   "[--verify]",
                    "[--fault FILE]", "[--trace FILE]", "[--sample-every N]",
                    "[--stats-csv FILE]", "[--converge E]",
                    "[--converge-conf C]", "[--converge-max-duration D]",
@@ -155,11 +159,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 }
 
 void PrintSummary(const scenario::ScenarioResult& result,
-                  sim::EngineKind engine) {
+                  const sim::EngineConfig& engine) {
   std::cout << "=== scenario " << result.spec.name << " ("
             << scenario::TopologyKindName(result.spec.topology) << ", "
-            << result.spec.NumNis() << " NIs, " << sim::EngineKindName(engine)
-            << " engine";
+            << result.spec.NumNis() << " NIs, "
+            << sim::EngineConfigName(engine) << " engine";
   if (result.spec.Phased()) {
     std::cout << ", " << result.spec.phases.size() << " phases";
   }
@@ -289,8 +293,8 @@ int main(int argc, char** argv) {
       }
       spec->fault = fault_override;
     }
-    if (options.common.engine.has_value()) {
-      cli::SelectEngine(&*spec, *options.common.engine);
+    if (!cli::ApplyEngineOverrides("noc_sim", options.common, &*spec)) {
+      return 1;
     }
     if (options.common.seed) spec->seed = *options.common.seed;
     if (options.duration) {
@@ -327,7 +331,7 @@ int main(int argc, char** argv) {
       }
       return cli::ExitCodeOf(result.status());
     }
-    if (!options.quiet) PrintSummary(*result, spec->ResolvedEngine());
+    if (!options.quiet) PrintSummary(*result, spec->engine);
     if (!options.stats_csv_path.empty()) {
       if (!cli::WriteOutput("noc_sim", options.stats_csv_path,
                             obs::SeriesCsv(*result->obs_stats),
